@@ -1,0 +1,216 @@
+// Ablation benchmarks for the design choices DESIGN.md records: mutation
+// minimization (one per region vs one per line), session sharing
+// (amortized Kconfig evaluation), grouped compilation (many files per make
+// invocation), and the paper's proposed allmodconfig extension.
+package jmake_test
+
+import (
+	"strings"
+	"testing"
+
+	"jmake"
+	"jmake/internal/core"
+	"jmake/internal/kernelgen"
+)
+
+// BenchmarkAblationMutationMinimization compares the paper's one-mutation-
+// per-region placement with a naive one-per-changed-line scheme: the
+// metric is how many sites a janitor must inspect when lines are reported
+// uncompiled (paper §III-B's motivation for minimizing).
+func BenchmarkAblationMutationMinimization(b *testing.B) {
+	tree, man, err := kernelgen.Generate(kernelgen.Params{Seed: 55, Scale: 0.15})
+	if err != nil {
+		b.Fatal(err)
+	}
+	content, err := tree.Read(man.Drivers[0].CFile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := strings.Count(content, "\n")
+	// A sweeping cleanup: every 2nd line changed.
+	var changed []int
+	for i := 1; i <= total; i += 2 {
+		changed = append(changed, i)
+	}
+	var minimized int
+	for i := 0; i < b.N; i++ {
+		res := core.Mutate(man.Drivers[0].CFile, content, changed)
+		minimized = len(res.Mutations)
+	}
+	b.ReportMetric(float64(len(changed)), "naive-sites")
+	b.ReportMetric(float64(minimized), "minimized-sites")
+}
+
+// BenchmarkAblationSessionSharing measures the cost of re-deriving the
+// session state (Kconfig parse + fixpoint + arch index) per check versus
+// reusing a shared session, the trick that keeps the 12,000-patch
+// evaluation tractable.
+func BenchmarkAblationSessionSharing(b *testing.B) {
+	tree, man, err := jmake.GenerateKernel(56, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hist, err := jmake.SynthesizeHistory(tree, man, 57, 0.008)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ids, _ := hist.Repo.Between("v4.3", "v4.4", jmake.ModifyingNonMerge)
+
+	b.Run("fresh-session-per-check", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := jmake.CheckCommit(hist.Repo, ids[i%len(ids)], jmake.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("shared-session", func(b *testing.B) {
+		base, err := hist.Repo.CheckoutTree(ids[0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		session, err := jmake.NewSession(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			id := ids[i%len(ids)]
+			snap, err := hist.Repo.CheckoutTree(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fds, err := hist.Repo.FileDiffs(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			checker := jmake.NewChecker(session, snap, 1, jmake.Options{})
+			if _, err := checker.CheckPatch(id, fds); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationGroupedCompilation compares virtual make time with
+// grouped .i generation (paper: up to 50 files per invocation) against
+// one-file-per-invocation, on a multi-file patch.
+func BenchmarkAblationGroupedCompilation(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		group int
+	}{
+		{"group-50", 50},
+		{"group-1", 1},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			tree, man, err := jmake.GenerateKernel(58, 0.25)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// A patch touching five drivers at once.
+			session, err := jmake.NewSession(tree)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var fds []jmake.FileDiff
+			snap := tree.Clone()
+			count := 0
+			for _, d := range man.Drivers {
+				if d.ArchBound != "" || count >= 5 {
+					continue
+				}
+				old, err := tree.Read(d.CFile)
+				if err != nil {
+					continue
+				}
+				edited := strings.Replace(old, "0x04", "0x05", 1)
+				if edited == old {
+					continue
+				}
+				snap.Write(d.CFile, edited)
+				fd, _ := jmake.DiffFiles(d.CFile, old, edited)
+				fds = append(fds, fd)
+				count++
+			}
+			if count < 2 {
+				b.Skip("not enough editable drivers")
+			}
+			var virtual float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				checker := jmake.NewChecker(session, snap, 1, jmake.Options{MaxGroupSize: cfg.group})
+				report, err := checker.CheckPatch("group", fds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				virtual = report.Total.Seconds()
+			}
+			b.ReportMetric(virtual, "virtual-s")
+		})
+	}
+}
+
+// BenchmarkAblationAllModConfig measures the configuration-count cost of
+// the paper's allmodconfig extension on a MODULE-escaping patch.
+func BenchmarkAblationAllModConfig(b *testing.B) {
+	tree, man, err := jmake.GenerateKernel(59, 0.4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var target kernelgen.Driver
+	found := false
+	for _, d := range man.Drivers {
+		if d.Sites[kernelgen.SiteIfdefModule] && d.ArchBound == "" {
+			target, found = d, true
+			break
+		}
+	}
+	if !found {
+		b.Skip("no MODULE-site drivers at this scale")
+	}
+	old, err := tree.Read(target.CFile)
+	if err != nil {
+		b.Fatal(err)
+	}
+	i := strings.Index(old, "#ifdef MODULE")
+	j := i + strings.Index(old[i:], "0x")
+	edited := old[:j+2] + "7" + old[j+3:]
+	snap := tree.Clone()
+	snap.Write(target.CFile, edited)
+	fd, _ := jmake.DiffFiles(target.CFile, old, edited)
+	session, err := jmake.NewSession(tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, cfg := range []struct {
+		name   string
+		allmod bool
+	}{
+		{"allyes-only", false},
+		{"with-allmod", true},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var certified bool
+			var configs int
+			for i := 0; i < b.N; i++ {
+				checker := jmake.NewChecker(session, snap, 1, jmake.Options{TryAllModConfig: cfg.allmod})
+				report, err := checker.CheckPatch("allmod", []jmake.FileDiff{fd})
+				if err != nil {
+					b.Fatal(err)
+				}
+				certified = report.Certified()
+				configs = len(report.ConfigDurations)
+			}
+			b.ReportMetric(b2f(certified), "certified")
+			b.ReportMetric(float64(configs), "configs")
+		})
+	}
+}
+
+func b2f(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,105 @@
+// Command janitor-study reproduces the paper's §IV janitor identification
+// (Tables I and II): it synthesizes the long commit history, applies the
+// activity thresholds, and ranks candidates by the coefficient of
+// variation of their per-file patch counts.
+//
+// Usage:
+//
+//	janitor-study [-tree-scale S] [-commit-scale S] [-paper-thresholds]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"jmake"
+	"jmake/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "janitor-study:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		treeSeed    = flag.Int64("tree-seed", 1, "kernel tree generation seed")
+		histSeed    = flag.Int64("history-seed", 2, "history generation seed")
+		treeScale   = flag.Float64("tree-scale", 1.6, "kernel tree size multiplier")
+		commitScale = flag.Float64("commit-scale", 1.0, "history size multiplier")
+		paperTh     = flag.Bool("paper-thresholds", true, "use the paper's Table I thresholds unscaled")
+	)
+	flag.Parse()
+
+	th := jmake.DefaultJanitorThresholds()
+	if !*paperTh {
+		scale := *commitScale
+		th.MinPatches = scaleMin(th.MinPatches, scale, 3)
+		th.MinSubsystems = scaleMin(th.MinSubsystems, scale, 4)
+		th.MinLists = scaleMin(th.MinLists, scale, 2)
+		th.MinWindowPatches = scaleMin(th.MinWindowPatches, scale, 2)
+	}
+
+	fmt.Println("== Table I: thresholds on janitor activity ==")
+	t1 := stats.NewTable("criterion", "threshold")
+	t1.AddRow("# patches", fmt.Sprintf(">= %d", th.MinPatches))
+	t1.AddRow("# subsystems", fmt.Sprintf(">= %d", th.MinSubsystems))
+	t1.AddRow("# lists", fmt.Sprintf(">= %d", th.MinLists))
+	t1.AddRow("# maintainer patches", fmt.Sprintf("< %.0f%%", 100*th.MaxMaintainerFrac))
+	t1.AddRow("# window patches", fmt.Sprintf(">= %d", th.MinWindowPatches))
+	fmt.Println(t1.String())
+
+	fmt.Println("generating history...")
+	tree, man, err := jmake.GenerateKernel(*treeSeed, *treeScale)
+	if err != nil {
+		return err
+	}
+	hist, err := jmake.SynthesizeHistory(tree, man, *histSeed, *commitScale)
+	if err != nil {
+		return err
+	}
+	mtext, err := hist.Repo.ReadTip("MAINTAINERS")
+	if err != nil {
+		return err
+	}
+	js, err := jmake.IdentifyJanitors(hist.Repo, mtext, th)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("\n== Table II: janitors identified using our criteria ==")
+	t2 := stats.NewTable("janitor", "patches", "subsystems", "lists", "maintainer", "file cv", "window")
+	roster := map[string]bool{}
+	for _, j := range hist.Janitors {
+		roster[j.Email] = true
+	}
+	hits := 0
+	for _, j := range js {
+		name := j.Name
+		if roster[j.Email] {
+			name += " *"
+			hits++
+		}
+		t2.AddRow(name,
+			fmt.Sprintf("%d", j.Patches),
+			fmt.Sprintf("%d", j.Subsystems),
+			fmt.Sprintf("%d", j.Lists),
+			fmt.Sprintf("%.0f%%", 100*j.MaintainerFrac),
+			fmt.Sprintf("%.2f", j.FileCV),
+			fmt.Sprintf("%d", j.WindowPatches))
+	}
+	fmt.Println(t2.String())
+	fmt.Printf("(*) planted Table II roster member: %d/%d identified\n", hits, len(js))
+	return nil
+}
+
+func scaleMin(n int, scale float64, min int) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < min {
+		v = min
+	}
+	return v
+}

@@ -1,0 +1,161 @@
+// Command jmake checks that every changed line of a commit is subjected to
+// the compiler, over a generated kernel-shaped workspace. It is the
+// developer-facing tool of the paper (§III): run it after preparing a
+// change, read which lines the compiler never saw.
+//
+// Usage:
+//
+//	jmake [-tree-scale S] [-commit-scale S] [-n N | -commit ID] [-show]
+//
+// With -n, the latest N window commits are checked; with -commit, one
+// specific commit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jmake"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jmake:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		treeSeed    = flag.Int64("tree-seed", 1, "kernel tree generation seed")
+		histSeed    = flag.Int64("history-seed", 2, "history generation seed")
+		treeScale   = flag.Float64("tree-scale", 0.4, "kernel tree size multiplier")
+		commitScale = flag.Float64("commit-scale", 0.05, "history size multiplier")
+		n           = flag.Int("n", 5, "check the latest N window commits")
+		commitID    = flag.String("commit", "", "check one specific commit ID")
+		show        = flag.Bool("show", false, "print each commit's patch before the verdict")
+		annotate    = flag.Bool("annotate", false, "print the patch with per-line compile verdicts")
+		allmod      = flag.Bool("allmod", false, "also try allmodconfig (covers #ifdef MODULE, ~2x configurations)")
+		prescan     = flag.Bool("prescan", false, "statically warn about doomed regions before building")
+		coverage    = flag.Bool("coverage", false, "synthesize targeted configurations for regions standard configs miss")
+		patchFile   = flag.String("patch", "", "check a unified-diff patch file against the v4.4 tree instead of commits")
+	)
+	flag.Parse()
+
+	fmt.Println("generating workspace...")
+	tree, man, err := jmake.GenerateKernel(*treeSeed, *treeScale)
+	if err != nil {
+		return err
+	}
+	hist, err := jmake.SynthesizeHistory(tree, man, *histSeed, *commitScale)
+	if err != nil {
+		return err
+	}
+	ids, err := hist.Repo.Between("v4.3", "v4.4", jmake.ModifyingNonMerge)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workspace: %d files, %d window commits\n\n", tree.Len(), len(ids))
+
+	var targets []string
+	if *commitID != "" {
+		targets = []string{*commitID}
+	} else {
+		start := len(ids) - *n
+		if start < 0 {
+			start = 0
+		}
+		targets = ids[start:]
+	}
+
+	opts := jmake.Options{TryAllModConfig: *allmod, Prescan: *prescan, CoverageConfigs: *coverage}
+
+	if *patchFile != "" {
+		text, err := os.ReadFile(*patchFile)
+		if err != nil {
+			return err
+		}
+		head, err := hist.Repo.TagID("v4.4")
+		if err != nil {
+			return err
+		}
+		base, err := hist.Repo.CheckoutTree(head)
+		if err != nil {
+			return err
+		}
+		report, err := jmake.CheckPatchText(base, string(text), opts)
+		if err != nil {
+			return err
+		}
+		printReport("(patch file)", report)
+		return nil
+	}
+
+	for _, id := range targets {
+		if *show {
+			text, err := hist.Repo.Show(id)
+			if err != nil {
+				return err
+			}
+			fmt.Println(text)
+		}
+		report, err := jmake.CheckCommit(hist.Repo, id, opts)
+		if err != nil {
+			return err
+		}
+		printReport(id, report)
+		if *annotate {
+			fds, err := hist.Repo.FileDiffs(id)
+			if err != nil {
+				return err
+			}
+			fmt.Print(jmake.Annotate(fds, report))
+		}
+	}
+	return nil
+}
+
+func printReport(id string, r *jmake.Report) {
+	verdict := "NOT CERTIFIED"
+	if r.Certified() {
+		verdict = "CERTIFIED"
+	}
+	if len(r.Files) == 0 {
+		verdict = "SKIPPED (no .c/.h changes)"
+	}
+	fmt.Printf("commit %.12s: %s  (virtual time %v)\n", id, verdict, r.Total.Round(1e6))
+	for _, w := range r.PrescanWarnings {
+		fmt.Printf("  prescan: %s line %d can never be compiled by standard configurations: %s\n",
+			w.Mutation.File, w.Mutation.Line, w.Reason)
+	}
+	for _, f := range r.Files {
+		fmt.Printf("  %-46s %-16s mutations %d/%d", f.Path, f.Status, f.FoundMutations, f.Mutations)
+		if len(f.UsedArches) > 0 {
+			fmt.Printf("  arches %s", strings.Join(f.UsedArches, ","))
+		}
+		if f.UsedDefconfig {
+			fmt.Printf("  (defconfig)")
+		}
+		if f.ExtraCCompiles > 0 {
+			fmt.Printf("  extra .c compiles %d", f.ExtraCCompiles)
+		}
+		fmt.Println()
+		for _, e := range f.Escapes {
+			fmt.Printf("      line %d not subjected to the compiler: %s\n",
+				e.Mutation.Line, e.Reason)
+		}
+		if f.FailureDetail != "" {
+			fmt.Printf("      %s\n", firstLine(f.FailureDetail))
+		}
+	}
+	fmt.Println()
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}

@@ -1,0 +1,98 @@
+// Command kerngen generates the kernel-shaped source tree and reports its
+// composition, or dumps individual files. It exists to inspect the
+// substrate the evaluation runs on.
+//
+// Usage:
+//
+//	kerngen [-seed N] [-scale S] [-cat path] [-ls prefix]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"jmake"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kerngen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		seed  = flag.Int64("seed", 1, "generation seed")
+		scale = flag.Float64("scale", 1.0, "size multiplier")
+		cat   = flag.String("cat", "", "print one file and exit")
+		ls    = flag.String("ls", "", "list files under a prefix and exit")
+	)
+	flag.Parse()
+
+	tree, man, err := jmake.GenerateKernel(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	if *cat != "" {
+		content, err := tree.Read(*cat)
+		if err != nil {
+			return err
+		}
+		fmt.Print(content)
+		return nil
+	}
+	if *ls != "" {
+		for _, p := range tree.Under(*ls) {
+			fmt.Println(p)
+		}
+		return nil
+	}
+
+	var cFiles, hFiles, kconfigs, makefiles, other int
+	lines := 0
+	if err := tree.Walk(func(p, content string) error {
+		lines += strings.Count(content, "\n")
+		switch {
+		case strings.HasSuffix(p, ".c"):
+			cFiles++
+		case strings.HasSuffix(p, ".h"):
+			hFiles++
+		case strings.HasSuffix(p, "Kconfig") || strings.Contains(p, "Kconfig."):
+			kconfigs++
+		case strings.HasSuffix(p, "Makefile") || strings.HasSuffix(p, "Kbuild"):
+			makefiles++
+		default:
+			other++
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	fmt.Printf("tree: %d files, %d lines\n", tree.Len(), lines)
+	fmt.Printf("  .c %d, .h %d, Kconfig %d, Makefile %d, other %d\n",
+		cFiles, hFiles, kconfigs, makefiles, other)
+	fmt.Printf("subsystems: %d   drivers: %d\n", len(man.Subsystems), len(man.Drivers))
+	archBound, quirk := 0, 0
+	siteCounts := map[string]int{}
+	for _, d := range man.Drivers {
+		if d.ArchBound != "" {
+			archBound++
+		}
+		if d.QuirkArch != "" {
+			quirk++
+		}
+		for c := range d.Sites {
+			siteCounts[fmt.Sprintf("site%d", c)]++
+		}
+	}
+	fmt.Printf("arch-bound drivers: %d   arch-quirk drivers: %d\n", archBound, quirk)
+	fmt.Printf("architectures: %d working, %d broken\n", len(man.WorkingArches), len(man.BrokenArches))
+	fmt.Printf("setup files: %v\n", man.SetupFiles)
+	fmt.Printf("whole-build file: %s\n", man.WholeBuildFile)
+	fmt.Printf("many-macro file: %s\n", man.ManyMacroFile)
+	return nil
+}

@@ -1,0 +1,129 @@
+// Escapes: demonstrate every Table IV category — the ways a changed line
+// can silently avoid the compiler even though the file builds cleanly.
+//
+// For each category we pick a generated driver that contains such a
+// region, edit one line inside it, and run JMake. The file compiles; the
+// report shows which line the compiler never saw, and why.
+//
+//	go run ./examples/escapes
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"jmake"
+)
+
+// demo is one escape scenario: how to find the target region and what the
+// paper's Table IV calls it.
+type demo struct {
+	title   string
+	guard   string // marker of the guarded region's opening line
+	expects jmake.EscapeReason
+}
+
+var demos = []demo{
+	{"variable allyesconfig cannot set", "_LEGACY\n", jmake.EscapeIfdefNotAllyes},
+	{"variable never declared in any Kconfig", "_PHANTOM_GLUE\n", jmake.EscapeIfdefNeverSet},
+	{"code only built as a module", "#ifdef MODULE", jmake.EscapeIfdefModule},
+	{"code under #ifndef of an enabled variable", "#ifndef CONFIG_", jmake.EscapeIfndefOrElse},
+	{"code under #if 0", "#if 0", jmake.EscapeIfZero},
+}
+
+func main() {
+	tree, man, err := jmake.GenerateKernel(7, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := jmake.NewSession(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, d := range demos {
+		path, oldContent, newContent := findAndEdit(tree, man, d.guard)
+		if path == "" {
+			fmt.Printf("== %s: no suitable driver generated at this scale ==\n\n", d.title)
+			continue
+		}
+		snapshot := tree.Clone()
+		snapshot.Write(path, newContent)
+		fd, changed := jmake.DiffFiles(path, oldContent, newContent)
+		if !changed {
+			log.Fatalf("edit to %s produced no diff", path)
+		}
+
+		checker := jmake.NewChecker(session, snapshot, 1, jmake.Options{})
+		report, err := checker.CheckPatch("demo", []jmake.FileDiff{fd})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("== %s ==\n", d.title)
+		fmt.Printf("edited %s:\n%s", path, indent(jmake.FormatDiff(fd)))
+		f := report.Files[0]
+		fmt.Printf("JMake: %s — %d/%d mutations witnessed\n", f.Status, f.FoundMutations, f.Mutations)
+		for _, esc := range f.Escapes {
+			marker := " "
+			if esc.Reason == d.expects {
+				marker = "✓"
+			}
+			fmt.Printf("  %s line %d escaped the compiler: %s\n", marker, esc.Mutation.Line, esc.Reason)
+		}
+		fmt.Println()
+	}
+}
+
+// findAndEdit locates a driver whose probe contains the guarded region and
+// bumps the first editable line inside it.
+func findAndEdit(tree *jmake.Tree, man *jmake.Manifest, guard string) (path, oldContent, newContent string) {
+	for _, drv := range man.Drivers {
+		if drv.ArchBound != "" {
+			continue
+		}
+		content, err := tree.Read(drv.CFile)
+		if err != nil {
+			continue
+		}
+		idx := strings.Index(content, guard)
+		if idx < 0 {
+			continue
+		}
+		// Edit the first line after the guard's newline.
+		lineStart := idx + strings.IndexByte(content[idx:], '\n') + 1
+		lineEnd := lineStart + strings.IndexByte(content[lineStart:], '\n')
+		line := content[lineStart:lineEnd]
+		edited := bumpLastDigit(line)
+		if edited == line {
+			continue
+		}
+		return drv.CFile, content, content[:lineStart] + edited + content[lineEnd:]
+	}
+	return "", "", ""
+}
+
+// bumpLastDigit increments the last decimal digit found on the line.
+func bumpLastDigit(line string) string {
+	for i := len(line) - 1; i >= 0; i-- {
+		c := line[i]
+		if c >= '0' && c <= '8' {
+			return line[:i] + string(c+1) + line[i+1:]
+		}
+		if c == '9' {
+			return line[:i] + "8" + line[i+1:]
+		}
+	}
+	return line
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, ln := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("    ")
+		b.WriteString(ln)
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+// Extensions: the three capabilities this reproduction adds beyond the
+// paper's prototype, demonstrated on the same failing change:
+//
+//  1. prescan      — warn about doomed regions before building (§VII);
+//  2. allmodconfig — cover #ifdef MODULE regions (§V-B's suggestion);
+//  3. coverage     — synthesize configurations for ifdef/else pairs, which
+//     plain JMake can never certify (§VII);
+//
+// plus the annotated-diff output that shows the verdict line by line.
+//
+//	go run ./examples/extensions
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"jmake"
+)
+
+func main() {
+	tree, man, err := jmake.GenerateKernel(13, 0.35)
+	if err != nil {
+		log.Fatal(err)
+	}
+	session, err := jmake.NewSession(tree)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find a portable driver and craft a change with BOTH a MODULE-guarded
+	// line and an ifdef/else pair — invisible to plain allyesconfig runs.
+	var target string
+	for _, d := range man.Drivers {
+		if d.ArchBound == "" && !strings.Contains(d.CFile, "staging") {
+			target = d.CFile
+			break
+		}
+	}
+	old, err := tree.Read(target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	anchor := "\tkfree(p);\n\treturn 0;"
+	edited := strings.Replace(old, anchor,
+		"#ifdef MODULE\n\tp->flags = 0x31;\n#endif\n"+
+			"#ifdef CONFIG_MAINSTREAM\n\tp->state = 5;\n#else\n\tp->state = 6;\n#endif\n"+anchor, 1)
+	if edited == old {
+		log.Fatalf("anchor not found in %s", target)
+	}
+	snapshot := tree.Clone()
+	snapshot.Write(target, edited)
+	fd, _ := jmake.DiffFiles(target, old, edited)
+
+	check := func(label string, opts jmake.Options) *jmake.Report {
+		checker := jmake.NewChecker(session, snapshot, 1, opts)
+		report, err := checker.CheckPatch(label, []jmake.FileDiff{fd})
+		if err != nil {
+			log.Fatal(err)
+		}
+		covered, relevant := jmake.CoverageRatio(report)
+		fmt.Printf("%-38s certified=%-5v lines witnessed %d/%d, configs tried %d\n",
+			label, report.Certified(), covered, relevant, len(report.ConfigDurations))
+		for _, w := range report.PrescanWarnings {
+			fmt.Printf("    prescan warning: line %d — %s\n", w.Mutation.Line, w.Reason)
+		}
+		return report
+	}
+
+	fmt.Printf("change under test (%s): MODULE guard + ifdef/else pair\n\n", target)
+	check("plain JMake (paper prototype)", jmake.Options{Prescan: true})
+	check("+ allmodconfig", jmake.Options{TryAllModConfig: true})
+	check("+ coverage configs", jmake.Options{CoverageConfigs: true})
+	full := check("+ allmodconfig + coverage configs", jmake.Options{TryAllModConfig: true, CoverageConfigs: true})
+
+	fmt.Println("\nannotated patch with everything enabled:")
+	fmt.Print(jmake.Annotate([]jmake.FileDiff{fd}, full))
+}

@@ -1,0 +1,3 @@
+module jmake
+
+go 1.22

@@ -1,0 +1,200 @@
+package commitgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"jmake/internal/kernelgen"
+	"jmake/internal/vcs"
+)
+
+// JanitorSpec pins one row of the paper's Table II: the ten developers
+// identified as janitors, their activity volumes over v3.0→v4.4, their
+// v4.3→v4.4 window contribution, and the coefficient-of-variation target
+// their per-file patch counts must realize.
+type JanitorSpec struct {
+	Name  string
+	Email string
+	// TotalPatches covers v3.0→v4.4 (Table II "patches").
+	TotalPatches int
+	// WindowPatches covers v4.3→v4.4 (sums to 591 across the ten).
+	WindowPatches int
+	// SubsystemsHint and ListsHint size the spread of touched entries.
+	SubsystemsHint int
+	ListsHint      int
+	// CVTarget is the Table II file cv.
+	CVTarget float64
+	// StagingFocus concentrates the janitor's work in drivers/staging
+	// (which has umbrella-only MAINTAINERS coverage), producing the
+	// low-subsystem profile of the intern row.
+	StagingFocus bool
+}
+
+// janitorTable reproduces Table II. Window patch counts are the paper's
+// 591 total split roughly proportionally (the paper only reports the sum
+// and the ≥20 threshold).
+var janitorTable = []JanitorSpec{
+	{Name: "Javier Martinez Canillas", Email: "javier@osg.example.org", TotalPatches: 118, WindowPatches: 20, SubsystemsHint: 61, ListsHint: 30, CVTarget: 0.25},
+	{Name: "Luis de Bethencourt", Email: "luisbg@osg.example.org", TotalPatches: 104, WindowPatches: 20, SubsystemsHint: 56, ListsHint: 31, CVTarget: 0.41},
+	{Name: "Dan Carpenter", Email: "dan.carpenter@oracle.example.org", TotalPatches: 1554, WindowPatches: 150, SubsystemsHint: 400, ListsHint: 146, CVTarget: 0.43},
+	{Name: "Julia Lawall", Email: "julia.lawall@lip6.example.org", TotalPatches: 653, WindowPatches: 65, SubsystemsHint: 255, ListsHint: 93, CVTarget: 0.67},
+	{Name: "Shraddha Barke", Email: "shraddha.6596@outreach.example.org", TotalPatches: 160, WindowPatches: 20, SubsystemsHint: 21, ListsHint: 14, CVTarget: 0.72, StagingFocus: true},
+	{Name: "Joe Perches", Email: "joe@perches.example.org", TotalPatches: 1078, WindowPatches: 100, SubsystemsHint: 530, ListsHint: 158, CVTarget: 0.81},
+	{Name: "Axel Lin", Email: "axel.lin@ingics.example.org", TotalPatches: 1044, WindowPatches: 95, SubsystemsHint: 142, ListsHint: 49, CVTarget: 0.92},
+	{Name: "Daniel Borkmann", Email: "daniel@iogearbox.example.org", TotalPatches: 121, WindowPatches: 20, SubsystemsHint: 25, ListsHint: 15, CVTarget: 1.29},
+	{Name: "Fabio Estevam", Email: "fabio.estevam@nxp.example.org", TotalPatches: 790, WindowPatches: 77, SubsystemsHint: 95, ListsHint: 42, CVTarget: 1.29},
+	{Name: "Jarkko Nikula", Email: "jarkko.nikula@intel.example.org", TotalPatches: 173, WindowPatches: 24, SubsystemsHint: 30, ListsHint: 14, CVTarget: 1.35},
+}
+
+// JanitorSpecs returns a copy of the Table II roster.
+func JanitorSpecs() []JanitorSpec {
+	out := make([]JanitorSpec, len(janitorTable))
+	copy(out, janitorTable)
+	return out
+}
+
+// solveRepeats finds (k, p) such that a per-file count distribution of
+// value k with probability p (else 1) has coefficient of variation ~cv:
+//
+//	cv(k, p) = (k-1)·sqrt(p(1-p)) / (1 + p(k-1))
+//
+// Returns the repeat count k and repeat fraction p.
+func solveRepeats(cv float64) (int, float64) {
+	cvOf := func(k int, p float64) float64 {
+		return float64(k-1) * math.Sqrt(p*(1-p)) / (1 + p*float64(k-1))
+	}
+	// Prefer the smallest k that can reach the target, and within that k
+	// the largest p within tolerance: large p means many repeated files,
+	// which realizes smoothly even for modest patch counts (cv(p) is
+	// unimodal in p, so we grid-search rather than bisect).
+	const tol = 0.02
+	bestK, bestP, bestErr := 2, 0.25, math.Inf(1)
+	for k := 2; k <= 40; k++ {
+		foundP, found := 0.0, false
+		for i := 0; i <= 400; i++ {
+			p := 0.002 + (0.5-0.002)*float64(i)/400
+			e := math.Abs(cvOf(k, p) - cv)
+			if e < tol && p > foundP {
+				foundP, found = p, true
+			}
+			if e < bestErr {
+				bestErr, bestK, bestP = e, k, p
+			}
+		}
+		if found {
+			return k, foundP
+		}
+	}
+	return bestK, bestP
+}
+
+// fileCountMultiset realizes per-file patch counts for a janitor: how many
+// distinct files and how often each is revisited, targeting the cv.
+func fileCountMultiset(rng *rand.Rand, totalPatches int, cv float64) []int {
+	k, p := solveRepeats(cv)
+	mean := 1 + p*float64(k-1)
+	files := int(float64(totalPatches)/mean + 0.5)
+	if files < 1 {
+		files = 1
+	}
+	counts := make([]int, files)
+	// Deterministic placement: round(p*files) entries get the repeat value
+	// (Bernoulli sampling is far too noisy at small p and file counts).
+	nk := int(p*float64(files) + 0.5)
+	if nk < 1 && cv > 0.1 {
+		nk = 1
+	}
+	if nk > files {
+		nk = files
+	}
+	assigned := 0
+	for i := range counts {
+		if i < nk {
+			counts[i] = k
+		} else {
+			counts[i] = 1
+		}
+		assigned += counts[i]
+	}
+	rng.Shuffle(files, func(i, j int) { counts[i], counts[j] = counts[j], counts[i] })
+	// Adjust the tail so the total matches exactly.
+	for assigned < totalPatches {
+		counts[rng.Intn(files)]++
+		assigned++
+	}
+	for assigned > totalPatches {
+		i := rng.Intn(files)
+		if counts[i] > 1 {
+			counts[i]--
+			assigned--
+		}
+	}
+	return counts
+}
+
+// backgroundAuthor is a non-janitor contributor with a personal file pool.
+// Two populations exist, each failing a different Table I filter:
+//
+//   - maintainers (identities from the generated MAINTAINERS file) work on
+//     the drivers they maintain — excluded by the <5% maintainer-patches
+//     rule;
+//   - drive-by contributors concentrate on a single driver — excluded by
+//     the >= 20 subsystems rule (and usually by volume).
+//
+// Only the planted janitors combine breadth with zero maintainership.
+type backgroundAuthor struct {
+	sig  vcs.Signature
+	pool []string
+}
+
+// parseIdentity splits "Name <email>".
+func parseIdentity(s string) (name, email string) {
+	if i := strings.IndexByte(s, '<'); i >= 0 {
+		if j := strings.IndexByte(s[i:], '>'); j > 0 {
+			return strings.TrimSpace(s[:i]), s[i+1 : i+j]
+		}
+	}
+	return s, s
+}
+
+// makeBackgroundAuthors derives the two contributor populations from the
+// manifest.
+func makeBackgroundAuthors(rng *rand.Rand, man *kernelgen.Manifest) (maintainersPop, driveBys []backgroundAuthor) {
+	byEmail := make(map[string]*backgroundAuthor)
+	var order []string
+	for _, d := range man.Drivers {
+		name, email := parseIdentity(d.Maintainer)
+		a, ok := byEmail[email]
+		if !ok {
+			a = &backgroundAuthor{sig: vcs.Signature{Name: name, Email: email}}
+			byEmail[email] = a
+			order = append(order, email)
+		}
+		a.pool = append(a.pool, d.CFile)
+		if d.Header != "" {
+			a.pool = append(a.pool, d.Header)
+		}
+	}
+	for _, e := range order {
+		maintainersPop = append(maintainersPop, *byEmail[e])
+	}
+	// Drive-by contributors: one driver each.
+	nDriveBy := len(man.Drivers) / 2
+	for i := 0; i < nDriveBy; i++ {
+		d := man.Drivers[rng.Intn(len(man.Drivers))]
+		pool := []string{d.CFile}
+		if d.Header != "" {
+			pool = append(pool, d.Header)
+		}
+		driveBys = append(driveBys, backgroundAuthor{
+			sig: vcs.Signature{
+				Name:  fmt.Sprintf("Contributor %03d", i),
+				Email: fmt.Sprintf("contrib%03d@kernel.example.org", i),
+			},
+			pool: pool,
+		})
+	}
+	return maintainersPop, driveBys
+}

@@ -1,0 +1,203 @@
+package commitgen
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"jmake/internal/fstree"
+	"jmake/internal/kernelgen"
+	"jmake/internal/stats"
+	"jmake/internal/vcs"
+)
+
+// buildSmall generates a small tree + history for tests.
+func buildSmall(t *testing.T) (*fstree.Tree, *kernelgen.Manifest, *Result) {
+	t.Helper()
+	tree, man, err := kernelgen.Generate(kernelgen.Params{Seed: 11, Scale: 0.2})
+	if err != nil {
+		t.Fatalf("kernelgen: %v", err)
+	}
+	res, err := Build(tree, man, Params{Seed: 12, Scale: 0.02})
+	if err != nil {
+		t.Fatalf("commitgen: %v", err)
+	}
+	return tree, man, res
+}
+
+func TestSolveRepeats(t *testing.T) {
+	for _, cv := range []float64{0.25, 0.43, 0.72, 0.92, 1.29, 1.35} {
+		k, p := solveRepeats(cv)
+		got := float64(k-1) * math.Sqrt(p*(1-p)) / (1 + p*float64(k-1))
+		if math.Abs(got-cv) > 0.05 {
+			t.Errorf("solveRepeats(%v) = k=%d p=%v -> cv %v", cv, k, p, got)
+		}
+	}
+}
+
+func TestFileCountMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, tt := range []struct {
+		patches int
+		cv      float64
+	}{
+		{1554, 0.43}, {160, 0.72}, {173, 1.35},
+	} {
+		counts := fileCountMultiset(rng, tt.patches, tt.cv)
+		total := 0
+		fs := make([]float64, len(counts))
+		for i, c := range counts {
+			total += c
+			fs[i] = float64(c)
+		}
+		if total != tt.patches {
+			t.Errorf("cv %v: total = %d, want %d", tt.cv, total, tt.patches)
+		}
+		got := stats.CoefficientOfVariation(fs)
+		if math.Abs(got-tt.cv) > 0.25 {
+			t.Errorf("cv realized %v, want ~%v", got, tt.cv)
+		}
+	}
+}
+
+func TestBuildWindowCounts(t *testing.T) {
+	_, _, res := buildSmall(t)
+	ids, err := res.Repo.Between("v4.3", "v4.4", vcs.LogOptions{NoMerges: true, OnlyModify: true})
+	if err != nil {
+		t.Fatalf("Between: %v", err)
+	}
+	if len(ids) != res.PlannedWindow {
+		t.Errorf("window commits = %d, want %d (merges/additions must be filtered)",
+			len(ids), res.PlannedWindow)
+	}
+	// Unfiltered log must contain more (merges + additions).
+	all, _ := res.Repo.Between("v4.3", "v4.4", vcs.LogOptions{})
+	if len(all) <= len(ids) {
+		t.Errorf("unfiltered (%d) should exceed filtered (%d)", len(all), len(ids))
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	tree1, man1, _ := func() (*fstree.Tree, *kernelgen.Manifest, error) {
+		tr, m, err := kernelgen.Generate(kernelgen.Params{Seed: 11, Scale: 0.1})
+		return tr, m, err
+	}()
+	r1, err := Build(tree1, man1, Params{Seed: 3, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree2, man2, _ := func() (*fstree.Tree, *kernelgen.Manifest, error) {
+		tr, m, err := kernelgen.Generate(kernelgen.Params{Seed: 11, Scale: 0.1})
+		return tr, m, err
+	}()
+	r2, err := Build(tree2, man2, Params{Seed: 3, Scale: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Repo.Head() != r2.Repo.Head() {
+		t.Error("same seeds must produce identical histories")
+	}
+}
+
+func TestJanitorCommitsPresent(t *testing.T) {
+	_, _, res := buildSmall(t)
+	ids, _ := res.Repo.Between("v3.0", "v4.4", vcs.LogOptions{NoMerges: true, OnlyModify: true})
+	perAuthor := map[string]int{}
+	for _, id := range ids {
+		c, err := res.Repo.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perAuthor[c.Author.Email]++
+	}
+	for _, j := range res.Janitors {
+		if perAuthor[j.Email] < 4 {
+			t.Errorf("janitor %s has %d commits, want >= 4", j.Name, perAuthor[j.Email])
+		}
+	}
+}
+
+func TestWindowDiffsAreWellFormed(t *testing.T) {
+	_, _, res := buildSmall(t)
+	ids, _ := res.Repo.Between("v4.3", "v4.4", vcs.LogOptions{NoMerges: true, OnlyModify: true})
+	checked := 0
+	for i, id := range ids {
+		if i%7 != 0 {
+			continue
+		}
+		fds, err := res.Repo.FileDiffs(id)
+		if err != nil {
+			t.Fatalf("FileDiffs(%s): %v", id, err)
+		}
+		if len(fds) == 0 {
+			t.Errorf("commit %s has no diffs", id)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no commits checked")
+	}
+}
+
+func TestKindCoverage(t *testing.T) {
+	_, _, res := buildSmall(t)
+	for _, want := range []string{"plain", "ignored", "setup", "honly", "bothcovered", "archbound", "manymacro"} {
+		if res.KindCounts[want] == 0 {
+			t.Errorf("no %q patches realized: %v", want, res.KindCounts)
+		}
+	}
+	t.Logf("kind counts: %v", res.KindCounts)
+}
+
+func TestEditEngineClasses(t *testing.T) {
+	_, man, res := buildSmall(t)
+	// An escape edit must land inside the right guard: take a driver with
+	// a MODULE site and verify the diff context.
+	var target kernelgen.Driver
+	found := false
+	for _, d := range man.Drivers {
+		if d.Sites[kernelgen.SiteIfdefModule] && d.ArchBound == "" {
+			target, found = d, true
+			break
+		}
+	}
+	if !found {
+		t.Skip("no MODULE-site drivers at this scale")
+	}
+	content, err := res.Repo.ReadTip(target.CFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed := &editor{rng: rand.New(rand.NewSource(9))}
+	r, ok := ed.apply(content, editEscape, kernelgen.SiteIfdefModule, 1)
+	if !ok {
+		t.Fatalf("no MODULE site found in %s", target.CFile)
+	}
+	if r.content == content {
+		t.Error("edit did not change content")
+	}
+	// The changed line must be inside the #ifdef MODULE block.
+	oldLines := strings.Split(content, "\n")
+	newLines := strings.Split(r.content, "\n")
+	if len(oldLines) != len(newLines) {
+		t.Fatal("escape edit must not add/remove lines")
+	}
+	for i := range oldLines {
+		if oldLines[i] != newLines[i] {
+			inModule := false
+			for j := i; j >= 0; j-- {
+				if strings.HasPrefix(oldLines[j], "#ifdef MODULE") {
+					inModule = true
+					break
+				}
+				if strings.HasPrefix(oldLines[j], "#endif") || strings.HasPrefix(oldLines[j], "#ifdef CONFIG") {
+					break
+				}
+			}
+			if !inModule {
+				t.Errorf("changed line %d not under #ifdef MODULE: %q", i+1, newLines[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package commitgen
+
+import (
+	"math/rand"
+
+	"jmake/internal/kernelgen"
+)
+
+// planKind is the behavioural class of one window patch.
+type planKind int
+
+const (
+	// planIgnored touches only Documentation/scripts/tools files.
+	planIgnored planKind = iota + 1
+	// planSetup touches a build-setup file (untreatable, §V-D).
+	planSetup
+	// planPromInit touches the whole-kernel-build file (§V-C).
+	planPromInit
+	// planManyMacro is the 200+ mutation register-map rewrite (§V-B).
+	planManyMacro
+	// planPlainC edits unconditional .c code.
+	planPlainC
+	// planMultiRegion edits 2-3 regions of one .c file.
+	planMultiRegion
+	// planMacroEdit edits a multi-line macro body.
+	planMacroEdit
+	// planCommentOnly edits only comments.
+	planCommentOnly
+	// planArchBound edits a driver only another architecture compiles.
+	planArchBound
+	// planBrokenArch edits a driver bound to a compiler-less architecture.
+	planBrokenArch
+	// planEscape edits a region allyesconfig never compiles (Table IV).
+	planEscape
+	// planQuirk edits an arch-quirk region (escape recovered via arch).
+	planQuirk
+	// planDefconfigOnly edits a region only a configs/ defconfig compiles.
+	planDefconfigOnly
+	// planHOnly edits a header only.
+	planHOnly
+	// planHOnlyNever edits a header region nothing can witness.
+	planHOnlyNever
+	// planBothCovered edits a driver's .c and its header (witnessed
+	// together).
+	planBothCovered
+	// planBothDisjoint edits a .c and an unrelated header (needs hunting).
+	planBothDisjoint
+	// planBothNever edits a .c and a never-witnessable header region.
+	planBothNever
+)
+
+// plan is one planned window patch.
+type plan struct {
+	kind    planKind
+	escape  kernelgen.SiteClass // for planEscape
+	janitor int                 // index into janitorTable, -1 for background
+	regions int                 // region count for planMultiRegion
+}
+
+// quota emits n copies of a plan.
+func addN(dst []plan, n int, p plan) []plan {
+	for i := 0; i < n; i++ {
+		dst = append(dst, p)
+	}
+	return dst
+}
+
+// scaleN scales a paper count, keeping at least min.
+func scaleN(n int, scale float64, min int) int {
+	v := int(float64(n)*scale + 0.5)
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// escapeWeights reproduces Table IV's relative frequencies.
+var escapeWeights = []struct {
+	site   kernelgen.SiteClass
+	weight int
+}{
+	{kernelgen.SiteIfdefNotAllyes, 5},
+	{kernelgen.SiteIfdefNever, 5},
+	{kernelgen.SiteIfdefModule, 3},
+	{kernelgen.SiteIfndef, 2},
+	{kernelgen.SiteBothBranches, 1},
+	{kernelgen.SiteIfZero, 1},
+	{kernelgen.SiteUnusedMacro, 5},
+}
+
+func pickEscapeSite(rng *rand.Rand) kernelgen.SiteClass {
+	total := 0
+	for _, w := range escapeWeights {
+		total += w.weight
+	}
+	n := rng.Intn(total)
+	for _, w := range escapeWeights {
+		n -= w.weight
+		if n < 0 {
+			return w.site
+		}
+	}
+	return kernelgen.SiteIfdefNotAllyes
+}
+
+// buildWindowPlans lays out the v4.3→v4.4 patch stream at the given scale,
+// mirroring the paper's quotas:
+//
+//	12,946 modifying commits; 2,099 ignored (paths); Table III's
+//	7614/631/2602 .c-only/.h-only/both split; 317 setup patches; 3
+//	prom_init patches; 1 many-macro commit; ~415 escape instances (54
+//	arch-recoverable); 365 arch-only instances; ~101 defconfig-only; the
+//	janitors' 591 patches with their Table III/IV profile.
+func buildWindowPlans(rng *rand.Rand, scale float64) []plan {
+	var plans []plan
+
+	// --- Janitor window patches (591 = 514 c-only + 16 h-only + 60 both
+	// + 1 setup). Escapes (21) and arch-bound (38) live inside the 514.
+	type jq struct{ escape, arch, broken, hnever, multi, macro, comment, honly, both, setup int }
+	jTotals := jq{escape: 21, arch: 38, broken: 20, hnever: 12, multi: 40, macro: 55, comment: 18, honly: 16, both: 60, setup: 1}
+	jwin := 0
+	for _, j := range janitorTable {
+		jwin += scaleN(j.WindowPatches, scale, 2)
+	}
+	frac := func(n int) int { return scaleN(n, float64(jwin)/591.0, 0) }
+	remaining := jq{
+		escape: frac(jTotals.escape), arch: frac(jTotals.arch),
+		broken: frac(jTotals.broken), hnever: frac(jTotals.hnever),
+		multi: frac(jTotals.multi), macro: frac(jTotals.macro),
+		comment: frac(jTotals.comment), honly: frac(jTotals.honly),
+		both: frac(jTotals.both), setup: frac(jTotals.setup),
+	}
+	if remaining.escape == 0 {
+		remaining.escape = 2 // keep Table IV populated at small scales
+	}
+	for ji, j := range janitorTable {
+		n := scaleN(j.WindowPatches, scale, 2)
+		for i := 0; i < n; i++ {
+			p := plan{janitor: ji, kind: planPlainC}
+			switch {
+			case remaining.setup > 0 && ji == 2: // one setup patch (§V-D)
+				p.kind = planSetup
+				remaining.setup--
+			case remaining.escape > 0 && i%7 == 3:
+				p.kind = planEscape
+				p.escape = pickEscapeSite(rng)
+				remaining.escape--
+			case remaining.arch > 0 && i%9 == 4:
+				p.kind = planArchBound
+				remaining.arch--
+			case remaining.broken > 0 && i%17 == 8:
+				p.kind = planBrokenArch
+				remaining.broken--
+			case remaining.hnever > 0 && i%19 == 9:
+				p.kind = planBothNever
+				remaining.hnever--
+			case remaining.honly > 0 && i%11 == 5:
+				p.kind = planHOnly
+				remaining.honly--
+			case remaining.both > 0 && i%5 == 1:
+				p.kind = planBothCovered
+				remaining.both--
+			case remaining.multi > 0 && i%10 == 6:
+				p.kind = planMultiRegion
+				p.regions = 2 + rng.Intn(2)
+				remaining.multi--
+			case remaining.macro > 0 && i%8 == 2:
+				p.kind = planMacroEdit
+				remaining.macro--
+			case remaining.comment > 0 && i%13 == 7:
+				p.kind = planCommentOnly
+				remaining.comment--
+			}
+			plans = append(plans, p)
+		}
+	}
+
+	// --- Background window patches fill the remaining paper quotas.
+	bg := func(kind planKind) plan { return plan{kind: kind, janitor: -1} }
+	plans = addN(plans, scaleN(2099, scale, 3), bg(planIgnored))
+	plans = addN(plans, scaleN(316, scale, 1), bg(planSetup))
+	plans = addN(plans, scaleN(3, scale, 1), bg(planPromInit))
+	plans = append(plans, bg(planManyMacro))
+	plans = addN(plans, scaleN(590, scale, 3), bg(planHOnly))
+	plans = addN(plans, scaleN(45, scale, 1), bg(planHOnlyNever))
+	plans = addN(plans, scaleN(2100, scale, 3), bg(planBothCovered))
+	plans = addN(plans, scaleN(290, scale, 1), bg(planBothDisjoint))
+	plans = addN(plans, scaleN(70, scale, 1), bg(planBothNever))
+	plans = addN(plans, scaleN(327, scale, 2), bg(planArchBound))
+	plans = addN(plans, scaleN(160, scale, 1), bg(planBrokenArch))
+	for _, w := range escapeWeights {
+		n := scaleN(w.weight*550/22, scale, 1)
+		p := bg(planEscape)
+		p.escape = w.site
+		plans = addN(plans, n, p)
+	}
+	plans = addN(plans, scaleN(54, scale, 1), bg(planQuirk))
+	plans = addN(plans, scaleN(101, scale, 1), bg(planDefconfigOnly))
+	mr := bg(planMultiRegion)
+	for i, n := 0, scaleN(850, scale, 2); i < n; i++ {
+		mr.regions = 2 + rng.Intn(2)
+		plans = append(plans, mr)
+	}
+	plans = addN(plans, scaleN(650, scale, 2), bg(planMacroEdit))
+	plans = addN(plans, scaleN(150, scale, 1), bg(planCommentOnly))
+
+	// Plain background .c patches make up the rest of the 12,946.
+	target := scaleN(12946, scale, len(plans))
+	if len(plans) < target {
+		plans = addN(plans, target-len(plans), bg(planPlainC))
+	}
+
+	rng.Shuffle(len(plans), func(i, j int) { plans[i], plans[j] = plans[j], plans[i] })
+	return plans
+}

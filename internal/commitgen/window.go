@@ -1,0 +1,322 @@
+package commitgen
+
+import (
+	"fmt"
+	"strings"
+
+	"jmake/internal/kernelgen"
+	"jmake/internal/vcs"
+)
+
+// window generates the v4.3→v4.4 patch stream from the plan list, plus the
+// merge and file-adding commits that the evaluation's git-log filters
+// exclude. It returns the number of modifying (counted) commits.
+func (b *builder) window(p Params) (int, error) {
+	plans := buildWindowPlans(b.rng, p.Scale)
+	counted := 0
+	newFileSeq := 0
+	for i, pl := range plans {
+		if err := b.executePlan(pl); err != nil {
+			return 0, err
+		}
+		counted++
+		// Sprinkle non-counted commits: merges and file additions, which
+		// the -no-merges / --diff-filter=M options drop (paper §V-A).
+		if i%23 == 11 {
+			sig := b.bgSigFor("")
+			b.repo.Commit(sig, "Merge branch 'fixes'", nil, true)
+		}
+		if i%61 == 37 {
+			sig := b.bgSigFor("")
+			newFileSeq++
+			path := fmt.Sprintf("Documentation/new/notes%04d.txt", newFileSeq)
+			content := fmt.Sprintf("New notes %d.\n", newFileSeq)
+			b.repo.Commit(sig, "docs: add "+path, map[string]*string{path: &content}, false)
+		}
+	}
+	return counted, nil
+}
+
+// sigFor picks the author for a plan.
+func (b *builder) sigFor(pl plan, file string) vcs.Signature {
+	if pl.janitor >= 0 {
+		return b.janitorSig(pl.janitor)
+	}
+	return b.bgSigFor(file)
+}
+
+// janitorFile pops a reserved window slot for file selection. Window
+// patches are always source edits (Table III: janitor patches are 100%
+// .c/.h), so documentation slots from the janitor's absorber pool are
+// spent but replaced by a source file.
+func (b *builder) janitorFile(ji int) string {
+	slots := b.janSlots[ji]
+	for i, f := range slots {
+		if strings.HasSuffix(f, ".c") {
+			b.janSlots[ji] = append(slots[:i], slots[i+1:]...)
+			return f
+		}
+	}
+	if len(slots) > 0 {
+		b.janSlots[ji] = slots[1:]
+	}
+	return pick(b.rng, b.portableCs)
+}
+
+// driverWith returns a random driver index advertising the site class, or
+// -1.
+func (b *builder) driverWith(site kernelgen.SiteClass) int {
+	ds := b.siteIndex[site]
+	if len(ds) == 0 {
+		return -1
+	}
+	return ds[b.rng.Intn(len(ds))]
+}
+
+func (b *builder) record(kind string) { b.kindCounts[kind]++ }
+
+// executePlan realizes one window patch. Plans that cannot find a suitable
+// site degrade to plain edits (recorded under their realized kind).
+func (b *builder) executePlan(pl plan) error {
+	switch pl.kind {
+	case planIgnored:
+		b.record("ignored")
+		f := pick(b.rng, b.man.DocFiles)
+		return b.commitEdit(b.sigFor(pl, f), f, editPlain, 0, 1)
+
+	case planSetup:
+		b.record("setup")
+		f := pick(b.rng, b.man.SetupFiles)
+		content, err := b.repo.ReadTip(f)
+		if err != nil {
+			return err
+		}
+		nc, ok := addUnusedHeaderMacro(b.rng, content)
+		if !ok {
+			nc = editFallback(content)
+		}
+		b.repo.Commit(b.sigFor(pl, f), b.subject(f, "adjust compiler plumbing"),
+			map[string]*string{f: &nc}, false)
+		return nil
+
+	case planPromInit:
+		b.record("prominit")
+		return b.commitEdit(b.sigFor(pl, b.man.WholeBuildFile), b.man.WholeBuildFile, editPlain, 0, 1)
+
+	case planManyMacro:
+		b.record("manymacro")
+		return b.commitEdit(b.sigFor(pl, b.man.ManyMacroFile), b.man.ManyMacroFile, editManyMacros, 0, 0)
+
+	case planMultiRegion:
+		b.record("multiregion")
+		f := b.pickCFile(pl)
+		return b.commitEdit(b.sigFor(pl, f), f, editPlain, 0, pl.regions)
+
+	case planMacroEdit:
+		if di := b.driverWith(kernelgen.SiteMacroBody); di >= 0 {
+			b.record("macro")
+			f := b.man.Drivers[di].CFile
+			return b.commitEdit(b.sigFor(pl, f), f, editMacroBody, 0, 1)
+		}
+		return b.degrade(pl)
+
+	case planCommentOnly:
+		b.record("comment")
+		f := b.pickCFile(pl)
+		return b.commitEdit(b.sigFor(pl, f), f, editComment, 0, 1)
+
+	case planArchBound:
+		if len(b.archBoundOK) == 0 {
+			return b.degrade(pl)
+		}
+		b.record("archbound")
+		di := b.archBoundOK[b.rng.Intn(len(b.archBoundOK))]
+		f := b.man.Drivers[di].CFile
+		return b.commitEdit(b.sigFor(pl, f), f, editPlain, 0, 1)
+
+	case planBrokenArch:
+		if len(b.archBoundBad) == 0 {
+			return b.degrade(pl)
+		}
+		b.record("brokenarch")
+		di := b.archBoundBad[b.rng.Intn(len(b.archBoundBad))]
+		f := b.man.Drivers[di].CFile
+		return b.commitEdit(b.sigFor(pl, f), f, editPlain, 0, 1)
+
+	case planEscape:
+		di := b.driverWith(pl.escape)
+		if di < 0 {
+			return b.degrade(pl)
+		}
+		b.record(fmt.Sprintf("escape:%d", pl.escape))
+		f := b.man.Drivers[di].CFile
+		class := editEscape
+		if pl.escape == kernelgen.SiteBothBranches {
+			class = editBothBranches
+		}
+		return b.commitEdit(b.sigFor(pl, f), f, class, pl.escape, 1)
+
+	case planQuirk:
+		di := b.driverWith(kernelgen.SiteArchQuirk)
+		if di < 0 {
+			return b.degrade(pl)
+		}
+		b.record("quirk")
+		f := b.man.Drivers[di].CFile
+		return b.commitEdit(b.sigFor(pl, f), f, editEscape, kernelgen.SiteArchQuirk, 1)
+
+	case planDefconfigOnly:
+		di := b.driverWith(kernelgen.SiteDefconfigOnly)
+		if di < 0 {
+			return b.degrade(pl)
+		}
+		b.record("defconfig")
+		f := b.man.Drivers[di].CFile
+		return b.commitEdit(b.sigFor(pl, f), f, editEscape, kernelgen.SiteDefconfigOnly, 1)
+
+	case planHOnly:
+		b.record("honly")
+		// Headers need more than one mutation more often than .c files
+		// (paper: 75% one vs 82%): a third of header-only edits touch 2-3
+		// macro definitions.
+		regions := 1
+		if b.rng.Intn(3) == 0 {
+			regions = 2 + b.rng.Intn(2)
+		}
+		// 20%: a subsystem-wide header (many candidate .c files, §III-E's
+		// threshold path); else a driver's local header.
+		if b.rng.Intn(5) == 0 {
+			sub := b.man.Subsystems[b.rng.Intn(len(b.man.Subsystems))]
+			return b.commitEdit(b.sigFor(pl, sub.Header), sub.Header, editPlain, 0, regions)
+		}
+		if len(b.withHeader) == 0 {
+			return b.degrade(pl)
+		}
+		di := b.withHeader[b.rng.Intn(len(b.withHeader))]
+		h := b.man.Drivers[di].Header
+		return b.commitEdit(b.sigFor(pl, h), h, editPlain, 0, regions)
+
+	case planHOnlyNever:
+		if len(b.phantomHdr) > 0 && b.rng.Intn(2) == 0 {
+			b.record("honlynever")
+			di := b.phantomHdr[b.rng.Intn(len(b.phantomHdr))]
+			h := b.man.Drivers[di].Header
+			return b.commitEdit(b.sigFor(pl, h), h, editEscape, kernelgen.SiteHeaderPhantom, 1)
+		}
+		// Add a macro nothing uses: equally unwitnessable.
+		if len(b.withHeader) == 0 {
+			return b.degrade(pl)
+		}
+		b.record("honlynever")
+		di := b.withHeader[b.rng.Intn(len(b.withHeader))]
+		h := b.man.Drivers[di].Header
+		content, err := b.repo.ReadTip(h)
+		if err != nil {
+			return err
+		}
+		nc, ok := addUnusedHeaderMacro(b.rng, content)
+		if !ok {
+			nc = editFallback(content)
+		}
+		b.repo.Commit(b.sigFor(pl, h), b.subject(h, "reserve future mask bits"),
+			map[string]*string{h: &nc}, false)
+		return nil
+
+	case planBothCovered, planBothDisjoint, planBothNever:
+		return b.executeBoth(pl)
+
+	default: // planPlainC
+		b.record("plain")
+		f := b.pickCFile(pl)
+		return b.commitEdit(b.sigFor(pl, f), f, editPlain, 0, 1)
+	}
+}
+
+// pickCFile selects the .c file for a plain-ish plan.
+func (b *builder) pickCFile(pl plan) string {
+	if pl.janitor >= 0 {
+		return b.janitorFile(pl.janitor)
+	}
+	if b.rng.Intn(10) < 2 && len(b.stagingCs) > 0 {
+		return pick(b.rng, b.stagingCs)
+	}
+	return pick(b.rng, b.portableCs)
+}
+
+// executeBoth realizes the .c-and-.h patch shapes.
+func (b *builder) executeBoth(pl plan) error {
+	if len(b.withHeader) == 0 {
+		return b.degrade(pl)
+	}
+	di := b.withHeader[b.rng.Intn(len(b.withHeader))]
+	d := b.man.Drivers[di]
+	files := make(map[string]*string, 2)
+
+	cPath := d.CFile
+	hPath := d.Header
+	hClass := editPlain
+	hSite := kernelgen.SiteClass(0)
+
+	switch pl.kind {
+	case planBothDisjoint:
+		// The .c comes from a different driver, so the header needs the
+		// §III-E hunt.
+		other := b.pickCFile(plan{janitor: pl.janitor})
+		if other == cPath {
+			other = pick(b.rng, b.portableCs)
+		}
+		cPath = other
+		b.record("bothdisjoint")
+	case planBothNever:
+		pdi := -1
+		for _, cand := range b.phantomHdr {
+			if b.man.Drivers[cand].Header != "" {
+				pdi = cand
+				break
+			}
+		}
+		if pdi < 0 {
+			b.record("bothcovered")
+		} else {
+			d = b.man.Drivers[pdi]
+			cPath, hPath = d.CFile, d.Header
+			hClass, hSite = editEscape, kernelgen.SiteHeaderPhantom
+			b.record("bothnever")
+		}
+	default:
+		b.record("bothcovered")
+	}
+
+	cContent, err := b.repo.ReadTip(cPath)
+	if err != nil {
+		return err
+	}
+	cRes, ok := b.ed.apply(cContent, editPlain, 0, 1)
+	nc := cRes.content
+	if !ok {
+		nc = editFallback(cContent)
+	}
+	files[cPath] = &nc
+
+	hContent, err := b.repo.ReadTip(hPath)
+	if err != nil {
+		return err
+	}
+	hRes, ok := b.ed.apply(hContent, hClass, hSite, 1)
+	nh := hRes.content
+	if !ok {
+		nh = editFallback(hContent)
+	}
+	files[hPath] = &nh
+
+	b.repo.Commit(b.sigFor(pl, cPath), b.subject(cPath, pick(b.rng, plainActions)), files, false)
+	return nil
+}
+
+// degrade falls back to a plain .c edit when a plan's site class is
+// unavailable (possible at small scales).
+func (b *builder) degrade(pl plan) error {
+	b.record("degraded")
+	f := b.pickCFile(pl)
+	return b.commitEdit(b.sigFor(pl, f), f, editPlain, 0, 1)
+}

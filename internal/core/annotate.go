@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jmake/internal/fstree"
+	"jmake/internal/textdiff"
+)
+
+// Annotate renders a patch with per-line verdicts from a completed check:
+// every added line is marked as witnessed by the compiler, escaped (with
+// the Table IV diagnosis), or irrelevant (comments). This is the
+// human-facing answer JMake exists to give a janitor.
+//
+//	+✓ compiled    the compiler saw this line in a successful build
+//	+✗ ESCAPED     no tried configuration compiled this line
+//	+·             comment or blank: nothing for the compiler to see
+func Annotate(fds []textdiff.FileDiff, report *PatchReport) string {
+	var b strings.Builder
+	for _, fd := range fds {
+		fo := outcomeFor(report, fstree.Clean(fd.NewPath))
+		if fo == nil {
+			continue
+		}
+		fmt.Fprintf(&b, "--- %s (%s)\n", fo.Path, fo.Status)
+		covered := toSet(fo.CoveredLines)
+		escaped := toSet(fo.EscapedLines)
+		reasons := escapeReasonsByLine(fo)
+
+		for _, h := range fd.Hunks {
+			fmt.Fprintf(&b, "@@ -%d,%d +%d,%d @@\n", h.OldStart, h.OldCount, h.NewStart, h.NewCount)
+			newLine := h.NewStart
+			if h.NewCount == 0 {
+				newLine = h.NewStart + 1
+			}
+			for _, l := range h.Lines {
+				switch l.Op {
+				case ' ':
+					fmt.Fprintf(&b, "   %s\n", l.Text)
+					newLine++
+				case '-':
+					fmt.Fprintf(&b, "-  %s\n", l.Text)
+				case '+':
+					marker := annotationFor(newLine, covered, escaped, fo)
+					fmt.Fprintf(&b, "+%s %s", marker, l.Text)
+					if r, ok := reasons[newLine]; ok {
+						fmt.Fprintf(&b, "   <-- %s", r)
+					}
+					b.WriteByte('\n')
+					newLine++
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func outcomeFor(report *PatchReport, path string) *FileOutcome {
+	for i := range report.Files {
+		if report.Files[i].Path == path {
+			return &report.Files[i]
+		}
+	}
+	return nil
+}
+
+func toSet(xs []int) map[int]bool {
+	out := make(map[int]bool, len(xs))
+	for _, x := range xs {
+		out[x] = true
+	}
+	return out
+}
+
+// escapeReasonsByLine maps each escaped line to its diagnosis text.
+func escapeReasonsByLine(fo *FileOutcome) map[int]string {
+	out := make(map[int]string)
+	for _, e := range fo.Escapes {
+		for _, n := range e.Mutation.CoversLines {
+			out[n] = "ESCAPED: " + e.Reason.String()
+		}
+	}
+	return out
+}
+
+// annotationFor picks the marker for one added line. A line tracked by a
+// covered mutation is ✓; by an uncovered one ✗; untracked lines are
+// comments or blanks (·) unless the whole file failed to build (?).
+func annotationFor(line int, covered, escaped map[int]bool, fo *FileOutcome) string {
+	switch {
+	case covered[line]:
+		return "✓"
+	case escaped[line]:
+		return "✗"
+	case fo.Status == StatusBuildFailed || fo.Status == StatusUnsupportedArch ||
+		fo.Status == StatusSetupFile || fo.Status == StatusNoMakefile:
+		return "?"
+	default:
+		return "·"
+	}
+}
+
+// CoverageRatio summarizes an annotation: witnessed lines over
+// compiler-relevant changed lines (comment-only lines excluded).
+func CoverageRatio(report *PatchReport) (covered, relevant int) {
+	for _, fo := range report.Files {
+		covered += len(dedupInts(fo.CoveredLines))
+		relevant += len(dedupInts(fo.CoveredLines)) + len(dedupInts(fo.EscapedLines))
+	}
+	return covered, relevant
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	out := make([]int, 0, len(xs))
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	for i, x := range sorted {
+		if i == 0 || sorted[i-1] != x {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"jmake/internal/textdiff"
+)
+
+func TestAnnotateMixedOutcome(t *testing.T) {
+	tr := fixtureTree()
+	old, _ := tr.Read("drivers/net/netdrv.c")
+	// One compiled change (the register define) and one escaping change
+	// (under a never-set variable) in the same patch.
+	edited := strings.Replace(old, "#define DRV_REG 0x04", "#define DRV_REG 0x08", 1)
+	edited = strings.Replace(edited, "\tdrv_read(v);",
+		"#ifdef CONFIG_TOTALLY_UNKNOWN\n\tprintk(\"ghost\");\n#endif\n\tdrv_read(v);", 1)
+	fd := applyEdit(t, tr, "drivers/net/netdrv.c", edited)
+	report := checkOne(t, tr, fd)
+
+	out := Annotate([]textdiff.FileDiff{fd}, report)
+	if !strings.Contains(out, "+✓ #define DRV_REG 0x08") {
+		t.Errorf("compiled line not marked:\n%s", out)
+	}
+	if !strings.Contains(out, "✗") || !strings.Contains(out, "ESCAPED: ifdef variable never set in the kernel") {
+		t.Errorf("escaped line not marked with diagnosis:\n%s", out)
+	}
+	covered, relevant := CoverageRatio(report)
+	if covered >= relevant || covered == 0 {
+		t.Errorf("CoverageRatio = %d/%d, want partial coverage", covered, relevant)
+	}
+}
+
+func TestAnnotateCommentLines(t *testing.T) {
+	tr := fixtureTree()
+	old, _ := tr.Read("drivers/net/netdrv.c")
+	fd := applyEdit(t, tr, "drivers/net/netdrv.c",
+		strings.Replace(old, "#include <linux/kernel.h>",
+			"/* refreshed boilerplate */\n#include <linux/kernel.h>", 1))
+	report := checkOne(t, tr, fd)
+	out := Annotate([]textdiff.FileDiff{fd}, report)
+	if !strings.Contains(out, "+· /* refreshed boilerplate */") {
+		t.Errorf("comment line should be marked irrelevant:\n%s", out)
+	}
+}
+
+func TestAnnotateFullyCovered(t *testing.T) {
+	tr := fixtureTree()
+	old, _ := tr.Read("drivers/net/netdrv.c")
+	fd := applyEdit(t, tr, "drivers/net/netdrv.c",
+		strings.Replace(old, "0x40", "0x44", 1))
+	report := checkOne(t, tr, fd)
+	out := Annotate([]textdiff.FileDiff{fd}, report)
+	if strings.Contains(out, "✗") {
+		t.Errorf("fully covered patch shows escapes:\n%s", out)
+	}
+	covered, relevant := CoverageRatio(report)
+	if covered != relevant || covered == 0 {
+		t.Errorf("CoverageRatio = %d/%d, want full", covered, relevant)
+	}
+}

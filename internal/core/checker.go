@@ -1,0 +1,506 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"jmake/internal/cpp"
+
+	"jmake/internal/fstree"
+	"jmake/internal/kbuild"
+	"jmake/internal/textdiff"
+	"jmake/internal/vclock"
+)
+
+// Checker runs JMake against one post-patch source snapshot.
+type Checker struct {
+	tree    *fstree.Tree
+	model   *vclock.Model
+	opts    Options
+	meta    *kbuild.Meta
+	arches  map[string]*kbuild.Arch
+	archIx  *archIndex
+	configs *ConfigProvider
+	tokens  *cpp.TokenCache
+}
+
+// NewChecker builds a checker over tree (the snapshot after applying the
+// patch under test). configs may be shared across checkers to amortize
+// Kconfig evaluation; pass nil for a private provider.
+func NewChecker(tree *fstree.Tree, model *vclock.Model, configs *ConfigProvider, opts Options) (*Checker, error) {
+	meta, err := kbuild.LoadMeta(tree)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if configs == nil {
+		configs = NewConfigProvider()
+	}
+	arches := kbuild.DiscoverArches(tree, meta)
+	return &Checker{
+		tree:    tree,
+		model:   model,
+		opts:    opts.withDefaults(),
+		meta:    meta,
+		arches:  arches,
+		archIx:  buildArchIndex(tree, arches),
+		configs: configs,
+	}, nil
+}
+
+// mutEntry tracks one pending mutation during the run.
+type mutEntry struct {
+	mut     Mutation
+	file    string
+	kind    FileKind
+	covered bool
+	// coveredByArch / coveredByDefconfig record how coverage was obtained.
+	coveredByArch      string
+	coveredByDefconfig bool
+	// coveredByPatchC is true for .h mutations witnessed during the
+	// patch's own .c processing.
+	coveredByPatchC bool
+}
+
+// fileState tracks one changed file during the run.
+type fileState struct {
+	path  string
+	kind  FileKind
+	res   MutateResult
+	muts  []*mutEntry
+	state *FileOutcome
+	// compiledOK is true once some configuration compiled the file (.c) —
+	// errors from other configurations then stop mattering.
+	compiledOK bool
+	lastErr    error
+}
+
+func (fs *fileState) pending() []*mutEntry {
+	var out []*mutEntry
+	for _, m := range fs.muts {
+		if !m.covered {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// CheckPatch runs the full JMake pipeline on a patch given as per-file
+// diffs (as obtained from vcs.FileDiffs or textdiff.ParsePatch).
+func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchReport, error) {
+	report := &PatchReport{Commit: commit}
+
+	var cFiles, hFiles []*fileState
+	mutatedTree := c.tree.Clone()
+
+	for _, fd := range fds {
+		path := fstree.Clean(fd.NewPath)
+		kind, ok := classify(path)
+		if !ok {
+			continue
+		}
+		outcome := FileOutcome{Path: path, Kind: kind}
+		fs := &fileState{path: path, kind: kind, state: &outcome}
+
+		if c.meta.SetupFiles[path] {
+			outcome.Status = StatusSetupFile
+			report.Untreatable = true
+			report.Files = append(report.Files, outcome)
+			continue
+		}
+		content, err := c.tree.Read(path)
+		if err != nil {
+			outcome.Status = StatusNoMakefile
+			outcome.FailureDetail = err.Error()
+			report.Files = append(report.Files, outcome)
+			continue
+		}
+		changed := textdiff.ChangedNewLines(fd, countLines(content))
+		fs.res = Mutate(path, content, changed)
+		outcome.Mutations = len(fs.res.Mutations)
+		if len(fs.res.Mutations) == 0 {
+			outcome.Status = StatusCommentOnly
+			report.Files = append(report.Files, outcome)
+			continue
+		}
+		mutatedTree.Write(path, fs.res.Content)
+		for i := range fs.res.Mutations {
+			fs.muts = append(fs.muts, &mutEntry{mut: fs.res.Mutations[i], file: path, kind: kind})
+		}
+		switch kind {
+		case CFile:
+			cFiles = append(cFiles, fs)
+		case HFile:
+			hFiles = append(hFiles, fs)
+		}
+		report.Files = append(report.Files, outcome)
+	}
+	if report.Untreatable {
+		// Paper §V-D: mutating build-setup files breaks every subsequent
+		// compilation, so the whole patch is untreatable.
+		return report, nil
+	}
+
+	// Re-bind file states to the report slice (the appends above copied the
+	// outcome values).
+	rebind(report, cFiles)
+	rebind(report, hFiles)
+
+	// §VII extension: diagnose doomed regions from context alone, before
+	// spending any build time.
+	if c.opts.Prescan {
+		for _, fs := range append(append([]*fileState(nil), cFiles...), hFiles...) {
+			for _, esc := range c.classifyEscapes(fs) {
+				if esc.Reason != EscapeOther {
+					report.PrescanWarnings = append(report.PrescanWarnings, esc)
+				}
+			}
+		}
+	}
+
+	// §III-D: process the patch's .c files across candidate architectures.
+	if len(cFiles) > 0 {
+		c.processCFiles(report, mutatedTree, cFiles, hFiles)
+		// §VII extension: synthesize coverage configurations for whatever
+		// the standard strategies missed.
+		if c.opts.CoverageConfigs && !allCovered(cFiles) {
+			c.processCoverageConfigs(report, mutatedTree, cFiles)
+		}
+	}
+
+	// §III-E: headers not fully covered by the patch's own .c files.
+	for _, hf := range hFiles {
+		if len(hf.pending()) == 0 {
+			hf.state.CoveredByPatchCs = len(cFiles) > 0
+			continue
+		}
+		c.processHFile(report, mutatedTree, hf)
+	}
+
+	// Finalize outcomes and escape analysis.
+	for _, fs := range append(append([]*fileState(nil), cFiles...), hFiles...) {
+		c.finalize(fs)
+	}
+
+	for _, d := range report.ConfigDurations {
+		report.Total += d
+	}
+	for _, d := range report.MakeIDurations {
+		report.Total += d
+	}
+	for _, d := range report.MakeODurations {
+		report.Total += d
+	}
+	return report, nil
+}
+
+func rebind(report *PatchReport, fss []*fileState) {
+	for _, fs := range fss {
+		for i := range report.Files {
+			if report.Files[i].Path == fs.path {
+				fs.state = &report.Files[i]
+				break
+			}
+		}
+	}
+}
+
+func classify(path string) (FileKind, bool) {
+	switch {
+	case strings.HasSuffix(path, ".c"):
+		return CFile, true
+	case strings.HasSuffix(path, ".h"):
+		return HFile, true
+	default:
+		return 0, false
+	}
+}
+
+func countLines(content string) int {
+	if content == "" {
+		return 0
+	}
+	return strings.Count(strings.TrimSuffix(content, "\n"), "\n") + 1
+}
+
+// builderPair holds the mutated-tree and pristine-tree builders for one
+// (arch, config).
+type builderPair struct {
+	ib *kbuild.Builder // preprocessing over the mutated tree
+	ob *kbuild.Builder // object compilation over the pristine tree
+}
+
+// newBuilders creates the builder pair, charging the configuration
+// creation to the report.
+func (c *Checker) newBuilders(report *PatchReport, mutatedTree *fstree.Tree, archName string, choice ConfigChoice) (*builderPair, error) {
+	arch, ok := c.arches[archName]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown architecture %q", archName)
+	}
+	cfg, symbols, err := c.configs.Get(c.tree, arch, choice)
+	if err != nil {
+		return nil, err
+	}
+	ib, err := kbuild.NewBuilder(mutatedTree, arch, cfg, c.meta, c.model)
+	if err != nil {
+		return nil, err
+	}
+	ob, err := kbuild.NewBuilder(c.tree, arch, cfg, c.meta, c.model)
+	if err != nil {
+		return nil, err
+	}
+	ib.Cache = c.tokens
+	ob.Cache = c.tokens
+	report.ConfigDurations = append(report.ConfigDurations,
+		c.model.ConfigCreate(symbols, report.Commit+":"+archName+":"+choice.Kind.String()+choice.Path))
+	return &builderPair{ib: ib, ob: ob}, nil
+}
+
+// processCFiles drives the §III-D loop: for each candidate architecture
+// and configuration, preprocess the relevant mutated .c files together,
+// scan for pending mutations (including .h mutations that surface in these
+// .i files), and compile the pristine file when its mutations are present.
+func (c *Checker) processCFiles(report *PatchReport, mutatedTree *fstree.Tree, cFiles, hFiles []*fileState) {
+	perFile := make([][]ArchChoice, 0, len(cFiles))
+	for _, fs := range cFiles {
+		choices := c.selectArches(fs.path, true)
+		if choices == nil {
+			fs.lastErr = fmt.Errorf("unsupported architecture for %s", fs.path)
+		}
+		perFile = append(perFile, choices)
+	}
+	choices := mergeArchChoices(perFile)
+
+	allMuts := collectMuts(cFiles, hFiles)
+
+	for _, ac := range choices {
+		if allCovered(cFiles) && allCompiled(cFiles) {
+			break
+		}
+		arch := c.arches[ac.Arch]
+		if arch == nil || arch.Broken {
+			markArchFailure(cFiles, ac.Arch)
+			continue
+		}
+		for _, cc := range ac.Configs {
+			if allCovered(cFiles) && allCompiled(cFiles) {
+				break
+			}
+			bp, err := c.newBuilders(report, mutatedTree, ac.Arch, cc)
+			if err != nil {
+				markErr(cFiles, err)
+				continue
+			}
+			relevant := relevantFiles(cFiles, ac.Arch)
+			if len(relevant) == 0 {
+				continue
+			}
+			c.runGroup(report, bp, ac.Arch, cc, relevant, allMuts)
+		}
+	}
+}
+
+// collectMuts gathers every pending mutation across the patch's files.
+func collectMuts(groups ...[]*fileState) []*mutEntry {
+	var out []*mutEntry
+	for _, g := range groups {
+		for _, fs := range g {
+			out = append(out, fs.muts...)
+		}
+	}
+	return out
+}
+
+// relevantFiles selects the .c files worth compiling for an architecture:
+// non-arch files are relevant everywhere; arch files only to their own
+// architecture (paper §III-D "all of the .c files from a given patch that
+// are relevant for that architecture").
+func relevantFiles(cFiles []*fileState, arch string) []*fileState {
+	var out []*fileState
+	for _, fs := range cFiles {
+		if len(fs.pending()) == 0 && fs.compiledOK {
+			continue
+		}
+		if strings.HasPrefix(fs.path, "arch/") && !strings.HasPrefix(fs.path, "arch/"+arch+"/") {
+			continue
+		}
+		out = append(out, fs)
+	}
+	return out
+}
+
+// runGroup preprocesses files in groups of at most MaxGroupSize, scans the
+// .i output for every pending mutation, and compiles pristine files whose
+// mutations showed up.
+func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string, cc ConfigChoice, files []*fileState, allMuts []*mutEntry) {
+	for start := 0; start < len(files); start += c.opts.MaxGroupSize {
+		end := start + c.opts.MaxGroupSize
+		if end > len(files) {
+			end = len(files)
+		}
+		group := files[start:end]
+		paths := make([]string, len(group))
+		for i, fs := range group {
+			paths[i] = fs.path
+		}
+		results, dur := bp.ib.MakeI(paths)
+		bp.ob.SetSetupDone()
+		report.MakeIDurations = append(report.MakeIDurations, dur)
+
+		for i, res := range results {
+			fs := group[i]
+			if res.Err != nil {
+				fs.lastErr = res.Err
+				continue
+			}
+			// Which pending mutations does this .i witness?
+			witnessed := witnessedIn(res.Text, allMuts)
+			ownPresent := 0
+			for _, m := range witnessed {
+				if m.file == fs.path {
+					ownPresent++
+				}
+			}
+			if len(witnessed) == 0 && fs.compiledOK {
+				continue
+			}
+			// Compile the pristine file to validate the configuration.
+			_, odur, oerr := bp.ob.MakeO(fs.path)
+			report.MakeODurations = append(report.MakeODurations, odur)
+			if oerr != nil {
+				fs.lastErr = oerr
+				continue
+			}
+			fs.compiledOK = true
+			recordUse(fs.state, archName, cc)
+			for _, m := range witnessed {
+				if m.covered {
+					continue
+				}
+				m.covered = true
+				m.coveredByArch = archName
+				m.coveredByDefconfig = cc.Kind == ConfigDefconfig
+				if m.kind == HFile {
+					m.coveredByPatchC = true
+				}
+				// Attribute .h coverage to the header's own outcome too.
+				if m.file != fs.path {
+					recordUseByPath(report, m.file, archName, cc)
+				}
+			}
+		}
+	}
+}
+
+// witnessedIn returns the pending mutations whose ID occurs in iText.
+func witnessedIn(iText string, muts []*mutEntry) []*mutEntry {
+	var out []*mutEntry
+	for _, m := range muts {
+		if !m.covered && strings.Contains(iText, m.mut.ID) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func recordUse(fo *FileOutcome, archName string, cc ConfigChoice) {
+	mark := func() {
+		switch cc.Kind {
+		case ConfigDefconfig:
+			fo.UsedDefconfig = true
+		case ConfigAllMod:
+			fo.UsedAllMod = true
+		case ConfigCoverage:
+			fo.UsedCoverageConfig = true
+		}
+	}
+	for _, a := range fo.UsedArches {
+		if a == archName {
+			mark()
+			return
+		}
+	}
+	fo.UsedArches = append(fo.UsedArches, archName)
+	if archName != kbuild.HostArch {
+		fo.NeededBeyondHost = true
+	}
+	mark()
+}
+
+func recordUseByPath(report *PatchReport, path, archName string, cc ConfigChoice) {
+	for i := range report.Files {
+		if report.Files[i].Path == path {
+			recordUse(&report.Files[i], archName, cc)
+			return
+		}
+	}
+}
+
+func allCovered(files []*fileState) bool {
+	for _, fs := range files {
+		if len(fs.pending()) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func allCompiled(files []*fileState) bool {
+	for _, fs := range files {
+		if !fs.compiledOK {
+			return false
+		}
+	}
+	return true
+}
+
+func markArchFailure(files []*fileState, arch string) {
+	for _, fs := range files {
+		if strings.HasPrefix(fs.path, "arch/"+arch+"/") && fs.lastErr == nil {
+			fs.lastErr = fmt.Errorf("%w: %s", kbuild.ErrBrokenArch, arch)
+		}
+	}
+}
+
+func markErr(files []*fileState, err error) {
+	for _, fs := range files {
+		if fs.lastErr == nil {
+			fs.lastErr = err
+		}
+	}
+}
+
+// finalize assigns the file's status and runs escape analysis on
+// uncovered mutations.
+func (c *Checker) finalize(fs *fileState) {
+	fo := fs.state
+	fo.FoundMutations = len(fs.muts) - len(fs.pending())
+	for _, m := range fs.muts {
+		if m.covered {
+			fo.CoveredLines = append(fo.CoveredLines, m.mut.CoversLines...)
+		} else {
+			fo.EscapedLines = append(fo.EscapedLines, m.mut.CoversLines...)
+		}
+	}
+	sort.Ints(fo.CoveredLines)
+	sort.Ints(fo.EscapedLines)
+	switch {
+	case len(fs.pending()) == 0 && (fs.compiledOK || fs.kind == HFile):
+		fo.Status = StatusCertified
+	case fs.compiledOK || (fs.kind == HFile && fo.FoundMutations > 0):
+		fo.Status = StatusEscapes
+		fo.Escapes = c.classifyEscapes(fs)
+	default:
+		fo.Status = StatusBuildFailed
+		if fs.lastErr != nil {
+			fo.FailureDetail = fs.lastErr.Error()
+			if errors.Is(fs.lastErr, kbuild.ErrBrokenArch) {
+				fo.Status = StatusUnsupportedArch
+			}
+			if errors.Is(fs.lastErr, kbuild.ErrNoMakefile) {
+				fo.Status = StatusNoMakefile
+			}
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"jmake/internal/fstree"
+	"jmake/internal/kbuild"
+	"jmake/internal/kconfig"
+)
+
+// ConfigProvider caches parsed Kconfig trees and computed configurations
+// across patches. The evaluation re-creates configurations for every patch
+// (the paper cleans the working tree between patches, so `make
+// allyesconfig` runs again and its cost is charged again), but the
+// *valuation* is identical as long as the Kconfig files are unchanged, so
+// caching it is sound and keeps the 12,000-patch evaluation tractable.
+//
+// A ConfigProvider is safe for concurrent use by the evaluation workers.
+type ConfigProvider struct {
+	mu     sync.Mutex
+	trees  map[string]*kconfig.Tree
+	values map[string]*kconfig.Config
+}
+
+// NewConfigProvider returns an empty provider.
+func NewConfigProvider() *ConfigProvider {
+	return &ConfigProvider{
+		trees:  make(map[string]*kconfig.Tree),
+		values: make(map[string]*kconfig.Config),
+	}
+}
+
+// KconfigTree returns the parsed Kconfig hierarchy for an architecture.
+func (p *ConfigProvider) KconfigTree(t *fstree.Tree, arch *kbuild.Arch) (*kconfig.Tree, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.kconfigTreeLocked(t, arch)
+}
+
+func (p *ConfigProvider) kconfigTreeLocked(t *fstree.Tree, arch *kbuild.Arch) (*kconfig.Tree, error) {
+	if kt, ok := p.trees[arch.Name]; ok {
+		return kt, nil
+	}
+	kt, err := kconfig.Parse(kbuild.TreeSource{T: t}, arch.KconfigRoot)
+	if err != nil {
+		return nil, fmt.Errorf("core: parsing %s: %w", arch.KconfigRoot, err)
+	}
+	p.trees[arch.Name] = kt
+	return kt, nil
+}
+
+// Get returns the configuration for (arch, choice), computing and caching
+// it on first use. The returned symbol count prices the virtual
+// `make allyesconfig` / defconfig invocation.
+func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigChoice) (*kconfig.Config, int, error) {
+	key := arch.Name + "|" + choice.Kind.String() + "|" + choice.Path
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	kt, err := p.kconfigTreeLocked(t, arch)
+	if err != nil {
+		return nil, 0, err
+	}
+	if cfg, ok := p.values[key]; ok {
+		return cfg, kt.Len(), nil
+	}
+	var cfg *kconfig.Config
+	switch choice.Kind {
+	case ConfigAllMod:
+		cfg = kt.AllModConfig()
+	case ConfigDefconfig:
+		content, rerr := t.Read(choice.Path)
+		if rerr != nil {
+			return nil, 0, fmt.Errorf("core: defconfig %s: %w", choice.Path, rerr)
+		}
+		cfg, err = kt.ApplyDefconfig(content)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: defconfig %s: %w", choice.Path, err)
+		}
+	default:
+		cfg = kt.AllYesConfig()
+	}
+	p.values[key] = cfg
+	return cfg, kt.Len(), nil
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"jmake/internal/csrc"
+	"jmake/internal/fstree"
+	"jmake/internal/kbuild"
+	"jmake/internal/kconfig"
+)
+
+// maxCoverageConfigs bounds how many synthesized configurations one patch
+// may try (the exploration the paper wants to keep cheap, §VII).
+const maxCoverageConfigs = 4
+
+// coverageWants derives the targeted symbol wants that would activate the
+// region guarding an uncovered mutation: #ifdef CONFIG_X wants X on (plus
+// its dependency chain), #ifndef / #else want X off. Guards that no
+// configuration can influence (MODULE, #if 0, non-CONFIG) yield nil.
+func (c *Checker) coverageWants(f *csrc.File, m *mutEntry, kt *kconfig.Tree) map[string]kconfig.Value {
+	li, ok := f.LineAt(m.mut.Line)
+	if !ok || len(li.Conds) == 0 {
+		return nil
+	}
+	wants := make(map[string]kconfig.Value)
+	for _, fr := range li.Conds {
+		arg := strings.TrimSpace(fr.Arg)
+		switch fr.Kind {
+		case csrc.CondIfdef:
+			name, isConfig := strings.CutPrefix(arg, "CONFIG_")
+			if !isConfig || kt.Symbol(name) == nil {
+				return nil // MODULE, undeclared, or non-config guard
+			}
+			for k, v := range kt.DependencyWants(name, kconfig.Yes) {
+				wants[k] = v
+			}
+		case csrc.CondIfndef:
+			name, isConfig := strings.CutPrefix(arg, "CONFIG_")
+			if !isConfig {
+				return nil
+			}
+			wants[name] = kconfig.No
+		case csrc.CondElse:
+			name, isConfig := strings.CutPrefix(arg, "CONFIG_")
+			if !isConfig {
+				return nil
+			}
+			if fr.OpenKind == csrc.CondIfndef {
+				for k, v := range kt.DependencyWants(name, kconfig.Yes) {
+					wants[k] = v
+				}
+			} else {
+				wants[name] = kconfig.No
+			}
+		case csrc.CondIf, csrc.CondElif:
+			// General expressions: only the literal-constant cases are
+			// hopeless; for CONFIG-mentioning expressions, drive every
+			// mentioned symbol on. `#if 0` yields no wants and is skipped.
+			if !strings.Contains(arg, "CONFIG_") {
+				return nil
+			}
+			for _, name := range configVarsIn(arg) {
+				if kt.Symbol(name) == nil {
+					return nil
+				}
+				for k, v := range kt.DependencyWants(name, kconfig.Yes) {
+					wants[k] = v
+				}
+			}
+		}
+	}
+	if len(wants) == 0 {
+		return nil
+	}
+	return wants
+}
+
+func configVarsIn(expr string) []string {
+	var out []string
+	rest := expr
+	for {
+		i := strings.Index(rest, "CONFIG_")
+		if i < 0 {
+			return out
+		}
+		rest = rest[i+len("CONFIG_"):]
+		j := 0
+		for j < len(rest) && isVarChar(rest[j]) {
+			j++
+		}
+		if j > 0 {
+			out = append(out, rest[:j])
+		}
+		rest = rest[j:]
+	}
+}
+
+func wantsKey(wants map[string]kconfig.Value) string {
+	keys := make([]string, 0, len(wants))
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s=%s,", k, wants[k])
+	}
+	return b.String()
+}
+
+// processCoverageConfigs is the §VII extension: for mutations that every
+// standard configuration missed, synthesize configurations that force the
+// guarding variables to the needed values (Vampyr/Troll-style), and try
+// again on the host architecture.
+func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstree.Tree, cFiles []*fileState) {
+	arch, ok := c.arches[kbuild.HostArch]
+	if !ok {
+		return
+	}
+	kt, err := c.configs.KconfigTree(c.tree, arch)
+	if err != nil {
+		return
+	}
+	tried := make(map[string]bool)
+	budget := maxCoverageConfigs
+
+	for _, fs := range cFiles {
+		if budget <= 0 {
+			break
+		}
+		pending := fs.pending()
+		if len(pending) == 0 {
+			continue
+		}
+		content, err := c.tree.Read(fs.path)
+		if err != nil {
+			continue
+		}
+		f := csrc.Analyze(content)
+		for _, m := range pending {
+			if budget <= 0 {
+				break
+			}
+			wants := c.coverageWants(f, m, kt)
+			if wants == nil {
+				continue
+			}
+			key := wantsKey(wants)
+			if tried[key] {
+				continue
+			}
+			tried[key] = true
+			budget--
+
+			cfg := kt.ConfigWithWants(wants)
+			// Verify the wants were actually satisfiable before paying for
+			// a build.
+			satisfied := true
+			for k, v := range wants {
+				if cfg.Value(k) != v {
+					satisfied = false
+					break
+				}
+			}
+			report.ConfigDurations = append(report.ConfigDurations,
+				c.model.ConfigCreate(kt.Len(), report.Commit+":coverage:"+key))
+			if !satisfied {
+				continue
+			}
+			ib, err1 := kbuild.NewBuilder(mutatedTree, arch, cfg, c.meta, c.model)
+			ob, err2 := kbuild.NewBuilder(c.tree, arch, cfg, c.meta, c.model)
+			if err1 != nil || err2 != nil {
+				continue
+			}
+			ib.Cache = c.tokens
+			ob.Cache = c.tokens
+			bp := &builderPair{ib: ib, ob: ob}
+			c.runGroup(report, bp, kbuild.HostArch,
+				ConfigChoice{Kind: ConfigCoverage}, []*fileState{fs}, fs.muts)
+		}
+	}
+}

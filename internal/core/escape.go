@@ -1,0 +1,263 @@
+package core
+
+import (
+	"strings"
+
+	"jmake/internal/csrc"
+	"jmake/internal/kbuild"
+	"jmake/internal/kconfig"
+)
+
+// classifyEscapes diagnoses why each uncovered mutation never reached the
+// compiler, reproducing the taxonomy of Table IV mechanically: the
+// enclosing conditional stack of the changed line is re-examined against
+// the Kconfig database and the host allyesconfig valuation.
+func (c *Checker) classifyEscapes(fs *fileState) []Escape {
+	content, err := c.tree.Read(fs.path)
+	if err != nil {
+		return nil
+	}
+	f := csrc.Analyze(content)
+
+	// Host-architecture Kconfig knowledge.
+	var kt *kconfig.Tree
+	var allyes *kconfig.Config
+	if arch, ok := c.arches[kbuild.HostArch]; ok {
+		if ktree, kerr := c.configs.KconfigTree(c.tree, arch); kerr == nil {
+			kt = ktree
+			if cfg, _, cerr := c.configs.Get(c.tree, arch, ConfigChoice{Kind: ConfigAllYes}); cerr == nil {
+				allyes = cfg
+			}
+		}
+	}
+
+	var out []Escape
+	for _, m := range fs.pending() {
+		reason := c.classifyOne(f, fs, m, kt, allyes)
+		out = append(out, Escape{Mutation: m.mut, Reason: reason})
+	}
+	return out
+}
+
+func (c *Checker) classifyOne(f *csrc.File, fs *fileState, m *mutEntry, kt *kconfig.Tree, allyes *kconfig.Config) EscapeReason {
+	li, ok := f.LineAt(m.mut.Line)
+	if !ok {
+		return EscapeOther
+	}
+
+	// An unconditional macro definition whose mutation never surfaced means
+	// no compiled code expands the macro. If the file does reference the
+	// macro, the reference itself must sit in dead code; keep the verdict
+	// only when no use exists at all (this also keeps the §VII prescan from
+	// flagging macros that are plainly used).
+	if m.mut.Kind == "define" && len(li.Conds) == 0 {
+		if !macroUsedInFile(f, li.MacroName, li.MacroStart) {
+			return EscapeUnusedMacro
+		}
+		return EscapeOther
+	}
+
+	// Walk enclosing conditionals innermost-first; the innermost frame that
+	// explains exclusion wins.
+	for i := len(li.Conds) - 1; i >= 0; i-- {
+		fr := li.Conds[i]
+		if r, found := c.classifyFrame(f, fs, fr); found {
+			return r
+		}
+	}
+	if m.mut.Kind == "define" {
+		return EscapeUnusedMacro
+	}
+	return EscapeOther
+}
+
+func (c *Checker) classifyFrame(f *csrc.File, fs *fileState, fr csrc.CondFrame) (EscapeReason, bool) {
+	arg := strings.TrimSpace(fr.Arg)
+	switch fr.Kind {
+	case csrc.CondIf:
+		if arg == "0" {
+			return EscapeIfZero, true
+		}
+		return c.classifyExprFrame(f, fs, fr, arg, false)
+	case csrc.CondIfdef:
+		return c.classifyVarFrame(f, fs, fr, arg, false)
+	case csrc.CondIfndef:
+		return c.classifyVarFrame(f, fs, fr, arg, true)
+	case csrc.CondElse:
+		if fr.OpenKind == csrc.CondIf && strings.TrimSpace(fr.Arg) == "0" {
+			return EscapeOther, false // #else of #if 0 is compiled; not the reason
+		}
+		negated := fr.OpenKind != csrc.CondIfndef
+		return c.classifyVarFrame(f, fs, fr, arg, negated)
+	case csrc.CondElif:
+		return c.classifyExprFrame(f, fs, fr, arg, false)
+	}
+	return EscapeOther, false
+}
+
+// classifyVarFrame handles a frame controlled by a single variable.
+// negated means the region is active when the variable is UNdefined.
+func (c *Checker) classifyVarFrame(f *csrc.File, fs *fileState, fr csrc.CondFrame, varName string, negated bool) (EscapeReason, bool) {
+	if varName == "MODULE" {
+		if negated {
+			return EscapeOther, false // #ifndef MODULE is active in allyes builds
+		}
+		return EscapeIfdefModule, true
+	}
+	name, isConfig := strings.CutPrefix(varName, "CONFIG_")
+	if !isConfig {
+		// A plain (non-CONFIG) guard: if it is defined by the compiler or
+		// headers the region would be active; treat an unexplained miss
+		// conservatively.
+		return EscapeOther, false
+	}
+	declared, value := c.symbolInfo(name)
+	if negated {
+		// #ifndef CONFIG_X (or #else of #ifdef): excluded when X is set.
+		if declared && value != kconfig.No {
+			if c.siblingChanged(f, fs, fr) {
+				return EscapeBothBranches, true
+			}
+			return EscapeIfndefOrElse, true
+		}
+		return EscapeOther, false
+	}
+	// #ifdef CONFIG_X: excluded when X is off.
+	if !declared {
+		return EscapeIfdefNeverSet, true
+	}
+	if value == kconfig.No {
+		if c.siblingChanged(f, fs, fr) {
+			return EscapeBothBranches, true
+		}
+		return EscapeIfdefNotAllyes, true
+	}
+	return EscapeOther, false
+}
+
+// classifyExprFrame handles #if/#elif with a general expression by
+// examining the CONFIG variables it mentions.
+func (c *Checker) classifyExprFrame(f *csrc.File, fs *fileState, fr csrc.CondFrame, expr string, negated bool) (EscapeReason, bool) {
+	if strings.Contains(expr, "MODULE") && !strings.Contains(expr, "CONFIG_") {
+		return EscapeIfdefModule, true
+	}
+	rest := expr
+	sawDeclaredOff := false
+	sawUndeclared := false
+	for {
+		i := strings.Index(rest, "CONFIG_")
+		if i < 0 {
+			break
+		}
+		rest = rest[i+len("CONFIG_"):]
+		j := 0
+		for j < len(rest) && (rest[j] == '_' || rest[j] >= 'A' && rest[j] <= 'Z' ||
+			rest[j] >= '0' && rest[j] <= '9' || rest[j] >= 'a' && rest[j] <= 'z') {
+			j++
+		}
+		declared, value := c.symbolInfo(rest[:j])
+		if !declared {
+			sawUndeclared = true
+		} else if value == kconfig.No {
+			sawDeclaredOff = true
+		}
+		rest = rest[j:]
+	}
+	switch {
+	case sawUndeclared:
+		return EscapeIfdefNeverSet, true
+	case sawDeclaredOff:
+		if c.siblingChanged(f, fs, fr) {
+			return EscapeBothBranches, true
+		}
+		return EscapeIfdefNotAllyes, true
+	}
+	_ = negated
+	return EscapeOther, false
+}
+
+// macroUsedInFile reports whether name occurs as a token outside its own
+// definition (starting at defStart).
+func macroUsedInFile(f *csrc.File, name string, defStart int) bool {
+	if name == "" {
+		return false
+	}
+	for _, li := range f.Lines {
+		if li.InMacroDef && li.MacroStart == defStart {
+			continue
+		}
+		text := li.Text
+		for {
+			i := strings.Index(text, name)
+			if i < 0 {
+				break
+			}
+			beforeOK := i == 0 || !isIdentByte(text[i-1])
+			after := i + len(name)
+			afterOK := after >= len(text) || !isIdentByte(text[after])
+			if beforeOK && afterOK {
+				return true
+			}
+			text = text[i+len(name):]
+		}
+	}
+	return false
+}
+
+func isIdentByte(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// symbolInfo reports whether a Kconfig symbol is declared anywhere and its
+// host-allyesconfig value.
+func (c *Checker) symbolInfo(name string) (declared bool, value kconfig.Value) {
+	arch, ok := c.arches[kbuild.HostArch]
+	if !ok {
+		return false, kconfig.No
+	}
+	kt, err := c.configs.KconfigTree(c.tree, arch)
+	if err != nil {
+		return false, kconfig.No
+	}
+	sym := kt.Symbol(name)
+	if sym == nil {
+		// Not in the host tree; another architecture may declare it (that is
+		// precisely the cross-arch case). Check the others before concluding
+		// "never set in the kernel".
+		for _, a := range c.arches {
+			if a.Name == kbuild.HostArch {
+				continue
+			}
+			if akt, aerr := c.configs.KconfigTree(c.tree, a); aerr == nil && akt.Symbol(name) != nil {
+				return true, kconfig.No // declared elsewhere, off here
+			}
+		}
+		return false, kconfig.No
+	}
+	cfg, _, err := c.configs.Get(c.tree, arch, ConfigChoice{Kind: ConfigAllYes})
+	if err != nil {
+		return true, kconfig.No
+	}
+	return true, cfg.Value(name)
+}
+
+// siblingChanged reports whether the patch also changed the opposite
+// branch of fr's conditional — the "change under both #ifdef and #else"
+// case of Table IV, which no single configuration can cover.
+func (c *Checker) siblingChanged(f *csrc.File, fs *fileState, fr csrc.CondFrame) bool {
+	for _, m := range fs.muts {
+		li, ok := f.LineAt(m.mut.Line)
+		if !ok || len(li.Conds) == 0 {
+			continue
+		}
+		top := li.Conds[len(li.Conds)-1]
+		if top.Line == fr.Line {
+			continue // same branch
+		}
+		// Same controlling variable, different branch kind.
+		if strings.TrimSpace(top.Arg) == strings.TrimSpace(fr.Arg) && top.Kind != fr.Kind {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"jmake/internal/fstree"
+)
+
+// headerChunk is how many candidate .c files one make invocation
+// preprocesses while hunting for header coverage. Smaller than the general
+// group size so that the search can stop early (the paper reports 1-12
+// compilations per header).
+const headerChunk = 10
+
+// candidate is one .c file that may exercise a changed header.
+type candidate struct {
+	path     string
+	includes bool
+	allHints bool
+	anyHint  bool
+}
+
+// findHeaderCandidates scans the tree's .c files for candidates per paper
+// §III-E: files that directly include the header, and files that refer to
+// the macro names changed in it. Priority: include+all-hints, then
+// all-hints, then the rest. A header under arch/<A>/ is only relevant to
+// .c files of that architecture or outside arch/.
+func (c *Checker) findHeaderCandidates(hPath string, hints []string) []candidate {
+	relInclude := strings.TrimPrefix(hPath, "include/")
+	base := hPath[strings.LastIndexByte(hPath, '/')+1:]
+	hArch := ""
+	if strings.HasPrefix(hPath, "arch/") {
+		rest := strings.TrimPrefix(hPath, "arch/")
+		if i := strings.IndexByte(rest, '/'); i > 0 {
+			hArch = rest[:i]
+		}
+	}
+
+	var out []candidate
+	for _, p := range c.tree.Paths() {
+		if !strings.HasSuffix(p, ".c") {
+			continue
+		}
+		if hArch != "" && strings.HasPrefix(p, "arch/") && !strings.HasPrefix(p, "arch/"+hArch+"/") {
+			continue
+		}
+		content, err := c.tree.Read(p)
+		if err != nil {
+			continue
+		}
+		cand := candidate{path: p}
+		if strings.Contains(content, "<"+relInclude+">") || strings.Contains(content, "\""+base+"\"") {
+			cand.includes = true
+		}
+		if len(hints) > 0 {
+			cand.allHints = true
+			for _, h := range hints {
+				if strings.Contains(content, h) {
+					cand.anyHint = true
+				} else {
+					cand.allHints = false
+				}
+			}
+		}
+		if cand.includes || cand.anyHint {
+			out = append(out, cand)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return candRank(out[i]) < candRank(out[j])
+	})
+	return out
+}
+
+func candRank(c candidate) int {
+	switch {
+	case c.includes && c.allHints:
+		return 0
+	case c.allHints:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// processHFile hunts .c files that witness the header's remaining
+// mutations (paper §III-E). Candidates are processed like a pseudo-patch
+// of unmutated .c files against the mutated tree; each make invocation
+// covers a chunk, and a candidate whose .i witnesses a pending mutation is
+// compiled to an object to validate the configuration.
+func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf *fileState) {
+	cands := c.findHeaderCandidates(hf.path, hf.res.ChangedMacros)
+	if len(cands) == 0 {
+		return
+	}
+	// Above the threshold, restrict to allyesconfig only (paper: avoids
+	// false positives at a bounded cost; threshold is user-configurable).
+	useDefconfigs := len(cands) <= c.opts.HCandidateLimit
+	if len(cands) > c.opts.HCandidateCap {
+		cands = cands[:c.opts.HCandidateCap]
+	}
+
+	for start := 0; start < len(cands) && len(hf.pending()) > 0; start += headerChunk {
+		end := start + headerChunk
+		if end > len(cands) {
+			end = len(cands)
+		}
+		chunk := cands[start:end]
+
+		perFile := make([][]ArchChoice, 0, len(chunk))
+		for _, cand := range chunk {
+			perFile = append(perFile, c.selectArches(cand.path, useDefconfigs))
+		}
+		choices := mergeArchChoices(perFile)
+
+		for _, ac := range choices {
+			if len(hf.pending()) == 0 {
+				break
+			}
+			arch := c.arches[ac.Arch]
+			if arch == nil || arch.Broken {
+				continue
+			}
+			for _, cc := range ac.Configs {
+				if len(hf.pending()) == 0 {
+					break
+				}
+				bp, err := c.newBuilders(report, mutatedTree, ac.Arch, cc)
+				if err != nil {
+					if hf.lastErr == nil {
+						hf.lastErr = err
+					}
+					continue
+				}
+				paths := make([]string, 0, len(chunk))
+				for _, cand := range chunk {
+					if strings.HasPrefix(cand.path, "arch/") && !strings.HasPrefix(cand.path, "arch/"+ac.Arch+"/") {
+						continue
+					}
+					paths = append(paths, cand.path)
+				}
+				if len(paths) == 0 {
+					continue
+				}
+				results, dur := bp.ib.MakeI(paths)
+				bp.ob.SetSetupDone()
+				report.MakeIDurations = append(report.MakeIDurations, dur)
+				for _, res := range results {
+					if res.Err != nil {
+						continue
+					}
+					witnessed := witnessedIn(res.Text, hf.muts)
+					if len(witnessed) == 0 {
+						continue
+					}
+					_, odur, oerr := bp.ob.MakeO(res.Path)
+					report.MakeODurations = append(report.MakeODurations, odur)
+					if oerr != nil {
+						continue
+					}
+					hf.state.ExtraCCompiles++
+					hf.compiledOK = true
+					recordUse(hf.state, ac.Arch, cc)
+					for _, m := range witnessed {
+						m.covered = true
+						m.coveredByArch = ac.Arch
+						m.coveredByDefconfig = cc.Kind == ConfigDefconfig
+					}
+					if len(hf.pending()) == 0 {
+						break
+					}
+				}
+			}
+		}
+	}
+}

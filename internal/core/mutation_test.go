@@ -1,0 +1,191 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMutatePlainCode(t *testing.T) {
+	content := "int a;\nint b;\nint c;\n"
+	res := Mutate("drivers/a.c", content, []int{2})
+	if len(res.Mutations) != 1 {
+		t.Fatalf("mutations = %d, want 1", len(res.Mutations))
+	}
+	m := res.Mutations[0]
+	if m.Kind != "other" || m.Line != 2 {
+		t.Errorf("mutation = %+v", m)
+	}
+	wantID := `@"other:drivers/a.c:2"`
+	if m.ID != wantID {
+		t.Errorf("ID = %q, want %q", m.ID, wantID)
+	}
+	lines := strings.Split(res.Content, "\n")
+	if lines[1] != wantID {
+		t.Errorf("mutation line = %q; content:\n%s", lines[1], res.Content)
+	}
+	if lines[2] != "int b;" {
+		t.Errorf("changed line displaced: %q", lines[2])
+	}
+}
+
+func TestMutateOneMutationPerRegion(t *testing.T) {
+	// Three changed lines in the same region: one mutation suffices
+	// (paper §III-B).
+	content := "int a;\nint b;\nint c;\nint d;\n"
+	res := Mutate("f.c", content, []int{1, 2, 4})
+	if len(res.Mutations) != 1 {
+		t.Fatalf("mutations = %d, want 1: %+v", len(res.Mutations), res.Mutations)
+	}
+	if got := res.Mutations[0].CoversLines; len(got) != 3 {
+		t.Errorf("CoversLines = %v", got)
+	}
+}
+
+func TestMutateRegionsSplitByConditionals(t *testing.T) {
+	content := `int a;
+#ifdef CONFIG_X
+int b;
+#else
+int c;
+#endif
+int d;
+`
+	res := Mutate("f.c", content, []int{1, 3, 5, 7})
+	// Regions: before #ifdef (line 1), ifdef branch (line 3), else branch
+	// (lines 5 and 7 share the #else region — the paper does not split at
+	// #endif).
+	if len(res.Mutations) != 3 {
+		t.Fatalf("mutations = %d, want 3: %+v", len(res.Mutations), res.Mutations)
+	}
+}
+
+func TestMutateDefineSingleLine(t *testing.T) {
+	content := "#define REG_CTRL 0x04\nint x = REG_CTRL;\n"
+	res := Mutate("f.c", content, []int{1})
+	if len(res.Mutations) != 1 || res.Mutations[0].Kind != "define" {
+		t.Fatalf("mutations = %+v", res.Mutations)
+	}
+	lines := strings.Split(res.Content, "\n")
+	want := `#define REG_CTRL 0x04 @"define:f.c:1"`
+	if lines[0] != want {
+		t.Errorf("define line = %q, want %q", lines[0], want)
+	}
+	if res.ChangedMacros[0] != "REG_CTRL" {
+		t.Errorf("ChangedMacros = %v", res.ChangedMacros)
+	}
+}
+
+func TestMutateDefineWithContinuation(t *testing.T) {
+	// Change on the #define line that ends with a continuation: the
+	// mutation goes before the backslash (paper Fig 2).
+	content := "#define MUX(x) (((x) & 0xf) << 4) | \\\n\t(((x) & 0xf) << 0)\nint v = MUX(2);\n"
+	res := Mutate("f.c", content, []int{1})
+	lines := strings.Split(res.Content, "\n")
+	if !strings.HasSuffix(lines[0], `@"define:f.c:1" \`) {
+		t.Errorf("define line = %q", lines[0])
+	}
+}
+
+func TestMutateDefineContinuationLineChanged(t *testing.T) {
+	// Change on a non-first macro line: a fresh "mutation \" line goes
+	// before the changed one (paper Fig 2, SINGLE_CHAN case).
+	content := "#define SINGLE(x) \\\n\t(HI(x) | \\\n\t LO(x))\nint v;\n"
+	res := Mutate("f.c", content, []int{2})
+	lines := strings.Split(res.Content, "\n")
+	if lines[1] != `@"define:f.c:2" \` {
+		t.Errorf("inserted line = %q; content:\n%s", lines[1], res.Content)
+	}
+	if !strings.HasPrefix(lines[2], "\t(HI(x)") {
+		t.Errorf("original line displaced: %q", lines[2])
+	}
+}
+
+func TestMutateOneMutationPerMacro(t *testing.T) {
+	content := "#define BIG(x) \\\n\t((x) + \\\n\t 1 + \\\n\t 2)\nint v;\n"
+	res := Mutate("f.c", content, []int{2, 3, 4})
+	if len(res.Mutations) != 1 {
+		t.Fatalf("mutations = %d, want 1 per macro", len(res.Mutations))
+	}
+}
+
+func TestMutateCommentOnlyChange(t *testing.T) {
+	content := "/* header comment */\nint a;\n// trailing\n"
+	res := Mutate("f.c", content, []int{1, 3})
+	if len(res.Mutations) != 0 || !res.CommentOnly {
+		t.Errorf("comment-only change: %+v", res)
+	}
+	if res.Content != content {
+		t.Error("content must be unchanged")
+	}
+}
+
+func TestMutateLineStartingMidComment(t *testing.T) {
+	// The changed line begins inside a comment that ends on it: mutation
+	// placed after the comment end (paper §III-B).
+	content := "int a; /* spans\nto here */ int b;\nint c;\n"
+	res := Mutate("f.c", content, []int{2})
+	if len(res.Mutations) != 1 {
+		t.Fatalf("mutations = %+v", res.Mutations)
+	}
+	lines := strings.Split(res.Content, "\n")
+	if !strings.HasPrefix(lines[1], `to here */ @"other:f.c:2"`) {
+		t.Errorf("line 2 = %q", lines[1])
+	}
+}
+
+func TestMutateMixedMacroAndCode(t *testing.T) {
+	content := `#define A 1
+#define B 2
+int f(void)
+{
+	return A + B;
+}
+`
+	res := Mutate("f.c", content, []int{1, 2, 5})
+	if len(res.Mutations) != 3 {
+		t.Fatalf("mutations = %d, want 3 (two macros + one region): %+v",
+			len(res.Mutations), res.Mutations)
+	}
+	kinds := map[string]int{}
+	for _, m := range res.Mutations {
+		kinds[m.Kind]++
+	}
+	if kinds["define"] != 2 || kinds["other"] != 1 {
+		t.Errorf("kinds = %v", kinds)
+	}
+	if len(res.ChangedMacros) != 2 {
+		t.Errorf("ChangedMacros = %v", res.ChangedMacros)
+	}
+}
+
+func TestMutateChangedLinePastEOF(t *testing.T) {
+	// Pure removal at end of file can reference one past the last line.
+	content := "int a;\nint b;\n"
+	res := Mutate("f.c", content, []int{3})
+	if len(res.Mutations) != 1 || res.Mutations[0].Line != 2 {
+		t.Errorf("mutations = %+v", res.Mutations)
+	}
+}
+
+func TestMutateEmptyFile(t *testing.T) {
+	res := Mutate("f.c", "", []int{1})
+	if len(res.Mutations) != 0 {
+		t.Errorf("mutations on empty file = %+v", res.Mutations)
+	}
+}
+
+func TestMutationsSurvivePreprocessingConcept(t *testing.T) {
+	// End-to-end sanity at the mutation level: IDs are unique per site.
+	content := "int a;\n#ifdef X\nint b;\n#endif\n#define M 1\n"
+	res := Mutate("f.c", content, []int{1, 3, 5})
+	seen := map[string]bool{}
+	for _, m := range res.Mutations {
+		if seen[m.ID] {
+			t.Errorf("duplicate mutation ID %q", m.ID)
+		}
+		seen[m.ID] = true
+		if !strings.Contains(res.Content, m.ID) {
+			t.Errorf("mutation %q not inserted", m.ID)
+		}
+	}
+}

@@ -1,0 +1,252 @@
+package core
+
+import (
+	"time"
+)
+
+// FileKind distinguishes the two processed file types.
+type FileKind int
+
+// File kinds.
+const (
+	CFile FileKind = iota + 1
+	HFile
+)
+
+func (k FileKind) String() string {
+	if k == HFile {
+		return ".h"
+	}
+	return ".c"
+}
+
+// Status is the per-file outcome of a JMake run.
+type Status int
+
+// File statuses.
+const (
+	// StatusCertified: every changed line was subjected to the compiler in
+	// at least one successful compilation.
+	StatusCertified Status = iota + 1
+	// StatusCommentOnly: all changed lines are comments; nothing to check.
+	StatusCommentOnly
+	// StatusEscapes: some compilation succeeded without error, but one or
+	// more changed lines were never seen by the compiler — the insidious
+	// case JMake exists to detect.
+	StatusEscapes
+	// StatusBuildFailed: no tried configuration compiled the file (or, for
+	// a header, no candidate .c file worked).
+	StatusBuildFailed
+	// StatusSetupFile: the file takes part in the build's own set-up
+	// compilation and cannot be mutated (paper §V-D).
+	StatusSetupFile
+	// StatusUnsupportedArch: the file belongs to an architecture without a
+	// working cross-compiler.
+	StatusUnsupportedArch
+	// StatusNoMakefile: no Makefile governs the file.
+	StatusNoMakefile
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusCertified:
+		return "certified"
+	case StatusCommentOnly:
+		return "comment-only"
+	case StatusEscapes:
+		return "escapes"
+	case StatusBuildFailed:
+		return "build-failed"
+	case StatusSetupFile:
+		return "setup-file"
+	case StatusUnsupportedArch:
+		return "unsupported-arch"
+	case StatusNoMakefile:
+		return "no-makefile"
+	default:
+		return "unknown"
+	}
+}
+
+// EscapeReason classifies why a changed line escaped the compiler,
+// reproducing Table IV mechanically.
+type EscapeReason int
+
+// Escape reasons (Table IV rows).
+const (
+	// EscapeIfdefNotAllyes: under #ifdef of a variable that allyesconfig
+	// does not set (declared, but its dependencies forbid y).
+	EscapeIfdefNotAllyes EscapeReason = iota + 1
+	// EscapeIfdefNeverSet: under #ifdef of a variable never declared in any
+	// Kconfig file.
+	EscapeIfdefNeverSet
+	// EscapeIfdefModule: under #ifdef MODULE; allyesconfig builds nothing
+	// modular, so the region is skipped (allmodconfig would cover it).
+	EscapeIfdefModule
+	// EscapeIfndefOrElse: under #ifndef, or under the #else of a satisfied
+	// #ifdef — allyesconfig sets variables to yes, not no (paper §VII).
+	EscapeIfndefOrElse
+	// EscapeBothBranches: the patch changes both a conditional branch and
+	// its #else; no single configuration can see both.
+	EscapeBothBranches
+	// EscapeIfZero: under #if 0.
+	EscapeIfZero
+	// EscapeUnusedMacro: inside a macro definition that no compiled code
+	// expands.
+	EscapeUnusedMacro
+	// EscapeOther: none of the above (deep conditional interactions).
+	EscapeOther
+)
+
+func (r EscapeReason) String() string {
+	switch r {
+	case EscapeIfdefNotAllyes:
+		return "ifdef variable not set by allyesconfig"
+	case EscapeIfdefNeverSet:
+		return "ifdef variable never set in the kernel"
+	case EscapeIfdefModule:
+		return "ifdef MODULE"
+	case EscapeIfndefOrElse:
+		return "ifndef or else"
+	case EscapeBothBranches:
+		return "both ifdef and else"
+	case EscapeIfZero:
+		return "if 0"
+	case EscapeUnusedMacro:
+		return "unused macro"
+	default:
+		return "other"
+	}
+}
+
+// Escape pairs an uncovered mutation with its diagnosed reason.
+type Escape struct {
+	Mutation Mutation
+	Reason   EscapeReason
+}
+
+// FileOutcome is the per-file result of a JMake run.
+type FileOutcome struct {
+	Path   string
+	Kind   FileKind
+	Status Status
+
+	// Mutations is the number of mutations inserted; FoundMutations how
+	// many were witnessed in a successfully compiled .i.
+	Mutations      int
+	FoundMutations int
+
+	// UsedArches lists architectures whose compilation both succeeded and
+	// reduced the set of unwitnessed mutations, in the order tried.
+	UsedArches []string
+	// NeededBeyondHost is true when the host architecture alone was not
+	// sufficient but another architecture helped.
+	NeededBeyondHost bool
+	// UsedDefconfig is true when a configs/ defconfig (not allyesconfig)
+	// contributed coverage.
+	UsedDefconfig bool
+	// UsedAllMod is true when allmodconfig contributed coverage (only with
+	// Options.TryAllModConfig).
+	UsedAllMod bool
+	// UsedCoverageConfig is true when a synthesized coverage configuration
+	// contributed (only with Options.CoverageConfigs).
+	UsedCoverageConfig bool
+
+	// Escapes classifies each unwitnessed mutation.
+	Escapes []Escape
+
+	// CoveredLines and EscapedLines list the changed line numbers (in the
+	// post-patch file) whose compilation was witnessed / never witnessed,
+	// for per-line patch annotation.
+	CoveredLines []int
+	EscapedLines []int
+
+	// CoveredByPatchCs is true for a header whose mutations were all
+	// witnessed while compiling the .c files of the same patch (§III-E's
+	// ideal case).
+	CoveredByPatchCs bool
+	// ExtraCCompiles counts additional .c files compiled to exercise a
+	// header.
+	ExtraCCompiles int
+
+	// FailureDetail carries the underlying error text for failed statuses.
+	FailureDetail string
+}
+
+// PatchReport is the result of checking one patch.
+type PatchReport struct {
+	Commit string
+	Files  []FileOutcome
+
+	// Durations of each operation class, in virtual time (Figures 4a-4c).
+	ConfigDurations []time.Duration
+	MakeIDurations  []time.Duration
+	MakeODurations  []time.Duration
+	// Total is the overall virtual running time (Figures 5-6).
+	Total time.Duration
+
+	// Untreatable marks patches touching build-setup files (§V-D).
+	Untreatable bool
+
+	// PrescanWarnings lists changed regions diagnosed as uncompilable
+	// before any build ran (populated when Options.Prescan is set).
+	PrescanWarnings []Escape
+}
+
+// Certified reports whether every processed file had all changed lines
+// subjected to the compiler.
+func (r *PatchReport) Certified() bool {
+	if r.Untreatable || len(r.Files) == 0 {
+		return false
+	}
+	for _, f := range r.Files {
+		if f.Status != StatusCertified && f.Status != StatusCommentOnly {
+			return false
+		}
+	}
+	return true
+}
+
+// Options tune the checker.
+type Options struct {
+	// MaxGroupSize bounds how many files one make invocation processes
+	// (paper: 50, to avoid exhausting the in-memory filesystem).
+	MaxGroupSize int
+	// HCandidateLimit is the candidate-count threshold above which header
+	// processing uses only allyesconfig (paper §III-E: 100,
+	// user-configurable).
+	HCandidateLimit int
+	// HCandidateCap bounds how many candidate .c files are tried per
+	// header.
+	HCandidateCap int
+	// TryAllModConfig additionally tries allmodconfig for every candidate
+	// architecture, covering `#ifdef MODULE` regions at the cost of nearly
+	// doubling the configurations tried (the paper's proposed extension,
+	// §V-B).
+	TryAllModConfig bool
+	// Prescan statically diagnoses changed regions that no standard
+	// configuration can compile *before* any build runs, populating
+	// PatchReport.PrescanWarnings (the paper's §VII "ask for user
+	// assistance" proposal, saving exploration of unpromising cases).
+	Prescan bool
+	// CoverageConfigs synthesizes targeted configurations for regions that
+	// every standard configuration missed — forcing the guarding variables
+	// to the values the region needs (#ifndef wants its variable off,
+	// #ifdef wants it on plus its dependency chain). This implements the
+	// Vampyr/Troll-style generation the paper cites as the way to handle
+	// #ifndef and ifdef/else cases (§VI-VII).
+	CoverageConfigs bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxGroupSize <= 0 {
+		o.MaxGroupSize = 50
+	}
+	if o.HCandidateLimit <= 0 {
+		o.HCandidateLimit = 100
+	}
+	if o.HCandidateCap <= 0 {
+		o.HCandidateCap = 120
+	}
+	return o
+}

@@ -1,0 +1,70 @@
+package cpp
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// TokenCache memoizes the per-file scanning work (logical-line splitting
+// and tokenization) keyed by content identity. Headers like the kernel's
+// common includes are preprocessed thousands of times across an
+// evaluation with identical content; conditional evaluation and macro
+// expansion still run per inclusion (they depend on the macro state), but
+// the lexing does not.
+//
+// Cached tokens are shared between preprocessor runs. This is safe
+// because the expansion pipeline treats tokens as values: worklists copy
+// token structs, and hide-set updates copy the slice (see Token.withHide).
+//
+// A TokenCache is safe for concurrent use.
+type TokenCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*cachedFile
+}
+
+type cachedFile struct {
+	lines []logicalLine
+	toks  [][]Token
+}
+
+// NewTokenCache returns an empty cache.
+func NewTokenCache() *TokenCache {
+	return &TokenCache{entries: make(map[uint64]*cachedFile)}
+}
+
+func contentKey(path, content string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(path))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(content))
+	return h.Sum64()
+}
+
+// scan returns the logical lines and per-line tokens for content, from the
+// cache when possible.
+func (c *TokenCache) scan(path, content string) ([]logicalLine, [][]Token) {
+	key := contentKey(path, content)
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		return e.lines, e.toks
+	}
+	c.mu.Unlock()
+
+	lines := logicalLines(content)
+	toks := make([][]Token, len(lines))
+	for i, ll := range lines {
+		toks[i] = Lex(ll.text)
+	}
+	c.mu.Lock()
+	c.entries[key] = &cachedFile{lines: lines, toks: toks}
+	c.mu.Unlock()
+	return lines, toks
+}
+
+// Len returns the number of cached files.
+func (c *TokenCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,380 @@
+package cpp
+
+import (
+	"strconv"
+	"strings"
+)
+
+// evalCondition evaluates a #if / #elif controlling expression: `defined`
+// is resolved first, remaining tokens are macro-expanded, leftover
+// identifiers become 0, and the result is a C integer constant expression.
+// Parsing and evaluation are separate passes so that && / || / ?: short-
+// circuit properly: a division by zero in an untaken branch is not an
+// error, matching gcc.
+func (p *pp) evalCondition(ts []Token) (bool, error) {
+	resolved, err := p.resolveDefined(ts)
+	if err != nil {
+		return false, err
+	}
+	expanded, err := p.expandTokens(resolved)
+	if err != nil {
+		return false, err
+	}
+	ep := &exprParser{p: p, ts: expanded}
+	node, err := ep.parse()
+	if err != nil {
+		return false, err
+	}
+	v, err := node.eval(p)
+	if err != nil {
+		return false, err
+	}
+	return v != 0, nil
+}
+
+// resolveDefined replaces `defined NAME` and `defined(NAME)` with 1 or 0
+// before macro expansion, as the standard requires.
+func (p *pp) resolveDefined(ts []Token) ([]Token, error) {
+	var out []Token
+	for i := 0; i < len(ts); i++ {
+		t := ts[i]
+		if t.Kind != KindIdent || t.Text != "defined" {
+			out = append(out, t)
+			continue
+		}
+		i++
+		paren := false
+		if i < len(ts) && ts[i].Kind == KindPunct && ts[i].Text == "(" {
+			paren = true
+			i++
+		}
+		if i >= len(ts) || ts[i].Kind != KindIdent {
+			return nil, p.errf("operator \"defined\" requires an identifier")
+		}
+		name := ts[i].Text
+		if paren {
+			i++
+			if i >= len(ts) || ts[i].Kind != KindPunct || ts[i].Text != ")" {
+				return nil, p.errf("missing ')' after \"defined\"")
+			}
+		}
+		val := "0"
+		if _, ok := p.macros[name]; ok {
+			val = "1"
+		}
+		out = append(out, Token{Kind: KindNumber, Text: val, WS: t.WS})
+	}
+	return out, nil
+}
+
+// expr is a parsed constant-expression node.
+type expr interface {
+	eval(p *pp) (int64, error)
+}
+
+type numExpr int64
+
+func (n numExpr) eval(*pp) (int64, error) { return int64(n), nil }
+
+type unaryExpr struct {
+	op string
+	x  expr
+}
+
+func (u unaryExpr) eval(p *pp) (int64, error) {
+	v, err := u.x.eval(p)
+	if err != nil {
+		return 0, err
+	}
+	switch u.op {
+	case "!":
+		if v == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	case "~":
+		return ^v, nil
+	case "-":
+		return -v, nil
+	case "+":
+		return v, nil
+	}
+	return 0, p.errf("unknown unary operator %q", u.op)
+}
+
+type binExpr struct {
+	op   string
+	l, r expr
+}
+
+func (b binExpr) eval(p *pp) (int64, error) {
+	l, err := b.l.eval(p)
+	if err != nil {
+		return 0, err
+	}
+	btoi := func(x bool) int64 {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	// Short-circuit: the right operand of && / || is only evaluated when it
+	// can affect the result.
+	switch b.op {
+	case "&&":
+		if l == 0 {
+			return 0, nil
+		}
+		r, err := b.r.eval(p)
+		if err != nil {
+			return 0, err
+		}
+		return btoi(r != 0), nil
+	case "||":
+		if l != 0 {
+			return 1, nil
+		}
+		r, err := b.r.eval(p)
+		if err != nil {
+			return 0, err
+		}
+		return btoi(r != 0), nil
+	}
+	r, err := b.r.eval(p)
+	if err != nil {
+		return 0, err
+	}
+	switch b.op {
+	case "|":
+		return l | r, nil
+	case "^":
+		return l ^ r, nil
+	case "&":
+		return l & r, nil
+	case "==":
+		return btoi(l == r), nil
+	case "!=":
+		return btoi(l != r), nil
+	case "<":
+		return btoi(l < r), nil
+	case ">":
+		return btoi(l > r), nil
+	case "<=":
+		return btoi(l <= r), nil
+	case ">=":
+		return btoi(l >= r), nil
+	case "<<":
+		return l << (uint64(r) & 63), nil
+	case ">>":
+		return l >> (uint64(r) & 63), nil
+	case "+":
+		return l + r, nil
+	case "-":
+		return l - r, nil
+	case "*":
+		return l * r, nil
+	case "/":
+		if r == 0 {
+			return 0, p.errf("division by zero in #if expression")
+		}
+		return l / r, nil
+	case "%":
+		if r == 0 {
+			return 0, p.errf("division by zero in #if expression")
+		}
+		return l % r, nil
+	}
+	return 0, p.errf("unknown operator %q", b.op)
+}
+
+type ternExpr struct {
+	c, t, f expr
+}
+
+func (t ternExpr) eval(p *pp) (int64, error) {
+	c, err := t.c.eval(p)
+	if err != nil {
+		return 0, err
+	}
+	if c != 0 {
+		return t.t.eval(p)
+	}
+	return t.f.eval(p)
+}
+
+// exprParser is a precedence-climbing parser producing expr trees.
+type exprParser struct {
+	p   *pp
+	ts  []Token
+	pos int
+}
+
+func (e *exprParser) peek() (Token, bool) {
+	if e.pos < len(e.ts) {
+		return e.ts[e.pos], true
+	}
+	return Token{}, false
+}
+
+func (e *exprParser) next() (Token, bool) {
+	t, ok := e.peek()
+	if ok {
+		e.pos++
+	}
+	return t, ok
+}
+
+func (e *exprParser) parse() (expr, error) {
+	v, err := e.ternary()
+	if err != nil {
+		return nil, err
+	}
+	if t, ok := e.peek(); ok {
+		return nil, e.p.errf("unexpected token %q in #if expression", t.Text)
+	}
+	return v, nil
+}
+
+func (e *exprParser) ternary() (expr, error) {
+	cond, err := e.binary(0)
+	if err != nil {
+		return nil, err
+	}
+	t, ok := e.peek()
+	if !ok || t.Kind != KindPunct || t.Text != "?" {
+		return cond, nil
+	}
+	e.pos++
+	thenE, err := e.ternary()
+	if err != nil {
+		return nil, err
+	}
+	t, ok = e.next()
+	if !ok || t.Text != ":" {
+		return nil, e.p.errf("missing ':' in ternary expression")
+	}
+	elseE, err := e.ternary()
+	if err != nil {
+		return nil, err
+	}
+	return ternExpr{cond, thenE, elseE}, nil
+}
+
+// binPrec maps binary operators to precedence; higher binds tighter.
+var binPrec = map[string]int{
+	"||": 1,
+	"&&": 2,
+	"|":  3,
+	"^":  4,
+	"&":  5,
+	"==": 6, "!=": 6,
+	"<": 7, ">": 7, "<=": 7, ">=": 7,
+	"<<": 8, ">>": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+func (e *exprParser) binary(minPrec int) (expr, error) {
+	lhs, err := e.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, ok := e.peek()
+		if !ok || t.Kind != KindPunct {
+			return lhs, nil
+		}
+		prec, isOp := binPrec[t.Text]
+		if !isOp || prec < minPrec {
+			return lhs, nil
+		}
+		e.pos++
+		rhs, err := e.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = binExpr{t.Text, lhs, rhs}
+	}
+}
+
+func (e *exprParser) unary() (expr, error) {
+	t, ok := e.next()
+	if !ok {
+		return nil, e.p.errf("unexpected end of #if expression")
+	}
+	switch t.Kind {
+	case KindPunct:
+		switch t.Text {
+		case "!", "~", "-", "+":
+			x, err := e.unary()
+			if err != nil {
+				return nil, err
+			}
+			return unaryExpr{t.Text, x}, nil
+		case "(":
+			v, err := e.ternary()
+			if err != nil {
+				return nil, err
+			}
+			nt, ok := e.next()
+			if !ok || nt.Text != ")" {
+				return nil, e.p.errf("missing ')' in #if expression")
+			}
+			return v, nil
+		}
+	case KindNumber:
+		v, err := parsePPNumber(e.p, t.Text)
+		return numExpr(v), err
+	case KindChar:
+		v, err := charValue(e.p, t.Text)
+		return numExpr(v), err
+	case KindIdent:
+		// Unexpanded identifier: evaluates to 0 per the standard.
+		return numExpr(0), nil
+	}
+	return nil, e.p.errf("unexpected token %q in #if expression", t.Text)
+}
+
+// parsePPNumber converts a pp-number to int64, accepting 0x/octal forms and
+// ignoring integer suffixes (u, l, ll, in any case and order).
+func parsePPNumber(p *pp, s string) (int64, error) {
+	trimmed := strings.TrimRight(s, "uUlL")
+	if trimmed == "" {
+		return 0, p.errf("bad integer %q in #if expression", s)
+	}
+	v, err := strconv.ParseUint(trimmed, 0, 64)
+	if err != nil {
+		return 0, p.errf("bad integer %q in #if expression", s)
+	}
+	return int64(v), nil
+}
+
+// charValue evaluates a character constant like 'a' or '\n'.
+func charValue(p *pp, s string) (int64, error) {
+	if len(s) < 3 || s[0] != '\'' || s[len(s)-1] != '\'' {
+		return 0, p.errf("bad character constant %s", s)
+	}
+	body := s[1 : len(s)-1]
+	if body[0] != '\\' {
+		return int64(body[0]), nil
+	}
+	if len(body) < 2 {
+		return 0, p.errf("bad escape in character constant %s", s)
+	}
+	switch body[1] {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case '\\':
+		return '\\', nil
+	case '\'':
+		return '\'', nil
+	default:
+		return int64(body[1]), nil
+	}
+}

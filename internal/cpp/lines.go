@@ -1,0 +1,91 @@
+package cpp
+
+import "strings"
+
+// logicalLine is one line after line splicing (backslash-newline) and
+// comment removal, tagged with the 1-based physical line where it starts
+// and the physical line just after it ends (for resynchronizing output
+// line markers).
+type logicalLine struct {
+	text      string
+	startLine int
+	nextLine  int
+}
+
+// logicalLines performs translation phases 2 and 3: splice continued
+// lines, replace comments with a single space, and split the result into
+// logical lines. Block comments may span physical lines; the spanned lines
+// merge into one logical line, and startLine bookkeeping lets the driver
+// re-synchronize. String and character literals are opaque, so comment
+// markers and backslashes inside them are preserved (this is what keeps
+// JMake's mutation strings intact).
+func logicalLines(content string) []logicalLine {
+	var out []logicalLine
+	var b strings.Builder
+	line := 1
+	start := 1
+	n := len(content)
+	flush := func(next int) {
+		out = append(out, logicalLine{text: b.String(), startLine: start, nextLine: next})
+		b.Reset()
+		start = next
+	}
+	i := 0
+	for i < n {
+		c := content[i]
+		switch {
+		case c == '\\' && i+1 < n && content[i+1] == '\n':
+			// Line splice: logical line continues.
+			i += 2
+			line++
+		case c == '\\' && i+2 < n && content[i+1] == '\r' && content[i+2] == '\n':
+			i += 3
+			line++
+		case c == '\n':
+			i++
+			line++
+			flush(line)
+		case c == '/' && i+1 < n && content[i+1] == '/':
+			// Line comment: skip to end of line (not consuming the newline).
+			for i < n && content[i] != '\n' {
+				i++
+			}
+			b.WriteByte(' ')
+		case c == '/' && i+1 < n && content[i+1] == '*':
+			i += 2
+			for i < n && !(content[i] == '*' && i+1 < n && content[i+1] == '/') {
+				if content[i] == '\n' {
+					line++
+				}
+				i++
+			}
+			if i < n {
+				i += 2 // closing */
+			}
+			b.WriteByte(' ')
+		case c == '"' || c == '\'':
+			q := c
+			b.WriteByte(c)
+			i++
+			for i < n && content[i] != q && content[i] != '\n' {
+				if content[i] == '\\' && i+1 < n && content[i+1] != '\n' {
+					b.WriteByte(content[i])
+					i++
+				}
+				b.WriteByte(content[i])
+				i++
+			}
+			if i < n && content[i] == q {
+				b.WriteByte(q)
+				i++
+			}
+		default:
+			b.WriteByte(c)
+			i++
+		}
+	}
+	if b.Len() > 0 {
+		flush(line + 1)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package cpp
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPragmaOnce(t *testing.T) {
+	files := map[string]string{
+		"main.c": "#include \"o.h\"\n#include \"o.h\"\nint v = ONCE;\n",
+		"o.h":    "#pragma once\n#define ONCE 5\nint in_header;\n",
+	}
+	res := run(t, files, Options{})
+	if got := strings.Count(res.Output, "in_header"); got != 1 {
+		t.Errorf("header body appeared %d times, want 1 (#pragma once)", got)
+	}
+	if !strings.Contains(res.Output, "int v = 5;") {
+		t.Errorf("macro from once-guarded header missing:\n%s", res.Output)
+	}
+}
+
+func TestCounterBuiltin(t *testing.T) {
+	src := "int a = __COUNTER__;\nint b = __COUNTER__;\nint c = __COUNTER__;\n"
+	res := run(t, map[string]string{"main.c": src}, Options{})
+	out := strings.Join(body(res), "\n")
+	for _, want := range []string{"int a = 0;", "int b = 1;", "int c = 2;"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// Robustness: the preprocessor must never panic or hang on arbitrary
+// token soup — it either produces output or returns a positioned error.
+func TestPreprocessNeverPanics(t *testing.T) {
+	fragments := []string{
+		"#define ", "#if ", "#endif\n", "#else\n", "#include ", "<x.h>",
+		"\"y.h\"", "FOO", "(", ")", ",", "##", "#", "\\\n", "\n",
+		"0x1f", "'c'", "\"str\"", "/*", "*/", "//", "@", "$", "...",
+		"__VA_ARGS__", "defined", "&&", "||", "?", ":", "1/0", "~",
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 500; trial++ {
+		var b strings.Builder
+		n := rng.Intn(60)
+		for i := 0; i < n; i++ {
+			b.WriteString(fragments[rng.Intn(len(fragments))])
+			if rng.Intn(4) == 0 {
+				b.WriteByte(' ')
+			}
+		}
+		src := b.String()
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on input %q: %v", src, r)
+				}
+			}()
+			_, _ = Preprocess(mapSource{"main.c": src, "x.h": "int xh;\n", "y.h": "int yh;\n"},
+				"main.c", Options{})
+		}()
+	}
+}
+
+// Round-trip sanity: preprocessing its own output (minus markers) is
+// stable for plain code.
+func TestPreprocessIdempotentOnPlainCode(t *testing.T) {
+	src := "int a;\nstruct s { int x; };\nint f(void)\n{\n\treturn 1;\n}\n"
+	res1 := run(t, map[string]string{"main.c": src}, Options{})
+	stripped := strings.Join(body(res1), "\n") + "\n"
+	res2 := run(t, map[string]string{"main.c": stripped}, Options{})
+	if got := strings.Join(body(res2), "\n") + "\n"; got != stripped {
+		t.Errorf("not idempotent:\nfirst:\n%s\nsecond:\n%s", stripped, got)
+	}
+}
+
+func BenchmarkPreprocessUncached(b *testing.B) {
+	files := benchFiles()
+	opts := Options{IncludeDirs: []string{"include"}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Preprocess(mapSource(files), "main.c", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPreprocessCached(b *testing.B) {
+	files := benchFiles()
+	opts := Options{IncludeDirs: []string{"include"}, Cache: NewTokenCache()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Preprocess(mapSource(files), "main.c", opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchFiles builds a header-heavy translation unit.
+func benchFiles() map[string]string {
+	var hdr strings.Builder
+	hdr.WriteString("#ifndef BIG_H\n#define BIG_H\n")
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&hdr, "extern int api_fn_%03d(int a, int b);\n#define API_CONST_%03d 0x%03x\n", i, i, i)
+	}
+	hdr.WriteString("#endif\n")
+	var src strings.Builder
+	src.WriteString("#include <big.h>\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&src, "int use_%03d = API_CONST_%03d;\n", i, i)
+	}
+	return map[string]string{"main.c": src.String(), "include/big.h": hdr.String()}
+}

@@ -1,0 +1,202 @@
+// Package cpp implements a C preprocessor sufficient to generate .i files
+// from kernel-style sources: object/function/variadic macros with # and ##,
+// the full conditional-directive family with constant-expression
+// evaluation, includes with search paths, and gcc-style line markers.
+//
+// JMake (paper §III-A) relies on two preprocessor properties that this
+// package reproduces faithfully: (1) tokens that are invalid in C proper —
+// such as the '@' in JMake's mutation strings — pass through preprocessing
+// untouched, and (2) text inside a macro body surfaces in the .i file at
+// the macro's *use* sites, not its definition site.
+package cpp
+
+import "strings"
+
+// Kind classifies a preprocessing token.
+type Kind int
+
+// Token kinds. KindOther covers characters outside the C source character
+// set (e.g. '@', '$', '`'), which a conforming preprocessor must preserve.
+const (
+	KindIdent Kind = iota + 1
+	KindNumber
+	KindString
+	KindChar
+	KindPunct
+	KindOther
+)
+
+// Token is one preprocessing token.
+type Token struct {
+	Kind Kind
+	Text string
+	WS   bool // preceded by whitespace (controls spacing in output)
+	hide []string
+}
+
+// hidden reports whether macro name is in the token's hide set, i.e. the
+// token was produced by an expansion of that macro and must not trigger it
+// again.
+func (t Token) hidden(name string) bool {
+	for _, h := range t.hide {
+		if h == name {
+			return true
+		}
+	}
+	return false
+}
+
+// withHide returns a copy of t whose hide set additionally contains name.
+func (t Token) withHide(name string) Token {
+	if t.hidden(name) {
+		return t
+	}
+	nh := make([]string, len(t.hide)+1)
+	copy(nh, t.hide)
+	nh[len(t.hide)] = name
+	t.hide = nh
+	return t
+}
+
+// isIdentStart and isIdentCont define C identifier characters.
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\v' || c == '\f' || c == '\r' }
+
+// multi-character punctuators, longest first so greedy matching works.
+var punctuators = []string{
+	"...", "<<=", ">>=",
+	"##", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=",
+	"&&", "||", "+=", "-=", "*=", "/=", "%=", "&=", "^=", "|=",
+	"#", "[", "]", "(", ")", "{", "}", ".", "&", "*", "+", "-", "~", "!",
+	"/", "%", "<", ">", "^", "|", "?", ":", ";", "=", ",",
+}
+
+// Lex splits one logical line into preprocessing tokens. It never fails:
+// unknown characters become KindOther tokens and unterminated literals
+// extend to the end of the line.
+func Lex(s string) []Token {
+	var out []Token
+	i := 0
+	ws := false
+	n := len(s)
+	for i < n {
+		c := s[i]
+		if isSpace(c) {
+			ws = true
+			i++
+			continue
+		}
+		start := i
+		var kind Kind
+		switch {
+		case isIdentStart(c):
+			kind = KindIdent
+			for i < n && isIdentCont(s[i]) {
+				i++
+			}
+		case isDigit(c) || (c == '.' && i+1 < n && isDigit(s[i+1])):
+			// pp-number: digits, identifier chars, '.', and exponent signs.
+			kind = KindNumber
+			i++
+			for i < n {
+				d := s[i]
+				if isIdentCont(d) || d == '.' {
+					i++
+					continue
+				}
+				if (d == '+' || d == '-') && (s[i-1] == 'e' || s[i-1] == 'E' || s[i-1] == 'p' || s[i-1] == 'P') {
+					i++
+					continue
+				}
+				break
+			}
+		case c == '"':
+			kind = KindString
+			i = scanLiteral(s, i, '"')
+		case c == '\'':
+			kind = KindChar
+			i = scanLiteral(s, i, '\'')
+		default:
+			if p := matchPunct(s[i:]); p != "" {
+				kind = KindPunct
+				i += len(p)
+			} else {
+				kind = KindOther
+				i++
+			}
+		}
+		out = append(out, Token{Kind: kind, Text: s[start:i], WS: ws})
+		ws = false
+	}
+	return out
+}
+
+// scanLiteral scans a string or char literal starting at the opening quote
+// s[i]==q and returns the index just past the closing quote (or end of
+// line if unterminated).
+func scanLiteral(s string, i int, q byte) int {
+	i++ // opening quote
+	n := len(s)
+	for i < n {
+		switch s[i] {
+		case '\\':
+			i += 2
+		case q:
+			return i + 1
+		default:
+			i++
+		}
+	}
+	return n
+}
+
+func matchPunct(s string) string {
+	for _, p := range punctuators {
+		if strings.HasPrefix(s, p) {
+			return p
+		}
+	}
+	return ""
+}
+
+// renderTokens reconstructs source text from tokens, inserting a space
+// where the original had whitespace or where gluing two tokens would merge
+// them into one.
+func renderTokens(ts []Token) string {
+	var b strings.Builder
+	for i, t := range ts {
+		if i > 0 && (t.WS || needsSpace(ts[i-1], t)) {
+			b.WriteByte(' ')
+		}
+		b.WriteString(t.Text)
+	}
+	return b.String()
+}
+
+// needsSpace reports whether a and b would lex as a different token
+// sequence if concatenated directly.
+func needsSpace(a, b Token) bool {
+	if a.Text == "" || b.Text == "" {
+		return false
+	}
+	la := a.Text[len(a.Text)-1]
+	fb := b.Text[0]
+	switch {
+	case isIdentCont(la) && isIdentCont(fb):
+		return true
+	case a.Kind == KindNumber && (fb == '.' || fb == '+' || fb == '-'):
+		return true
+	case a.Kind == KindPunct && b.Kind == KindPunct:
+		// Separate only when gluing would form a longer punctuator
+		// ("+ +" would lex as "++", but "( (" is fine).
+		return len(matchPunct(a.Text+b.Text)) > len(a.Text)
+	}
+	return false
+}

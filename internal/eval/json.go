@@ -1,0 +1,159 @@
+package eval
+
+import "encoding/json"
+
+// JSONReport is the machine-readable form of a completed evaluation: every
+// table and figure in one marshalable structure, for downstream analysis
+// pipelines.
+type JSONReport struct {
+	Commits int `json:"commits"`
+	Skipped int `json:"skipped"`
+
+	Summary struct {
+		CertifiedAll            int `json:"certified_all"`
+		TotalAll                int `json:"total_all"`
+		CertifiedJanitor        int `json:"certified_janitor"`
+		TotalJanitor            int `json:"total_janitor"`
+		Untreatable             int `json:"untreatable"`
+		SingleInvocationPatches int `json:"single_invocation_patches"`
+	} `json:"summary"`
+
+	TableII []JSONJanitor `json:"table2_janitors"`
+
+	TableIII struct {
+		All     JSONMix `json:"all"`
+		Janitor JSONMix `json:"janitor"`
+	} `json:"table3_patch_mix"`
+
+	TableIV struct {
+		Janitor map[string]int `json:"janitor"`
+		All     map[string]int `json:"all"`
+	} `json:"table4_escape_reasons"`
+
+	Arch struct {
+		HostSufficedC int            `json:"host_sufficed_c"`
+		BeyondHostC   int            `json:"beyond_host_c"`
+		HostSufficedH int            `json:"host_sufficed_h"`
+		BeyondHostH   int            `json:"beyond_host_h"`
+		PerArch       map[string]int `json:"per_arch"`
+	} `json:"arch"`
+
+	Configs ConfigStats `json:"configs"`
+	CStats  CStats      `json:"c_stats"`
+	HStats  HStats      `json:"h_stats"`
+
+	Figures map[string]JSONCDF `json:"figures"`
+}
+
+// JSONJanitor is one Table II row.
+type JSONJanitor struct {
+	Name           string  `json:"name"`
+	Patches        int     `json:"patches"`
+	Subsystems     int     `json:"subsystems"`
+	Lists          int     `json:"lists"`
+	MaintainerFrac float64 `json:"maintainer_frac"`
+	FileCV         float64 `json:"file_cv"`
+	WindowPatches  int     `json:"window_patches"`
+}
+
+// JSONMix is one Table III column.
+type JSONMix struct {
+	COnly int `json:"c_only"`
+	HOnly int `json:"h_only"`
+	Both  int `json:"both"`
+	Total int `json:"total"`
+}
+
+// JSONCDF summarizes one figure's distribution in seconds.
+type JSONCDF struct {
+	N      int          `json:"n"`
+	P50    float64      `json:"p50"`
+	P82    float64      `json:"p82"`
+	P95    float64      `json:"p95"`
+	P98    float64      `json:"p98"`
+	Max    float64      `json:"max"`
+	Points [][2]float64 `json:"points,omitempty"`
+}
+
+// JSON builds the machine-readable report. points controls whether the
+// figures carry full CDF point series.
+func (r *Run) JSON(points bool) ([]byte, error) {
+	var out JSONReport
+	out.Commits = len(r.Results)
+	out.Skipped = r.SkippedCount()
+
+	s := r.ComputeSummary()
+	out.Summary.CertifiedAll = s.CertifiedAll
+	out.Summary.TotalAll = s.TotalAll
+	out.Summary.CertifiedJanitor = s.CertifiedJanitor
+	out.Summary.TotalJanitor = s.TotalJanitor
+	out.Summary.Untreatable = s.Untreatable
+	out.Summary.SingleInvocationPatches = s.SingleInvocationPatches
+
+	for _, j := range r.Janitors {
+		out.TableII = append(out.TableII, JSONJanitor{
+			Name: j.Name, Patches: j.Patches, Subsystems: j.Subsystems,
+			Lists: j.Lists, MaintainerFrac: j.MaintainerFrac,
+			FileCV: j.FileCV, WindowPatches: j.WindowPatches,
+		})
+	}
+
+	t3 := r.ComputeTableIII()
+	out.TableIII.All = JSONMix{t3.All.COnly, t3.All.HOnly, t3.All.Both, t3.All.Total}
+	out.TableIII.Janitor = JSONMix{t3.Janitor.COnly, t3.Janitor.HOnly, t3.Janitor.Both, t3.Janitor.Total}
+
+	out.TableIV.Janitor = escapeCountsByName(r.ComputeTableIV(true))
+	out.TableIV.All = escapeCountsByName(r.ComputeTableIV(false))
+
+	arch := r.ComputeArchStats()
+	out.Arch.HostSufficedC = arch.HostSufficedC
+	out.Arch.BeyondHostC = arch.BeyondHostC
+	out.Arch.HostSufficedH = arch.HostSufficedH
+	out.Arch.BeyondHostH = arch.BeyondHostH
+	out.Arch.PerArch = arch.PerArch
+
+	out.Configs = r.ComputeConfigStats()
+	out.CStats = r.ComputeCStats(false)
+	out.HStats = r.ComputeHStats(false)
+
+	d := r.ComputeDurations()
+	out.Figures = map[string]JSONCDF{
+		"fig4a_config": cdfJSON(d.Fig4a(), points),
+		"fig4b_make_i": cdfJSON(d.Fig4b(), points),
+		"fig4c_make_o": cdfJSON(d.Fig4c(), points),
+		"fig5_overall": cdfJSON(d.Fig5(), points),
+		"fig6_janitor": cdfJSON(d.Fig6(), points),
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+func escapeCountsByName(t TableIV) map[string]int {
+	out := make(map[string]int, len(t.Counts))
+	for reason, n := range t.Counts {
+		out[reason.String()] = n
+	}
+	out["affected_files_total"] = t.AffectedFiles
+	return out
+}
+
+type cdfLike interface {
+	Len() int
+	Percentile(float64) float64
+	Max() float64
+	Points(int) [][2]float64
+}
+
+func cdfJSON(c cdfLike, points bool) JSONCDF {
+	out := JSONCDF{
+		N:   c.Len(),
+		P50: c.Percentile(0.50),
+		P82: c.Percentile(0.82),
+		P95: c.Percentile(0.95),
+		P98: c.Percentile(0.98),
+		Max: c.Max(),
+	}
+	if points {
+		out.Points = c.Points(50)
+	}
+	return out
+}

@@ -1,0 +1,470 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"jmake/internal/core"
+	"jmake/internal/stats"
+)
+
+// forEachFile visits every processed file outcome; janitorOnly restricts
+// to janitor patches.
+func (r *Run) forEachFile(janitorOnly bool, fn func(res PatchResult, f core.FileOutcome)) {
+	for _, res := range r.Results {
+		if res.Skipped || res.Report == nil || (janitorOnly && !res.IsJanitor) {
+			continue
+		}
+		for _, f := range res.Report.Files {
+			fn(res, f)
+		}
+	}
+}
+
+// forEachPatch visits every processed (non-skipped) patch.
+func (r *Run) forEachPatch(janitorOnly bool, fn func(res PatchResult)) {
+	for _, res := range r.Results {
+		if res.Skipped || res.Report == nil || (janitorOnly && !res.IsJanitor) {
+			continue
+		}
+		fn(res)
+	}
+}
+
+// TableIII is the patch-mix characterization.
+type TableIII struct {
+	All, Janitor struct {
+		COnly, HOnly, Both, Total int
+	}
+}
+
+// ComputeTableIII reproduces Table III: how many patches touch only .c
+// files, only .h files, or both.
+func (r *Run) ComputeTableIII() TableIII {
+	var t TableIII
+	classify := func(res PatchResult) (c, h bool) {
+		for _, f := range res.Report.Files {
+			switch f.Kind {
+			case core.CFile:
+				c = true
+			case core.HFile:
+				h = true
+			}
+		}
+		return
+	}
+	r.forEachPatch(false, func(res PatchResult) {
+		c, h := classify(res)
+		add := func(dst *struct{ COnly, HOnly, Both, Total int }) {
+			dst.Total++
+			switch {
+			case c && h:
+				dst.Both++
+			case c:
+				dst.COnly++
+			case h:
+				dst.HOnly++
+			}
+		}
+		add(&t.All)
+		if res.IsJanitor {
+			add(&t.Janitor)
+		}
+	})
+	return t
+}
+
+// Render prints Table III in the paper's layout.
+func (t TableIII) Render() string {
+	tb := stats.NewTable("", "All patches", "Janitor patches")
+	pct := func(n, d int) string {
+		if d == 0 {
+			return "0 (0%)"
+		}
+		return fmt.Sprintf("%d (%d%%)", n, (100*n+d/2)/d)
+	}
+	tb.AddRow(".c files only", pct(t.All.COnly, t.All.Total), pct(t.Janitor.COnly, t.Janitor.Total))
+	tb.AddRow(".h files only", pct(t.All.HOnly, t.All.Total), pct(t.Janitor.HOnly, t.Janitor.Total))
+	tb.AddRow("both .c and .h files", pct(t.All.Both, t.All.Total), pct(t.Janitor.Both, t.Janitor.Total))
+	return tb.String()
+}
+
+// TableIV counts escape reasons over janitor .c file instances.
+type TableIV struct {
+	Counts map[core.EscapeReason]int
+	// AffectedFiles is the number of affected file instances (a file may
+	// exhibit several reasons).
+	AffectedFiles int
+}
+
+// ComputeTableIV reproduces Table IV: why janitor changed lines escape the
+// compiler.
+func (r *Run) ComputeTableIV(janitorOnly bool) TableIV {
+	t := TableIV{Counts: make(map[core.EscapeReason]int)}
+	r.forEachFile(janitorOnly, func(res PatchResult, f core.FileOutcome) {
+		if f.Kind != core.CFile || f.Status != core.StatusEscapes {
+			return
+		}
+		t.AffectedFiles++
+		seen := map[core.EscapeReason]bool{}
+		for _, e := range f.Escapes {
+			if !seen[e.Reason] {
+				seen[e.Reason] = true
+				t.Counts[e.Reason]++
+			}
+		}
+	})
+	return t
+}
+
+// Render prints Table IV.
+func (t TableIV) Render() string {
+	tb := stats.NewTable("reason", "affected file instances")
+	order := []core.EscapeReason{
+		core.EscapeIfdefNotAllyes, core.EscapeIfdefNeverSet,
+		core.EscapeIfdefModule, core.EscapeIfndefOrElse,
+		core.EscapeBothBranches, core.EscapeIfZero,
+		core.EscapeUnusedMacro, core.EscapeOther,
+	}
+	for _, reason := range order {
+		if n := t.Counts[reason]; n > 0 || reason != core.EscapeOther {
+			tb.AddRow("change under "+reason.String(), fmt.Sprintf("%d", n))
+		}
+	}
+	return tb.String()
+}
+
+// ArchStats aggregates the §V-B architecture-choice findings.
+type ArchStats struct {
+	// HostSufficedC / HostSufficedH count file instances fully served by
+	// the host architecture.
+	HostSufficedC, HostSufficedH int
+	// BeyondHostC / BeyondHostH needed another architecture.
+	BeyondHostC, BeyondHostH int
+	// PerArch counts instances for which each architecture contributed.
+	PerArch map[string]int
+	// JanitorBeyondHostC and JanitorArches mirror the janitor-only text.
+	JanitorBeyondHostC int
+	JanitorArches      map[string]int
+}
+
+// ComputeArchStats reproduces the "Choice of architecture" analysis.
+func (r *Run) ComputeArchStats() ArchStats {
+	s := ArchStats{PerArch: make(map[string]int), JanitorArches: make(map[string]int)}
+	r.forEachFile(false, func(res PatchResult, f core.FileOutcome) {
+		if len(f.UsedArches) == 0 {
+			return
+		}
+		for _, a := range f.UsedArches {
+			s.PerArch[a]++
+			if res.IsJanitor && a != "x86_64" {
+				s.JanitorArches[a]++
+			}
+		}
+		switch f.Kind {
+		case core.CFile:
+			if f.NeededBeyondHost {
+				s.BeyondHostC++
+				if res.IsJanitor {
+					s.JanitorBeyondHostC++
+				}
+			} else {
+				s.HostSufficedC++
+			}
+		case core.HFile:
+			if f.NeededBeyondHost {
+				s.BeyondHostH++
+			} else {
+				s.HostSufficedH++
+			}
+		}
+	})
+	return s
+}
+
+// Render prints the architecture statistics.
+func (s ArchStats) Render() string {
+	var b strings.Builder
+	totC := s.HostSufficedC + s.BeyondHostC
+	fmt.Fprintf(&b, ".c file instances served by x86_64 alone: %d/%d (%.0f%%)\n",
+		s.HostSufficedC, totC, pctf(s.HostSufficedC, totC))
+	totH := s.HostSufficedH + s.BeyondHostH
+	fmt.Fprintf(&b, ".h file instances served by x86_64 alone: %d/%d (%.0f%%)\n",
+		s.HostSufficedH, totH, pctf(s.HostSufficedH, totH))
+	fmt.Fprintf(&b, ".c file instances needing another architecture: %d\n", s.BeyondHostC)
+	fmt.Fprintf(&b, ".h file instances needing another architecture: %d\n", s.BeyondHostH)
+	fmt.Fprintf(&b, "janitor .c instances needing another architecture: %d\n", s.JanitorBeyondHostC)
+	type kv struct {
+		k string
+		v int
+	}
+	var arches []kv
+	for a, n := range s.PerArch {
+		arches = append(arches, kv{a, n})
+	}
+	sort.Slice(arches, func(i, j int) bool {
+		if arches[i].v != arches[j].v {
+			return arches[i].v > arches[j].v
+		}
+		return arches[i].k < arches[j].k
+	})
+	b.WriteString("architecture usefulness (file instances):\n")
+	for _, a := range arches {
+		fmt.Fprintf(&b, "  %-12s %d\n", a.k, a.v)
+	}
+	var jar []string
+	for a := range s.JanitorArches {
+		jar = append(jar, a)
+	}
+	sort.Strings(jar)
+	fmt.Fprintf(&b, "extra architectures used by janitor patches: %s\n", strings.Join(jar, ", "))
+	return b.String()
+}
+
+func pctf(n, d int) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(d)
+}
+
+// ConfigStats compares allyesconfig-only coverage with configs/ defconfigs
+// included (§V-B: 9158 vs 9259 patches).
+type ConfigStats struct {
+	CertifiedAllyesOnly int
+	CertifiedWithConfig int
+	TotalPatches        int
+}
+
+// ComputeConfigStats reproduces the configuration comparison.
+func (r *Run) ComputeConfigStats() ConfigStats {
+	var s ConfigStats
+	r.forEachPatch(false, func(res PatchResult) {
+		s.TotalPatches++
+		if !res.Report.Certified() {
+			return
+		}
+		s.CertifiedWithConfig++
+		usedDef := false
+		for _, f := range res.Report.Files {
+			if f.UsedDefconfig {
+				usedDef = true
+			}
+		}
+		if !usedDef {
+			s.CertifiedAllyesOnly++
+		}
+	})
+	return s
+}
+
+// MutStats is the mutation-count distribution of §V-B.
+type MutStats struct {
+	// OneC/LeThreeC/TotalC for .c instances; same for .h.
+	OneC, LeThreeC, TotalC, MaxC int
+	OneH, LeThreeH, TotalH, MaxH int
+}
+
+// ComputeMutStats reproduces the "Properties of mutations" numbers.
+func (r *Run) ComputeMutStats(janitorOnly bool) MutStats {
+	var s MutStats
+	r.forEachFile(janitorOnly, func(res PatchResult, f core.FileOutcome) {
+		if f.Status == core.StatusSetupFile || f.Mutations == 0 {
+			return
+		}
+		switch f.Kind {
+		case core.CFile:
+			s.TotalC++
+			if f.Mutations == 1 {
+				s.OneC++
+			}
+			if f.Mutations <= 3 {
+				s.LeThreeC++
+			}
+			if f.Mutations > s.MaxC {
+				s.MaxC = f.Mutations
+			}
+		case core.HFile:
+			s.TotalH++
+			if f.Mutations == 1 {
+				s.OneH++
+			}
+			if f.Mutations <= 3 {
+				s.LeThreeH++
+			}
+			if f.Mutations > s.MaxH {
+				s.MaxH = f.Mutations
+			}
+		}
+	})
+	return s
+}
+
+// CStats reproduces "Benefits of mutations for .c files".
+type CStats struct {
+	// CleanFirst: all changed lines witnessed by the first successful
+	// compilation.
+	CleanFirst int
+	// SilentEscapes: a compilation succeeded without error but some lines
+	// were never subjected under allyesconfig (escapes + later recovered).
+	SilentEscapes int
+	// RecoveredByArch: of those, recovered by trying other architectures.
+	RecoveredByArch int
+	Total           int
+}
+
+// ComputeCStats aggregates .c file-instance outcomes.
+func (r *Run) ComputeCStats(janitorOnly bool) CStats {
+	var s CStats
+	r.forEachFile(janitorOnly, func(res PatchResult, f core.FileOutcome) {
+		if f.Kind != core.CFile || f.Status == core.StatusSetupFile {
+			return
+		}
+		s.Total++
+		switch {
+		case f.Status == core.StatusCertified && len(f.UsedArches) == 1 && !f.UsedDefconfig:
+			s.CleanFirst++
+		case f.Status == core.StatusEscapes:
+			s.SilentEscapes++
+		case f.Status == core.StatusCertified && len(f.UsedArches) > 1:
+			s.SilentEscapes++
+			s.RecoveredByArch++
+		}
+	})
+	return s
+}
+
+// HStats reproduces "Benefits of mutations for .h files".
+type HStats struct {
+	CoveredByPatchCs int
+	NeededExtra      int
+	RecoveredExtra   int
+	NeverCovered     int
+	MaxExtraCompiles int
+	Total            int
+}
+
+// ComputeHStats aggregates .h file-instance outcomes.
+func (r *Run) ComputeHStats(janitorOnly bool) HStats {
+	var s HStats
+	r.forEachFile(janitorOnly, func(res PatchResult, f core.FileOutcome) {
+		if f.Kind != core.HFile || f.Status == core.StatusSetupFile ||
+			f.Status == core.StatusCommentOnly {
+			return
+		}
+		s.Total++
+		switch {
+		case f.CoveredByPatchCs && f.Status == core.StatusCertified:
+			s.CoveredByPatchCs++
+		case f.Status == core.StatusCertified:
+			s.NeededExtra++
+			s.RecoveredExtra++
+		default:
+			s.NeededExtra++
+			s.NeverCovered++
+		}
+		if f.ExtraCCompiles > s.MaxExtraCompiles {
+			s.MaxExtraCompiles = f.ExtraCCompiles
+		}
+	})
+	return s
+}
+
+// Summary is the paper's headline result.
+type Summary struct {
+	CertifiedAll, TotalAll         int
+	CertifiedJanitor, TotalJanitor int
+	Untreatable                    int
+	SingleInvocationPatches        int
+}
+
+// ComputeSummary reproduces the §V-B summary and the §V-D limitation
+// count.
+func (r *Run) ComputeSummary() Summary {
+	var s Summary
+	r.forEachPatch(false, func(res PatchResult) {
+		s.TotalAll++
+		cert := res.Report.Certified()
+		if cert {
+			s.CertifiedAll++
+		}
+		if res.Report.Untreatable {
+			s.Untreatable++
+		}
+		if len(res.Report.MakeIDurations) == 1 {
+			s.SingleInvocationPatches++
+		}
+		if res.IsJanitor {
+			s.TotalJanitor++
+			if cert {
+				s.CertifiedJanitor++
+			}
+		}
+	})
+	return s
+}
+
+// Durations gathers the virtual-time samples behind Figures 4-6.
+type Durations struct {
+	Config, MakeI, MakeO []time.Duration
+	// PatchTotal holds per-patch totals; JanitorTotal the janitor subset.
+	PatchTotal, JanitorTotal []time.Duration
+}
+
+// ComputeDurations collects every operation duration.
+func (r *Run) ComputeDurations() Durations {
+	var d Durations
+	r.forEachPatch(false, func(res PatchResult) {
+		d.Config = append(d.Config, res.Report.ConfigDurations...)
+		d.MakeI = append(d.MakeI, res.Report.MakeIDurations...)
+		d.MakeO = append(d.MakeO, res.Report.MakeODurations...)
+		d.PatchTotal = append(d.PatchTotal, res.Report.Total)
+		if res.IsJanitor {
+			d.JanitorTotal = append(d.JanitorTotal, res.Report.Total)
+		}
+	})
+	return d
+}
+
+// Fig4a returns the CDF of configuration-creation times.
+func (d Durations) Fig4a() *stats.CDF { return stats.NewDurationCDF(d.Config) }
+
+// Fig4b returns the CDF of .i-generation times.
+func (d Durations) Fig4b() *stats.CDF { return stats.NewDurationCDF(d.MakeI) }
+
+// Fig4c returns the CDF of .o-generation times.
+func (d Durations) Fig4c() *stats.CDF { return stats.NewDurationCDF(d.MakeO) }
+
+// Fig5 returns the CDF of overall per-patch running times.
+func (d Durations) Fig5() *stats.CDF { return stats.NewDurationCDF(d.PatchTotal) }
+
+// Fig6 returns the janitor-only running-time CDF.
+func (d Durations) Fig6() *stats.CDF { return stats.NewDurationCDF(d.JanitorTotal) }
+
+// SkippedCount returns how many window commits the path filter dropped
+// (the paper's 2,099).
+func (r *Run) SkippedCount() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.Skipped {
+			n++
+		}
+	}
+	return n
+}
+
+// TableII renders the janitor study.
+func (r *Run) TableII() string {
+	tb := stats.NewTable("janitor", "patches", "subsystems", "lists", "maintainer", "file cv")
+	for _, j := range r.Janitors {
+		tb.AddRow(j.Name,
+			fmt.Sprintf("%d", j.Patches),
+			fmt.Sprintf("%d", j.Subsystems),
+			fmt.Sprintf("%d", j.Lists),
+			fmt.Sprintf("%.0f%%", 100*j.MaintainerFrac),
+			fmt.Sprintf("%.2f", j.FileCV))
+	}
+	return tb.String()
+}

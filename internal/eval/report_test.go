@@ -1,0 +1,112 @@
+package eval
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"jmake/internal/core"
+)
+
+func TestTableRenderings(t *testing.T) {
+	r := smallRun(t)
+
+	t3 := r.ComputeTableIII().Render()
+	for _, want := range []string{".c files only", ".h files only", "both .c and .h files", "%"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table III missing %q:\n%s", want, t3)
+		}
+	}
+
+	t4 := r.ComputeTableIV(false).Render()
+	if !strings.Contains(t4, "change under ifdef variable not set by allyesconfig") {
+		t.Errorf("Table IV rendering:\n%s", t4)
+	}
+
+	arch := r.ComputeArchStats().Render()
+	for _, want := range []string{"x86_64 alone", "architecture usefulness"} {
+		if !strings.Contains(arch, want) {
+			t.Errorf("arch stats missing %q:\n%s", want, arch)
+		}
+	}
+
+	t2 := r.TableII()
+	if !strings.Contains(t2, "file cv") {
+		t.Errorf("Table II header missing:\n%s", t2)
+	}
+}
+
+func TestDurationsFigureAccessors(t *testing.T) {
+	r := smallRun(t)
+	d := r.ComputeDurations()
+	figs := []interface{ Len() int }{d.Fig4a(), d.Fig4b(), d.Fig4c(), d.Fig5(), d.Fig6()}
+	for i, f := range figs {
+		if f.Len() == 0 {
+			t.Errorf("figure %d has no samples", i)
+		}
+	}
+}
+
+func TestEscapeReasonStringsTotal(t *testing.T) {
+	// Every reason has a distinct, non-empty rendering (Table IV rows).
+	seen := map[string]bool{}
+	for _, r := range []core.EscapeReason{
+		core.EscapeIfdefNotAllyes, core.EscapeIfdefNeverSet,
+		core.EscapeIfdefModule, core.EscapeIfndefOrElse,
+		core.EscapeBothBranches, core.EscapeIfZero,
+		core.EscapeUnusedMacro, core.EscapeOther,
+	} {
+		s := r.String()
+		if s == "" || seen[s] {
+			t.Errorf("reason %d renders %q (empty or duplicate)", r, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestSkippedFractionRealistic(t *testing.T) {
+	r := smallRun(t)
+	frac := float64(r.SkippedCount()) / float64(len(r.Results))
+	// Paper: 2099/12946 = 16.2%.
+	if frac < 0.08 || frac > 0.26 {
+		t.Errorf("skipped fraction = %.2f, want ~0.16", frac)
+	}
+}
+
+func TestJanitorResultsTaggedConsistently(t *testing.T) {
+	r := smallRun(t)
+	janitorTagged := 0
+	for _, res := range r.Results {
+		if res.IsJanitor {
+			janitorTagged++
+			if !r.JanitorEmails[res.Author] {
+				t.Errorf("patch by %s tagged janitor but not in email set", res.Author)
+			}
+		}
+	}
+	if janitorTagged == 0 {
+		t.Error("no janitor-tagged patches")
+	}
+}
+
+func TestJSONReport(t *testing.T) {
+	r := smallRun(t)
+	data, err := r.JSON(true)
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	var decoded JSONReport
+	if uerr := json.Unmarshal(data, &decoded); uerr != nil {
+		t.Fatalf("round trip: %v", uerr)
+	}
+	if decoded.Commits != len(r.Results) {
+		t.Errorf("Commits = %d, want %d", decoded.Commits, len(r.Results))
+	}
+	if decoded.Summary.TotalAll == 0 || len(decoded.TableII) == 0 {
+		t.Errorf("summary/table2 empty: %+v", decoded.Summary)
+	}
+	fig, ok := decoded.Figures["fig5_overall"]
+	if !ok || fig.N == 0 || len(fig.Points) == 0 {
+		t.Errorf("fig5 = %+v", fig)
+	}
+}

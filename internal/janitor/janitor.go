@@ -1,0 +1,182 @@
+// Package janitor implements the paper's §IV methodology for identifying
+// kernel janitors: developers who work breadth-first across many
+// subsystems and mailing lists, with little maintainer activity, doing
+// about the same small amount of work on each file. Candidates passing the
+// Table I thresholds are ranked by the coefficient of variation of their
+// per-file patch counts, ascending — an even spread ranks first.
+package janitor
+
+import (
+	"fmt"
+	"sort"
+
+	"jmake/internal/maintainers"
+	"jmake/internal/stats"
+	"jmake/internal/vcs"
+)
+
+// Thresholds are the Table I criteria.
+type Thresholds struct {
+	// MinPatches over the whole study period (Table I: >= 10).
+	MinPatches int
+	// MinSubsystems distinct MAINTAINERS entries touched (>= 20).
+	MinSubsystems int
+	// MinLists distinct designated mailing lists (>= 3).
+	MinLists int
+	// MaxMaintainerFrac of patches where the author maintains a touched
+	// file (< 5%).
+	MaxMaintainerFrac float64
+	// MinWindowPatches in the evaluation window, so enough janitor patches
+	// exist to study (paper: >= 20 between v4.3 and v4.4).
+	MinWindowPatches int
+	// TopN developers returned after ranking (paper: 10).
+	TopN int
+}
+
+// DefaultThresholds returns Table I plus the paper's window constraint.
+func DefaultThresholds() Thresholds {
+	return Thresholds{
+		MinPatches:        10,
+		MinSubsystems:     20,
+		MinLists:          3,
+		MaxMaintainerFrac: 0.05,
+		MinWindowPatches:  20,
+		TopN:              10,
+	}
+}
+
+// AuthorStats aggregates one developer's activity (Table II row).
+type AuthorStats struct {
+	Name  string
+	Email string
+	// Patches is the total over the study period (history + window).
+	Patches int
+	// Subsystems and Lists are distinct counts via MAINTAINERS.
+	Subsystems int
+	Lists      int
+	// MaintainerFrac is the fraction of patches touching files the author
+	// maintains.
+	MaintainerFrac float64
+	// FileCV is the coefficient of variation of per-file patch counts.
+	FileCV float64
+	// WindowPatches counts patches inside the evaluation window.
+	WindowPatches int
+}
+
+type accum struct {
+	name           string
+	patches        int
+	windowPatches  int
+	maintainerHits int
+	subsystems     map[string]bool
+	lists          map[string]bool
+	fileCounts     map[string]int
+}
+
+// Identify runs the study over fromTag..toTag with the window starting at
+// midTag, and returns the ranked janitors.
+func Identify(repo *vcs.Repo, ix *maintainers.Index, fromTag, midTag, toTag string, th Thresholds) ([]AuthorStats, error) {
+	history, err := repo.Between(fromTag, midTag, vcs.LogOptions{NoMerges: true, OnlyModify: true})
+	if err != nil {
+		return nil, fmt.Errorf("janitor: %w", err)
+	}
+	window, err := repo.Between(midTag, toTag, vcs.LogOptions{NoMerges: true, OnlyModify: true})
+	if err != nil {
+		return nil, fmt.Errorf("janitor: %w", err)
+	}
+
+	authors := make(map[string]*accum)
+	tally := func(id string, inWindow bool) error {
+		c, err := repo.Get(id)
+		if err != nil {
+			return err
+		}
+		a, ok := authors[c.Author.Email]
+		if !ok {
+			a = &accum{
+				name:       c.Author.Name,
+				subsystems: make(map[string]bool),
+				lists:      make(map[string]bool),
+				fileCounts: make(map[string]int),
+			}
+			authors[c.Author.Email] = a
+		}
+		a.patches++
+		if inWindow {
+			a.windowPatches++
+		}
+		maintains := false
+		for _, ch := range c.Changes {
+			a.fileCounts[ch.Path]++
+			for _, s := range ix.SubsystemsFor(ch.Path) {
+				a.subsystems[s] = true
+			}
+			for _, l := range ix.ListsFor(ch.Path) {
+				a.lists[l] = true
+			}
+			if ix.IsMaintainer(c.Author.Email, ch.Path) {
+				maintains = true
+			}
+		}
+		if maintains {
+			a.maintainerHits++
+		}
+		return nil
+	}
+	for _, id := range history {
+		if err := tally(id, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range window {
+		if err := tally(id, true); err != nil {
+			return nil, err
+		}
+	}
+
+	var out []AuthorStats
+	for email, a := range authors {
+		st := AuthorStats{
+			Name:           a.name,
+			Email:          email,
+			Patches:        a.patches,
+			Subsystems:     len(a.subsystems),
+			Lists:          len(a.lists),
+			MaintainerFrac: float64(a.maintainerHits) / float64(a.patches),
+			WindowPatches:  a.windowPatches,
+		}
+		counts := make([]float64, 0, len(a.fileCounts))
+		for _, n := range a.fileCounts {
+			counts = append(counts, float64(n))
+		}
+		st.FileCV = stats.CoefficientOfVariation(counts)
+		if st.Patches < th.MinPatches ||
+			st.Subsystems < th.MinSubsystems ||
+			st.Lists < th.MinLists ||
+			st.MaintainerFrac >= th.MaxMaintainerFrac ||
+			st.WindowPatches < th.MinWindowPatches {
+			continue
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].FileCV != out[j].FileCV {
+			return out[i].FileCV < out[j].FileCV
+		}
+		return out[i].Email < out[j].Email
+	})
+	if th.TopN > 0 && len(out) > th.TopN {
+		out = out[:th.TopN]
+	}
+	return out, nil
+}
+
+// Emails extracts the address set of the identified janitors, for
+// filtering the evaluation's patch stream.
+func Emails(js []AuthorStats) map[string]bool {
+	out := make(map[string]bool, len(js))
+	for _, j := range js {
+		out[j.Email] = true
+	}
+	return out
+}

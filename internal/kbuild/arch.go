@@ -1,0 +1,153 @@
+package kbuild
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"jmake/internal/fstree"
+)
+
+// HostArch is the architecture of the developer machine in our model,
+// matching the paper's testbed.
+const HostArch = "x86_64"
+
+// Arch describes one supported architecture of the tree.
+type Arch struct {
+	Name string
+	// SetupOps is the number of Makefile set-up operations the first make
+	// invocation performs for this architecture (paper §III-D: >80 for x86,
+	// >60 for arm).
+	SetupOps int
+	// Broken marks architectures whose cross-compiler is unavailable
+	// (paper §II-A: 10 of 34 architectures failed).
+	Broken bool
+	// KconfigRoot is arch/<name>/Kconfig.
+	KconfigRoot string
+	// IncludeDirs are the preprocessor search paths for this architecture.
+	IncludeDirs []string
+	// Defines are the compiler's architecture built-ins (e.g. __x86_64__).
+	Defines map[string]string
+}
+
+// Meta is tree-level build metadata, read from the Kbuild.meta manifest the
+// tree generator emits (the moral equivalent of facts baked into the real
+// kernel's build plumbing).
+type Meta struct {
+	// SetupOpsByArch overrides the per-arch set-up operation counts.
+	SetupOpsByArch map[string]int
+	// BrokenArches lists architectures without a working cross-compiler.
+	BrokenArches map[string]bool
+	// WholeBuildFiles lists files whose .o compilation triggers a whole
+	// kernel build (paper §V-C, prom_init.c).
+	WholeBuildFiles map[string]bool
+	// SetupFiles lists files involved in the build's own preliminary
+	// compilation; JMake cannot mutate them (paper §V-D).
+	SetupFiles map[string]bool
+}
+
+// MetaPath is where the manifest lives in the tree.
+const MetaPath = "Kbuild.meta"
+
+// LoadMeta reads Kbuild.meta from the tree root; a missing manifest yields
+// empty metadata.
+func LoadMeta(t *fstree.Tree) (*Meta, error) {
+	m := &Meta{
+		SetupOpsByArch:  make(map[string]int),
+		BrokenArches:    make(map[string]bool),
+		WholeBuildFiles: make(map[string]bool),
+		SetupFiles:      make(map[string]bool),
+	}
+	content, err := t.Read(MetaPath)
+	if err != nil {
+		return m, nil
+	}
+	for ln, raw := range strings.Split(content, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case fields[0] == "setupops" && len(fields) == 3:
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("kbuild: %s:%d: bad setupops count %q", MetaPath, ln+1, fields[2])
+			}
+			m.SetupOpsByArch[fields[1]] = n
+		case fields[0] == "brokenarch" && len(fields) == 2:
+			m.BrokenArches[fields[1]] = true
+		case fields[0] == "wholebuild" && len(fields) == 2:
+			m.WholeBuildFiles[fstree.Clean(fields[1])] = true
+		case fields[0] == "setupfile" && len(fields) == 2:
+			m.SetupFiles[fstree.Clean(fields[1])] = true
+		default:
+			return nil, fmt.Errorf("kbuild: %s:%d: bad manifest line %q", MetaPath, ln+1, line)
+		}
+	}
+	return m, nil
+}
+
+// defaultSetupOps derives a plausible per-arch set-up count when the
+// manifest has no override.
+func defaultSetupOps(name string) int {
+	sum := 0
+	for i := 0; i < len(name); i++ {
+		sum += int(name[i])
+	}
+	return 55 + sum%25
+}
+
+// DiscoverArches scans arch/ and returns the architectures the tree
+// supports, keyed by name.
+func DiscoverArches(t *fstree.Tree, meta *Meta) map[string]*Arch {
+	out := make(map[string]*Arch)
+	seen := make(map[string]bool)
+	for _, p := range t.Under("arch") {
+		rest := strings.TrimPrefix(p, "arch/")
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			continue
+		}
+		name := rest[:slash]
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		a := &Arch{
+			Name:        name,
+			SetupOps:    defaultSetupOps(name),
+			Broken:      meta.BrokenArches[name],
+			KconfigRoot: "arch/" + name + "/Kconfig",
+			IncludeDirs: []string{"arch/" + name + "/include", "include"},
+			Defines: map[string]string{
+				"__KERNEL__":       "1",
+				"__GNUC__":         "4",
+				"__" + name + "__": "1",
+			},
+		}
+		if ops, ok := meta.SetupOpsByArch[name]; ok {
+			a.SetupOps = ops
+		}
+		out[name] = a
+	}
+	return out
+}
+
+// ArchNames returns the discovered architecture names, host first, then
+// alphabetical — the order JMake tries them (paper §V-B: x86_64 first).
+func ArchNames(arches map[string]*Arch) []string {
+	var rest []string
+	for name := range arches {
+		if name != HostArch {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	out := make([]string, 0, len(arches))
+	if _, ok := arches[HostArch]; ok {
+		out = append(out, HostArch)
+	}
+	return append(out, rest...)
+}

@@ -1,0 +1,243 @@
+package kbuild
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"strings"
+	"time"
+
+	"jmake/internal/cc"
+	"jmake/internal/cpp"
+	"jmake/internal/fstree"
+	"jmake/internal/kconfig"
+	"jmake/internal/vclock"
+)
+
+// TreeSource adapts fstree.Tree to the cpp.Source and kconfig.Source
+// interfaces.
+type TreeSource struct {
+	T *fstree.Tree
+}
+
+// ReadFile implements cpp.Source and kconfig.Source.
+func (s TreeSource) ReadFile(p string) (string, bool) {
+	c, err := s.T.Read(p)
+	return c, err == nil
+}
+
+var (
+	_ cpp.Source     = TreeSource{}
+	_ kconfig.Source = TreeSource{}
+)
+
+// ErrNotReachable is returned when the build never descends to a file for
+// the current architecture and configuration ("No rule to make target").
+var ErrNotReachable = errors.New("kbuild: file not reachable in this build")
+
+// ErrBrokenArch is returned when the architecture has no working
+// cross-compiler.
+var ErrBrokenArch = errors.New("kbuild: cross-compiler unavailable")
+
+// Builder performs single-target builds against one tree, architecture and
+// configuration, tracking whether set-up work has already been paid (the
+// first make invocation for a configuration is much more expensive,
+// paper §III-D).
+type Builder struct {
+	Tree  *fstree.Tree
+	Arch  *Arch
+	Cfg   *kconfig.Config
+	Meta  *Meta
+	Model *vclock.Model
+	// Cache optionally shares lexing work across builds (see
+	// cpp.TokenCache). Set it before the first MakeI/MakeO call.
+	Cache *cpp.TokenCache
+
+	invoked bool
+	// invokeSeq distinguishes jitter keys between invocations.
+	invokeSeq int
+}
+
+// NewBuilder assembles a builder. It fails for architectures marked broken
+// in the tree metadata, mirroring make.cross failures.
+func NewBuilder(tree *fstree.Tree, arch *Arch, cfg *kconfig.Config, meta *Meta, model *vclock.Model) (*Builder, error) {
+	if arch.Broken {
+		return nil, fmt.Errorf("%w: %s", ErrBrokenArch, arch.Name)
+	}
+	return &Builder{Tree: tree, Arch: arch, Cfg: cfg, Meta: meta, Model: model}, nil
+}
+
+// Reachable checks that the build descends to file for this configuration:
+// every directory on the path is listed (and enabled) in its parent's
+// Makefile, and the file's own object rule is enabled. It returns the
+// file's rule value (Yes for built-in, Mod for module).
+func (b *Builder) Reachable(file string) (kconfig.Value, error) {
+	file = fstree.Clean(file)
+	dir := path.Dir(file)
+	if dir == "." {
+		dir = ""
+	}
+	// Walk from the root to the file's directory.
+	var components []string
+	if dir != "" {
+		components = strings.Split(dir, "/")
+	}
+	cur := ""
+	for i := 0; i < len(components); i++ {
+		mf, err := LoadMakefile(b.Tree, cur, b.Arch.Name)
+		if err != nil {
+			return kconfig.No, err
+		}
+		sub := components[i] + "/"
+		rule, ok := mf.ruleFor(sub)
+		if !ok {
+			// Arch directories nest one extra level: the root Makefile lists
+			// arch/<name>/ in one step.
+			if cur == "" && components[i] == "arch" && i+1 < len(components) {
+				if rule2, ok2 := mf.ruleFor("arch/" + components[i+1] + "/"); ok2 {
+					if v := b.ruleValue(rule2); v == kconfig.No {
+						return kconfig.No, fmt.Errorf("%w: %s disabled at %s", ErrNotReachable, file, mf.Path)
+					}
+					cur = path.Join(cur, components[i], components[i+1])
+					i++
+					continue
+				}
+			}
+			return kconfig.No, fmt.Errorf("%w: %s not listed in %s", ErrNotReachable, file, mf.Path)
+		}
+		if v := b.ruleValue(rule); v == kconfig.No {
+			return kconfig.No, fmt.Errorf("%w: %s disabled at %s", ErrNotReachable, file, mf.Path)
+		}
+		cur = path.Join(cur, components[i])
+	}
+	// The file's own rule.
+	mf, err := LoadMakefile(b.Tree, dir, b.Arch.Name)
+	if err != nil {
+		return kconfig.No, err
+	}
+	obj := strings.TrimSuffix(path.Base(file), ".c") + ".o"
+	rule, ok := mf.ruleFor(obj)
+	if !ok {
+		return kconfig.No, fmt.Errorf("%w: no rule for %s in %s", ErrNotReachable, obj, mf.Path)
+	}
+	v := b.ruleValue(rule)
+	if v == kconfig.No {
+		return kconfig.No, fmt.Errorf("%w: rule for %s disabled (CONFIG_%s=n)", ErrNotReachable, obj, rule.CondVar)
+	}
+	return v, nil
+}
+
+func (b *Builder) ruleValue(r ObjRule) kconfig.Value {
+	switch {
+	case r.CondVar != "":
+		return b.Cfg.Value(r.CondVar)
+	case r.Module:
+		return kconfig.Mod
+	default:
+		return kconfig.Yes
+	}
+}
+
+// IFile is the outcome of preprocessing one file in a MakeI invocation.
+type IFile struct {
+	Path string
+	Text string
+	Work vclock.FileWork
+	// Err is non-nil when this file failed (unreachable, missing include,
+	// #error, ...); other files in the same invocation may still succeed.
+	Err error
+}
+
+// cppOptions builds the preprocessor options for one file. asModule adds
+// the MODULE define, as Kbuild does when compiling modular objects — this
+// is why `#ifdef MODULE` code escapes allyesconfig (paper Table IV).
+func (b *Builder) cppOptions(asModule bool) cpp.Options {
+	defines := make(map[string]string, len(b.Arch.Defines)+8)
+	for k, v := range b.Arch.Defines {
+		defines[k] = v
+	}
+	for k, v := range b.Cfg.Defines() {
+		defines[k] = v
+	}
+	if asModule {
+		defines["MODULE"] = "1"
+	}
+	return cpp.Options{IncludeDirs: b.Arch.IncludeDirs, Defines: defines, Cache: b.Cache}
+}
+
+// MakeI runs `make f1.i f2.i ...` for a group of files (the paper groups
+// up to 50 files per invocation). It returns per-file results and the
+// virtual duration of the whole invocation.
+func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
+	b.invokeSeq++
+	first := !b.invoked
+	b.invoked = true
+
+	results := make([]IFile, 0, len(files))
+	var works []vclock.FileWork
+	for _, f := range files {
+		r := IFile{Path: fstree.Clean(f)}
+		v, err := b.Reachable(r.Path)
+		if err != nil {
+			r.Err = err
+			results = append(results, r)
+			continue
+		}
+		res, err := cpp.Preprocess(TreeSource{b.Tree}, r.Path, b.cppOptions(v == kconfig.Mod))
+		if err != nil {
+			r.Err = err
+			results = append(results, r)
+			continue
+		}
+		r.Text = res.Output
+		r.Work = vclock.FileWork{Lines: res.InputLines, Includes: res.Includes}
+		works = append(works, r.Work)
+		results = append(results, r)
+	}
+	key := fmt.Sprintf("%s:%d", b.Arch.Name, b.invokeSeq)
+	dur := b.Model.MakeI(first, b.Arch.SetupOps, works, key)
+	return results, dur
+}
+
+// MakeO runs `make file.o`: preprocess then compile. The returned duration
+// includes the whole-kernel prerequisite build when the tree metadata
+// marks the file that way (paper §V-C).
+func (b *Builder) MakeO(file string) (cc.Object, time.Duration, error) {
+	b.invokeSeq++
+	first := !b.invoked
+	b.invoked = true
+	key := fmt.Sprintf("%s:o:%d", b.Arch.Name, b.invokeSeq)
+
+	file = fstree.Clean(file)
+	failDur := b.Model.MakeO(first, b.Arch.SetupOps, 0, 0, key)
+	v, err := b.Reachable(file)
+	if err != nil {
+		return cc.Object{}, failDur, err
+	}
+	res, err := cpp.Preprocess(TreeSource{b.Tree}, file, b.cppOptions(v == kconfig.Mod))
+	if err != nil {
+		return cc.Object{}, failDur, err
+	}
+	obj, err := cc.Compile(res.Output)
+	if err != nil {
+		return cc.Object{}, failDur, err
+	}
+	prereq := 0
+	if b.Meta.WholeBuildFiles[file] {
+		prereq = b.Tree.Len() // every file in the tree, approximating "the entire kernel"
+	}
+	dur := b.Model.MakeO(first, b.Arch.SetupOps, obj.Lines, prereq, key)
+	return obj, dur, nil
+}
+
+// SetSetupDone marks the configuration's Makefile set-up as already paid,
+// for a second builder sharing a configured tree (JMake preprocesses the
+// mutated tree and compiles the pristine one under the same configuration,
+// so only the first invocation pays full set-up).
+func (b *Builder) SetSetupDone() { b.invoked = true }
+
+// IsSetupFile reports whether JMake must refuse to mutate this file because
+// the kernel Makefile compiles it during build set-up (paper §V-D).
+func (b *Builder) IsSetupFile(file string) bool {
+	return b.Meta.SetupFiles[fstree.Clean(file)]
+}

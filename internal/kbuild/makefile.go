@@ -1,0 +1,169 @@
+// Package kbuild implements a Kbuild-style build system over an in-memory
+// source tree: per-directory Makefiles with obj-$(CONFIG_X) rules,
+// composite objects, directory descent, single-target preprocessing
+// (`make file.i`) and compilation (`make file.o`), plus the Makefile
+// heuristics JMake uses to guess gating configuration variables (§III-C).
+package kbuild
+
+import (
+	"errors"
+	"fmt"
+	"path"
+	"regexp"
+	"sort"
+	"strings"
+
+	"jmake/internal/fstree"
+)
+
+// ErrNoMakefile is returned when a directory on the build path has no
+// Makefile.
+var ErrNoMakefile = errors.New("kbuild: no Makefile found")
+
+// ObjRule is one `obj-$(COND) += targets...` line. CondVar is the CONFIG
+// variable name without the CONFIG_ prefix; "" means unconditionally built
+// (obj-y). Module is true for obj-m rules.
+type ObjRule struct {
+	CondVar string
+	Module  bool
+	Targets []string // "foo.o" or "subdir/"
+}
+
+// Makefile is a parsed Kbuild makefile.
+type Makefile struct {
+	Path string
+	Objs []ObjRule
+	// Composites maps a composite object name ("foo", from foo.o) to its
+	// constituent object files, from `foo-objs := a.o b.o` or `foo-y := ...`.
+	Composites map[string][]string
+	// ConfigVars lists every CONFIG_* variable mentioned anywhere in the
+	// file, for the fallback gating heuristic.
+	ConfigVars []string
+}
+
+var (
+	objRuleRe   = regexp.MustCompile(`^obj-(y|m|\$\(CONFIG_([A-Za-z0-9_]+)\))\s*[+:]?=\s*(.*)$`)
+	compositeRe = regexp.MustCompile(`^([A-Za-z0-9_\-]+)-(objs|y)\s*[+:]?=\s*(.*)$`)
+	configVarRe = regexp.MustCompile(`CONFIG_([A-Za-z0-9_]+)`)
+)
+
+// ParseMakefile parses Kbuild makefile content. archName replaces
+// $(SRCARCH)/$(ARCH) references, which the root Makefile uses to descend
+// into the architecture directory.
+func ParseMakefile(mkPath, content, archName string) *Makefile {
+	content = strings.ReplaceAll(content, "$(SRCARCH)", archName)
+	content = strings.ReplaceAll(content, "$(ARCH)", archName)
+	mf := &Makefile{Path: mkPath, Composites: make(map[string][]string)}
+	seenVar := make(map[string]bool)
+	for _, raw := range strings.Split(content, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, m := range configVarRe.FindAllStringSubmatch(line, -1) {
+			if !seenVar[m[1]] {
+				seenVar[m[1]] = true
+				mf.ConfigVars = append(mf.ConfigVars, m[1])
+			}
+		}
+		if m := objRuleRe.FindStringSubmatch(line); m != nil {
+			rule := ObjRule{Targets: strings.Fields(m[3])}
+			switch {
+			case m[1] == "y":
+			case m[1] == "m":
+				rule.Module = true
+			default:
+				rule.CondVar = m[2]
+			}
+			mf.Objs = append(mf.Objs, rule)
+			continue
+		}
+		if m := compositeRe.FindStringSubmatch(line); m != nil && m[1] != "obj" {
+			name := strings.TrimSuffix(m[1], "-")
+			mf.Composites[name] = append(mf.Composites[name], strings.Fields(m[3])...)
+		}
+	}
+	return mf
+}
+
+// LoadMakefile reads and parses the makefile for directory dir, trying
+// "Makefile" then "Kbuild".
+func LoadMakefile(t *fstree.Tree, dir, archName string) (*Makefile, error) {
+	for _, name := range []string{"Makefile", "Kbuild"} {
+		p := path.Join(dir, name)
+		if content, err := t.Read(p); err == nil {
+			return ParseMakefile(p, content, archName), nil
+		}
+	}
+	return nil, fmt.Errorf("%w in %s", ErrNoMakefile, dir)
+}
+
+// ruleFor returns the rule covering target ("foo.o" or "sub/") and whether
+// one exists. Composite membership is resolved: if target belongs to
+// foo-objs, the rule for foo.o applies.
+func (mf *Makefile) ruleFor(target string) (ObjRule, bool) {
+	for _, r := range mf.Objs {
+		for _, tgt := range r.Targets {
+			if tgt == target {
+				return r, true
+			}
+		}
+	}
+	if strings.HasSuffix(target, ".o") {
+		for comp, members := range mf.Composites {
+			for _, mem := range members {
+				if mem == target {
+					return mf.ruleFor(comp + ".o")
+				}
+			}
+		}
+	}
+	return ObjRule{}, false
+}
+
+// GatingConfigs implements the paper's §III-C Makefile heuristic for a .c
+// file: configuration variables on lines that mention the file's .o,
+// recursively through composite-object labels, falling back to every
+// CONFIG variable in the Makefile when nothing more specific is found.
+func GatingConfigs(t *fstree.Tree, cFile, archName string) ([]string, error) {
+	mf, err := LoadMakefile(t, path.Dir(cFile), archName)
+	if err != nil {
+		return nil, err
+	}
+	obj := strings.TrimSuffix(path.Base(cFile), ".c") + ".o"
+	vars := make(map[string]bool)
+	collectGating(mf, obj, vars, 0)
+	if len(vars) == 0 {
+		for _, v := range mf.ConfigVars {
+			vars[v] = true
+		}
+	}
+	out := make([]string, 0, len(vars))
+	for v := range vars {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+func collectGating(mf *Makefile, obj string, vars map[string]bool, depth int) {
+	if depth > 8 {
+		return
+	}
+	for _, r := range mf.Objs {
+		for _, tgt := range r.Targets {
+			if tgt == obj && r.CondVar != "" {
+				vars[r.CondVar] = true
+			}
+		}
+	}
+	// Composite labels whose member list mentions obj: recurse on the
+	// label's own .o.
+	for comp, members := range mf.Composites {
+		for _, mem := range members {
+			if mem == obj {
+				collectGating(mf, comp+".o", vars, depth+1)
+			}
+		}
+	}
+}

@@ -1,0 +1,223 @@
+package kernelgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// arches generates arch/<name>/ for every architecture: Kconfig, Makefile,
+// asm headers, kernel/ and mm/ sources, and configs/ defconfigs.
+func (g *generator) arches() {
+	g.archDriverKconfig = make(map[string][]string)
+	g.defconfigExtras = make(map[string][]string)
+	all := append(append([]string(nil), workingArches...), brokenArches...)
+	for _, a := range all {
+		g.oneArch(a)
+	}
+	// The powerpc prom_init analogue: compiling it drags in a whole-kernel
+	// prerequisite build (paper §V-C).
+	g.tree.Write("arch/powerpc/kernel/prom_init.c", `/*
+ * prom_init - early boot firmware interface.
+ *
+ * This file is compiled in a special early-boot environment; building its
+ * object triggers compilation of the entire kernel.
+ */
+#include <linux/kernel.h>
+#include <asm/io.h>
+
+#define PROM_ERROR 0xffffffff
+#define PROM_STACK_SIZE 8192
+
+static int prom_getprop(int node, const char *name)
+{
+	int v = readl(node + 0x10);
+	printk("prom: prop %s = %d", name, v);
+	return v;
+}
+
+int prom_init(unsigned long r3, unsigned long r4)
+{
+	int node = 1;
+	int v = prom_getprop(node, "compatible");
+	if (v == 0)
+		return -1;
+	writel(v, 0x20);
+	return 0;
+}
+`)
+	g.man.WholeBuildFile = "arch/powerpc/kernel/prom_init.c"
+}
+
+func (g *generator) oneArch(a string) {
+	up := strings.ToUpper(a)
+	base := "arch/" + a
+
+	// asm headers. Every architecture declares the common I/O functions
+	// plus one arch-unique platform hook; drivers bound to an architecture
+	// call its hook, which no other architecture declares.
+	g.tree.Write(base+"/include/asm/io.h", fmt.Sprintf(`#ifndef _ASM_%s_IO_H
+#define _ASM_%s_IO_H
+
+extern unsigned int readb(unsigned long addr);
+extern unsigned int readw(unsigned long addr);
+extern unsigned int readl(unsigned long addr);
+extern void writeb(unsigned int v, unsigned long addr);
+extern void writew(unsigned int v, unsigned long addr);
+extern void writel(unsigned int v, unsigned long addr);
+extern unsigned int inb(unsigned long port);
+extern void outb(unsigned int v, unsigned long port);
+extern unsigned int inw(unsigned long port);
+extern void outw(unsigned int v, unsigned long port);
+
+extern int %s_plat_init(void);
+extern void %s_plat_teardown(void);
+
+#endif
+`, up, up, a, a))
+	g.tree.Write(base+"/include/asm/irq.h", fmt.Sprintf(`#ifndef _ASM_%s_IRQ_H
+#define _ASM_%s_IRQ_H
+
+extern unsigned long arch_local_irq_save(void);
+extern void arch_local_irq_restore(unsigned long flags);
+
+#define NR_IRQS %d
+
+#endif
+`, up, up, 64+len(a)*8))
+	g.tree.Write(base+"/include/asm/page.h", fmt.Sprintf(`#ifndef _ASM_%s_PAGE_H
+#define _ASM_%s_PAGE_H
+
+#define PAGE_SHIFT 12
+#define PAGE_SIZE (1 << PAGE_SHIFT)
+
+#endif
+`, up, up))
+	g.tree.Write(base+"/include/asm/barrier.h", fmt.Sprintf(`#ifndef _ASM_%s_BARRIER_H
+#define _ASM_%s_BARRIER_H
+
+#define mb() do { } while (0)
+#define rmb() do { } while (0)
+#define wmb() do { } while (0)
+
+#endif
+`, up, up))
+
+	// Arch build plumbing.
+	g.tree.Write(base+"/Makefile", "obj-y += kernel/ mm/\n")
+	kernelObjs := "obj-y += setup.o irq.o time.o\n"
+	if a == "powerpc" {
+		kernelObjs += "obj-y += prom_init.o\n"
+	}
+	g.tree.Write(base+"/kernel/Makefile", kernelObjs)
+	g.tree.Write(base+"/mm/Makefile", "obj-y += init.o\n")
+
+	g.tree.Write(base+"/kernel/setup.c", fmt.Sprintf(`/*
+ * %s architecture setup.
+ */
+#include <linux/kernel.h>
+#include <asm/io.h>
+#include <asm/page.h>
+
+#define BOOT_FLAGS 0x2f
+
+static int boot_cpu_ready;
+
+int setup_arch(void)
+{
+	int ret = %s_plat_init();
+	if (ret)
+		return ret;
+	boot_cpu_ready = 1;
+	printk("%s: booted, page size %%d", PAGE_SIZE);
+	writel(BOOT_FLAGS, 0x100);
+	return 0;
+}
+`, a, a, a))
+	g.tree.Write(base+"/kernel/irq.c", fmt.Sprintf(`#include <linux/kernel.h>
+#include <asm/irq.h>
+
+static int irq_depth;
+
+int arch_irq_disable(void)
+{
+	unsigned long flags = arch_local_irq_save();
+	irq_depth = irq_depth + 1;
+	arch_local_irq_restore(flags);
+	return irq_depth;
+}
+
+int arch_irq_count(void)
+{
+	return NR_IRQS;
+}
+`))
+	g.tree.Write(base+"/kernel/time.c", fmt.Sprintf(`#include <linux/kernel.h>
+#include <asm/io.h>
+
+#define CLOCK_REG 0x%02x
+
+unsigned int arch_read_clock(void)
+{
+	unsigned int lo = readl(CLOCK_REG);
+	unsigned int hi = readl(CLOCK_REG + 4);
+	return lo + hi;
+}
+`, 0x40+len(a)))
+	g.tree.Write(base+"/mm/init.c", fmt.Sprintf(`#include <linux/kernel.h>
+#include <asm/page.h>
+
+unsigned long mem_pages = 0;
+
+int mem_init(void)
+{
+	mem_pages = 4096;
+	printk("%s: %%lu pages", mem_pages);
+	return 0;
+}
+`, a))
+}
+
+// finishArchKconfigs writes each architecture's Kconfig after drivers have
+// registered their arch-bound sections, plus the configs/ defconfigs.
+func (g *generator) finishArchKconfigs() {
+	all := append(append([]string(nil), workingArches...), brokenArches...)
+	for _, a := range all {
+		up := strings.ToUpper(a)
+		var b strings.Builder
+		fmt.Fprintf(&b, "config %s\n\tbool \"%s architecture\"\n\tdefault y\n\n", up, a)
+		for _, section := range g.archDriverKconfig[a] {
+			b.WriteString(section)
+			b.WriteString("\n")
+		}
+		b.WriteString("source \"Kconfig.shared\"\n")
+		g.tree.Write("arch/"+a+"/Kconfig", b.String())
+
+		// Plain defconfig: enables the main subsystems only, so it never
+		// adds configuration candidates for individual drivers.
+		var d strings.Builder
+		fmt.Fprintf(&d, "CONFIG_%s=y\n", up)
+		for i, s := range subsystems {
+			if (i+len(a))%3 != 0 { // each arch enables a different subset
+				fmt.Fprintf(&d, "CONFIG_%s=y\n", s.ConfigVar)
+			}
+		}
+		g.tree.Write(fmt.Sprintf("arch/%s/configs/%s_defconfig", a, a), d.String())
+
+		// Extended defconfig: recovers the SiteDefconfigOnly regions by
+		// turning MAINSTREAM off and the extension variables on (§V-B's
+		// allyesconfig-vs-configs comparison).
+		if extras := g.defconfigExtras[a]; len(extras) > 0 {
+			var e strings.Builder
+			fmt.Fprintf(&e, "CONFIG_%s=y\n", up)
+			e.WriteString("# CONFIG_MAINSTREAM is not set\n")
+			for _, s := range subsystems {
+				fmt.Fprintf(&e, "CONFIG_%s=y\n", s.ConfigVar)
+			}
+			for _, line := range extras {
+				e.WriteString(line)
+				e.WriteString("\n")
+			}
+			g.tree.Write(fmt.Sprintf("arch/%s/configs/%s_extended_defconfig", a, a), e.String())
+		}
+	}
+}

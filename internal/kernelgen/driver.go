@@ -1,0 +1,504 @@
+package kernelgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// nameSyllables feed driver name generation.
+var nameSyllables = []string{
+	"al", "bex", "cor", "dan", "el", "fir", "gam", "hex", "ion", "jor",
+	"kel", "lum", "mar", "nex", "oro", "pax", "quil", "rov", "sel", "tor",
+	"ul", "vex", "wim", "xan", "yor", "zet", "bri", "cas", "dra", "fen",
+}
+
+// archBoundWeights biases which architectures host arch-bound drivers; the
+// paper found arm the most frequently useful non-host architecture, with
+// janitor patches also touching powerpc, mips, blackfin and parisc (§V-B).
+var archBoundWeights = []struct {
+	arch   string
+	weight int
+}{
+	{"arm", 40}, {"powerpc", 14}, {"mips", 12}, {"blackfin", 8},
+	{"parisc", 6}, {"sparc", 4}, {"s390", 4}, {"sh", 3}, {"m68k", 3},
+	{"ia64", 2}, {"alpha", 2}, {"xtensa", 2},
+}
+
+func (g *generator) pickArchBound() string {
+	total := 0
+	for _, w := range archBoundWeights {
+		total += w.weight
+	}
+	n := g.rng.Intn(total)
+	for _, w := range archBoundWeights {
+		n -= w.weight
+		if n < 0 {
+			return w.arch
+		}
+	}
+	return "arm"
+}
+
+// subsystemsAndDrivers generates every subsystem directory: Kconfig,
+// Makefile, API header, a core file and the drivers.
+func (g *generator) subsystemsAndDrivers() {
+	usedNames := make(map[string]bool)
+	for si, spec := range subsystems {
+		headerPath := g.subsystemHeader(spec)
+		sub := Subsystem{
+			Dir: spec.Dir, Name: spec.Name, ConfigVar: spec.ConfigVar,
+			Header: headerPath, List: spec.List,
+			Funcs: spec.Funcs, Macros: spec.Macros,
+		}
+		g.man.Subsystems = append(g.man.Subsystems, sub)
+
+		var kc strings.Builder
+		fmt.Fprintf(&kc, "config %s\n\tbool \"%s support\"\n\tdefault y\n\n", spec.ConfigVar, spec.Dir)
+		fmt.Fprintf(&kc, "config %s_DEBUG\n\tbool \"%s debugging\"\n\tdefault y\n\tdepends on %s\n\n",
+			spec.ConfigVar, spec.Dir, spec.ConfigVar)
+
+		var mk strings.Builder
+		mk.WriteString("obj-y += core.o\n")
+		g.subsystemCore(si, spec)
+
+		n := int(float64(spec.Drivers)*g.scale + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		maintainers := g.subsystemMaintainers(spec)
+		for i := 0; i < n; i++ {
+			d := g.oneDriver(si, spec, usedNames, maintainers)
+			g.man.Drivers = append(g.man.Drivers, d)
+
+			// Makefile rules.
+			baseObj := strings.TrimSuffix(d.CFile[strings.LastIndexByte(d.CFile, '/')+1:], ".c")
+			if d.ExtraCFile != "" {
+				extraObj := strings.TrimSuffix(d.ExtraCFile[strings.LastIndexByte(d.ExtraCFile, '/')+1:], ".c")
+				fmt.Fprintf(&mk, "obj-$(CONFIG_%s) += %s.o\n%s-objs := %s.o %s.o\n",
+					d.ConfigVar, d.Name, d.Name, baseObj, extraObj)
+			} else {
+				fmt.Fprintf(&mk, "obj-$(CONFIG_%s) += %s.o\n", d.ConfigVar, baseObj)
+			}
+
+			// Kconfig declaration: in the subsystem Kconfig for portable
+			// drivers, in the architecture's Kconfig for arch-bound ones.
+			decl := g.driverKconfig(d, spec)
+			if d.ArchBound == "" {
+				kc.WriteString(decl)
+			} else {
+				g.archDriverKconfig[d.ArchBound] = append(g.archDriverKconfig[d.ArchBound], decl)
+			}
+		}
+		g.tree.Write(spec.Dir+"/Kconfig", kc.String())
+		g.tree.Write(spec.Dir+"/Makefile", mk.String())
+	}
+	g.finishArchKconfigs()
+}
+
+// driverKconfig renders the Kconfig block for a driver and its extension
+// symbols.
+func (g *generator) driverKconfig(d Driver, spec subsysSpec) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "config %s\n\ttristate \"%s driver\"\n\tdepends on %s\n\n", d.ConfigVar, d.Name, spec.ConfigVar)
+	if d.Sites[SiteIfdefNotAllyes] {
+		// Depends on an undeclared symbol: no configuration strategy can
+		// ever set it (Table IV row 1 when edited).
+		fmt.Fprintf(&b, "config %s_LEGACY\n\tbool \"%s legacy interface\"\n\tdepends on %s && BROKEN_PLATFORM_GLUE\n\n",
+			d.ConfigVar, d.Name, d.ConfigVar)
+	}
+	if d.Sites[SiteArchQuirk] {
+		// The quirk symbol lives in one architecture's Kconfig (default y
+		// there, undeclared elsewhere). Because its block mentions the
+		// driver's gating variable, JMake's arch heuristic (§III-C) finds
+		// that architecture and recovers the region.
+		g.archDriverKconfig[d.QuirkArch] = append(g.archDriverKconfig[d.QuirkArch],
+			fmt.Sprintf("config %s_QUIRK\n\tbool \"%s platform quirk\"\n\tdefault y\n\tdepends on %s\n",
+				d.ConfigVar, d.Name, d.ConfigVar))
+	}
+	if d.Sites[SiteDefconfigOnly] {
+		// Enabled only when MAINSTREAM is explicitly switched off, which
+		// allyesconfig never does but the extended defconfig does.
+		fmt.Fprintf(&b, "config %s_EXT\n\tbool \"%s extended mode\"\n\tdepends on %s && !MAINSTREAM\n\n",
+			d.ConfigVar, d.Name, d.ConfigVar)
+		arch := d.ArchBound
+		if arch == "" {
+			arch = "x86_64"
+		}
+		g.defconfigExtras[arch] = append(g.defconfigExtras[arch],
+			fmt.Sprintf("CONFIG_%s=y", d.ConfigVar),
+			fmt.Sprintf("CONFIG_%s_EXT=y", d.ConfigVar))
+	}
+	return b.String()
+}
+
+// subsystemCore writes the subsystem's core.c.
+func (g *generator) subsystemCore(si int, spec subsysSpec) {
+	var b strings.Builder
+	fmt.Fprintf(&b, `/*
+ * %s core support.
+ */
+#include <linux/kernel.h>
+#include <linux/slab.h>
+#include <linux/errno.h>
+#include <linux/%s>
+
+static int core_users;
+
+int %s_core_register(void)
+{
+	core_users = core_users + 1;
+	%s();
+	return core_users;
+}
+
+int %s_core_unregister(void)
+{
+	if (core_users == 0)
+		return -EINVAL;
+	core_users = core_users - 1;
+	return 0;
+}
+`, spec.Dir, spec.Header, strings.ToLower(spec.ConfigVar), spec.Funcs[0], strings.ToLower(spec.ConfigVar))
+	g.tree.Write(spec.Dir+"/core.c", b.String())
+}
+
+// subsystemMaintainers creates maintainer identities for a subsystem, one
+// per dozen drivers, so that no single identity absorbs enough breadth to
+// masquerade as a janitor in the §IV study.
+func (g *generator) subsystemMaintainers(spec subsysSpec) []string {
+	n := 2 + g.rng.Intn(3) + int(float64(spec.Drivers)*g.scale)/12
+	out := make([]string, n)
+	for i := range out {
+		first := pick(g.rng, []string{"Alex", "Sam", "Ming", "Priya", "Lars",
+			"Tanya", "Igor", "Wei", "Ana", "Hiro", "Olga", "Ravi"})
+		last := pick(g.rng, []string{"Berg", "Chen", "Dietrich", "Evans",
+			"Fischer", "Gupta", "Hansen", "Ivanov", "Kato", "Larsen", "Mehta",
+			"Novak", "Olsen", "Petrov", "Rossi", "Sato"})
+		out[i] = fmt.Sprintf("%s %s <%s.%s.%d@kernel.example.org>",
+			first, last, strings.ToLower(first), strings.ToLower(last), g.rng.Intn(100))
+	}
+	return out
+}
+
+// newDriverName generates a unique plausible driver name.
+func (g *generator) newDriverName(used map[string]bool) string {
+	for {
+		n := 2 + g.rng.Intn(2)
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteString(pick(g.rng, nameSyllables))
+		}
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&b, "%d", 100+g.rng.Intn(900))
+		}
+		name := b.String()
+		if !used[name] {
+			used[name] = true
+			return name
+		}
+	}
+}
+
+// oneDriver generates a driver's source files and returns its descriptor.
+func (g *generator) oneDriver(si int, spec subsysSpec, usedNames map[string]bool, maintainers []string) Driver {
+	name := g.newDriverName(usedNames)
+	d := Driver{
+		Name:      name,
+		Subsystem: si,
+		ConfigVar: strings.ToUpper(name),
+		CFile:     fmt.Sprintf("%s/%s.c", spec.Dir, name),
+		Sites:     map[SiteClass]bool{SitePlain: true, SiteComment: true},
+		EntryName: strings.ToUpper(name) + " DRIVER",
+	}
+	d.Maintainer = pick(g.rng, maintainers)
+	if g.rng.Intn(100) < 25 {
+		d.List = fmt.Sprintf("%s-devel@lists.example.org", name)
+	} else {
+		d.List = spec.List
+	}
+
+	// Staging drivers have no individual MAINTAINERS entry — they fall
+	// under the STAGING umbrella, as in the real kernel. This is what makes
+	// low-subsystem-count janitor profiles (Table II's Shraddha Barke row)
+	// possible.
+	if spec.Dir == "drivers/staging" {
+		d.EntryName = ""
+		d.List = spec.List
+	}
+
+	roll := func(pct int) bool { return g.rng.Intn(100) < pct }
+	switch {
+	case roll(5):
+		d.ArchBound = g.pickArchBound()
+	case roll(1):
+		// Bound to an architecture whose cross-compiler is broken: JMake
+		// reports "unsupported architecture required" for these.
+		d.ArchBound = brokenArches[g.rng.Intn(len(brokenArches))]
+	case roll(3):
+		d.QuirkArch = g.pickArchBound()
+		d.Sites[SiteArchQuirk] = true
+	}
+	if roll(40) {
+		d.Sites[SiteMacroBody] = true
+	}
+	if roll(50) {
+		d.Sites[SiteIfdefOn] = true
+	}
+	if roll(12) {
+		d.Sites[SiteIfdefModule] = true
+	}
+	if roll(6) {
+		d.Sites[SiteIfdefNotAllyes] = true
+	}
+	if roll(4) {
+		d.Sites[SiteDefconfigOnly] = true
+	}
+	if roll(4) {
+		d.Sites[SiteIfdefNever] = true
+	}
+	if roll(6) {
+		d.Sites[SiteIfndef] = true
+	}
+	if roll(6) {
+		d.Sites[SiteBothBranches] = true
+	}
+	if roll(5) {
+		d.Sites[SiteIfZero] = true
+	}
+	if roll(8) {
+		d.Sites[SiteUnusedMacro] = true
+	}
+	if roll(22) {
+		d.Header = fmt.Sprintf("%s/%s.h", spec.Dir, name)
+	}
+	twoFiles := roll(15)
+	if twoFiles {
+		// Composite objects may not share their own member's name:
+		// name.o is assembled from name_main.o and name_hw.o.
+		d.CFile = fmt.Sprintf("%s/%s_main.c", spec.Dir, name)
+	}
+	big := roll(4)
+
+	g.writeDriverFiles(&d, spec, twoFiles, big)
+	return d
+}
+
+// writeDriverFiles emits the driver's header and source file(s).
+func (g *generator) writeDriverFiles(d *Driver, spec subsysSpec, twoFiles, big bool) {
+	up := strings.ToUpper(d.Name)
+	// Arch-bound drivers call their architecture's platform hook, declared
+	// in that arch's asm/io.h, so they must include <linux/io.h>.
+	usesIO := d.ArchBound != "" || g.rng.Intn(100) < 70
+
+	if d.Header != "" {
+		if g.rng.Intn(100) < 12 {
+			d.Sites[SiteHeaderPhantom] = true
+		}
+		var h strings.Builder
+		guard := "_" + up + "_H"
+		fmt.Fprintf(&h, "#ifndef %s\n#define %s\n\n", guard, guard)
+		fmt.Fprintf(&h, "#define %s_FIFO_DEPTH %d\n", up, 8<<uint(g.rng.Intn(4)))
+		fmt.Fprintf(&h, "#define %s_IRQ_MASK 0x%02x\n\n", up, g.rng.Intn(255)+1)
+		if d.Sites[SiteHeaderPhantom] {
+			fmt.Fprintf(&h, "#ifdef CONFIG_%s_PHANTOM_HDR\n#define %s_PHANTOM_SHIFT %d\n#endif\n\n",
+				d.ConfigVar, up, 1+g.rng.Intn(7))
+		}
+		fmt.Fprintf(&h, "struct %s_config {\n\tint rate;\n\tint channels;\n};\n\n", d.Name)
+		fmt.Fprintf(&h, "extern int %s_hw_reset(void);\n", d.Name)
+		fmt.Fprintf(&h, "\n#endif /* %s */\n", guard)
+		g.tree.Write(d.Header, h.String())
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `/*
+ * %s - %s driver.
+ *
+ * Copyright (C) 2015 %s
+ */
+`, d.Name, spec.Dir, d.Maintainer)
+	b.WriteString("#include <linux/kernel.h>\n#include <linux/module.h>\n#include <linux/slab.h>\n#include <linux/errno.h>\n")
+	if usesIO {
+		b.WriteString("#include <linux/io.h>\n")
+	}
+	if g.rng.Intn(100) < 30 {
+		b.WriteString("#include <linux/delay.h>\n")
+	}
+	fmt.Fprintf(&b, "#include <linux/%s>\n", spec.Header)
+	if d.Header != "" {
+		fmt.Fprintf(&b, "#include %q\n", d.Name+".h")
+	}
+	b.WriteString("\n")
+
+	// Register macros (SitePlain targets). Every one is used below, so a
+	// changed define is always witnessed unless deliberately unused.
+	regNames := []string{"CTRL", "STAT", "DATA", "MASK"}[:2+g.rng.Intn(3)]
+	for i, r := range regNames {
+		fmt.Fprintf(&b, "#define %s_REG_%s 0x%02x\n", up, r, 4*(i+1))
+	}
+	fmt.Fprintf(&b, "#define %s_TIMEOUT_MS %d\n", up, 100*(1+g.rng.Intn(20)))
+	if d.Sites[SiteMacroBody] {
+		fmt.Fprintf(&b, "#define %s_MUX_CHAN(x) \\\n\t((((x) & 0xf) << 4) | \\\n\t (((x) & 0xf) << 0))\n", up)
+	}
+	if d.Sites[SiteUnusedMacro] {
+		fmt.Fprintf(&b, "#define %s_SPARE_MASK 0x%02x\n", up, g.rng.Intn(255)+1)
+	}
+	b.WriteString("\n")
+
+	fmt.Fprintf(&b, "struct %s_priv {\n\tint state;\n\tu32 flags;\n\tunsigned long base;\n};\n\n", d.Name)
+
+	funcs := 3 + g.rng.Intn(3)
+	if big {
+		funcs = 14 + g.rng.Intn(10)
+	}
+	var helperNames []string
+	for i := 0; i < funcs; i++ {
+		fn := fmt.Sprintf("%s_op%d", d.Name, i)
+		helperNames = append(helperNames, fn)
+		g.writeHelper(&b, d, spec, fn, up, usesIO, helperNames[:len(helperNames)-1])
+	}
+
+	// Reference every register macro so their defines are always subjected
+	// to compilation via expansion.
+	fmt.Fprintf(&b, "static unsigned long %s_reg_window(void)\n{\n\treturn 0", d.Name)
+	for _, r := range regNames {
+		fmt.Fprintf(&b, " + %s_REG_%s", up, r)
+	}
+	fmt.Fprintf(&b, " + %s_TIMEOUT_MS;\n}\n\n", up)
+
+	// Optional debug block under a satisfied config (compiled).
+	if d.Sites[SiteIfdefOn] {
+		fmt.Fprintf(&b, "#ifdef CONFIG_%s_DEBUG\nstatic void %s_dump(struct %s_priv *p)\n{\n\tpr_debug(\"state=%%d\", p->state);\n\tpr_debug(\"flags=%%d\", p->flags);\n}\n#endif\n\n",
+			spec.ConfigVar, d.Name, d.Name)
+	}
+
+	g.writeProbe(&b, d, spec, up, usesIO, helperNames)
+
+	fmt.Fprintf(&b, "static int %s_init(void)\n{\n\tpr_info(\"%s: loaded\");\n\treturn %s_probe();\n}\n\nmodule_init(%s_init);\nMODULE_LICENSE(\"GPL\");\n",
+		d.Name, d.Name, d.Name, d.Name)
+
+	g.tree.Write(d.CFile, b.String())
+
+	if twoFiles {
+		extra := fmt.Sprintf("%s/%s_hw.c", spec.Dir, d.Name)
+		d.ExtraCFile = extra
+		var e strings.Builder
+		fmt.Fprintf(&e, `/*
+ * %s - hardware access paths.
+ */
+#include <linux/kernel.h>
+#include <linux/errno.h>
+%s
+#define %s_HW_RETRIES %d
+
+int %s_hw_reset(void)
+{
+	int tries = %s_HW_RETRIES;
+	while (tries > 0) {
+		tries = tries - 1;
+%s	}
+	return tries == 0 ? -EIO : 0;
+}
+`, d.Name, ifString(usesIO, "#include <linux/io.h>\n"), up, 2+g.rng.Intn(6),
+			d.Name, up,
+			ifString(usesIO, "\t\twritel(1, 0x30);\n"))
+		g.tree.Write(extra, e.String())
+	}
+}
+
+func ifString(cond bool, s string) string {
+	if cond {
+		return s
+	}
+	return ""
+}
+
+// writeHelper emits one static helper function with editable lines.
+func (g *generator) writeHelper(b *strings.Builder, d *Driver, spec subsysSpec, fn, up string, usesIO bool, prior []string) {
+	fmt.Fprintf(b, "static int %s(struct %s_priv *p, int arg)\n{\n", fn, d.Name)
+	fmt.Fprintf(b, "\t/* note: tuning path %d */\n", g.rng.Intn(100))
+	fmt.Fprintf(b, "\tint val = %d;\n", g.rng.Intn(64))
+	if usesIO && g.rng.Intn(2) == 0 {
+		fmt.Fprintf(b, "\tval = readl(p->base + %s_REG_STAT);\n", up)
+	}
+	if g.rng.Intn(2) == 0 {
+		fmt.Fprintf(b, "\tp->flags = %s_TIMEOUT_MS;\n", up)
+	}
+	if len(prior) > 0 && g.rng.Intn(3) == 0 {
+		fmt.Fprintf(b, "\t%s(p, val);\n", pick(g.rng, prior))
+	}
+	if g.rng.Intn(3) == 0 {
+		fmt.Fprintf(b, "\tprintk(\"%s: arg %%d\", arg);\n", d.Name)
+	}
+	fmt.Fprintf(b, "\tif (val < 0)\n\t\treturn -EINVAL;\n")
+	fmt.Fprintf(b, "\treturn val + arg;\n}\n\n")
+}
+
+// writeProbe emits the probe function containing the escape-class blocks.
+func (g *generator) writeProbe(b *strings.Builder, d *Driver, spec subsysSpec, up string, usesIO bool, helpers []string) {
+	fmt.Fprintf(b, "int %s_probe(void)\n{\n", d.Name)
+	fmt.Fprintf(b, "\tstruct %s_priv *p = kzalloc(sizeof(*p), GFP_KERNEL);\n", d.Name)
+	fmt.Fprintf(b, "\tint ret = 0;\n")
+	if d.Sites[SiteMacroBody] {
+		fmt.Fprintf(b, "\tint chan = %s_MUX_CHAN(%d);\n", up, g.rng.Intn(8))
+	} else {
+		fmt.Fprintf(b, "\tint chan = %d;\n", g.rng.Intn(8))
+	}
+	b.WriteString("\tif (!p)\n\t\treturn -ENOMEM;\n")
+	fmt.Fprintf(b, "\tp->state = %d;\n", g.rng.Intn(10))
+	fmt.Fprintf(b, "\tp->flags = p->flags | %s;\n", pick(g.rng, spec.Macros))
+	if d.Header != "" {
+		// Use the local header's macros so that JMake's hint-driven header
+		// hunt (§III-E) can find this file by macro name.
+		fmt.Fprintf(b, "\tp->flags = p->flags & %s_IRQ_MASK;\n", up)
+		fmt.Fprintf(b, "\tret = %s_hw_reset() + %s_FIFO_DEPTH;\n", d.Name, up)
+	}
+	if usesIO {
+		fmt.Fprintf(b, "\toutw(chan, p->base + %s_REG_CTRL);\n", up)
+	}
+	for _, h := range helpers[:minInt(2, len(helpers))] {
+		fmt.Fprintf(b, "\tret = %s(p, chan);\n", h)
+	}
+	fmt.Fprintf(b, "\t%s();\n", pick(g.rng, spec.Funcs))
+
+	if d.ArchBound != "" {
+		fmt.Fprintf(b, "\t%s_plat_init();\n", d.ArchBound)
+	}
+	if d.Sites[SiteIfdefOn] {
+		fmt.Fprintf(b, "#ifdef CONFIG_%s_DEBUG\n\t%s_dump(p);\n#endif\n", spec.ConfigVar, d.Name)
+	}
+	if d.Sites[SiteIfdefModule] {
+		fmt.Fprintf(b, "#ifdef MODULE\n\tpr_info(\"%s: running as %%s\", THIS_MODULE_NAME);\n\tp->flags = p->flags | 0x%02x;\n#endif\n", d.Name, g.rng.Intn(255)+1)
+	}
+	if d.Sites[SiteIfdefNotAllyes] {
+		fmt.Fprintf(b, "#ifdef CONFIG_%s_LEGACY\n\tp->flags = 0x%02x;\n\tpr_warn(\"%s: legacy mode\");\n#endif\n", d.ConfigVar, g.rng.Intn(255)+1, d.Name)
+	}
+	if d.Sites[SiteDefconfigOnly] {
+		fmt.Fprintf(b, "#ifdef CONFIG_%s_EXT\n\tp->state = %d;\n\tpr_info(\"%s: extended mode\");\n#endif\n", d.ConfigVar, 1+g.rng.Intn(9), d.Name)
+	}
+	if d.Sites[SiteArchQuirk] {
+		fmt.Fprintf(b, "#ifdef CONFIG_%s_QUIRK\n\tp->flags = p->flags | 0x%02x;\n\tpr_info(\"%s: %s quirk active\");\n#endif\n",
+			d.ConfigVar, g.rng.Intn(255)+1, d.Name, d.QuirkArch)
+	}
+	if d.Sites[SiteIfdefNever] {
+		fmt.Fprintf(b, "#ifdef CONFIG_%s_PHANTOM_GLUE\n\tp->flags = 0;\n\tpr_warn(\"%s: phantom glue\");\n#endif\n", d.ConfigVar, d.Name)
+	}
+	if d.Sites[SiteIfndef] {
+		fmt.Fprintf(b, "#ifndef CONFIG_%s\n\tp->state = %d;\n\tpr_err(\"%s: built without %s\");\n#endif\n", spec.ConfigVar, g.rng.Intn(9), d.Name, spec.ConfigVar)
+	}
+	if d.Sites[SiteBothBranches] {
+		fmt.Fprintf(b, "#ifdef CONFIG_%s_DEBUG\n\tp->flags = 0x%02x;\n\tpr_debug(\"%s: verbose probe\");\n#else\n\tret = %d;\n#endif\n", spec.ConfigVar, g.rng.Intn(255)+1, d.Name, g.rng.Intn(9)+1)
+	}
+	if d.Sites[SiteIfZero] {
+		fmt.Fprintf(b, "#if 0\n\t/* dead tuning experiment */\n\tp->flags = 0x%02x;\n\tmdelay_legacy(%d);\n#endif\n", g.rng.Intn(255)+1, g.rng.Intn(50))
+	}
+
+	b.WriteString("\tif (ret < 0) {\n\t\tkfree(p);\n\t\treturn ret;\n\t}\n")
+	b.WriteString("\tkfree(p);\n\treturn 0;\n}\n\n")
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,231 @@
+package kernelgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// commonHeaders writes the include/linux headers that every driver can
+// rely on. Two of them (compiler.h, kconfig.h) take part in the build's
+// own set-up compilation and are therefore registered as JMake-untreatable
+// setup files (paper §V-D).
+func (g *generator) commonHeaders() {
+	w := func(p, content string) {
+		g.tree.Write(p, content)
+		g.man.CommonHeaders = append(g.man.CommonHeaders, p)
+	}
+
+	w("include/linux/types.h", `#ifndef _LINUX_TYPES_H
+#define _LINUX_TYPES_H
+
+typedef unsigned char u8;
+typedef unsigned short u16;
+typedef unsigned int u32;
+typedef unsigned long long u64;
+typedef signed char s8;
+typedef signed short s16;
+typedef signed int s32;
+typedef signed long long s64;
+typedef unsigned long size_t_k;
+typedef int bool_k;
+
+#endif /* _LINUX_TYPES_H */
+`)
+	w("include/linux/compiler.h", `#ifndef _LINUX_COMPILER_H
+#define _LINUX_COMPILER_H
+
+#define __force
+#define __user
+#define __iomem
+#define likely(x) (x)
+#define unlikely(x) (x)
+#define barrier_compiler() do { } while (0)
+
+#endif /* _LINUX_COMPILER_H */
+`)
+	w("include/linux/kconfig.h", `#ifndef _LINUX_KCONFIG_H
+#define _LINUX_KCONFIG_H
+
+#define IS_BUILTIN(option) defined_builtin_##option
+#define IS_ENABLED(option) (1)
+
+#endif /* _LINUX_KCONFIG_H */
+`)
+	w("include/linux/errno.h", `#ifndef _LINUX_ERRNO_H
+#define _LINUX_ERRNO_H
+
+#define EPERM 1
+#define EIO 5
+#define ENOMEM 12
+#define EBUSY 16
+#define ENODEV 19
+#define EINVAL 22
+#define ENOSPC 28
+#define ETIMEDOUT 110
+
+#endif /* _LINUX_ERRNO_H */
+`)
+	w("include/linux/kernel.h", `#ifndef _LINUX_KERNEL_H
+#define _LINUX_KERNEL_H
+
+#include <linux/types.h>
+#include <linux/compiler.h>
+#include <linux/kconfig.h>
+
+extern int printk(const char *fmt, ...);
+extern void panic(const char *fmt, ...);
+extern int sprintf_k(char *buf, const char *fmt, ...);
+extern int snprintf_k(char *buf, unsigned long size, const char *fmt, ...);
+
+#define ARRAY_SIZE(arr) (sizeof(arr) / sizeof((arr)[0]))
+#define min_t(t, a, b) ((a) < (b) ? (a) : (b))
+#define max_t(t, a, b) ((a) > (b) ? (a) : (b))
+#define clamp_val(v, lo, hi) min_t(int, max_t(int, v, lo), hi)
+
+#define pr_info(fmt, ...) printk(fmt, ##__VA_ARGS__)
+#define pr_err(fmt, ...) printk(fmt, ##__VA_ARGS__)
+#define pr_warn(fmt, ...) printk(fmt, ##__VA_ARGS__)
+#define pr_debug(fmt, ...) printk(fmt, ##__VA_ARGS__)
+
+#endif /* _LINUX_KERNEL_H */
+`)
+	w("include/linux/slab.h", `#ifndef _LINUX_SLAB_H
+#define _LINUX_SLAB_H
+
+#include <linux/types.h>
+
+extern void *kmalloc(unsigned long size, int flags);
+extern void *kzalloc(unsigned long size, int flags);
+extern void *kcalloc(unsigned long n, unsigned long size, int flags);
+extern void kfree(void *ptr);
+
+#define GFP_KERNEL 0x01
+#define GFP_ATOMIC 0x02
+
+#endif /* _LINUX_SLAB_H */
+`)
+	w("include/linux/module.h", `#ifndef _LINUX_MODULE_H
+#define _LINUX_MODULE_H
+
+#define MODULE_LICENSE(x)
+#define MODULE_AUTHOR(x)
+#define MODULE_DESCRIPTION(x)
+#define MODULE_DEVICE_TABLE(type, name)
+#define module_init(fn)
+#define module_exit(fn)
+
+#ifdef MODULE
+#define THIS_MODULE_NAME "module"
+#else
+#define THIS_MODULE_NAME "builtin"
+#endif
+
+#endif /* _LINUX_MODULE_H */
+`)
+	w("include/linux/string.h", `#ifndef _LINUX_STRING_H
+#define _LINUX_STRING_H
+
+extern void *memcpy_safe(void *dst, const void *src, unsigned long n);
+extern void *memset_safe(void *s, int c, unsigned long n);
+extern unsigned long strlen_safe(const char *s);
+extern int strcmp_safe(const char *a, const char *b);
+
+#endif /* _LINUX_STRING_H */
+`)
+	w("include/linux/delay.h", `#ifndef _LINUX_DELAY_H
+#define _LINUX_DELAY_H
+
+extern void msleep(unsigned int msecs);
+extern void udelay(unsigned long usecs);
+
+#endif /* _LINUX_DELAY_H */
+`)
+	w("include/linux/interrupt.h", `#ifndef _LINUX_INTERRUPT_H
+#define _LINUX_INTERRUPT_H
+
+extern int request_irq(unsigned int irq, void *handler, unsigned long flags,
+			const char *name, void *dev);
+extern void free_irq(unsigned int irq, void *dev);
+
+#define IRQF_SHARED 0x80
+
+#endif /* _LINUX_INTERRUPT_H */
+`)
+	w("include/linux/spinlock.h", `#ifndef _LINUX_SPINLOCK_H
+#define _LINUX_SPINLOCK_H
+
+typedef struct {
+	int raw;
+} spinlock_ext_t;
+
+extern void spin_lock_init_ext(spinlock_ext_t *lock);
+extern void spin_lock_ext(spinlock_ext_t *lock);
+extern void spin_unlock_ext(spinlock_ext_t *lock);
+
+#endif /* _LINUX_SPINLOCK_H */
+`)
+	w("include/linux/mutex.h", `#ifndef _LINUX_MUTEX_H
+#define _LINUX_MUTEX_H
+
+struct mutex_ext {
+	int owner;
+};
+
+extern void mutex_init_ext(struct mutex_ext *m);
+extern void mutex_lock_ext(struct mutex_ext *m);
+extern void mutex_unlock_ext(struct mutex_ext *m);
+
+#endif /* _LINUX_MUTEX_H */
+`)
+	w("include/linux/io.h", `#ifndef _LINUX_IO_H
+#define _LINUX_IO_H
+
+#include <asm/io.h>
+
+#endif /* _LINUX_IO_H */
+`)
+	w("include/linux/init.h", `#ifndef _LINUX_INIT_H
+#define _LINUX_INIT_H
+
+#define __init
+#define __exit
+#define __initdata
+
+#endif /* _LINUX_INIT_H */
+`)
+	// kernel/bounds.c is compiled during build set-up to generate constant
+	// headers (as in the real kernel); JMake cannot mutate it either.
+	g.tree.Write("kernel/bounds.c", `/*
+ * Generate assembler bounds consumed by the build itself.
+ */
+#include <linux/types.h>
+
+#define DEFINE_BOUND(sym, val) const int bound_##sym = val;
+
+DEFINE_BOUND(NR_PAGEFLAGS, 24)
+DEFINE_BOUND(MAX_NR_ZONES, 4)
+DEFINE_BOUND(NR_CPUS_BITS, 8)
+`)
+	g.man.SetupFiles = append(g.man.SetupFiles,
+		"include/linux/compiler.h", "include/linux/kconfig.h", "kernel/bounds.c")
+}
+
+// subsystemHeader writes the API header of one subsystem.
+func (g *generator) subsystemHeader(s subsysSpec) string {
+	path := "include/linux/" + s.Header
+	guard := "_LINUX_" + strings.ToUpper(strings.ReplaceAll(strings.ReplaceAll(s.Header, ".", "_"), "-", "_"))
+	var b strings.Builder
+	fmt.Fprintf(&b, "#ifndef %s\n#define %s\n\n", guard, guard)
+	b.WriteString("#include <linux/types.h>\n\n")
+	fmt.Fprintf(&b, "struct %s {\n\tint id;\n\tu32 features;\n\tvoid *private_data;\n};\n\n", s.Struct)
+	for i, m := range s.Macros {
+		fmt.Fprintf(&b, "#define %s 0x%02x\n", m, 1<<uint(i))
+	}
+	b.WriteString("\n")
+	for _, fn := range s.Funcs {
+		fmt.Fprintf(&b, "extern int %s();\n", fn)
+	}
+	fmt.Fprintf(&b, "\n#endif /* %s */\n", guard)
+	g.tree.Write(path, b.String())
+	return path
+}

@@ -1,0 +1,238 @@
+package kernelgen
+
+import (
+	"strings"
+	"testing"
+
+	"jmake/internal/fstree"
+	"jmake/internal/kbuild"
+	"jmake/internal/kconfig"
+	"jmake/internal/maintainers"
+	"jmake/internal/vclock"
+)
+
+func generateSmall(t *testing.T) (*fstree.Tree, *Manifest) {
+	t.Helper()
+	tree, man, err := Generate(Params{Seed: 7, Scale: 0.15})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return tree, man
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	t1, _, err := Generate(Params{Seed: 42, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, _, err := Generate(Params{Seed: 42, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, p2 := t1.Paths(), t2.Paths()
+	if len(p1) != len(p2) {
+		t.Fatalf("path counts differ: %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("path %d differs: %s vs %s", i, p1[i], p2[i])
+		}
+		c1, _ := t1.Read(p1[i])
+		c2, _ := t2.Read(p2[i])
+		if c1 != c2 {
+			t.Fatalf("content differs for %s", p1[i])
+		}
+	}
+	t3, _, err := Generate(Params{Seed: 43, Scale: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t3.Paths()) == len(p1) {
+		same := true
+		for i, p := range t3.Paths() {
+			if p != p1[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical trees")
+		}
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	tr, man := generateSmall(t)
+	for _, want := range []string{
+		"Makefile", "Kconfig.shared", "Kbuild.meta", "MAINTAINERS",
+		"include/linux/kernel.h", "include/linux/types.h",
+		"arch/x86_64/Kconfig", "arch/arm/include/asm/io.h",
+		"arch/powerpc/kernel/prom_init.c",
+	} {
+		if !tr.Exists(want) {
+			t.Errorf("missing %s", want)
+		}
+	}
+	if len(man.Drivers) < 30 {
+		t.Errorf("drivers = %d, want >= 30 at scale 0.15", len(man.Drivers))
+	}
+	if len(man.Subsystems) != len(subsystems) {
+		t.Errorf("subsystems = %d, want %d", len(man.Subsystems), len(subsystems))
+	}
+	if len(man.SetupFiles) == 0 || man.WholeBuildFile == "" {
+		t.Error("meta populated incompletely")
+	}
+	if len(man.WorkingArches) != 24 || len(man.BrokenArches) != 2 {
+		t.Errorf("arches = %d working, %d broken", len(man.WorkingArches), len(man.BrokenArches))
+	}
+}
+
+func TestGeneratedKconfigParses(t *testing.T) {
+	tr, _ := generateSmall(t)
+	for _, arch := range []string{"x86_64", "arm", "powerpc"} {
+		kt, err := kconfig.Parse(kbuild.TreeSource{T: tr}, "arch/"+arch+"/Kconfig")
+		if err != nil {
+			t.Fatalf("Kconfig parse for %s: %v", arch, err)
+		}
+		if kt.Len() < 50 {
+			t.Errorf("%s: only %d symbols", arch, kt.Len())
+		}
+		cfg := kt.AllYesConfig()
+		if cfg.Value("MAINSTREAM") != kconfig.Yes {
+			t.Errorf("%s: MAINSTREAM = %v", arch, cfg.Value("MAINSTREAM"))
+		}
+	}
+}
+
+func TestGeneratedMaintainersParses(t *testing.T) {
+	tr, man := generateSmall(t)
+	content, err := tr.Read("MAINTAINERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := maintainers.Parse(content)
+	if err != nil {
+		t.Fatalf("MAINTAINERS parse: %v", err)
+	}
+	// +1: the preamble line parses as a pattern-less entry, like the real
+	// MAINTAINERS header text. Staging drivers have no entry of their own.
+	withEntry := 0
+	for _, d := range man.Drivers {
+		if d.EntryName != "" {
+			withEntry++
+		}
+	}
+	want := len(man.Subsystems) + withEntry + 1
+	if len(entries) != want {
+		t.Errorf("entries = %d, want %d", len(entries), want)
+	}
+	ix := maintainers.NewIndex(entries)
+	d := man.Drivers[0]
+	subs := ix.SubsystemsFor(d.CFile)
+	if len(subs) < 2 {
+		t.Errorf("driver file %s matches %v, want subsystem + driver entries", d.CFile, subs)
+	}
+}
+
+// The make-or-break property: the whole generated tree compiles. Every
+// reachable .c file must preprocess and compile under its architecture's
+// allyesconfig.
+func TestGeneratedTreeCompiles(t *testing.T) {
+	tr, man := generateSmall(t)
+	meta, err := kbuild.LoadMeta(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	arches := kbuild.DiscoverArches(tr, meta)
+	model := vclock.DefaultModel(1)
+
+	compileAll := func(archName string, paths []string) {
+		t.Helper()
+		arch := arches[archName]
+		kt, err := kconfig.Parse(kbuild.TreeSource{T: tr}, arch.KconfigRoot)
+		if err != nil {
+			t.Fatalf("%s Kconfig: %v", archName, err)
+		}
+		cfg := kt.AllYesConfig()
+		b, err := kbuild.NewBuilder(tr, arch, cfg, meta, model)
+		if err != nil {
+			t.Fatalf("builder %s: %v", archName, err)
+		}
+		compiled := 0
+		for _, p := range paths {
+			if _, err := b.Reachable(p); err != nil {
+				continue // gated off for this arch (arch-bound elsewhere)
+			}
+			if _, _, err := b.MakeO(p); err != nil {
+				t.Errorf("[%s] %s does not compile: %v", archName, p, err)
+			}
+			compiled++
+		}
+		if compiled == 0 {
+			t.Errorf("[%s] nothing compiled", archName)
+		}
+	}
+
+	var all []string
+	for _, p := range tr.Paths() {
+		if strings.HasSuffix(p, ".c") && !strings.HasPrefix(p, "tools/") {
+			all = append(all, p)
+		}
+	}
+	compileAll("x86_64", all)
+
+	// Every arch-bound driver compiles on its own architecture (except
+	// those bound to an architecture without a working cross-compiler).
+	for _, d := range man.Drivers {
+		if d.ArchBound == "" || meta.BrokenArches[d.ArchBound] {
+			continue
+		}
+		compileAll(d.ArchBound, []string{d.CFile})
+	}
+}
+
+// Arch-bound drivers must NOT be reachable on the host architecture.
+func TestArchBoundUnreachableOnHost(t *testing.T) {
+	tr, man := generateSmall(t)
+	meta, _ := kbuild.LoadMeta(tr)
+	arches := kbuild.DiscoverArches(tr, meta)
+	kt, err := kconfig.Parse(kbuild.TreeSource{T: tr}, arches["x86_64"].KconfigRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := kt.AllYesConfig()
+	b, err := kbuild.NewBuilder(tr, arches["x86_64"], cfg, meta, vclock.DefaultModel(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range man.Drivers {
+		if d.ArchBound == "" || d.ArchBound == "x86_64" {
+			continue
+		}
+		found = true
+		if _, err := b.Reachable(d.CFile); err == nil {
+			t.Errorf("%s (bound to %s) reachable on x86_64", d.CFile, d.ArchBound)
+		}
+	}
+	if !found {
+		t.Skip("no arch-bound drivers at this scale/seed")
+	}
+}
+
+func TestSiteClassesPresent(t *testing.T) {
+	_, man := generateSmall(t)
+	counts := map[SiteClass]int{}
+	for _, d := range man.Drivers {
+		for c := range d.Sites {
+			counts[c]++
+		}
+	}
+	for _, c := range []SiteClass{SitePlain, SiteComment, SiteMacroBody, SiteIfdefOn} {
+		if counts[c] == 0 {
+			t.Errorf("no drivers with site class %d", c)
+		}
+	}
+	// The rare classes should exist at full scale; at 0.15 just log them.
+	t.Logf("site class counts: %v", counts)
+}

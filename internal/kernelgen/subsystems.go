@@ -1,0 +1,321 @@
+package kernelgen
+
+// subsysSpec statically describes one driver-hosting subsystem: its
+// directory, Kconfig gate, API header with the functions and macros that
+// header exports, and its mailing list. Driver generation draws calls and
+// macro uses from these tables, which keeps every generated file compilable
+// (all called functions are declared by an included header).
+type subsysSpec struct {
+	Dir       string
+	Name      string
+	ConfigVar string
+	Header    string // include/linux/<Header>
+	Struct    string
+	Funcs     []string
+	Macros    []string // object-like, defined to small constants
+	List      string
+	Drivers   int // base driver count at scale 1.0
+}
+
+// subsystems is the static subsystem table. Function names follow real
+// kernel conventions so the generated tree reads like the genuine article.
+var subsystems = []subsysSpec{
+	{
+		Dir: "drivers/net", Name: "NETWORKING DRIVERS", ConfigVar: "NETDEVICES",
+		Header: "netdevice.h", Struct: "net_device",
+		Funcs: []string{"alloc_netdev", "register_netdev", "unregister_netdev",
+			"netif_start_queue", "netif_stop_queue", "netif_carrier_on",
+			"netif_carrier_off", "netdev_priv", "eth_type_trans"},
+		Macros: []string{"NETIF_F_SG", "NETIF_F_IP_CSUM", "NETDEV_TX_OK"},
+		List:   "netdev@vger.example.org", Drivers: 60,
+	},
+	{
+		Dir: "drivers/usb", Name: "USB SUBSYSTEM", ConfigVar: "USB_SUPPORT",
+		Header: "usb.h", Struct: "usb_device",
+		Funcs: []string{"usb_register_driver", "usb_deregister", "usb_get_dev",
+			"usb_put_dev", "usb_control_msg", "usb_submit_urb", "usb_alloc_urb",
+			"usb_free_urb", "usb_set_intfdata"},
+		Macros: []string{"USB_DIR_IN", "USB_DIR_OUT", "USB_TYPE_VENDOR"},
+		List:   "linux-usb@vger.example.org", Drivers: 45,
+	},
+	{
+		Dir: "drivers/gpu", Name: "DRM DRIVERS", ConfigVar: "DRM",
+		Header: "drm_core.h", Struct: "drm_device",
+		Funcs: []string{"drm_dev_alloc", "drm_dev_register", "drm_dev_unregister",
+			"drm_mode_config_init", "drm_crtc_init", "drm_connector_attach"},
+		Macros: []string{"DRM_MODE_DPMS_ON", "DRM_MODE_DPMS_OFF"},
+		List:   "dri-devel@lists.example.org", Drivers: 30,
+	},
+	{
+		Dir: "drivers/staging", Name: "STAGING SUBSYSTEM", ConfigVar: "STAGING",
+		Header: "staging_core.h", Struct: "staging_dev",
+		Funcs: []string{"staging_register", "staging_unregister", "comedi_alloc_devpriv",
+			"comedi_alloc_subdevices", "comedi_event"},
+		Macros: []string{"COMEDI_CB_EOA", "COMEDI_CB_BLOCK"},
+		List:   "devel@driverdev.example.org", Drivers: 150,
+	},
+	{
+		Dir: "drivers/clk", Name: "COMMON CLK FRAMEWORK", ConfigVar: "COMMON_CLK",
+		Header: "clk-provider.h", Struct: "clk_hw",
+		Funcs: []string{"clk_register", "clk_unregister", "clk_prepare_enable",
+			"clk_disable_unprepare", "clk_get_rate", "clk_set_rate"},
+		Macros: []string{"CLK_SET_RATE_PARENT", "CLK_IGNORE_UNUSED"},
+		List:   "linux-clk@vger.example.org", Drivers: 25,
+	},
+	{
+		Dir: "drivers/scsi", Name: "SCSI SUBSYSTEM", ConfigVar: "SCSI",
+		Header: "scsi_host.h", Struct: "Scsi_Host",
+		Funcs: []string{"scsi_host_alloc", "scsi_add_host", "scsi_remove_host",
+			"scsi_host_put", "scsi_device_lookup", "scsi_scan_host"},
+		Macros: []string{"SCSI_MLQUEUE_HOST_BUSY", "DID_ERROR"},
+		List:   "linux-scsi@vger.example.org", Drivers: 30,
+	},
+	{
+		Dir: "drivers/input", Name: "INPUT SUBSYSTEM", ConfigVar: "INPUT",
+		Header: "input_core.h", Struct: "input_dev",
+		Funcs: []string{"input_allocate_device", "input_register_device",
+			"input_unregister_device", "input_report_key", "input_report_abs",
+			"input_sync", "input_set_drvdata"},
+		Macros: []string{"EV_KEY", "EV_ABS", "BTN_TOUCH"},
+		List:   "linux-input@vger.example.org", Drivers: 30,
+	},
+	{
+		Dir: "drivers/char", Name: "CHARACTER DEVICE DRIVERS", ConfigVar: "CHAR_DEV",
+		Header: "cdev.h", Struct: "cdev",
+		Funcs: []string{"cdev_init", "cdev_add", "cdev_del",
+			"register_chrdev_region", "unregister_chrdev_region"},
+		Macros: []string{"MINORBITS", "MINORMASK"},
+		List:   "linux-kernel@vger.example.org", Drivers: 20,
+	},
+	{
+		Dir: "drivers/i2c", Name: "I2C SUBSYSTEM", ConfigVar: "I2C",
+		Header: "i2c_core.h", Struct: "i2c_client",
+		Funcs: []string{"i2c_add_adapter", "i2c_del_adapter", "i2c_transfer",
+			"i2c_smbus_read_byte", "i2c_smbus_write_byte", "i2c_set_clientdata"},
+		Macros: []string{"I2C_M_RD", "I2C_FUNC_I2C"},
+		List:   "linux-i2c@vger.example.org", Drivers: 30,
+	},
+	{
+		Dir: "drivers/spi", Name: "SPI SUBSYSTEM", ConfigVar: "SPI",
+		Header: "spi_core.h", Struct: "spi_device",
+		Funcs: []string{"spi_register_master", "spi_unregister_master",
+			"spi_sync", "spi_write_then_read", "spi_setup"},
+		Macros: []string{"SPI_CPHA", "SPI_CPOL", "SPI_MODE_0"},
+		List:   "linux-spi@vger.example.org", Drivers: 22,
+	},
+	{
+		Dir: "drivers/gpio", Name: "GPIO SUBSYSTEM", ConfigVar: "GPIOLIB",
+		Header: "gpio_driver.h", Struct: "gpio_chip",
+		Funcs: []string{"gpiochip_add", "gpiochip_remove", "gpiod_get_value",
+			"gpiod_set_value", "gpiod_direction_input", "gpiod_direction_output"},
+		Macros: []string{"GPIOF_DIR_IN", "GPIOF_DIR_OUT"},
+		List:   "linux-gpio@vger.example.org", Drivers: 22,
+	},
+	{
+		Dir: "drivers/media", Name: "MEDIA INPUT INFRASTRUCTURE", ConfigVar: "MEDIA_SUPPORT",
+		Header: "v4l2_core.h", Struct: "video_device",
+		Funcs: []string{"video_register_device", "video_unregister_device",
+			"v4l2_device_register", "v4l2_device_unregister", "vb2_queue_init"},
+		Macros: []string{"V4L2_CAP_VIDEO_CAPTURE", "V4L2_CAP_STREAMING"},
+		List:   "linux-media@vger.example.org", Drivers: 35,
+	},
+	{
+		Dir: "drivers/mmc", Name: "MMC SUBSYSTEM", ConfigVar: "MMC",
+		Header: "mmc_host.h", Struct: "mmc_host",
+		Funcs: []string{"mmc_alloc_host", "mmc_add_host", "mmc_remove_host",
+			"mmc_free_host", "mmc_request_done", "mmc_detect_change"},
+		Macros: []string{"MMC_CAP_4_BIT_DATA", "MMC_CAP_SD_HIGHSPEED"},
+		List:   "linux-mmc@vger.example.org", Drivers: 18,
+	},
+	{
+		Dir: "drivers/mtd", Name: "MTD SUBSYSTEM", ConfigVar: "MTD",
+		Header: "mtd_core.h", Struct: "mtd_info",
+		Funcs: []string{"mtd_device_register", "mtd_device_unregister",
+			"mtd_read", "mtd_write", "mtd_erase"},
+		Macros: []string{"MTD_WRITEABLE", "MTD_NO_ERASE"},
+		List:   "linux-mtd@lists.example.org", Drivers: 18,
+	},
+	{
+		Dir: "drivers/pci", Name: "PCI SUBSYSTEM", ConfigVar: "PCI",
+		Header: "pci_core.h", Struct: "pci_dev",
+		Funcs: []string{"pci_enable_device", "pci_disable_device",
+			"pci_register_driver", "pci_unregister_driver", "pci_set_drvdata",
+			"pci_request_regions", "pci_release_regions"},
+		Macros: []string{"PCI_VENDOR_ID_INTEL", "PCI_ANY_ID"},
+		List:   "linux-pci@vger.example.org", Drivers: 15,
+	},
+	{
+		Dir: "drivers/rtc", Name: "REAL TIME CLOCK (RTC) SUBSYSTEM", ConfigVar: "RTC_CLASS",
+		Header: "rtc_core.h", Struct: "rtc_device",
+		Funcs: []string{"rtc_device_register", "rtc_device_unregister",
+			"rtc_update_irq", "rtc_tm_to_time", "rtc_valid_tm"},
+		Macros: []string{"RTC_IRQF", "RTC_AF", "RTC_UF"},
+		List:   "rtc-linux@googlegroups.example.org", Drivers: 18,
+	},
+	{
+		Dir: "drivers/watchdog", Name: "WATCHDOG DEVICE DRIVERS", ConfigVar: "WATCHDOG",
+		Header: "watchdog_core.h", Struct: "watchdog_device",
+		Funcs: []string{"watchdog_register_device", "watchdog_unregister_device",
+			"watchdog_init_timeout", "watchdog_set_drvdata"},
+		Macros: []string{"WDIOF_SETTIMEOUT", "WDIOF_KEEPALIVEPING"},
+		List:   "linux-watchdog@vger.example.org", Drivers: 15,
+	},
+	{
+		Dir: "drivers/hwmon", Name: "HARDWARE MONITORING", ConfigVar: "HWMON",
+		Header: "hwmon_core.h", Struct: "hwmon_device",
+		Funcs: []string{"hwmon_device_register", "hwmon_device_unregister",
+			"hwmon_notify_event"},
+		Macros: []string{"HWMON_T_INPUT", "HWMON_T_MAX"},
+		List:   "linux-hwmon@vger.example.org", Drivers: 15,
+	},
+	{
+		Dir: "fs/ext4", Name: "EXT4 FILE SYSTEM", ConfigVar: "EXT4_FS",
+		Header: "ext4_jbd.h", Struct: "ext4_inode_info",
+		Funcs: []string{"ext4_journal_start", "ext4_journal_stop",
+			"ext4_mark_inode_dirty", "ext4_bread", "ext4_get_block"},
+		Macros: []string{"EXT4_MIN_BLOCK_SIZE", "EXT4_NDIR_BLOCKS"},
+		List:   "linux-ext4@vger.example.org", Drivers: 10,
+	},
+	{
+		Dir: "fs/proc", Name: "PROC FILESYSTEM", ConfigVar: "PROC_FS",
+		Header: "proc_fs_core.h", Struct: "proc_dir_entry",
+		Funcs: []string{"proc_create", "proc_remove", "proc_mkdir",
+			"seq_printf", "seq_puts", "single_open"},
+		Macros: []string{"PROC_BLOCK_SIZE"},
+		List:   "linux-fsdevel@vger.example.org", Drivers: 8,
+	},
+	{
+		Dir: "fs/nfs", Name: "NFS CLIENT", ConfigVar: "NFS_FS",
+		Header: "nfs_fs_core.h", Struct: "nfs_server",
+		Funcs: []string{"nfs_create_server", "nfs_free_server",
+			"rpc_call_sync", "rpc_call_async", "nfs_revalidate_inode"},
+		Macros: []string{"NFS_MAX_TCP_TIMEOUT", "NFS_DEF_ACREGMIN"},
+		List:   "linux-nfs@vger.example.org", Drivers: 8,
+	},
+	{
+		Dir: "net/core", Name: "NETWORKING [GENERAL]", ConfigVar: "NET",
+		Header: "skbuff.h", Struct: "sk_buff",
+		Funcs: []string{"alloc_skb", "kfree_skb", "skb_put", "skb_pull",
+			"skb_push", "skb_reserve", "skb_clone", "dev_queue_xmit"},
+		Macros: []string{"MAX_SKB_FRAGS", "SKB_DATA_ALIGN_FACTOR"},
+		List:   "netdev@vger.example.org", Drivers: 12,
+	},
+	{
+		Dir: "net/ipv4", Name: "NETWORKING [IPv4/IPv6]", ConfigVar: "INET",
+		Header: "ip_core.h", Struct: "inet_sock",
+		Funcs: []string{"ip_route_output", "ip_local_out", "inet_register_protosw",
+			"inet_unregister_protosw", "ip_send_check"},
+		Macros: []string{"IPTOS_TOS_MASK", "IP_MAX_MTU"},
+		List:   "netdev@vger.example.org", Drivers: 10,
+	},
+	{
+		Dir: "net/sched", Name: "TC SUBSYSTEM", ConfigVar: "NET_SCHED",
+		Header: "pkt_sched.h", Struct: "Qdisc",
+		Funcs: []string{"qdisc_create_dflt", "qdisc_destroy", "qdisc_reset",
+			"tcf_block_get", "tcf_block_put"},
+		Macros: []string{"TC_H_ROOT", "TC_H_INGRESS"},
+		List:   "netdev@vger.example.org", Drivers: 8,
+	},
+	{
+		Dir: "kernel", Name: "SCHEDULER AND CORE KERNEL", ConfigVar: "KERNEL_CORE",
+		Header: "sched_core.h", Struct: "task_struct_info",
+		Funcs: []string{"schedule_work_on", "wake_up_process_sync",
+			"set_task_state_safe", "kthread_create_worker"},
+		Macros: []string{"MAX_PRIO_LEVELS", "MIN_NICE_LEVEL"},
+		List:   "linux-kernel@vger.example.org", Drivers: 10,
+	},
+	{
+		Dir: "mm", Name: "MEMORY MANAGEMENT", ConfigVar: "MMU_CORE",
+		Header: "mm_core.h", Struct: "vm_area_info",
+		Funcs: []string{"alloc_pages_node", "free_pages_node", "vmalloc_range",
+			"vfree_range", "remap_pfn_range_safe"},
+		Macros: []string{"GFP_KERNEL_FLAGS", "GFP_ATOMIC_FLAGS"},
+		List:   "linux-mm@kvack.example.org", Drivers: 8,
+	},
+	{
+		Dir: "lib", Name: "LIBRARY ROUTINES", ConfigVar: "LIB_CORE",
+		Header: "lib_core.h", Struct: "rb_root_info",
+		Funcs: []string{"bitmap_zero_ext", "bitmap_fill_ext", "crc32_compute",
+			"sort_array", "bsearch_array"},
+		Macros: []string{"BITS_PER_LONG_VAL", "BITMAP_LAST_WORD"},
+		List:   "linux-kernel@vger.example.org", Drivers: 8,
+	},
+	{
+		Dir: "block", Name: "BLOCK LAYER", ConfigVar: "BLOCK",
+		Header: "blkdev_core.h", Struct: "request_queue",
+		Funcs: []string{"blk_alloc_queue", "blk_cleanup_queue", "blk_queue_make_request",
+			"bio_alloc_ext", "bio_endio_ext"},
+		Macros: []string{"BLK_MAX_SEGMENTS", "BLK_SAFE_MAX_SECTORS"},
+		List:   "linux-block@vger.example.org", Drivers: 8,
+	},
+	{
+		Dir: "crypto", Name: "CRYPTO API", ConfigVar: "CRYPTO",
+		Header: "crypto_core.h", Struct: "crypto_tfm",
+		Funcs: []string{"crypto_register_alg", "crypto_unregister_alg",
+			"crypto_alloc_tfm_ext", "crypto_free_tfm_ext"},
+		Macros: []string{"CRYPTO_ALG_TYPE_CIPHER", "CRYPTO_MAX_ALG_NAME"},
+		List:   "linux-crypto@vger.example.org", Drivers: 10,
+	},
+	{
+		Dir: "sound/core", Name: "SOUND", ConfigVar: "SND",
+		Header: "sound_core.h", Struct: "snd_card",
+		Funcs: []string{"snd_card_new", "snd_card_register", "snd_card_free",
+			"snd_pcm_new", "snd_ctl_add"},
+		Macros: []string{"SNDRV_CARDS_LIMIT", "SNDRV_DEFAULT_IDX"},
+		List:   "alsa-devel@alsa-project.example.org", Drivers: 12,
+	},
+	{
+		Dir: "sound/pci", Name: "SOUND - PCI DRIVERS", ConfigVar: "SND_PCI",
+		Header: "sound_pci.h", Struct: "snd_pci_chip",
+		Funcs: []string{"snd_pci_chip_create", "snd_pci_chip_free",
+			"snd_pci_interrupt_enable", "snd_pci_interrupt_disable"},
+		Macros: []string{"SND_PCI_BUFFER_BYTES", "SND_PCI_PERIODS_MAX"},
+		List:   "alsa-devel@alsa-project.example.org", Drivers: 12,
+	},
+	{
+		Dir: "security", Name: "SECURITY SUBSYSTEM", ConfigVar: "SECURITY",
+		Header: "security_core.h", Struct: "security_hook_info",
+		Funcs: []string{"security_add_hooks_ext", "security_file_permission_ext",
+			"security_capable_ext"},
+		Macros: []string{"SECURITY_NAME_MAX_LEN"},
+		List:   "linux-security-module@vger.example.org", Drivers: 6,
+	},
+}
+
+// commonFuncs are declared by the always-included common headers and can be
+// called from any file.
+var commonFuncs = []string{
+	"printk", "kmalloc", "kzalloc", "kfree", "kcalloc",
+	"memcpy_safe", "memset_safe", "strlen_safe", "strcmp_safe",
+	"msleep", "udelay", "request_irq", "free_irq",
+	"spin_lock_init_ext", "spin_lock_ext", "spin_unlock_ext",
+	"mutex_init_ext", "mutex_lock_ext", "mutex_unlock_ext",
+}
+
+// asmCommonFuncs are declared in every architecture's asm/io.h.
+var asmCommonFuncs = []string{
+	"readb", "readw", "readl", "writeb", "writew", "writel",
+	"inb", "outb", "inw", "outw",
+}
+
+// workingArches are the 24 architectures the paper's make.cross could
+// drive (§II-A footnote 3).
+var workingArches = []string{
+	"x86_64", "i386", "alpha", "arm", "avr32", "blackfin", "cris", "ia64",
+	"m32r", "m68k", "microblaze", "mips", "mn10300", "openrisc", "parisc",
+	"powerpc", "s390", "sh", "sparc", "sparc64", "tile", "tilegx", "um",
+	"xtensa",
+}
+
+// brokenArches have no working cross-compiler (a subset of the paper's 10
+// failing ones).
+var brokenArches = []string{"arm64", "score"}
+
+// setupOpsByArch pins the paper's reported set-up operation counts
+// (§III-D: over 80 for x86, over 60 for arm); other architectures get a
+// deterministic value in between from the generator.
+var setupOpsByArch = map[string]int{
+	"x86_64": 84,
+	"i386":   82,
+	"arm":    63,
+}

@@ -1,0 +1,184 @@
+// Package maintainers models the Linux kernel MAINTAINERS file: named
+// subsystem entries with maintainer addresses, mailing lists, and file
+// patterns. JMake's janitor identification (paper §IV) uses entries as its
+// subsystem notion and the designated mailing lists as a coarser-grained
+// one.
+package maintainers
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Entry is one MAINTAINERS subsystem block.
+type Entry struct {
+	Name        string
+	Maintainers []string // email addresses from M: lines
+	Lists       []string // addresses from L: lines
+	Patterns    []string // file patterns from F: lines
+}
+
+// ErrParse reports malformed MAINTAINERS content.
+var ErrParse = errors.New("maintainers: parse error")
+
+// Parse reads MAINTAINERS-format text: entries separated by blank lines,
+// each starting with a name line followed by tagged lines (M:, L:, F:).
+func Parse(content string) ([]Entry, error) {
+	var out []Entry
+	var cur *Entry
+	for ln, raw := range strings.Split(content, "\n") {
+		line := strings.TrimRight(raw, " \t")
+		if strings.TrimSpace(line) == "" {
+			cur = nil
+			continue
+		}
+		if len(line) >= 2 && line[1] == ':' {
+			if cur == nil {
+				return nil, fmt.Errorf("%w: line %d: tagged line outside entry", ErrParse, ln+1)
+			}
+			val := strings.TrimSpace(line[2:])
+			switch line[0] {
+			case 'M':
+				cur.Maintainers = append(cur.Maintainers, extractEmail(val))
+			case 'L':
+				cur.Lists = append(cur.Lists, val)
+			case 'F':
+				cur.Patterns = append(cur.Patterns, val)
+			default:
+				// S:, W:, T:, K: etc. — irrelevant here.
+			}
+			continue
+		}
+		out = append(out, Entry{Name: line})
+		cur = &out[len(out)-1]
+	}
+	return out, nil
+}
+
+// extractEmail pulls the address out of "Name <addr>" or returns the value
+// unchanged.
+func extractEmail(s string) string {
+	if i := strings.IndexByte(s, '<'); i >= 0 {
+		if j := strings.IndexByte(s[i:], '>'); j > 0 {
+			return s[i+1 : i+j]
+		}
+	}
+	return s
+}
+
+// matches reports whether a MAINTAINERS F: pattern covers path: a pattern
+// ending in '/' covers the subtree, otherwise it must match exactly or as
+// a single-star glob on the basename.
+func matches(pattern, path string) bool {
+	if strings.HasSuffix(pattern, "/") {
+		return strings.HasPrefix(path, pattern)
+	}
+	if strings.ContainsRune(pattern, '*') {
+		dir := ""
+		base := pattern
+		if i := strings.LastIndexByte(pattern, '/'); i >= 0 {
+			dir, base = pattern[:i+1], pattern[i+1:]
+		}
+		pdir := ""
+		pbase := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			pdir, pbase = path[:i+1], path[i+1:]
+		}
+		return dir == pdir && globMatch(base, pbase)
+	}
+	return pattern == path
+}
+
+// globMatch implements '*' wildcards within one path segment.
+func globMatch(pattern, s string) bool {
+	parts := strings.Split(pattern, "*")
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	for _, part := range parts[1 : len(parts)-1] {
+		i := strings.Index(s, part)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(part):]
+	}
+	return strings.HasSuffix(s, parts[len(parts)-1])
+}
+
+// Index answers subsystem and list queries over a parsed MAINTAINERS file.
+type Index struct {
+	entries []Entry
+}
+
+// NewIndex builds an index over entries.
+func NewIndex(entries []Entry) *Index {
+	return &Index{entries: entries}
+}
+
+// Entries returns the underlying entries.
+func (ix *Index) Entries() []Entry { return ix.entries }
+
+// SubsystemsFor returns the names of entries whose patterns cover path.
+func (ix *Index) SubsystemsFor(path string) []string {
+	var out []string
+	for _, e := range ix.entries {
+		for _, p := range e.Patterns {
+			if matches(p, path) {
+				out = append(out, e.Name)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ListsFor returns the union of mailing lists designated for path, sorted.
+func (ix *Index) ListsFor(path string) []string {
+	seen := make(map[string]bool)
+	for _, e := range ix.entries {
+		covered := false
+		for _, p := range e.Patterns {
+			if matches(p, path) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		for _, l := range e.Lists {
+			seen[l] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsMaintainer reports whether email maintains any entry covering path.
+func (ix *Index) IsMaintainer(email, path string) bool {
+	for _, e := range ix.entries {
+		covered := false
+		for _, p := range e.Patterns {
+			if matches(p, path) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		for _, m := range e.Maintainers {
+			if m == email {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,140 @@
+package maintainers
+
+import (
+	"reflect"
+	"testing"
+)
+
+const sample = `NETWORKING DRIVERS
+M:	Dave Miller <davem@example.org>
+L:	netdev@vger.example.org
+F:	drivers/net/
+F:	include/linux/netdevice.h
+
+USB SUBSYSTEM
+M:	Greg KH <gregkh@example.org>
+L:	linux-usb@vger.example.org
+S:	Maintained
+F:	drivers/usb/
+F:	include/linux/usb*.h
+
+STAGING
+L:	devel@driverdev.example.org
+F:	drivers/staging/
+`
+
+func mustIndex(t *testing.T) *Index {
+	t.Helper()
+	entries, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	return NewIndex(entries)
+}
+
+func TestParse(t *testing.T) {
+	entries, err := Parse(sample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	e := entries[0]
+	if e.Name != "NETWORKING DRIVERS" {
+		t.Errorf("Name = %q", e.Name)
+	}
+	if !reflect.DeepEqual(e.Maintainers, []string{"davem@example.org"}) {
+		t.Errorf("Maintainers = %v", e.Maintainers)
+	}
+	if !reflect.DeepEqual(e.Lists, []string{"netdev@vger.example.org"}) {
+		t.Errorf("Lists = %v", e.Lists)
+	}
+	if len(e.Patterns) != 2 {
+		t.Errorf("Patterns = %v", e.Patterns)
+	}
+	// S: lines are skipped without error.
+	if len(entries[1].Patterns) != 2 {
+		t.Errorf("USB patterns = %v", entries[1].Patterns)
+	}
+}
+
+func TestParseError(t *testing.T) {
+	if _, err := Parse("M:\torphan@example.org\n"); err == nil {
+		t.Error("tagged line outside entry should fail")
+	}
+}
+
+func TestSubsystemsFor(t *testing.T) {
+	ix := mustIndex(t)
+	tests := []struct {
+		path string
+		want []string
+	}{
+		{"drivers/net/bonding.c", []string{"NETWORKING DRIVERS"}},
+		{"include/linux/netdevice.h", []string{"NETWORKING DRIVERS"}},
+		{"drivers/usb/storage.c", []string{"USB SUBSYSTEM"}},
+		{"include/linux/usb_gadget.h", []string{"USB SUBSYSTEM"}},
+		{"drivers/staging/foo/bar.c", []string{"STAGING"}},
+		{"mm/page_alloc.c", nil},
+		{"include/linux/usb/ch9.h", nil}, // glob is single-segment
+	}
+	for _, tt := range tests {
+		if got := ix.SubsystemsFor(tt.path); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("SubsystemsFor(%s) = %v, want %v", tt.path, got, tt.want)
+		}
+	}
+}
+
+func TestListsFor(t *testing.T) {
+	ix := mustIndex(t)
+	got := ix.ListsFor("drivers/net/tun.c")
+	if !reflect.DeepEqual(got, []string{"netdev@vger.example.org"}) {
+		t.Errorf("ListsFor = %v", got)
+	}
+	if lists := ix.ListsFor("kernel/fork.c"); lists != nil && len(lists) != 0 {
+		t.Errorf("uncovered path lists = %v", lists)
+	}
+}
+
+func TestIsMaintainer(t *testing.T) {
+	ix := mustIndex(t)
+	if !ix.IsMaintainer("davem@example.org", "drivers/net/tun.c") {
+		t.Error("davem should maintain drivers/net")
+	}
+	if ix.IsMaintainer("davem@example.org", "drivers/usb/core.c") {
+		t.Error("davem should not maintain drivers/usb")
+	}
+	if ix.IsMaintainer("nobody@example.org", "drivers/net/tun.c") {
+		t.Error("unknown address should not maintain anything")
+	}
+}
+
+func TestGlobMatch(t *testing.T) {
+	tests := []struct {
+		pattern, s string
+		want       bool
+	}{
+		{"usb*.h", "usb_gadget.h", true},
+		{"usb*.h", "usb.h", true},
+		{"usb*.h", "serial.h", false},
+		{"*", "anything", true},
+		{"a*b*c", "aXbYc", true},
+		{"a*b*c", "abc", true},
+		{"a*b*c", "acb", false},
+	}
+	for _, tt := range tests {
+		if got := globMatch(tt.pattern, tt.s); got != tt.want {
+			t.Errorf("globMatch(%q, %q) = %v, want %v", tt.pattern, tt.s, got, tt.want)
+		}
+	}
+}
+
+func TestExtractEmail(t *testing.T) {
+	if got := extractEmail("Dave <d@x.org>"); got != "d@x.org" {
+		t.Errorf("extractEmail = %q", got)
+	}
+	if got := extractEmail("bare@x.org"); got != "bare@x.org" {
+		t.Errorf("extractEmail bare = %q", got)
+	}
+}

@@ -1,0 +1,216 @@
+// Package stats provides the small statistical toolkit the evaluation
+// needs: cumulative distribution functions over durations (Figures 4-6),
+// the coefficient of variation used to rank janitors (paper §IV), and
+// fixed-width text tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// CDF is an empirical cumulative distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds a CDF from samples (copied and sorted).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// NewDurationCDF builds a CDF over durations, in seconds.
+func NewDurationCDF(ds []time.Duration) *CDF {
+	s := make([]float64, len(ds))
+	for i, d := range ds {
+		s[i] = d.Seconds()
+	}
+	return NewCDF(s)
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// FractionAtOrBelow returns the fraction of samples <= x, in [0, 1].
+func (c *CDF) FractionAtOrBelow(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Percentile returns the value at quantile p in [0, 1] (nearest-rank).
+func (c *CDF) Percentile(p float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return c.sorted[0]
+	}
+	if p >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	rank := int(math.Ceil(p*float64(len(c.sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return c.sorted[rank]
+}
+
+// Max returns the largest sample (0 for an empty CDF).
+func (c *CDF) Max() float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	return c.sorted[len(c.sorted)-1]
+}
+
+// Points returns n evenly spaced (x, cumulative-percent) pairs suitable for
+// plotting the CDF, covering [0, max].
+func (c *CDF) Points(n int) [][2]float64 {
+	if n < 2 || len(c.sorted) == 0 {
+		return nil
+	}
+	maxV := c.Max()
+	out := make([][2]float64, n)
+	for i := 0; i < n; i++ {
+		x := maxV * float64(i) / float64(n-1)
+		out[i] = [2]float64{x, 100 * c.FractionAtOrBelow(x)}
+	}
+	return out
+}
+
+// RenderASCII draws the CDF as a small text plot, for the evaluation
+// binaries' figure output.
+func (c *CDF) RenderASCII(width, height int, xlabel string) string {
+	if len(c.sorted) == 0 {
+		return "(no samples)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	maxV := c.Max()
+	if maxV == 0 {
+		maxV = 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		x := maxV * float64(col) / float64(width-1)
+		frac := c.FractionAtOrBelow(x)
+		row := int(math.Round(frac * float64(height-1)))
+		grid[height-1-row][col] = '*'
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		pct := 100 * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%5.1f%% |%s|\n", pct, string(row))
+	}
+	fmt.Fprintf(&b, "        0%s%.1f %s\n", strings.Repeat(" ", width-len(fmt.Sprintf("%.1f", maxV))), maxV, xlabel)
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(xs)))
+}
+
+// CoefficientOfVariation returns StdDev/Mean, the janitor-ranking metric of
+// paper §IV ("abstracts away from the number of patches involved"). A zero
+// mean yields 0.
+func CoefficientOfVariation(xs []float64) float64 {
+	m := Mean(xs)
+	if m == 0 {
+		return 0
+	}
+	return StdDev(xs) / m
+}
+
+// Table renders rows as a fixed-width text table with the given headers.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped and
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := 0; i < len(t.headers) && i < len(cells); i++ {
+		row[i] = cells[i]
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}

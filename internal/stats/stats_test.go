@@ -1,0 +1,187 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCDFFractions(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4, 5})
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.2},
+		{2.5, 0.4},
+		{5, 1},
+		{100, 1},
+	}
+	for _, tt := range tests {
+		if got := c.FractionAtOrBelow(tt.x); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("FractionAtOrBelow(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}
+
+func TestCDFPercentile(t *testing.T) {
+	c := NewCDF([]float64{10, 20, 30, 40})
+	if got := c.Percentile(0.5); got != 20 {
+		t.Errorf("P50 = %v, want 20", got)
+	}
+	if got := c.Percentile(0); got != 10 {
+		t.Errorf("P0 = %v, want 10", got)
+	}
+	if got := c.Percentile(1); got != 40 {
+		t.Errorf("P100 = %v, want 40", got)
+	}
+	if got := c.Percentile(0.95); got != 40 {
+		t.Errorf("P95 = %v, want 40", got)
+	}
+}
+
+func TestDurationCDF(t *testing.T) {
+	c := NewDurationCDF([]time.Duration{time.Second, 2 * time.Second, 30 * time.Second})
+	if got := c.FractionAtOrBelow(2); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("FractionAtOrBelow(2s) = %v", got)
+	}
+	if c.Max() != 30 {
+		t.Errorf("Max = %v, want 30", c.Max())
+	}
+}
+
+func TestEmptyCDF(t *testing.T) {
+	c := NewCDF(nil)
+	if c.FractionAtOrBelow(1) != 0 || c.Percentile(0.5) != 0 || c.Max() != 0 {
+		t.Error("empty CDF should return zeros")
+	}
+	if c.Points(10) != nil {
+		t.Error("empty CDF Points should be nil")
+	}
+	if !strings.Contains(c.RenderASCII(20, 5, "s"), "no samples") {
+		t.Error("empty CDF render")
+	}
+}
+
+func TestCDFPoints(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	pts := c.Points(5)
+	if len(pts) != 5 {
+		t.Fatalf("Points = %d", len(pts))
+	}
+	if pts[0][0] != 0 || pts[4][0] != 4 {
+		t.Errorf("x range = %v..%v", pts[0][0], pts[4][0])
+	}
+	if pts[4][1] != 100 {
+		t.Errorf("final cumulative %% = %v, want 100", pts[4][1])
+	}
+	// Monotone non-decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i][1] < pts[i-1][1] {
+			t.Errorf("CDF not monotone at %d: %v < %v", i, pts[i][1], pts[i-1][1])
+		}
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	c := NewCDF([]float64{1, 1, 2, 3, 10})
+	out := c.RenderASCII(30, 6, "seconds")
+	if !strings.Contains(out, "100.0%") || !strings.Contains(out, "seconds") {
+		t.Errorf("render:\n%s", out)
+	}
+	if strings.Count(out, "*") == 0 {
+		t.Error("no plot points rendered")
+	}
+}
+
+func TestMeanStdDevCV(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := StdDev(xs); got != 2 {
+		t.Errorf("StdDev = %v, want 2", got)
+	}
+	if got := CoefficientOfVariation(xs); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("CV = %v, want 0.4", got)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 || CoefficientOfVariation(nil) != 0 {
+		t.Error("empty inputs should give 0")
+	}
+	if CoefficientOfVariation([]float64{0, 0}) != 0 {
+		t.Error("zero mean should give CV 0")
+	}
+}
+
+// Property: a uniform set of identical values has CV 0; scaling values
+// leaves CV unchanged.
+func TestQuickCVScaleInvariant(t *testing.T) {
+	f := func(raw []uint8, scale8 uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		scale := float64(scale8%9) + 1
+		xs := make([]float64, len(raw))
+		ys := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r) + 1
+			ys[i] = xs[i] * scale
+		}
+		return math.Abs(CoefficientOfVariation(xs)-CoefficientOfVariation(ys)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FractionAtOrBelow is monotone and hits 1 at the max sample.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		c := NewCDF(xs)
+		sort.Float64s(xs)
+		prev := -1.0
+		for _, x := range xs {
+			fr := c.FractionAtOrBelow(x)
+			if fr < prev {
+				return false
+			}
+			prev = fr
+		}
+		return c.FractionAtOrBelow(xs[len(xs)-1]) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "patches", "cv")
+	tb.AddRow("Dan Carpenter", "1554", "0.43")
+	tb.AddRow("Julia Lawall", "653", "0.67")
+	tb.AddRow("short")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[0], "patches") {
+		t.Errorf("header: %q", lines[0])
+	}
+	// All rows align to the same width.
+	for i := 1; i < len(lines); i++ {
+		if len(strings.TrimRight(lines[i], " ")) > len(lines[0])+2 {
+			t.Errorf("row %d wider than header: %q", i, lines[i])
+		}
+	}
+}

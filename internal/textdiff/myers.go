@@ -1,0 +1,99 @@
+// Package textdiff implements line-oriented diffing and the unified-diff
+// patch format.
+//
+// JMake consumes Linux kernel commits as patches (paper §II-C): a commit is
+// viewed through `git show` as a sequence of hunks with -/+/context lines.
+// This package provides the equivalents of the Unix diff and patch tools
+// plus the changed-line extraction rule of paper §III-B.
+package textdiff
+
+// editOp is one step of an edit script.
+type editOp struct {
+	op   byte // ' ' keep, '-' delete from a, '+' insert from b
+	text string
+}
+
+// myers computes a minimal edit script between line slices a and b using
+// Myers' O(ND) greedy algorithm.
+func myers(a, b []string) []editOp {
+	n, m := len(a), len(b)
+	if n == 0 && m == 0 {
+		return nil
+	}
+	max := n + m
+	// v[k+max] = furthest x on diagonal k.
+	v := make([]int, 2*max+2)
+	// trace saves v per d for backtracking.
+	var trace [][]int
+	var foundD int
+outer:
+	for d := 0; d <= max; d++ {
+		cp := make([]int, len(v))
+		copy(cp, v)
+		trace = append(trace, cp)
+		for k := -d; k <= d; k += 2 {
+			var x int
+			if k == -d || (k != d && v[k-1+max] < v[k+1+max]) {
+				x = v[k+1+max] // move down (insert)
+			} else {
+				x = v[k-1+max] + 1 // move right (delete)
+			}
+			y := x - k
+			for x < n && y < m && a[x] == b[y] {
+				x++
+				y++
+			}
+			v[k+max] = x
+			if x >= n && y >= m {
+				foundD = d
+				break outer
+			}
+		}
+	}
+
+	// Backtrack.
+	var rev []editOp
+	x, y := n, m
+	for d := foundD; d > 0; d-- {
+		vv := trace[d]
+		k := x - y
+		var prevK int
+		if k == -d || (k != d && vv[k-1+max] < vv[k+1+max]) {
+			prevK = k + 1
+		} else {
+			prevK = k - 1
+		}
+		prevX := vv[prevK+max]
+		prevY := prevX - prevK
+		for x > prevX && y > prevY {
+			rev = append(rev, editOp{' ', a[x-1]})
+			x--
+			y--
+		}
+		if x == prevX {
+			rev = append(rev, editOp{'+', b[y-1]})
+			y--
+		} else {
+			rev = append(rev, editOp{'-', a[x-1]})
+			x--
+		}
+	}
+	for x > 0 && y > 0 {
+		rev = append(rev, editOp{' ', a[x-1]})
+		x--
+		y--
+	}
+	for y > 0 {
+		rev = append(rev, editOp{'+', b[y-1]})
+		y--
+	}
+	for x > 0 {
+		rev = append(rev, editOp{'-', a[x-1]})
+		x--
+	}
+	// Reverse in place.
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}

@@ -1,0 +1,91 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDeterminism(t *testing.T) {
+	m1 := DefaultModel(7)
+	m2 := DefaultModel(7)
+	if m1.ConfigCreate(1500, "x86:allyes") != m2.ConfigCreate(1500, "x86:allyes") {
+		t.Error("same seed and key must give identical durations")
+	}
+	m3 := DefaultModel(8)
+	if m1.ConfigCreate(1500, "x86:allyes") == m3.ConfigCreate(1500, "x86:allyes") {
+		t.Error("different seeds should perturb durations")
+	}
+}
+
+func TestJitterBounds(t *testing.T) {
+	m := DefaultModel(1)
+	for _, key := range []string{"a", "b", "c", "d", "e", "f", "g", "h"} {
+		j := m.jitter(key)
+		if j < 0.9 || j >= 1.1 {
+			t.Errorf("jitter(%q) = %v, want [0.9, 1.1)", key, j)
+		}
+	}
+}
+
+func TestConfigCreateWithinPaperRange(t *testing.T) {
+	// Paper Fig 4a: all configuration creations complete in <= 5 s. Our
+	// largest Kconfig trees have a few thousand symbols.
+	m := DefaultModel(1)
+	d := m.ConfigCreate(3000, "big")
+	if d > 5*time.Second {
+		t.Errorf("ConfigCreate(3000) = %v, want <= 5s", d)
+	}
+	if d < 500*time.Millisecond {
+		t.Errorf("ConfigCreate(3000) = %v, suspiciously fast", d)
+	}
+}
+
+func TestMakeIScaling(t *testing.T) {
+	m := DefaultModel(1)
+	typical := []FileWork{{Lines: 900, Includes: 12}}
+	first := m.MakeI(true, 80, typical, "k1")
+	later := m.MakeI(false, 80, typical, "k1")
+	if later >= first {
+		t.Errorf("subsequent invocation (%v) should be cheaper than first (%v)", later, first)
+	}
+	// Paper Fig 4b: 98% of .i invocations <= 15 s, max ~22 s. Large file
+	// groups run on already-configured trees (set-up paid by an earlier
+	// invocation).
+	if first > 15*time.Second {
+		t.Errorf("first single-file MakeI = %v, want <= 15s (Fig 4b)", first)
+	}
+	big := make([]FileWork, 50)
+	for i := range big {
+		big[i] = FileWork{Lines: 1500, Includes: 20}
+	}
+	worst := m.MakeI(false, 80, big, "k2")
+	if worst > 25*time.Second {
+		t.Errorf("50-file MakeI = %v, want <= ~22s", worst)
+	}
+	if worst < 8*time.Second {
+		t.Errorf("50-file MakeI = %v, want >= 8s to spread the CDF tail", worst)
+	}
+}
+
+func TestMakeOScaling(t *testing.T) {
+	m := DefaultModel(1)
+	normal := m.MakeO(false, 80, 2200, 0, "o1")
+	// Paper Fig 4c: 97% of .o compiles <= 7 s, max ~15 s for normal files.
+	if normal > 7*time.Second {
+		t.Errorf("normal MakeO = %v, want <= 7s", normal)
+	}
+	promInit := m.MakeO(false, 80, 2500, 9000, "o2")
+	if promInit < 6000*time.Second {
+		t.Errorf("whole-kernel MakeO = %v, want > 6000s (prom_init case)", promInit)
+	}
+}
+
+func TestMoreWorkCostsMore(t *testing.T) {
+	m := DefaultModel(3)
+	// Jitter is +/-10%, so compare workloads far enough apart.
+	small := m.MakeI(false, 80, []FileWork{{Lines: 100, Includes: 2}}, "same")
+	large := m.MakeI(false, 80, []FileWork{{Lines: 5000, Includes: 40}}, "same")
+	if large <= small {
+		t.Errorf("large (%v) should cost more than small (%v)", large, small)
+	}
+}

@@ -1,0 +1,212 @@
+package vcs
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"jmake/internal/fstree"
+	"jmake/internal/textdiff"
+)
+
+func sig(name string) Signature {
+	return Signature{Name: name, Email: strings.ToLower(name) + "@example.org",
+		When: time.Date(2015, 11, 1, 12, 0, 0, 0, time.UTC)}
+}
+
+func strp(s string) *string { return &s }
+
+func newTestRepo(t *testing.T) *Repo {
+	t.Helper()
+	base := fstree.New()
+	base.Write("drivers/a.c", "int a;\n")
+	base.Write("drivers/b.c", "int b;\n")
+	base.Write("include/x.h", "#define X 1\n")
+	return NewRepo(base, sig("Root"))
+}
+
+func TestCommitAndCheckout(t *testing.T) {
+	r := newTestRepo(t)
+	id1 := r.Commit(sig("Alice"), "edit a", map[string]*string{
+		"drivers/a.c": strp("int a = 2;\n"),
+	}, false)
+	id2 := r.Commit(sig("Bob"), "add c, delete b", map[string]*string{
+		"drivers/c.c": strp("int c;\n"),
+		"drivers/b.c": nil,
+	}, false)
+
+	t1, err := r.CheckoutTree(id1)
+	if err != nil {
+		t.Fatalf("CheckoutTree(id1): %v", err)
+	}
+	if got, _ := t1.Read("drivers/a.c"); got != "int a = 2;\n" {
+		t.Errorf("a.c at id1 = %q", got)
+	}
+	if !t1.Exists("drivers/b.c") {
+		t.Error("b.c should still exist at id1")
+	}
+	t2, err := r.CheckoutTree(id2)
+	if err != nil {
+		t.Fatalf("CheckoutTree(id2): %v", err)
+	}
+	if t2.Exists("drivers/b.c") {
+		t.Error("b.c should be deleted at id2")
+	}
+	if got, _ := t2.Read("drivers/c.c"); got != "int c;\n" {
+		t.Errorf("c.c at id2 = %q", got)
+	}
+}
+
+func TestNoopCommitChanges(t *testing.T) {
+	r := newTestRepo(t)
+	id := r.Commit(sig("Alice"), "noop", map[string]*string{
+		"drivers/a.c": strp("int a;\n"), // identical content
+		"nonexistent": nil,              // delete of missing file
+	}, false)
+	c, err := r.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if len(c.Changes) != 0 {
+		t.Errorf("noop commit has %d changes, want 0", len(c.Changes))
+	}
+}
+
+func TestBetweenWithFilters(t *testing.T) {
+	r := newTestRepo(t)
+	if err := r.Tag("v4.3", r.Head()); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+	idMod := r.Commit(sig("Alice"), "modify", map[string]*string{"drivers/a.c": strp("int a=1;\n")}, false)
+	_ = r.Commit(sig("Bob"), "merge branch", nil, true)
+	_ = r.Commit(sig("Carol"), "add new file", map[string]*string{"drivers/new.c": strp("x\n")}, false)
+	idMod2 := r.Commit(sig("Dave"), "modify again", map[string]*string{"include/x.h": strp("#define X 2\n")}, false)
+	if err := r.Tag("v4.4", r.Head()); err != nil {
+		t.Fatalf("Tag: %v", err)
+	}
+
+	ids, err := r.Between("v4.3", "v4.4", LogOptions{NoMerges: true, OnlyModify: true})
+	if err != nil {
+		t.Fatalf("Between: %v", err)
+	}
+	want := []string{idMod, idMod2}
+	if len(ids) != 2 || ids[0] != want[0] || ids[1] != want[1] {
+		t.Errorf("Between = %v, want %v", ids, want)
+	}
+
+	all, err := r.Between("v4.3", "v4.4", LogOptions{})
+	if err != nil {
+		t.Fatalf("Between all: %v", err)
+	}
+	if len(all) != 4 {
+		t.Errorf("Between unfiltered = %d commits, want 4", len(all))
+	}
+
+	if _, err := r.Between("v4.4", "v4.3", LogOptions{}); err == nil {
+		t.Error("Between with reversed tags should fail")
+	}
+	if _, err := r.Between("nope", "v4.4", LogOptions{}); !errors.Is(err, ErrUnknownTag) {
+		t.Errorf("unknown tag err = %v", err)
+	}
+}
+
+func TestShowAndFileDiffs(t *testing.T) {
+	r := newTestRepo(t)
+	id := r.Commit(sig("Alice"), "tweak a and x", map[string]*string{
+		"drivers/a.c": strp("int a = 5;\n"),
+		"include/x.h": strp("#define X 2\n"),
+	}, false)
+
+	fds, err := r.FileDiffs(id)
+	if err != nil {
+		t.Fatalf("FileDiffs: %v", err)
+	}
+	if len(fds) != 2 {
+		t.Fatalf("FileDiffs = %d diffs, want 2", len(fds))
+	}
+	if fds[0].NewPath != "drivers/a.c" || fds[1].NewPath != "include/x.h" {
+		t.Errorf("paths = %s, %s", fds[0].NewPath, fds[1].NewPath)
+	}
+	// Applying the diff to the old blob must reproduce the new blob.
+	c, _ := r.Get(id)
+	for i, ch := range c.Changes {
+		got, err := textdiff.Apply(r.Blob(ch.Old), fds[i])
+		if err != nil {
+			t.Fatalf("Apply diff %d: %v", i, err)
+		}
+		if got != r.Blob(ch.New) {
+			t.Errorf("diff %d does not reproduce new content", i)
+		}
+	}
+
+	show, err := r.Show(id)
+	if err != nil {
+		t.Fatalf("Show: %v", err)
+	}
+	for _, want := range []string{"commit " + id, "Author: Alice <alice@example.org>", "    tweak a and x", "diff --git a/drivers/a.c b/drivers/a.c"} {
+		if !strings.Contains(show, want) {
+			t.Errorf("Show output missing %q:\n%s", want, show)
+		}
+	}
+}
+
+func TestCheckoutAcrossCheckpoints(t *testing.T) {
+	base := fstree.New()
+	base.Write("f.c", "v0\n")
+	r := NewRepo(base, sig("Root"))
+	var ids []string
+	n := checkpointEvery*2 + 37
+	for i := 1; i <= n; i++ {
+		ids = append(ids, r.Commit(sig("A"), fmt.Sprintf("v%d", i),
+			map[string]*string{"f.c": strp(fmt.Sprintf("v%d\n", i))}, false))
+	}
+	rnd := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		k := rnd.Intn(n)
+		tr, err := r.CheckoutTree(ids[k])
+		if err != nil {
+			t.Fatalf("CheckoutTree: %v", err)
+		}
+		want := fmt.Sprintf("v%d\n", k+1)
+		if got, _ := tr.Read("f.c"); got != want {
+			t.Errorf("checkout %d: f.c = %q, want %q", k, got, want)
+		}
+	}
+	// Checkout must not alias internal state: mutating the result leaves
+	// later checkouts unaffected.
+	tr, _ := r.CheckoutTree(ids[0])
+	tr.Write("f.c", "corrupted")
+	tr2, _ := r.CheckoutTree(ids[0])
+	if got, _ := tr2.Read("f.c"); got != "v1\n" {
+		t.Errorf("checkout aliased internal state: f.c = %q", got)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	r := newTestRepo(t)
+	if _, err := r.Get("deadbeef"); !errors.Is(err, ErrUnknownCommit) {
+		t.Errorf("Get unknown: err = %v, want ErrUnknownCommit", err)
+	}
+	if _, err := r.CheckoutTree("deadbeef"); !errors.Is(err, ErrUnknownCommit) {
+		t.Errorf("CheckoutTree unknown: err = %v, want ErrUnknownCommit", err)
+	}
+}
+
+func TestDeterministicIDs(t *testing.T) {
+	build := func() []string {
+		r := newTestRepo(t)
+		var ids []string
+		ids = append(ids, r.Commit(sig("Alice"), "one", map[string]*string{"drivers/a.c": strp("1\n")}, false))
+		ids = append(ids, r.Commit(sig("Bob"), "two", map[string]*string{"drivers/b.c": strp("2\n")}, false))
+		return ids
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("commit %d IDs differ: %s vs %s", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package jmake_test
+
+import (
+	"strings"
+	"testing"
+
+	"jmake"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	tree, man, err := jmake.GenerateKernel(1, 0.15)
+	if err != nil {
+		t.Fatalf("GenerateKernel: %v", err)
+	}
+	if tree.Len() == 0 || len(man.Drivers) == 0 {
+		t.Fatal("empty tree or manifest")
+	}
+	hist, err := jmake.SynthesizeHistory(tree, man, 2, 0.01)
+	if err != nil {
+		t.Fatalf("SynthesizeHistory: %v", err)
+	}
+	ids, err := hist.Repo.Between("v4.3", "v4.4", jmake.ModifyingNonMerge)
+	if err != nil {
+		t.Fatalf("Between: %v", err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("no window commits")
+	}
+
+	checked := 0
+	for _, id := range ids {
+		report, err := jmake.CheckCommit(hist.Repo, id, jmake.Options{})
+		if err != nil {
+			t.Fatalf("CheckCommit(%s): %v", id, err)
+		}
+		if len(report.Files) == 0 {
+			continue // path-filtered commit
+		}
+		checked++
+		if checked >= 5 {
+			break
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no commits checked")
+	}
+}
+
+func TestPublicMutate(t *testing.T) {
+	res := jmake.Mutate("f.c", "int a;\nint b;\n", []int{2})
+	if len(res.Mutations) != 1 {
+		t.Fatalf("Mutations = %d", len(res.Mutations))
+	}
+	if !strings.Contains(res.Content, res.Mutations[0].ID) {
+		t.Error("mutation not inserted")
+	}
+}
+
+func TestPublicJanitorStudy(t *testing.T) {
+	tree, man, err := jmake.GenerateKernel(5, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := jmake.SynthesizeHistory(tree, man, 6, 0.03)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtext, err := hist.Repo.ReadTip("MAINTAINERS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := jmake.DefaultJanitorThresholds()
+	th.MinPatches, th.MinSubsystems, th.MinLists, th.MinWindowPatches = 3, 3, 2, 1
+	js, err := jmake.IdentifyJanitors(hist.Repo, mtext, th)
+	if err != nil {
+		t.Fatalf("IdentifyJanitors: %v", err)
+	}
+	if len(js) == 0 {
+		t.Fatal("no janitors identified")
+	}
+}
+
+func TestSessionReuse(t *testing.T) {
+	tree, man, err := jmake.GenerateKernel(7, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := jmake.SynthesizeHistory(tree, man, 8, 0.008)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, _ := hist.Repo.Between("v4.3", "v4.4", jmake.ModifyingNonMerge)
+	base, err := hist.Repo.CheckoutTree(ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	session, err := jmake.NewSession(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if i >= 6 {
+			break
+		}
+		snap, err := hist.Repo.CheckoutTree(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fds, err := hist.Repo.FileDiffs(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checker := jmake.NewChecker(session, snap, 1, jmake.Options{})
+		if _, err := checker.CheckPatch(id, fds); err != nil {
+			t.Fatalf("CheckPatch: %v", err)
+		}
+	}
+}
+
+func TestCheckPatchText(t *testing.T) {
+	tree, man, err := jmake.GenerateKernel(9, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Craft a patch against a generated driver.
+	var path string
+	for _, d := range man.Drivers {
+		if d.ArchBound == "" {
+			path = d.CFile
+			break
+		}
+	}
+	old, err := tree.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(old, "0x04", "0x09", 1)
+	if edited == old {
+		t.Skip("driver lacks the expected register constant")
+	}
+	fd, _ := jmake.DiffFiles(path, old, edited)
+	patch := jmake.FormatDiff(fd)
+
+	report, err := jmake.CheckPatchText(tree, patch, jmake.Options{})
+	if err != nil {
+		t.Fatalf("CheckPatchText: %v", err)
+	}
+	if !report.Certified() {
+		t.Errorf("patch not certified: %+v", report.Files)
+	}
+	// The original tree must be untouched.
+	now, _ := tree.Read(path)
+	if now != old {
+		t.Error("CheckPatchText modified the input tree")
+	}
+}
+
+func TestCheckPatchTextErrors(t *testing.T) {
+	tree, _, err := jmake.GenerateKernel(9, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := jmake.CheckPatchText(tree, "not a patch", jmake.Options{}); err == nil {
+		t.Error("garbage patch accepted")
+	}
+	bad := "--- a/drivers/net/nonexistent.c\n+++ b/drivers/net/nonexistent.c\n@@ -1,1 +1,1 @@\n-x\n+y\n"
+	if _, err := jmake.CheckPatchText(tree, bad, jmake.Options{}); err == nil {
+		t.Error("patch against missing file accepted")
+	}
+}
