@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build test vet race bench-witness eval
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Quick iteration loop: skips the long chaos seed sweeps.
+short:
+	$(GO) test -short ./...
+
+bench-witness:
+	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkWitnessedIn -benchmem
+
+eval:
+	$(GO) run ./cmd/jmake-eval summary

@@ -7,8 +7,8 @@
 //	jmake-eval [flags] [selectors...]
 //
 // Selectors: table1 table2 table3 table4 fig4a fig4b fig4c fig5 fig6
-// archstats configstats mutstats cstats hstats summary limits all
-// (default: all).
+// archstats configstats mutstats cstats hstats summary limits
+// invocations faults all (default: all).
 package main
 
 import (
@@ -42,6 +42,9 @@ func run() error {
 		allmod      = flag.Bool("allmod", false, "run the whole evaluation with the allmodconfig extension")
 		coverage    = flag.Bool("coverage", false, "run the whole evaluation with coverage-configuration synthesis")
 		jsonOut     = flag.Bool("json", false, "emit the whole evaluation as machine-readable JSON and exit")
+		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic faults at this per-operation rate (0 = off)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
+		budget      = flag.Duration("budget", 0, "per-patch virtual-time budget (0 = unlimited)")
 	)
 	flag.Parse()
 
@@ -56,6 +59,14 @@ func run() error {
 
 	fmt.Printf("# jmake-eval: tree-scale=%.2f commit-scale=%.2f workers=%d\n",
 		*treeScale, *commitScale, *workers)
+	checkerOpts := jmake.Options{
+		TryAllModConfig: *allmod,
+		CoverageConfigs: *coverage,
+		Budget:          *budget,
+	}
+	if *faultRate > 0 {
+		checkerOpts.Faults = jmake.UniformFaultPlan(*faultSeed, *faultRate)
+	}
 	start := time.Now()
 	run, err := jmake.Evaluate(jmake.EvalParams{
 		TreeSeed:    *treeSeed,
@@ -64,7 +75,7 @@ func run() error {
 		TreeScale:   *treeScale,
 		CommitScale: *commitScale,
 		Workers:     *workers,
-		Checker:     jmake.Options{TryAllModConfig: *allmod, CoverageConfigs: *coverage},
+		Checker:     checkerOpts,
 	})
 	if err != nil {
 		return err
@@ -195,6 +206,10 @@ func run() error {
 	}
 	if sel("invocations") {
 		printInvocationStats(run)
+	}
+	if sel("faults") {
+		fmt.Println("== resilience: injected faults, retries, budgets ==")
+		fmt.Println(run.ComputeFaultStats().Render())
 	}
 	return nil
 }

@@ -41,6 +41,10 @@ func run() error {
 		prescan     = flag.Bool("prescan", false, "statically warn about doomed regions before building")
 		coverage    = flag.Bool("coverage", false, "synthesize targeted configurations for regions standard configs miss")
 		patchFile   = flag.String("patch", "", "check a unified-diff patch file against the v4.4 tree instead of commits")
+		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic faults at this per-operation rate (0 = off)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
+		budget      = flag.Duration("budget", 0, "per-patch virtual-time budget (0 = unlimited)")
+		retries     = flag.Int("retries", 0, "max retries per transient failure (0 = default 2, negative = off)")
 	)
 	flag.Parse()
 
@@ -70,7 +74,16 @@ func run() error {
 		targets = ids[start:]
 	}
 
-	opts := jmake.Options{TryAllModConfig: *allmod, Prescan: *prescan, CoverageConfigs: *coverage}
+	opts := jmake.Options{
+		TryAllModConfig: *allmod,
+		Prescan:         *prescan,
+		CoverageConfigs: *coverage,
+		MaxRetries:      *retries,
+		Budget:          *budget,
+	}
+	if *faultRate > 0 {
+		opts.Faults = jmake.UniformFaultPlan(*faultSeed, *faultRate)
+	}
 
 	if *patchFile != "" {
 		text, err := os.ReadFile(*patchFile)
@@ -126,6 +139,15 @@ func printReport(id string, r *jmake.Report) {
 		verdict = "SKIPPED (no .c/.h changes)"
 	}
 	fmt.Printf("commit %.12s: %s  (virtual time %v)\n", id, verdict, r.Total.Round(1e6))
+	if r.Retries > 0 || len(r.FaultEvents) > 0 {
+		fmt.Printf("  resilience: %d injected faults, %d retries\n", len(r.FaultEvents), r.Retries)
+	}
+	if r.BudgetExhausted {
+		fmt.Printf("  budget exhausted: checking stopped before completion\n")
+	}
+	if len(r.QuarantinedArches) > 0 {
+		fmt.Printf("  quarantined arches: %s\n", strings.Join(r.QuarantinedArches, ","))
+	}
 	for _, w := range r.PrescanWarnings {
 		fmt.Printf("  prescan: %s line %d can never be compiled by standard configurations: %s\n",
 			w.Mutation.File, w.Mutation.Line, w.Reason)

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// benchIText synthesizes a preprocessed-output-shaped text: lines of
+// filler C with mutation tokens sprinkled through, roughly what MakeI
+// returns for a large group of files.
+func benchIText(lines, tokens int) (string, []*mutEntry) {
+	var muts []*mutEntry
+	for i := 0; i < tokens; i++ {
+		id := fmt.Sprintf("%s%q", MutationMarker, fmt.Sprintf("other:drivers/net/f%d.c:%d", i%7, i))
+		muts = append(muts, &mutEntry{mut: Mutation{ID: id}, file: "drivers/net/f.c"})
+	}
+	var b strings.Builder
+	every := lines / tokens
+	if every < 1 {
+		every = 1
+	}
+	tok := 0
+	for i := 0; i < lines; i++ {
+		if i%every == 0 && tok < tokens {
+			// Half the tokens present in the .i, half absent (pending).
+			if tok%2 == 0 {
+				b.WriteString(muts[tok].mut.ID)
+				b.WriteString(";\n")
+			}
+			tok++
+		}
+		b.WriteString("static int reg_read(struct dev *d) { return readl(d->base + 0x40); }\n")
+	}
+	return b.String(), muts
+}
+
+func BenchmarkWitnessedIn(b *testing.B) {
+	for _, sz := range []struct {
+		name          string
+		lines, tokens int
+	}{
+		{"small-64KB-8muts", 1_000, 8},
+		{"medium-1MB-64muts", 16_000, 64},
+		{"large-8MB-256muts", 128_000, 256},
+	} {
+		iText, muts := benchIText(sz.lines, sz.tokens)
+		b.Run(sz.name, func(b *testing.B) {
+			b.SetBytes(int64(len(iText)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				got := witnessedIn(iText, muts)
+				if len(got) == 0 {
+					b.Fatal("benchmark input witnessed nothing")
+				}
+			}
+		})
+	}
+}

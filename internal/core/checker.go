@@ -10,6 +10,7 @@ import (
 
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
+	"jmake/internal/kconfig"
 	"jmake/internal/textdiff"
 	"jmake/internal/vclock"
 )
@@ -24,6 +25,10 @@ type Checker struct {
 	archIx  *archIndex
 	configs *ConfigProvider
 	tokens  *cpp.TokenCache
+
+	// run holds the per-patch resilience state (fault injector, budget
+	// ledger, circuit breaker); CheckPatch resets it for every patch.
+	run *runState
 }
 
 // NewChecker builds a checker over tree (the snapshot after applying the
@@ -90,6 +95,7 @@ func (fs *fileState) pending() []*mutEntry {
 // diffs (as obtained from vcs.FileDiffs or textdiff.ParsePatch).
 func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchReport, error) {
 	report := &PatchReport{Commit: commit}
+	c.run = newRunState(c.opts, commit)
 
 	var cFiles, hFiles []*fileState
 	mutatedTree := c.tree.Clone()
@@ -192,6 +198,12 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 	for _, d := range report.MakeODurations {
 		report.Total += d
 	}
+	for _, d := range report.BackoffDurations {
+		report.Total += d
+	}
+	report.FaultEvents = c.run.inj.Events()
+	report.BudgetExhausted = c.run.exhausted
+	report.QuarantinedArches = c.run.quarantinedList()
 	return report, nil
 }
 
@@ -232,28 +244,48 @@ type builderPair struct {
 }
 
 // newBuilders creates the builder pair, charging the configuration
-// creation to the report.
+// creation to the report. Transient configuration-generation failures
+// are retried with backoff; toolchain-level failures feed the circuit
+// breaker.
 func (c *Checker) newBuilders(report *PatchReport, mutatedTree *fstree.Tree, archName string, choice ConfigChoice) (*builderPair, error) {
 	arch, ok := c.arches[archName]
 	if !ok {
 		return nil, fmt.Errorf("core: unknown architecture %q", archName)
 	}
-	cfg, symbols, err := c.configs.Get(c.tree, arch, choice)
+	var (
+		cfg     *kconfig.Config
+		symbols int
+		err     error
+	)
+	for attempt := 0; ; attempt++ {
+		cfg, symbols, err = c.configs.Get(c.tree, arch, choice, c.run.inj)
+		if err == nil || !kbuild.IsTransient(err) ||
+			attempt >= c.run.maxRetries || c.run.exhausted {
+			break
+		}
+		c.chargeBackoff(report, attempt+1, "config:"+archName+":"+choice.Kind.String()+choice.Path)
+	}
 	if err != nil {
+		c.run.noteArch(archName, err)
 		return nil, err
 	}
 	ib, err := kbuild.NewBuilder(mutatedTree, arch, cfg, c.meta, c.model)
 	if err != nil {
+		c.run.noteArch(archName, err)
 		return nil, err
 	}
 	ob, err := kbuild.NewBuilder(c.tree, arch, cfg, c.meta, c.model)
 	if err != nil {
+		c.run.noteArch(archName, err)
 		return nil, err
 	}
 	ib.Cache = c.tokens
 	ob.Cache = c.tokens
-	report.ConfigDurations = append(report.ConfigDurations,
-		c.model.ConfigCreate(symbols, report.Commit+":"+archName+":"+choice.Kind.String()+choice.Path))
+	ib.Faults = c.run.inj
+	ob.Faults = c.run.inj
+	d := c.model.ConfigCreate(symbols, report.Commit+":"+archName+":"+choice.Kind.String()+choice.Path)
+	report.ConfigDurations = append(report.ConfigDurations, d)
+	c.run.charge(d)
 	return &builderPair{ib: ib, ob: ob}, nil
 }
 
@@ -278,18 +310,30 @@ func (c *Checker) processCFiles(report *PatchReport, mutatedTree *fstree.Tree, c
 		if allCovered(cFiles) && allCompiled(cFiles) {
 			break
 		}
+		if c.run.exhausted {
+			break
+		}
 		arch := c.arches[ac.Arch]
 		if arch == nil || arch.Broken {
 			markArchFailure(cFiles, ac.Arch)
+			continue
+		}
+		if c.run.quarantined[ac.Arch] {
+			markQuarantined(relevantFiles(cFiles, ac.Arch), ac.Arch)
 			continue
 		}
 		for _, cc := range ac.Configs {
 			if allCovered(cFiles) && allCompiled(cFiles) {
 				break
 			}
+			if c.run.exhausted || c.run.quarantined[ac.Arch] {
+				break
+			}
 			bp, err := c.newBuilders(report, mutatedTree, ac.Arch, cc)
 			if err != nil {
-				markErr(cFiles, err)
+				// Only the files this architecture would have compiled can
+				// blame it for the failure.
+				markErr(relevantFiles(cFiles, ac.Arch), err)
 				continue
 			}
 			relevant := relevantFiles(cFiles, ac.Arch)
@@ -297,6 +341,9 @@ func (c *Checker) processCFiles(report *PatchReport, mutatedTree *fstree.Tree, c
 				continue
 			}
 			c.runGroup(report, bp, ac.Arch, cc, relevant, allMuts)
+		}
+		if c.run.quarantined[ac.Arch] {
+			markQuarantined(relevantFiles(cFiles, ac.Arch), ac.Arch)
 		}
 	}
 }
@@ -335,6 +382,9 @@ func relevantFiles(cFiles []*fileState, arch string) []*fileState {
 // mutations showed up.
 func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string, cc ConfigChoice, files []*fileState, allMuts []*mutEntry) {
 	for start := 0; start < len(files); start += c.opts.MaxGroupSize {
+		if c.run.exhausted || c.run.quarantined[archName] {
+			break
+		}
 		end := start + c.opts.MaxGroupSize
 		if end > len(files) {
 			end = len(files)
@@ -344,9 +394,7 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 		for i, fs := range group {
 			paths[i] = fs.path
 		}
-		results, dur := bp.ib.MakeI(paths)
-		bp.ob.SetSetupDone()
-		report.MakeIDurations = append(report.MakeIDurations, dur)
+		results := c.makeIGroup(report, bp, paths)
 
 		for i, res := range results {
 			fs := group[i]
@@ -365,9 +413,11 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 			if len(witnessed) == 0 && fs.compiledOK {
 				continue
 			}
+			if c.run.exhausted || c.run.quarantined[archName] {
+				break
+			}
 			// Compile the pristine file to validate the configuration.
-			_, odur, oerr := bp.ob.MakeO(fs.path)
-			report.MakeODurations = append(report.MakeODurations, odur)
+			oerr := c.makeO(report, bp, fs.path)
 			if oerr != nil {
 				fs.lastErr = oerr
 				continue
@@ -393,11 +443,36 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 	}
 }
 
-// witnessedIn returns the pending mutations whose ID occurs in iText.
+// witnessedIn returns the pending mutations whose ID occurs in iText, in
+// muts order. A single pass over the text collects every marker token —
+// IDs all share the marker prefix and end at the next double quote — so
+// the .i output is not rescanned once per pending mutation.
 func witnessedIn(iText string, muts []*mutEntry) []*mutEntry {
+	const prefix = MutationMarker + `"`
+	var found map[string]bool
+	for off := 0; ; {
+		i := strings.Index(iText[off:], prefix)
+		if i < 0 {
+			break
+		}
+		start := off + i
+		body := start + len(prefix)
+		j := strings.IndexByte(iText[body:], '"')
+		if j < 0 {
+			break // token truncated mid-stream: no witness
+		}
+		if found == nil {
+			found = make(map[string]bool)
+		}
+		found[iText[start:body+j+1]] = true
+		off = body + j + 1
+	}
+	if len(found) == 0 {
+		return nil
+	}
 	var out []*mutEntry
 	for _, m := range muts {
-		if !m.covered && strings.Contains(iText, m.mut.ID) {
+		if !m.covered && found[m.mut.ID] {
 			out = append(out, m)
 		}
 	}
@@ -487,7 +562,16 @@ func (c *Checker) finalize(fs *fileState) {
 	sort.Ints(fo.EscapedLines)
 	switch {
 	case len(fs.pending()) == 0 && (fs.compiledOK || fs.kind == HFile):
+		// Certification is untouched by budget or faults: it structurally
+		// requires every mutation witnessed and (for .c) a successful
+		// pristine compile.
 		fo.Status = StatusCertified
+	case c.run != nil && c.run.exhausted:
+		// The budget ran out with work left. Reporting escapes or a build
+		// failure here would claim knowledge the checker never bought, so
+		// degrade honestly.
+		fo.Status = StatusBudgetExhausted
+		fo.FailureDetail = "virtual-time budget exhausted"
 	case fs.compiledOK || (fs.kind == HFile && fo.FoundMutations > 0):
 		fo.Status = StatusEscapes
 		fo.Escapes = c.classifyEscapes(fs)
@@ -495,10 +579,12 @@ func (c *Checker) finalize(fs *fileState) {
 		fo.Status = StatusBuildFailed
 		if fs.lastErr != nil {
 			fo.FailureDetail = fs.lastErr.Error()
-			if errors.Is(fs.lastErr, kbuild.ErrBrokenArch) {
+			switch {
+			case errors.Is(fs.lastErr, errArchQuarantined):
+				fo.Status = StatusArchQuarantined
+			case errors.Is(fs.lastErr, kbuild.ErrBrokenArch):
 				fo.Status = StatusUnsupportedArch
-			}
-			if errors.Is(fs.lastErr, kbuild.ErrNoMakefile) {
+			case errors.Is(fs.lastErr, kbuild.ErrNoMakefile):
 				fo.Status = StatusNoMakefile
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"jmake/internal/faultinject"
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
 	"jmake/internal/kconfig"
@@ -52,8 +53,15 @@ func (p *ConfigProvider) kconfigTreeLocked(t *fstree.Tree, arch *kbuild.Arch) (*
 
 // Get returns the configuration for (arch, choice), computing and caching
 // it on first use. The returned symbol count prices the virtual
-// `make allyesconfig` / defconfig invocation.
-func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigChoice) (*kconfig.Config, int, error) {
+// `make allyesconfig` / defconfig invocation. inj optionally injects
+// transient generation failures — the valuation cache cannot absorb
+// those, because the paper's evaluation regenerates the configuration
+// for every patch and any regeneration can fail; pass nil to disable.
+func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigChoice, inj *faultinject.Injector) (*kconfig.Config, int, error) {
+	if inj.FailConfig(arch.Name + ":" + choice.Kind.String() + choice.Path) {
+		return nil, 0, fmt.Errorf("%w: config generation failed (%s, %s)",
+			kbuild.ErrTransient, arch.Name, choice.Kind)
+	}
 	key := arch.Name + "|" + choice.Kind.String() + "|" + choice.Path
 	p.mu.Lock()
 	defer p.mu.Unlock()

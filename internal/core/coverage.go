@@ -127,7 +127,7 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 	budget := maxCoverageConfigs
 
 	for _, fs := range cFiles {
-		if budget <= 0 {
+		if budget <= 0 || c.run.exhausted {
 			break
 		}
 		pending := fs.pending()
@@ -140,7 +140,7 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 		}
 		f := csrc.Analyze(content)
 		for _, m := range pending {
-			if budget <= 0 {
+			if budget <= 0 || c.run.exhausted {
 				break
 			}
 			wants := c.coverageWants(f, m, kt)
@@ -164,8 +164,9 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 					break
 				}
 			}
-			report.ConfigDurations = append(report.ConfigDurations,
-				c.model.ConfigCreate(kt.Len(), report.Commit+":coverage:"+key))
+			d := c.model.ConfigCreate(kt.Len(), report.Commit+":coverage:"+key)
+			report.ConfigDurations = append(report.ConfigDurations, d)
+			c.run.charge(d)
 			if !satisfied {
 				continue
 			}
@@ -176,6 +177,8 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 			}
 			ib.Cache = c.tokens
 			ob.Cache = c.tokens
+			ib.Faults = c.run.inj
+			ob.Faults = c.run.inj
 			bp := &builderPair{ib: ib, ob: ob}
 			c.runGroup(report, bp, kbuild.HostArch,
 				ConfigChoice{Kind: ConfigCoverage}, []*fileState{fs}, fs.muts)

@@ -25,7 +25,7 @@ func (c *Checker) classifyEscapes(fs *fileState) []Escape {
 	if arch, ok := c.arches[kbuild.HostArch]; ok {
 		if ktree, kerr := c.configs.KconfigTree(c.tree, arch); kerr == nil {
 			kt = ktree
-			if cfg, _, cerr := c.configs.Get(c.tree, arch, ConfigChoice{Kind: ConfigAllYes}); cerr == nil {
+			if cfg, _, cerr := c.configs.Get(c.tree, arch, ConfigChoice{Kind: ConfigAllYes}, nil); cerr == nil {
 				allyes = cfg
 			}
 		}
@@ -234,7 +234,7 @@ func (c *Checker) symbolInfo(name string) (declared bool, value kconfig.Value) {
 		}
 		return false, kconfig.No
 	}
-	cfg, _, err := c.configs.Get(c.tree, arch, ConfigChoice{Kind: ConfigAllYes})
+	cfg, _, err := c.configs.Get(c.tree, arch, ConfigChoice{Kind: ConfigAllYes}, nil)
 	if err != nil {
 		return true, kconfig.No
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -102,6 +103,9 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 	}
 
 	for start := 0; start < len(cands) && len(hf.pending()) > 0; start += headerChunk {
+		if c.run.exhausted {
+			break
+		}
 		end := start + headerChunk
 		if end > len(cands) {
 			end = len(cands)
@@ -115,15 +119,21 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 		choices := mergeArchChoices(perFile)
 
 		for _, ac := range choices {
-			if len(hf.pending()) == 0 {
+			if len(hf.pending()) == 0 || c.run.exhausted {
 				break
 			}
 			arch := c.arches[ac.Arch]
 			if arch == nil || arch.Broken {
 				continue
 			}
+			if c.run.quarantined[ac.Arch] {
+				if hf.lastErr == nil {
+					hf.lastErr = fmt.Errorf("%w: %s", errArchQuarantined, ac.Arch)
+				}
+				continue
+			}
 			for _, cc := range ac.Configs {
-				if len(hf.pending()) == 0 {
+				if len(hf.pending()) == 0 || c.run.exhausted || c.run.quarantined[ac.Arch] {
 					break
 				}
 				bp, err := c.newBuilders(report, mutatedTree, ac.Arch, cc)
@@ -143,9 +153,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 				if len(paths) == 0 {
 					continue
 				}
-				results, dur := bp.ib.MakeI(paths)
-				bp.ob.SetSetupDone()
-				report.MakeIDurations = append(report.MakeIDurations, dur)
+				results := c.makeIGroup(report, bp, paths)
 				for _, res := range results {
 					if res.Err != nil {
 						continue
@@ -154,8 +162,10 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 					if len(witnessed) == 0 {
 						continue
 					}
-					_, odur, oerr := bp.ob.MakeO(res.Path)
-					report.MakeODurations = append(report.MakeODurations, odur)
+					if c.run.exhausted || c.run.quarantined[ac.Arch] {
+						break
+					}
+					oerr := c.makeO(report, bp, res.Path)
 					if oerr != nil {
 						continue
 					}

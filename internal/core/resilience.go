@@ -1,0 +1,171 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"jmake/internal/faultinject"
+	"jmake/internal/kbuild"
+)
+
+// errArchQuarantined marks files whose remaining candidate architecture
+// was shut off by the circuit breaker.
+var errArchQuarantined = errors.New("core: architecture quarantined by circuit breaker")
+
+// runState is the per-CheckPatch resilience state: the fault injector,
+// the virtual-time budget ledger, and the architecture circuit breaker.
+// It lives on the Checker but is reset for every patch, so concurrent
+// evaluation workers (one Checker per patch) never share it and
+// same-seed runs stay deterministic.
+type runState struct {
+	inj *faultinject.Injector
+
+	budget    time.Duration
+	spent     time.Duration
+	exhausted bool
+
+	maxRetries  int
+	threshold   int
+	archFails   map[string]int
+	quarantined map[string]bool
+}
+
+func newRunState(opts Options, commit string) *runState {
+	return &runState{
+		inj:         faultinject.New(opts.Faults, commit),
+		budget:      opts.Budget,
+		maxRetries:  opts.MaxRetries,
+		threshold:   opts.ArchFailureThreshold,
+		archFails:   make(map[string]int),
+		quarantined: make(map[string]bool),
+	}
+}
+
+// charge adds virtual time to the patch's ledger, tripping the budget
+// when the cap is crossed. With Budget == 0 it only accumulates.
+func (r *runState) charge(d time.Duration) {
+	r.spent += d
+	if r.budget > 0 && r.spent >= r.budget {
+		r.exhausted = true
+	}
+}
+
+// noteArch feeds the circuit breaker one architecture outcome. Success
+// resets the consecutive-failure count; only non-permanent failures
+// (transient or broken-toolchain) count toward quarantine, so a file
+// that simply does not compile can never shut off an architecture.
+func (r *runState) noteArch(arch string, err error) {
+	if err == nil {
+		r.archFails[arch] = 0
+		return
+	}
+	switch kbuild.Classify(err) {
+	case kbuild.ClassTransient, kbuild.ClassArch:
+		r.archFails[arch]++
+		if r.archFails[arch] >= r.threshold {
+			r.quarantined[arch] = true
+		}
+	}
+}
+
+func (r *runState) quarantinedList() []string {
+	if len(r.quarantined) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.quarantined))
+	for a := range r.quarantined {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// chargeBackoff prices one retry wait in virtual time and records it in
+// the report.
+func (c *Checker) chargeBackoff(report *PatchReport, attempt int, key string) {
+	d := c.model.Backoff(attempt, report.Commit+":"+key)
+	report.BackoffDurations = append(report.BackoffDurations, d)
+	report.Retries++
+	c.run.charge(d)
+}
+
+// makeIGroup runs one MakeI invocation and retries any transiently
+// failed paths, merging retried results back in place. With no
+// transient failures it is exactly one MakeI call.
+func (c *Checker) makeIGroup(report *PatchReport, bp *builderPair, paths []string) []kbuild.IFile {
+	results, dur := bp.ib.MakeI(paths)
+	bp.ob.SetSetupDone()
+	report.MakeIDurations = append(report.MakeIDurations, dur)
+	c.run.charge(dur)
+	for attempt := 1; attempt <= c.run.maxRetries; attempt++ {
+		var retry []int
+		for i := range results {
+			if results[i].Err != nil && kbuild.IsTransient(results[i].Err) {
+				retry = append(retry, i)
+			}
+		}
+		if len(retry) == 0 || c.run.exhausted {
+			break
+		}
+		c.chargeBackoff(report, attempt, "makei:"+bp.ib.Arch.Name)
+		again := make([]string, len(retry))
+		for j, i := range retry {
+			again[j] = results[i].Path
+		}
+		redo, rdur := bp.ib.MakeI(again)
+		report.MakeIDurations = append(report.MakeIDurations, rdur)
+		c.run.charge(rdur)
+		for j, i := range retry {
+			results[i] = redo[j]
+		}
+	}
+	var archErr error
+	ok := false
+	for i := range results {
+		if results[i].Err == nil {
+			ok = true
+			break
+		}
+		if archErr == nil && kbuild.Classify(results[i].Err) != kbuild.ClassPermanent {
+			archErr = results[i].Err
+		}
+	}
+	if ok {
+		c.run.noteArch(bp.ib.Arch.Name, nil)
+	} else if archErr != nil {
+		c.run.noteArch(bp.ib.Arch.Name, archErr)
+	}
+	return results
+}
+
+// makeO compiles one pristine file, retrying transient failures. Every
+// attempt's duration is recorded, like the real tool re-invoking make.
+func (c *Checker) makeO(report *PatchReport, bp *builderPair, path string) error {
+	for attempt := 0; ; attempt++ {
+		_, dur, err := bp.ob.MakeO(path)
+		report.MakeODurations = append(report.MakeODurations, dur)
+		c.run.charge(dur)
+		if err == nil {
+			c.run.noteArch(bp.ob.Arch.Name, nil)
+			return nil
+		}
+		if !kbuild.IsTransient(err) || attempt >= c.run.maxRetries || c.run.exhausted {
+			c.run.noteArch(bp.ob.Arch.Name, err)
+			return err
+		}
+		c.chargeBackoff(report, attempt+1, "makeo:"+bp.ob.Arch.Name+":"+path)
+	}
+}
+
+// markQuarantined records the breaker verdict on the files that would
+// have used the architecture, overwriting only absent or non-permanent
+// prior errors (a real compile error is more informative).
+func markQuarantined(files []*fileState, arch string) {
+	for _, fs := range files {
+		if fs.lastErr == nil || kbuild.Classify(fs.lastErr) != kbuild.ClassPermanent {
+			fs.lastErr = fmt.Errorf("%w: %s", errArchQuarantined, arch)
+		}
+	}
+}

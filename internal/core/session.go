@@ -41,7 +41,10 @@ func NewSession(base *fstree.Tree) (*Session, error) {
 }
 
 // Checker builds a checker over one patch snapshot, reusing the session's
-// shared state.
+// shared state. Resilience state (fault injector, budget ledger, circuit
+// breaker) is deliberately NOT shared: it lives per patch on the checker,
+// configured via opts, so concurrent workers cannot perturb each other's
+// fault sequences and same-seed runs stay deterministic.
 func (s *Session) Checker(tree *fstree.Tree, model *vclock.Model, opts Options) *Checker {
 	return &Checker{
 		tree:    tree,

@@ -2,6 +2,8 @@ package core
 
 import (
 	"time"
+
+	"jmake/internal/faultinject"
 )
 
 // FileKind distinguishes the two processed file types.
@@ -45,6 +47,15 @@ const (
 	StatusUnsupportedArch
 	// StatusNoMakefile: no Makefile governs the file.
 	StatusNoMakefile
+	// StatusBudgetExhausted: the per-patch virtual-time budget ran out
+	// before the file's mutations could all be witnessed. Reported
+	// honestly instead of masquerading as a build failure (and never,
+	// ever, as certification).
+	StatusBudgetExhausted
+	// StatusArchQuarantined: the architecture circuit breaker quarantined
+	// every architecture that could have compiled the file after repeated
+	// non-permanent failures.
+	StatusArchQuarantined
 )
 
 func (s Status) String() string {
@@ -63,6 +74,10 @@ func (s Status) String() string {
 		return "unsupported-arch"
 	case StatusNoMakefile:
 		return "no-makefile"
+	case StatusBudgetExhausted:
+		return "budget-exhausted"
+	case StatusArchQuarantined:
+		return "arch-quarantined"
 	default:
 		return "unknown"
 	}
@@ -191,6 +206,20 @@ type PatchReport struct {
 	// PrescanWarnings lists changed regions diagnosed as uncompilable
 	// before any build ran (populated when Options.Prescan is set).
 	PrescanWarnings []Escape
+
+	// Retries counts transient failures that were retried; each retry's
+	// backoff wait is in BackoffDurations and included in Total.
+	Retries          int
+	BackoffDurations []time.Duration
+	// FaultEvents lists the faults the configured plan injected into this
+	// patch, in injection order (empty without a fault plan).
+	FaultEvents []faultinject.Event
+	// BudgetExhausted is true when the virtual-time budget ran out and
+	// the checker stopped launching builds.
+	BudgetExhausted bool
+	// QuarantinedArches lists architectures the circuit breaker shut off
+	// during this patch, sorted.
+	QuarantinedArches []string
 }
 
 // Certified reports whether every processed file had all changed lines
@@ -236,6 +265,22 @@ type Options struct {
 	// Vampyr/Troll-style generation the paper cites as the way to handle
 	// #ifndef and ifdef/else cases (§VI-VII).
 	CoverageConfigs bool
+
+	// MaxRetries bounds how many times one transient MakeI/MakeO/config
+	// failure is retried with capped exponential backoff (charged to
+	// virtual time). 0 means the default of 2; negative disables retries.
+	MaxRetries int
+	// ArchFailureThreshold is how many consecutive non-permanent failures
+	// an architecture may accumulate before the circuit breaker
+	// quarantines it for the rest of the patch. 0 means the default of 3.
+	ArchFailureThreshold int
+	// Budget caps the virtual time one patch may spend. Once spent, the
+	// checker stops launching builds and finalizes pending files with
+	// StatusBudgetExhausted. 0 means unlimited.
+	Budget time.Duration
+	// Faults configures deterministic fault injection. The zero plan
+	// injects nothing and adds no overhead.
+	Faults faultinject.Plan
 }
 
 func (o Options) withDefaults() Options {
@@ -247,6 +292,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.HCandidateCap <= 0 {
 		o.HCandidateCap = 120
+	}
+	switch {
+	case o.MaxRetries == 0:
+		o.MaxRetries = 2
+	case o.MaxRetries < 0:
+		o.MaxRetries = 0
+	}
+	if o.ArchFailureThreshold <= 0 {
+		o.ArchFailureThreshold = 3
 	}
 	return o
 }

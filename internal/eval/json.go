@@ -42,6 +42,16 @@ type JSONReport struct {
 	CStats  CStats      `json:"c_stats"`
 	HStats  HStats      `json:"h_stats"`
 
+	Faults struct {
+		Retries                int            `json:"retries"`
+		InjectedFaults         int            `json:"injected_faults"`
+		EventsByKind           map[string]int `json:"events_by_kind,omitempty"`
+		BudgetExhaustedPatches int            `json:"budget_exhausted_patches"`
+		BudgetExhaustedFiles   int            `json:"budget_exhausted_files"`
+		QuarantinedArchPatches int            `json:"quarantined_arch_patches"`
+		BackoffSeconds         float64        `json:"backoff_seconds"`
+	} `json:"faults"`
+
 	Figures map[string]JSONCDF `json:"figures"`
 }
 
@@ -115,6 +125,17 @@ func (r *Run) JSON(points bool) ([]byte, error) {
 	out.Configs = r.ComputeConfigStats()
 	out.CStats = r.ComputeCStats(false)
 	out.HStats = r.ComputeHStats(false)
+
+	fs := r.ComputeFaultStats()
+	out.Faults.Retries = fs.Retries
+	out.Faults.InjectedFaults = fs.InjectedFaults
+	if len(fs.EventsByKind) > 0 {
+		out.Faults.EventsByKind = fs.EventsByKind
+	}
+	out.Faults.BudgetExhaustedPatches = fs.BudgetExhaustedPatches
+	out.Faults.BudgetExhaustedFiles = fs.BudgetExhaustedFiles
+	out.Faults.QuarantinedArchPatches = fs.QuarantinedArchPatches
+	out.Faults.BackoffSeconds = fs.BackoffTotal.Seconds()
 
 	d := r.ComputeDurations()
 	out.Figures = map[string]JSONCDF{

@@ -468,3 +468,71 @@ func (r *Run) TableII() string {
 	}
 	return tb.String()
 }
+
+// FaultStats aggregates the resilience layer's behavior across an
+// evaluation run: retries paid, faults injected, budget exhaustions and
+// circuit-breaker quarantines.
+type FaultStats struct {
+	// Retries is the total number of transient-failure retries.
+	Retries int
+	// InjectedFaults is the total number of injected fault events.
+	InjectedFaults int
+	// EventsByKind counts injected faults per kind name.
+	EventsByKind map[string]int
+	// BudgetExhaustedPatches counts patches whose virtual-time budget ran
+	// out; BudgetExhaustedFiles the files finalized as budget-exhausted.
+	BudgetExhaustedPatches int
+	BudgetExhaustedFiles   int
+	// QuarantinedArchPatches counts patches where the circuit breaker
+	// quarantined at least one architecture.
+	QuarantinedArchPatches int
+	// BackoffTotal is the virtual time spent waiting out retries.
+	BackoffTotal time.Duration
+}
+
+// ComputeFaultStats aggregates retry/fault counters from every patch.
+func (r *Run) ComputeFaultStats() FaultStats {
+	s := FaultStats{EventsByKind: make(map[string]int)}
+	r.forEachPatch(false, func(res PatchResult) {
+		s.Retries += res.Report.Retries
+		s.InjectedFaults += len(res.Report.FaultEvents)
+		for _, ev := range res.Report.FaultEvents {
+			s.EventsByKind[ev.Kind.String()]++
+		}
+		if res.Report.BudgetExhausted {
+			s.BudgetExhaustedPatches++
+		}
+		if len(res.Report.QuarantinedArches) > 0 {
+			s.QuarantinedArchPatches++
+		}
+		for _, f := range res.Report.Files {
+			if f.Status == core.StatusBudgetExhausted {
+				s.BudgetExhaustedFiles++
+			}
+		}
+		for _, d := range res.Report.BackoffDurations {
+			s.BackoffTotal += d
+		}
+	})
+	return s
+}
+
+// Render formats the fault statistics.
+func (s FaultStats) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "injected faults: %d; retries: %d; backoff total: %v\n",
+		s.InjectedFaults, s.Retries, s.BackoffTotal.Round(time.Millisecond))
+	if len(s.EventsByKind) > 0 {
+		kinds := make([]string, 0, len(s.EventsByKind))
+		for k := range s.EventsByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			fmt.Fprintf(&b, "  %-12s %d\n", k, s.EventsByKind[k])
+		}
+	}
+	fmt.Fprintf(&b, "budget-exhausted patches: %d (files: %d); patches with quarantined arches: %d\n",
+		s.BudgetExhaustedPatches, s.BudgetExhaustedFiles, s.QuarantinedArchPatches)
+	return b.String()
+}

@@ -1,0 +1,259 @@
+// Package faultinject provides a deterministic, seed-keyed fault plan for
+// the checker pipeline. The paper's real-world substrate is flaky:
+// make.cross toolchains break mid-study, configuration generation fails
+// for some architectures, and pathological builds stall (§II-A, §V-C).
+// Our virtual substrate never fails on its own, so this package injects
+// those failures on purpose — transient preprocessor failures, config
+// generation failures, truncated .i output, cross-compilers that break
+// mid-run, and virtual-time stalls — so the resilience layer (retries,
+// circuit breaker, budgets) can be exercised and chaos-tested.
+//
+// Every decision is a pure function of (Seed, scope, operation key,
+// attempt number), using the same FNV-jitter discipline as
+// internal/vclock: identical runs see identical faults, and a retried
+// operation rolls a fresh decision so transient faults really are
+// transient. The zero Plan injects nothing and costs nothing: New returns
+// a nil *Injector, and every Injector method is nil-receiver safe.
+package faultinject
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+)
+
+// Kind classifies an injected fault.
+type Kind int
+
+// Fault kinds.
+const (
+	// KindPreprocess is a transient preprocessor (.i / .o front end)
+	// failure: the invocation fails this attempt but may succeed on retry.
+	KindPreprocess Kind = iota + 1
+	// KindConfig is a transient configuration-generation failure (a failed
+	// `make allyesconfig` / defconfig run).
+	KindConfig
+	// KindTruncate truncates a .i file's text mid-stream, as a toolchain
+	// crash or full disk would. Truncation can hide mutation witnesses but
+	// can never fabricate one.
+	KindTruncate
+	// KindArchBreak breaks an architecture's cross-compiler permanently
+	// partway through a run (the paper's make.cross breakage, §II-A).
+	KindArchBreak
+	// KindStall adds a virtual-time stall to an invocation.
+	KindStall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPreprocess:
+		return "preprocess"
+	case KindConfig:
+		return "config"
+	case KindTruncate:
+		return "truncate"
+	case KindArchBreak:
+		return "arch-break"
+	case KindStall:
+		return "stall"
+	default:
+		return "unknown"
+	}
+}
+
+// Plan is a deterministic fault plan. Rates are probabilities in [0, 1]
+// applied per operation attempt. The zero value injects no faults.
+type Plan struct {
+	// Seed decorrelates fault patterns between plans.
+	Seed uint64
+
+	// PreprocessRate makes MakeI/MakeO attempts fail transiently.
+	PreprocessRate float64
+	// ConfigRate makes configuration generation fail transiently.
+	ConfigRate float64
+	// TruncateRate truncates successful .i output.
+	TruncateRate float64
+	// ArchBreakRate selects architectures whose cross-compiler breaks
+	// permanently after a few uses.
+	ArchBreakRate float64
+	// StallRate adds StallDuration of virtual time to an invocation.
+	StallRate float64
+	// StallDuration is the virtual-time cost of one stall.
+	StallDuration time.Duration
+}
+
+// Enabled reports whether the plan can inject anything.
+func (p Plan) Enabled() bool {
+	return p.PreprocessRate > 0 || p.ConfigRate > 0 || p.TruncateRate > 0 ||
+		p.ArchBreakRate > 0 || (p.StallRate > 0 && p.StallDuration > 0)
+}
+
+// Uniform returns a plan applying rate to every fault class, with a 2s
+// stall — a convenient knob for CLIs and chaos sweeps.
+func Uniform(seed uint64, rate float64) Plan {
+	return Plan{
+		Seed:           seed,
+		PreprocessRate: rate,
+		ConfigRate:     rate,
+		TruncateRate:   rate,
+		ArchBreakRate:  rate,
+		StallRate:      rate,
+		StallDuration:  2 * time.Second,
+	}
+}
+
+// Event records one injected fault, in injection order.
+type Event struct {
+	// Kind is the fault class.
+	Kind Kind
+	// Op identifies the faulted operation (arch:file, arch name, ...).
+	Op string
+}
+
+// Injector applies a Plan to one checker run. The scope (typically the
+// commit id) decorrelates fault patterns between patches under the same
+// plan. Methods are safe for concurrent use, though a checker run drives
+// them sequentially; determinism requires a deterministic operation
+// sequence, which a single run provides.
+type Injector struct {
+	plan  Plan
+	scope string
+
+	mu       sync.Mutex
+	attempts map[string]int
+	archUses map[string]int
+	// archBreakAt caches each arch's break point: -1 = never breaks,
+	// otherwise the number of uses after which it is broken.
+	archBreakAt map[string]int
+	events      []Event
+}
+
+// New builds an injector for one run. It returns nil — a valid, inert
+// injector — when the plan injects nothing, so the fault-free path stays
+// zero-cost.
+func New(plan Plan, scope string) *Injector {
+	if !plan.Enabled() {
+		return nil
+	}
+	return &Injector{
+		plan:        plan,
+		scope:       scope,
+		attempts:    make(map[string]int),
+		archUses:    make(map[string]int),
+		archBreakAt: make(map[string]int),
+	}
+}
+
+// roll returns a deterministic value in [0, 1) for the key, mirroring
+// vclock's FNV jitter.
+func (in *Injector) roll(key string) float64 {
+	h := fnv.New64a()
+	var seedBytes [8]byte
+	for i := 0; i < 8; i++ {
+		seedBytes[i] = byte(in.plan.Seed >> (8 * i))
+	}
+	_, _ = h.Write(seedBytes[:])
+	_, _ = h.Write([]byte(in.scope))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(key))
+	return float64(h.Sum64()%10_000) / 10_000
+}
+
+// decide rolls one fault decision for an operation attempt, recording an
+// event when it fires. Each call for the same (kind, op) advances the
+// attempt counter, so retried operations roll fresh decisions.
+func (in *Injector) decide(kind Kind, rate float64, op string) bool {
+	if in == nil || rate <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	key := kind.String() + ":" + op
+	attempt := in.attempts[key]
+	in.attempts[key] = attempt + 1
+	if in.roll(fmt.Sprintf("%s#%d", key, attempt)) >= rate {
+		return false
+	}
+	in.events = append(in.events, Event{Kind: kind, Op: op})
+	return true
+}
+
+// FailPreprocess reports whether this preprocess/compile attempt fails
+// transiently.
+func (in *Injector) FailPreprocess(op string) bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(KindPreprocess, in.plan.PreprocessRate, op)
+}
+
+// FailConfig reports whether this configuration-generation attempt fails
+// transiently.
+func (in *Injector) FailConfig(op string) bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(KindConfig, in.plan.ConfigRate, op)
+}
+
+// TruncateI reports whether this .i output is truncated.
+func (in *Injector) TruncateI(op string) bool {
+	if in == nil {
+		return false
+	}
+	return in.decide(KindTruncate, in.plan.TruncateRate, op)
+}
+
+// Stall returns the extra virtual time this invocation stalls for (zero
+// when no stall fires).
+func (in *Injector) Stall(op string) time.Duration {
+	if in == nil || in.plan.StallDuration <= 0 {
+		return 0
+	}
+	if !in.decide(KindStall, in.plan.StallRate, op) {
+		return 0
+	}
+	return in.plan.StallDuration
+}
+
+// ArchBroken records one use of an architecture's cross-compiler and
+// reports whether it has broken by now. Breakage is permanent: once an
+// arch breaks it stays broken for the rest of the run.
+func (in *Injector) ArchBroken(arch string) bool {
+	if in == nil || in.plan.ArchBreakRate <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	breakAt, ok := in.archBreakAt[arch]
+	if !ok {
+		breakAt = -1
+		if in.roll("archbreak:"+arch) < in.plan.ArchBreakRate {
+			// Break after 1-4 successful uses: mid-run, never before the
+			// arch has worked at least once.
+			breakAt = 1 + int(in.roll("archbreakat:"+arch)*4)
+		}
+		in.archBreakAt[arch] = breakAt
+	}
+	in.archUses[arch]++
+	if breakAt < 0 || in.archUses[arch] <= breakAt {
+		return false
+	}
+	if in.archUses[arch] == breakAt+1 {
+		in.events = append(in.events, Event{Kind: KindArchBreak, Op: arch})
+	}
+	return true
+}
+
+// Events returns the faults injected so far, in order.
+func (in *Injector) Events() []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	out := make([]Event, len(in.events))
+	copy(out, in.events)
+	return out
+}

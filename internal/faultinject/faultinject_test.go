@@ -1,0 +1,169 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroPlanDisabled(t *testing.T) {
+	if (Plan{}).Enabled() {
+		t.Fatal("zero plan must be disabled")
+	}
+	if in := New(Plan{}, "c1"); in != nil {
+		t.Fatalf("New(zero plan) = %v, want nil", in)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.FailPreprocess("x") || in.FailConfig("x") || in.TruncateI("x") || in.ArchBroken("arm") {
+		t.Error("nil injector must inject nothing")
+	}
+	if d := in.Stall("x"); d != 0 {
+		t.Errorf("nil Stall = %v", d)
+	}
+	if ev := in.Events(); ev != nil {
+		t.Errorf("nil Events = %v", ev)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([]bool, []Event) {
+		in := New(Uniform(7, 0.5), "commit-abc")
+		var got []bool
+		for i := 0; i < 40; i++ {
+			got = append(got, in.FailPreprocess("x86_64:i:f.c"))
+			got = append(got, in.FailConfig("arm:allyes"))
+			got = append(got, in.TruncateI("x86_64:i:f.c"))
+			got = append(got, in.ArchBroken("arm"))
+			got = append(got, in.Stall("op") > 0)
+		}
+		return got, in.Events()
+	}
+	a, evA := run()
+	b, evB := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+	}
+	if len(evA) != len(evB) {
+		t.Fatalf("event counts differ: %d vs %d", len(evA), len(evB))
+	}
+	for i := range evA {
+		if evA[i] != evB[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, evA[i], evB[i])
+		}
+	}
+}
+
+func TestScopeAndSeedDecorrelate(t *testing.T) {
+	decisions := func(seed uint64, scope string) []bool {
+		in := New(Uniform(seed, 0.5), scope)
+		var got []bool
+		for i := 0; i < 64; i++ {
+			got = append(got, in.FailPreprocess("x86_64:i:f.c"))
+		}
+		return got
+	}
+	same := func(a, b []bool) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	base := decisions(1, "c1")
+	if same(base, decisions(1, "c2")) {
+		t.Error("different scopes produced identical fault patterns")
+	}
+	if same(base, decisions(2, "c1")) {
+		t.Error("different seeds produced identical fault patterns")
+	}
+}
+
+func TestRateOneAlwaysFires(t *testing.T) {
+	in := New(Plan{Seed: 3, PreprocessRate: 1}, "c")
+	for i := 0; i < 10; i++ {
+		if !in.FailPreprocess("op") {
+			t.Fatalf("rate 1 did not fire on attempt %d", i)
+		}
+	}
+	if got := len(in.Events()); got != 10 {
+		t.Errorf("events = %d, want 10", got)
+	}
+}
+
+func TestRetriesRollFreshDecisions(t *testing.T) {
+	// With rate 0.5, the same op must not fail on every one of many
+	// attempts — each attempt rolls a fresh decision.
+	in := New(Plan{Seed: 5, PreprocessRate: 0.5}, "c")
+	failed, passed := 0, 0
+	for i := 0; i < 64; i++ {
+		if in.FailPreprocess("same-op") {
+			failed++
+		} else {
+			passed++
+		}
+	}
+	if failed == 0 || passed == 0 {
+		t.Errorf("attempts all alike (failed=%d passed=%d): attempt counter not advancing", failed, passed)
+	}
+}
+
+func TestArchBreakIsPermanentAndMidRun(t *testing.T) {
+	in := New(Plan{Seed: 11, ArchBreakRate: 1}, "c")
+	// First use never fails (the arch worked at least once).
+	if in.ArchBroken("mips") {
+		t.Fatal("arch broke on first use")
+	}
+	brokeAt := 0
+	for i := 2; i <= 10; i++ {
+		if in.ArchBroken("mips") {
+			brokeAt = i
+			break
+		}
+	}
+	if brokeAt == 0 {
+		t.Fatal("rate-1 arch never broke within 10 uses")
+	}
+	for i := 0; i < 5; i++ {
+		if !in.ArchBroken("mips") {
+			t.Fatal("arch recovered after breaking; breakage must be permanent")
+		}
+	}
+	// Exactly one arch-break event regardless of how often it is observed.
+	n := 0
+	for _, ev := range in.Events() {
+		if ev.Kind == KindArchBreak && ev.Op == "mips" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("arch-break events = %d, want 1", n)
+	}
+}
+
+func TestStallDuration(t *testing.T) {
+	in := New(Plan{Seed: 2, StallRate: 1, StallDuration: 3 * time.Second}, "c")
+	if d := in.Stall("op"); d != 3*time.Second {
+		t.Errorf("Stall = %v, want 3s", d)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		KindPreprocess: "preprocess",
+		KindConfig:     "config",
+		KindTruncate:   "truncate",
+		KindArchBreak:  "arch-break",
+		KindStall:      "stall",
+		Kind(99):       "unknown",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}

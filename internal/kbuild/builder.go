@@ -9,6 +9,7 @@ import (
 
 	"jmake/internal/cc"
 	"jmake/internal/cpp"
+	"jmake/internal/faultinject"
 	"jmake/internal/fstree"
 	"jmake/internal/kconfig"
 	"jmake/internal/vclock"
@@ -52,6 +53,10 @@ type Builder struct {
 	// Cache optionally shares lexing work across builds (see
 	// cpp.TokenCache). Set it before the first MakeI/MakeO call.
 	Cache *cpp.TokenCache
+	// Faults optionally injects deterministic failures into MakeI/MakeO
+	// (transient preprocessor errors, truncated .i output, mid-run
+	// cross-compiler breakage, stalls). nil disables injection.
+	Faults *faultinject.Injector
 
 	invoked bool
 	// invokeSeq distinguishes jitter keys between invocations.
@@ -173,10 +178,21 @@ func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
 	first := !b.invoked
 	b.invoked = true
 
+	archDown := b.Faults.ArchBroken(b.Arch.Name)
 	results := make([]IFile, 0, len(files))
 	var works []vclock.FileWork
 	for _, f := range files {
 		r := IFile{Path: fstree.Clean(f)}
+		if archDown {
+			r.Err = fmt.Errorf("%w: %s (broke mid-run)", ErrBrokenArch, b.Arch.Name)
+			results = append(results, r)
+			continue
+		}
+		if b.Faults.FailPreprocess(b.Arch.Name + ":i:" + r.Path) {
+			r.Err = fmt.Errorf("%w: preprocessor crashed on %s (%s)", ErrTransient, r.Path, b.Arch.Name)
+			results = append(results, r)
+			continue
+		}
 		v, err := b.Reachable(r.Path)
 		if err != nil {
 			r.Err = err
@@ -190,12 +206,16 @@ func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
 			continue
 		}
 		r.Text = res.Output
+		if b.Faults.TruncateI(b.Arch.Name + ":i:" + r.Path) {
+			r.Text = r.Text[:len(r.Text)/2]
+		}
 		r.Work = vclock.FileWork{Lines: res.InputLines, Includes: res.Includes}
 		works = append(works, r.Work)
 		results = append(results, r)
 	}
 	key := fmt.Sprintf("%s:%d", b.Arch.Name, b.invokeSeq)
 	dur := b.Model.MakeI(first, b.Arch.SetupOps, works, key)
+	dur += b.Faults.Stall(key)
 	return results, dur
 }
 
@@ -210,6 +230,14 @@ func (b *Builder) MakeO(file string) (cc.Object, time.Duration, error) {
 
 	file = fstree.Clean(file)
 	failDur := b.Model.MakeO(first, b.Arch.SetupOps, 0, 0, key)
+	stall := b.Faults.Stall(key)
+	failDur += stall
+	if b.Faults.ArchBroken(b.Arch.Name) {
+		return cc.Object{}, failDur, fmt.Errorf("%w: %s (broke mid-run)", ErrBrokenArch, b.Arch.Name)
+	}
+	if b.Faults.FailPreprocess(b.Arch.Name + ":o:" + file) {
+		return cc.Object{}, failDur, fmt.Errorf("%w: compiler crashed on %s (%s)", ErrTransient, file, b.Arch.Name)
+	}
 	v, err := b.Reachable(file)
 	if err != nil {
 		return cc.Object{}, failDur, err
@@ -227,7 +255,7 @@ func (b *Builder) MakeO(file string) (cc.Object, time.Duration, error) {
 		prereq = b.Tree.Len() // every file in the tree, approximating "the entire kernel"
 	}
 	dur := b.Model.MakeO(first, b.Arch.SetupOps, obj.Lines, prereq, key)
-	return obj, dur, nil
+	return obj, dur + stall, nil
 }
 
 // SetSetupDone marks the configuration's Makefile set-up as already paid,

@@ -1,0 +1,58 @@
+package kbuild
+
+import "errors"
+
+// ErrTransient marks failures that may succeed if the same operation is
+// retried: flaky toolchain invocations, failed config generation runs,
+// and other environmental hiccups (the dominant failure mode in
+// large-scale commit-compilation studies). Wrap with
+// fmt.Errorf("...: %w", ErrTransient) and test with IsTransient.
+var ErrTransient = errors.New("transient failure")
+
+// FaultClass partitions build errors for the resilience layer: transient
+// errors are retried, arch errors feed the architecture circuit breaker,
+// permanent errors are reported as-is.
+type FaultClass int
+
+const (
+	// ClassPermanent errors will not go away on retry (compile errors,
+	// unreachable files, missing Makefiles).
+	ClassPermanent FaultClass = iota
+	// ClassTransient errors are worth retrying.
+	ClassTransient
+	// ClassArch errors indicate the architecture's toolchain itself is
+	// broken, not the file under test.
+	ClassArch
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case ClassTransient:
+		return "transient"
+	case ClassArch:
+		return "arch"
+	default:
+		return "permanent"
+	}
+}
+
+// Classify maps an error to its fault class. Transient wins over arch so
+// that a transiently-failing broken-arch probe is retried before the
+// breaker gives up on the architecture.
+func Classify(err error) FaultClass {
+	switch {
+	case err == nil:
+		return ClassPermanent
+	case errors.Is(err, ErrTransient):
+		return ClassTransient
+	case errors.Is(err, ErrBrokenArch):
+		return ClassArch
+	default:
+		return ClassPermanent
+	}
+}
+
+// IsTransient reports whether err is worth retrying.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient)
+}

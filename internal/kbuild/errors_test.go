@@ -1,0 +1,38 @@
+package kbuild
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want FaultClass
+	}{
+		{"nil", nil, ClassPermanent},
+		{"transient", fmt.Errorf("cpp died: %w", ErrTransient), ClassTransient},
+		{"broken arch", fmt.Errorf("%w: mips", ErrBrokenArch), ClassArch},
+		{"not reachable", fmt.Errorf("%w: f.c", ErrNotReachable), ClassPermanent},
+		{"no makefile", fmt.Errorf("%w at drivers/", ErrNoMakefile), ClassPermanent},
+		{"plain", errors.New("compile error"), ClassPermanent},
+		// Transient wins over arch: a flaky broken-arch probe is retried.
+		{"transient arch", fmt.Errorf("%w: %w", ErrTransient, ErrBrokenArch), ClassTransient},
+	}
+	for _, tc := range cases {
+		if got := Classify(tc.err); got != tc.want {
+			t.Errorf("%s: Classify = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if !IsTransient(fmt.Errorf("x: %w", ErrTransient)) || IsTransient(errors.New("y")) {
+		t.Error("IsTransient misclassifies")
+	}
+}
+
+func TestFaultClassString(t *testing.T) {
+	if ClassPermanent.String() != "permanent" || ClassTransient.String() != "transient" || ClassArch.String() != "arch" {
+		t.Error("FaultClass strings wrong")
+	}
+}

@@ -17,6 +17,7 @@
 package vclock
 
 import (
+	"fmt"
 	"hash/fnv"
 	"time"
 )
@@ -47,6 +48,12 @@ type Model struct {
 	// Compilation proper (.o): per file overhead and per compiled line.
 	CompilePerFile time.Duration
 	CompilePerLine time.Duration
+
+	// Retry backoff after a transient failure: BackoffBase doubles per
+	// attempt up to BackoffCap. Backoff is virtual time the checker
+	// charges itself for waiting out a flaky substrate.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
 }
 
 // DefaultModel returns the calibrated cost model used throughout the
@@ -71,6 +78,8 @@ func DefaultModel(seed uint64) *Model {
 		PreprocessPerInclude: 5 * time.Millisecond,
 		CompilePerFile:       2200 * time.Millisecond,
 		CompilePerLine:       800 * time.Microsecond,
+		BackoffBase:          800 * time.Millisecond,
+		BackoffCap:           10 * time.Second,
 	}
 }
 
@@ -120,6 +129,23 @@ func (m *Model) MakeI(first bool, setupOps int, files []FileWork, key string) ti
 			time.Duration(f.Includes)*m.PreprocessPerInclude
 	}
 	return m.scale(d, "makei:"+key)
+}
+
+// Backoff prices the wait before retry number attempt (1-based) of the
+// operation identified by key: capped exponential doubling from
+// BackoffBase, with the usual jitter.
+func (m *Model) Backoff(attempt int, key string) time.Duration {
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := m.BackoffBase
+	for i := 1; i < attempt && d < m.BackoffCap; i++ {
+		d *= 2
+	}
+	if m.BackoffCap > 0 && d > m.BackoffCap {
+		d = m.BackoffCap
+	}
+	return m.scale(d, fmt.Sprintf("backoff:%s:%d", key, attempt))
 }
 
 // MakeO prices one `make file.o` invocation compiling compiledLines of

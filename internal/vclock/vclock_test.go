@@ -89,3 +89,27 @@ func TestMoreWorkCostsMore(t *testing.T) {
 		t.Errorf("large (%v) should cost more than small (%v)", large, small)
 	}
 }
+
+func TestBackoff(t *testing.T) {
+	m := DefaultModel(1)
+	prev := time.Duration(0)
+	for attempt := 1; attempt <= 6; attempt++ {
+		d := m.Backoff(attempt, "x86_64:f.c")
+		// Jitter is +/-10%, so the cap can only be exceeded by that much.
+		if d <= 0 || float64(d) > 1.1*float64(m.BackoffCap) {
+			t.Fatalf("attempt %d: backoff %v outside (0, 1.1*cap]", attempt, d)
+		}
+		if attempt > 1 && float64(d) < 0.8*float64(prev) {
+			t.Errorf("attempt %d: backoff %v shrank from %v", attempt, d, prev)
+		}
+		prev = d
+	}
+	// Deterministic for identical inputs.
+	if m.Backoff(3, "k") != m.Backoff(3, "k") {
+		t.Error("backoff not deterministic")
+	}
+	// Attempt floor.
+	if m.Backoff(0, "k") != m.Backoff(1, "k") {
+		t.Error("attempt < 1 should price like attempt 1")
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"jmake/internal/commitgen"
 	"jmake/internal/core"
 	"jmake/internal/eval"
+	"jmake/internal/faultinject"
 	"jmake/internal/fstree"
 	"jmake/internal/janitor"
 	"jmake/internal/kernelgen"
@@ -66,6 +67,11 @@ type (
 	Session = core.Session
 	// Checker runs JMake against one source snapshot.
 	Checker = core.Checker
+	// FaultPlan configures deterministic fault injection (Options.Faults);
+	// the zero plan injects nothing.
+	FaultPlan = faultinject.Plan
+	// FaultEvent is one injected fault recorded in a Report.
+	FaultEvent = faultinject.Event
 )
 
 // Re-exported statuses.
@@ -77,7 +83,16 @@ const (
 	StatusSetupFile       = core.StatusSetupFile
 	StatusUnsupportedArch = core.StatusUnsupportedArch
 	StatusNoMakefile      = core.StatusNoMakefile
+	StatusBudgetExhausted = core.StatusBudgetExhausted
+	StatusArchQuarantined = core.StatusArchQuarantined
 )
+
+// UniformFaultPlan builds a fault plan applying rate to every fault class
+// (transient preprocessor and config failures, truncated .i output,
+// mid-run cross-compiler breakage, stalls), keyed by seed.
+func UniformFaultPlan(seed uint64, rate float64) FaultPlan {
+	return faultinject.Uniform(seed, rate)
+}
 
 // Re-exported escape reasons (Table IV).
 const (
