@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench-witness eval
+.PHONY: check build test vet race bench-witness bench-workers eval
 
-check: vet build race
+check: vet build test race
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,10 @@ short:
 
 bench-witness:
 	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkWitnessedIn -benchmem
+
+# Patch-window throughput at 1/2/4/8 workers (speedup tracks CPU cores).
+bench-workers:
+	$(GO) test ./internal/eval/ -run '^$$' -bench BenchmarkCheckWindow -benchtime 3x
 
 eval:
 	$(GO) run ./cmd/jmake-eval summary

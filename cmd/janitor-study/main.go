@@ -6,12 +6,14 @@
 // Usage:
 //
 //	janitor-study [-tree-scale S] [-commit-scale S] [-paper-thresholds]
+//	              [-workers N]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"jmake"
 	"jmake/internal/stats"
@@ -31,6 +33,7 @@ func run() error {
 		treeScale   = flag.Float64("tree-scale", 1.6, "kernel tree size multiplier")
 		commitScale = flag.Float64("commit-scale", 1.0, "history size multiplier")
 		paperTh     = flag.Bool("paper-thresholds", true, "use the paper's Table I thresholds unscaled")
+		workers     = flag.Int("workers", 0, "parallel commit-tally workers (0 = auto)")
 	)
 	flag.Parse()
 
@@ -65,7 +68,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	js, err := jmake.IdentifyJanitors(hist.Repo, mtext, th)
+	w := *workers
+	if w <= 0 {
+		w = runtime.NumCPU()
+	}
+	js, err := jmake.IdentifyJanitorsWorkers(hist.Repo, mtext, th, w)
 	if err != nil {
 		return err
 	}

@@ -8,7 +8,12 @@
 //
 // Selectors: table1 table2 table3 table4 fig4a fig4b fig4c fig5 fig6
 // archstats configstats mutstats cstats hstats summary limits
-// invocations faults all (default: all).
+// invocations faults pipeline all (default: all).
+//
+// With -json, diagnostic `#` lines go to stderr so stdout is exactly the
+// report: same-seed runs emit byte-identical JSON at any -workers setting.
+// -runtime-metrics opts into the volatile scheduling figures (wall clock,
+// throughput, worker configuration), which are NOT reproducible.
 package main
 
 import (
@@ -38,6 +43,8 @@ func run() error {
 		treeScale   = flag.Float64("tree-scale", 1.6, "kernel tree size multiplier")
 		commitScale = flag.Float64("commit-scale", 1.0, "history size multiplier (1.0 = 12,946 window commits)")
 		workers     = flag.Int("workers", 0, "parallel patch workers (0 = auto, capped at 25)")
+		inflight    = flag.Int("inflight", 0, "bound on admitted-but-unmerged patches (0 = 2*workers)")
+		runtimeMet  = flag.Bool("runtime-metrics", false, "include volatile scheduling metrics (wall clock, throughput); output is no longer reproducible")
 		points      = flag.Bool("points", false, "print figures as x/y points instead of ASCII plots")
 		allmod      = flag.Bool("allmod", false, "run the whole evaluation with the allmodconfig extension")
 		coverage    = flag.Bool("coverage", false, "run the whole evaluation with coverage-configuration synthesis")
@@ -57,7 +64,13 @@ func run() error {
 	}
 	sel := func(name string) bool { return want["all"] || want[name] }
 
-	fmt.Printf("# jmake-eval: tree-scale=%.2f commit-scale=%.2f workers=%d\n",
+	// Diagnostic chatter goes to stdout for humans, but to stderr under
+	// -json so stdout is exactly the (reproducible) report.
+	diag := os.Stdout
+	if *jsonOut {
+		diag = os.Stderr
+	}
+	fmt.Fprintf(diag, "# jmake-eval: tree-scale=%.2f commit-scale=%.2f workers=%d\n",
 		*treeScale, *commitScale, *workers)
 	checkerOpts := jmake.Options{
 		TryAllModConfig: *allmod,
@@ -75,16 +88,22 @@ func run() error {
 		TreeScale:   *treeScale,
 		CommitScale: *commitScale,
 		Workers:     *workers,
+		InFlight:    *inflight,
 		Checker:     checkerOpts,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("# evaluated %d window commits (%d skipped by path filter) in %v\n\n",
+	fmt.Fprintf(diag, "# evaluated %d window commits (%d skipped by path filter) in %v\n\n",
 		len(run.Results), run.SkippedCount(), time.Since(start).Round(time.Millisecond))
 
 	if *jsonOut {
-		data, err := run.JSON(*points)
+		var data []byte
+		if *runtimeMet {
+			data, err = run.JSONWithRuntime(*points)
+		} else {
+			data, err = run.JSON(*points)
+		}
 		if err != nil {
 			return err
 		}
@@ -210,6 +229,10 @@ func run() error {
 	if sel("faults") {
 		fmt.Println("== resilience: injected faults, retries, budgets ==")
 		fmt.Println(run.ComputeFaultStats().Render())
+	}
+	if sel("pipeline") {
+		fmt.Println("== parallel evaluation pipeline ==")
+		fmt.Println(run.RenderPipeline(*runtimeMet))
 	}
 	return nil
 }

@@ -33,7 +33,9 @@ type Checker struct {
 
 // NewChecker builds a checker over tree (the snapshot after applying the
 // patch under test). configs may be shared across checkers to amortize
-// Kconfig evaluation; pass nil for a private provider.
+// Kconfig evaluation; pass nil for a private provider. The checker always
+// gets a token cache (private here, shared via Session.Checker), so
+// preprocessing memoization is never silently lost.
 func NewChecker(tree *fstree.Tree, model *vclock.Model, configs *ConfigProvider, opts Options) (*Checker, error) {
 	meta, err := kbuild.LoadMeta(tree)
 	if err != nil {
@@ -51,6 +53,7 @@ func NewChecker(tree *fstree.Tree, model *vclock.Model, configs *ConfigProvider,
 		arches:  arches,
 		archIx:  buildArchIndex(tree, arches),
 		configs: configs,
+		tokens:  cpp.NewTokenCache(),
 	}, nil
 }
 
@@ -75,10 +78,19 @@ type fileState struct {
 	res   MutateResult
 	muts  []*mutEntry
 	state *FileOutcome
-	// compiledOK is true once some configuration compiled the file (.c) —
-	// errors from other configurations then stop mattering.
+	// compiledOK is true once some configuration compiled the file (.c)
+	// in a pass where the file's *own* mutations were witnessed — errors
+	// from other configurations then stop mattering, and the pass earns
+	// coverage bookkeeping (UsedArches etc.) for this file.
 	compiledOK bool
-	lastErr    error
+	// validatedOK is true once some configuration compiled the file at
+	// all, even if the pass only witnessed other files' mutations (e.g. a
+	// header's marker surfacing in this file's .i). It distinguishes "the
+	// file builds but its changed lines never surfaced" (escapes) from
+	// "the file never built" (build failure) without letting a borrowed
+	// witness stamp this file's coverage statistics.
+	validatedOK bool
+	lastErr     error
 }
 
 func (fs *fileState) pending() []*mutEntry {
@@ -100,8 +112,8 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 	var cFiles, hFiles []*fileState
 	mutatedTree := c.tree.Clone()
 
-	for _, fd := range fds {
-		path := fstree.Clean(fd.NewPath)
+	for _, g := range groupByPath(fds) {
+		path := g.path
 		kind, ok := classify(path)
 		if !ok {
 			continue
@@ -122,7 +134,7 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 			report.Files = append(report.Files, outcome)
 			continue
 		}
-		changed := textdiff.ChangedNewLines(fd, countLines(content))
+		changed := g.changedLines(countLines(content))
 		fs.res = Mutate(path, content, changed)
 		outcome.Mutations = len(fs.res.Mutations)
 		if len(fs.res.Mutations) == 0 {
@@ -205,6 +217,53 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 	report.BudgetExhausted = c.run.exhausted
 	report.QuarantinedArches = c.run.quarantinedList()
 	return report, nil
+}
+
+// pathDiffs collects the FileDiff entries of one patch that target the
+// same cleaned path. Patches occasionally carry several entries for one
+// file (split hunk runs, a rename chain re-listing its destination);
+// treating each entry as its own file is wrong twice over: the mutated
+// tree keeps only the last entry's content, and rebind matches by path,
+// so every duplicate's state aliases onto the first FileOutcome.
+// Merging before classification yields exactly one file state per path
+// whose changed-line set is the union across entries.
+type pathDiffs struct {
+	path string
+	fds  []textdiff.FileDiff
+}
+
+func groupByPath(fds []textdiff.FileDiff) []pathDiffs {
+	var out []pathDiffs
+	index := make(map[string]int, len(fds))
+	for _, fd := range fds {
+		path := fstree.Clean(fd.NewPath)
+		if i, ok := index[path]; ok {
+			out[i].fds = append(out[i].fds, fd)
+			continue
+		}
+		index[path] = len(out)
+		out = append(out, pathDiffs{path: path, fds: []textdiff.FileDiff{fd}})
+	}
+	return out
+}
+
+// changedLines is the sorted union of ChangedNewLines over the group.
+func (g pathDiffs) changedLines(lineCount int) []int {
+	if len(g.fds) == 1 {
+		return textdiff.ChangedNewLines(g.fds[0], lineCount)
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, fd := range g.fds {
+		for _, ln := range textdiff.ChangedNewLines(fd, lineCount) {
+			if !seen[ln] {
+				seen[ln] = true
+				out = append(out, ln)
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 func rebind(report *PatchReport, fss []*fileState) {
@@ -410,7 +469,7 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 					ownPresent++
 				}
 			}
-			if len(witnessed) == 0 && fs.compiledOK {
+			if len(witnessed) == 0 && (fs.compiledOK || fs.validatedOK) {
 				continue
 			}
 			if c.run.exhausted || c.run.quarantined[archName] {
@@ -422,8 +481,15 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 				fs.lastErr = oerr
 				continue
 			}
-			fs.compiledOK = true
-			recordUse(fs.state, archName, cc)
+			fs.validatedOK = true
+			if ownPresent > 0 {
+				// Coverage bookkeeping is earned only by the file's own
+				// witnessed mutations: a .i carrying nothing but a header's
+				// marker proves the header was seen under this
+				// configuration, not that this file's changed lines were.
+				fs.compiledOK = true
+				recordUse(fs.state, archName, cc)
+			}
 			for _, m := range witnessed {
 				if m.covered {
 					continue
@@ -572,7 +638,7 @@ func (c *Checker) finalize(fs *fileState) {
 		// degrade honestly.
 		fo.Status = StatusBudgetExhausted
 		fo.FailureDetail = "virtual-time budget exhausted"
-	case fs.compiledOK || (fs.kind == HFile && fo.FoundMutations > 0):
+	case fs.compiledOK || fs.validatedOK || (fs.kind == HFile && fo.FoundMutations > 0):
 		fo.Status = StatusEscapes
 		fo.Escapes = c.classifyEscapes(fs)
 	default:

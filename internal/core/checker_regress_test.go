@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"jmake/internal/fstree"
+	"jmake/internal/textdiff"
+	"jmake/internal/vclock"
+)
+
+// NewChecker must hand out a working token cache just like Session.Checker
+// does; a nil cache silently disabled preprocessing memoization.
+func TestNewCheckerHasTokenCache(t *testing.T) {
+	tr := fixtureTree()
+	old, _ := tr.Read("drivers/net/netdrv.c")
+	fd := applyEdit(t, tr, "drivers/net/netdrv.c",
+		strings.Replace(old, "0x40", "0x41", 1))
+	ch := newFixtureChecker(t, tr)
+	if ch.tokens == nil {
+		t.Fatal("NewChecker left the token cache nil")
+	}
+	if _, err := ch.CheckPatch("test", []textdiff.FileDiff{fd}); err != nil {
+		t.Fatalf("CheckPatch: %v", err)
+	}
+	if ch.tokens.Len() == 0 {
+		t.Error("token cache never used during CheckPatch")
+	}
+	if _, misses := ch.tokens.Stats(); misses == 0 {
+		t.Error("token cache recorded no lookups during CheckPatch")
+	}
+}
+
+// A .c file whose .i witnesses only a header's mutation has validated the
+// configuration, but its own changed lines never surfaced: it must not be
+// stamped with UsedArches/UsedDefconfig bookkeeping, while the header's
+// attribution (via the .c's preprocessing) must survive.
+func TestCheckHeaderWitnessDoesNotStampCFile(t *testing.T) {
+	tr := fixtureTree()
+	// Give the pre-patch .c a region guarded by a CONFIG that is never
+	// set, then change only the line inside it: the resulting mutation
+	// sits inside the dead region, so no configuration can witness it.
+	// (Editing the #ifdef line itself would not do: that line belongs to
+	// the enclosing region, and its mutation lands before the guard.)
+	base, _ := tr.Read("drivers/net/netdrv.c")
+	tr.Write("drivers/net/netdrv.c", strings.Replace(base, "\tdrv_read(v);",
+		"#ifdef CONFIG_TOTALLY_UNKNOWN\n\tprintk(\"x %d\", v);\n#endif\n\tdrv_read(v);", 1))
+
+	oldH, _ := tr.Read("include/linux/netdev.h")
+	fdH := applyEdit(t, tr, "include/linux/netdev.h",
+		strings.Replace(oldH, "<< 4)", "<< 5)", 1))
+	oldC, _ := tr.Read("drivers/net/netdrv.c")
+	fdC := applyEdit(t, tr, "drivers/net/netdrv.c",
+		strings.Replace(oldC, "\tprintk(\"x %d\", v);", "\tprintk(\"x2 %d\", v);", 1))
+	report := checkOne(t, tr, fdC, fdH)
+
+	c := findFile(t, report, "drivers/net/netdrv.c")
+	if c.Status != StatusEscapes {
+		t.Fatalf("c-file status = %v, want escapes: %+v", c.Status, c)
+	}
+	if len(c.UsedArches) != 0 || c.UsedDefconfig || c.UsedAllMod {
+		t.Errorf("borrowed header witness stamped the .c file: arches=%v defconfig=%v allmod=%v",
+			c.UsedArches, c.UsedDefconfig, c.UsedAllMod)
+	}
+	h := findFile(t, report, "include/linux/netdev.h")
+	if h.Status != StatusCertified || !h.CoveredByPatchCs {
+		t.Errorf("header outcome = %+v, want certified via patch .c", h)
+	}
+	if len(h.UsedArches) == 0 {
+		t.Error("header lost its arch attribution")
+	}
+}
+
+// A patch carrying several FileDiff entries for one path (split hunk runs)
+// must classify as ONE file whose changed-line set is the union across the
+// entries — not N aliased outcomes where only the last entry's markers
+// reach the mutated tree.
+func TestCheckDuplicatePathDiffsMerged(t *testing.T) {
+	const path = "drivers/net/netdrv.c"
+	tr := fixtureTree()
+	c0, _ := tr.Read(path)
+	c1 := strings.Replace(c0, "#define DRV_REG 0x04", "#define DRV_REG 0x08", 1)
+	fd1, ok := textdiff.Diff(path, path, c0, c1)
+	if !ok {
+		t.Fatal("first edit changed nothing")
+	}
+	c2 := strings.Replace(c1, "outw(v, 0x40);", "outw(v, 0x44);", 1)
+	fd2, ok := textdiff.Diff(path, path, c1, c2)
+	if !ok {
+		t.Fatal("second edit changed nothing")
+	}
+	tr.Write(path, c2)
+	report := checkOne(t, tr, fd1, fd2)
+
+	entries := 0
+	for _, f := range report.Files {
+		if f.Path == path {
+			entries++
+		}
+	}
+	if entries != 1 {
+		t.Fatalf("report holds %d outcomes for %s, want 1: %+v", entries, path, report.Files)
+	}
+	f := findFile(t, report, path)
+	if f.Mutations != 2 || f.FoundMutations != 2 {
+		t.Errorf("mutations = %d found = %d, want 2/2 (union of both diffs)",
+			f.Mutations, f.FoundMutations)
+	}
+	if f.Status != StatusCertified {
+		t.Errorf("status = %v, want certified: %+v", f.Status, f)
+	}
+	if !report.Certified() {
+		t.Error("merged patch should certify")
+	}
+}
+
+// dupPathJob prepares one independent patch over a clone of base.
+type sessJob struct {
+	tree *fstree.Tree
+	fd   textdiff.FileDiff
+}
+
+func makeSessJobs(t *testing.T, base *fstree.Tree, n int) []sessJob {
+	t.Helper()
+	jobs := make([]sessJob, n)
+	for i := range jobs {
+		tr := base.Clone()
+		var path, old, edited string
+		if i%3 == 2 {
+			path = "include/linux/netdev.h"
+			old, _ = tr.Read(path)
+			edited = strings.Replace(old, "<< 4)", fmt.Sprintf("<< %d)", 5+i), 1)
+		} else {
+			path = "drivers/net/netdrv.c"
+			old, _ = tr.Read(path)
+			edited = strings.Replace(old, "0x40", fmt.Sprintf("0x%02x", 0x41+i), 1)
+		}
+		fd, ok := textdiff.Diff(path, path, old, edited)
+		if !ok {
+			t.Fatalf("job %d changed nothing", i)
+		}
+		tr.Write(path, edited)
+		jobs[i] = sessJob{tree: tr, fd: fd}
+	}
+	return jobs
+}
+
+// Checkers handed out by one Session must be usable concurrently (run
+// under -race) and produce exactly the reports a serial run produces —
+// including the shared caches' counters, which must be invariant under
+// interleaving because every key is computed exactly once.
+func TestSessionCheckerConcurrent(t *testing.T) {
+	base := fixtureTree()
+	const n = 12
+	jobs := makeSessJobs(t, base, n)
+	model := vclock.DefaultModel(7)
+
+	run := func(concurrent bool) ([]*PatchReport, CacheStats, CacheStats) {
+		sess, err := NewSession(base)
+		if err != nil {
+			t.Fatalf("NewSession: %v", err)
+		}
+		reports := make([]*PatchReport, n)
+		check := func(i int) {
+			ch := sess.Checker(jobs[i].tree, model, Options{})
+			r, err := ch.CheckPatch(fmt.Sprintf("commit-%d", i), []textdiff.FileDiff{jobs[i].fd})
+			if err != nil {
+				t.Errorf("CheckPatch %d: %v", i, err)
+				return
+			}
+			reports[i] = r
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					check(i)
+				}(i)
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < n; i++ {
+				check(i)
+			}
+		}
+		return reports, sess.ConfigCacheStats(), sess.TokenCacheStats()
+	}
+
+	serial, serialCfg, serialTok := run(false)
+	parallel, parallelCfg, parallelTok := run(true)
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i], parallel[i]) {
+			t.Errorf("report %d diverges between serial and concurrent runs:\nserial:   %+v\nparallel: %+v",
+				i, serial[i], parallel[i])
+		}
+	}
+	if serialCfg != parallelCfg {
+		t.Errorf("config-cache stats diverge: serial %+v, parallel %+v", serialCfg, parallelCfg)
+	}
+	if serialTok != parallelTok {
+		t.Errorf("token-cache stats diverge: serial %+v, parallel %+v", serialTok, parallelTok)
+	}
+	if serialCfg.Misses == 0 || serialTok.Misses == 0 {
+		t.Errorf("caches unused? config=%+v token=%+v", serialCfg, serialTok)
+	}
+}

@@ -17,11 +17,31 @@ import (
 // *valuation* is identical as long as the Kconfig files are unchanged, so
 // caching it is sound and keeps the 12,000-patch evaluation tractable.
 //
-// A ConfigProvider is safe for concurrent use by the evaluation workers.
+// A ConfigProvider is safe for concurrent use by the evaluation workers:
+// both caches are checked and filled under one mutex, so every valuation
+// is computed exactly once and the hit/miss counters are invariant under
+// concurrency (misses always equal the number of distinct keys), keeping
+// pipeline metrics reproducible across -workers settings.
 type ConfigProvider struct {
 	mu     sync.Mutex
 	trees  map[string]*kconfig.Tree
 	values map[string]*kconfig.Config
+	hits   uint64
+	misses uint64
+}
+
+// CacheStats are lookup counters for one shared cache.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// HitRate returns Hits over total lookups (0 when never used).
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
 // NewConfigProvider returns an empty provider.
@@ -70,8 +90,10 @@ func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigCho
 		return nil, 0, err
 	}
 	if cfg, ok := p.values[key]; ok {
+		p.hits++
 		return cfg, kt.Len(), nil
 	}
+	p.misses++
 	var cfg *kconfig.Config
 	switch choice.Kind {
 	case ConfigAllMod:
@@ -90,4 +112,11 @@ func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigCho
 	}
 	p.values[key] = cfg
 	return cfg, kt.Len(), nil
+}
+
+// Stats returns the valuation-cache counters.
+func (p *ConfigProvider) Stats() CacheStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return CacheStats{Hits: p.hits, Misses: p.misses}
 }

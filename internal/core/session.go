@@ -57,3 +57,18 @@ func (s *Session) Checker(tree *fstree.Tree, model *vclock.Model, opts Options) 
 		tokens:  s.tokens,
 	}
 }
+
+// ConfigCacheStats returns the shared Kconfig-valuation cache counters.
+// Every valuation is computed exactly once under the provider's lock, so
+// the counters are worker-count-invariant and safe to put in
+// reproducible reports.
+func (s *Session) ConfigCacheStats() CacheStats {
+	return s.configs.Stats()
+}
+
+// TokenCacheStats returns the shared lexing cache counters, with the same
+// worker-count invariance (each content key is computed exactly once).
+func (s *Session) TokenCacheStats() CacheStats {
+	h, m := s.tokens.Stats()
+	return CacheStats{Hits: h, Misses: m}
+}

@@ -16,13 +16,20 @@ import (
 // because the expansion pipeline treats tokens as values: worklists copy
 // token structs, and hide-set updates copy the slice (see Token.withHide).
 //
-// A TokenCache is safe for concurrent use.
+// A TokenCache is safe for concurrent use. Each key is computed exactly
+// once: concurrent first requests for the same content elect one computer
+// and the rest wait on it, so the miss count equals the number of distinct
+// keys regardless of worker count or interleaving — which keeps cache
+// statistics reproducible across -workers settings.
 type TokenCache struct {
 	mu      sync.Mutex
 	entries map[uint64]*cachedFile
+	hits    uint64
+	misses  uint64
 }
 
 type cachedFile struct {
+	once  sync.Once
 	lines []logicalLine
 	toks  [][]Token
 }
@@ -45,21 +52,24 @@ func contentKey(path, content string) uint64 {
 func (c *TokenCache) scan(path, content string) ([]logicalLine, [][]Token) {
 	key := contentKey(path, content)
 	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
-		return e.lines, e.toks
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		e = &cachedFile{}
+		c.entries[key] = e
+		c.misses++
 	}
 	c.mu.Unlock()
 
-	lines := logicalLines(content)
-	toks := make([][]Token, len(lines))
-	for i, ll := range lines {
-		toks[i] = Lex(ll.text)
-	}
-	c.mu.Lock()
-	c.entries[key] = &cachedFile{lines: lines, toks: toks}
-	c.mu.Unlock()
-	return lines, toks
+	e.once.Do(func() {
+		e.lines = logicalLines(content)
+		e.toks = make([][]Token, len(e.lines))
+		for i, ll := range e.lines {
+			e.toks[i] = Lex(ll.text)
+		}
+	})
+	return e.lines, e.toks
 }
 
 // Len returns the number of cached files.
@@ -67,4 +77,12 @@ func (c *TokenCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries)
+}
+
+// Stats returns the lookup counters. Misses equal the number of distinct
+// keys ever requested, so both values are invariant under concurrency.
+func (c *TokenCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
 }

@@ -1,0 +1,38 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkCheckWindow measures patch-window throughput at several worker
+// counts (run with `make bench-workers`). The substrate (tree, history,
+// janitor study) is prepared once outside the timer; every measured pass
+// runs the full window through a FRESH Session so cache warmth cannot
+// favor later worker counts. Speedup tracks available cores — on a
+// single-core machine the worker counts tie, which is itself evidence the
+// pool adds no contention overhead.
+func BenchmarkCheckWindow(b *testing.B) {
+	run, ids, err := prepare(Params{
+		TreeSeed: 51, HistorySeed: 52, ModelSeed: 53,
+		TreeScale: 0.25, CommitScale: 0.02,
+	})
+	if err != nil {
+		b.Fatalf("prepare: %v", err)
+	}
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var last PipelineMetrics
+			for i := 0; i < b.N; i++ {
+				shell := *run
+				shell.Params.Workers = w
+				if err := shell.checkWindow(ids); err != nil {
+					b.Fatalf("checkWindow: %v", err)
+				}
+				last = shell.Pipeline
+			}
+			b.ReportMetric(last.PatchesPerSec, "patches/sec")
+			b.ReportMetric(float64(last.Checked), "checked")
+		})
+	}
+}

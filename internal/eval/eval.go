@@ -8,7 +8,6 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
-	"sync"
 
 	"jmake/internal/commitgen"
 	"jmake/internal/core"
@@ -16,6 +15,7 @@ import (
 	"jmake/internal/janitor"
 	"jmake/internal/kernelgen"
 	"jmake/internal/maintainers"
+	"jmake/internal/sched"
 	"jmake/internal/vclock"
 	"jmake/internal/vcs"
 )
@@ -35,6 +35,9 @@ type Params struct {
 	CommitScale float64
 	// Workers bounds parallel patch processing (paper: 25 processes).
 	Workers int
+	// InFlight bounds admitted-but-unmerged patches (each holds one tree
+	// clone and report in memory); 0 means 2*Workers.
+	InFlight int
 	// Checker tunes the JMake pipeline.
 	Checker core.Options
 	// JanitorThresholds for the §IV study; zero value uses scaled paper
@@ -100,33 +103,51 @@ type Run struct {
 	JanitorEmails map[string]bool
 	// Results has one entry per window commit (12,946 at scale 1.0).
 	Results []PatchResult
+	// Pipeline describes the worker pool's execution of the window.
+	Pipeline PipelineMetrics
 }
 
-// Execute runs the complete evaluation.
+// Execute runs the complete evaluation: substrate generation and janitor
+// study (prepare), then the parallel patch window (checkWindow).
 func Execute(p Params) (*Run, error) {
+	run, ids, err := prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	if err := run.checkWindow(ids); err != nil {
+		return nil, err
+	}
+	return run, nil
+}
+
+// prepare generates the evaluation substrate — the kernel-shaped tree, its
+// commit history, the §IV janitor study — and returns the run shell plus
+// the §V-A window patch stream.
+func prepare(p Params) (*Run, []string, error) {
 	p = p.withDefaults()
 	tree, man, err := kernelgen.Generate(kernelgen.Params{Seed: p.TreeSeed, Scale: p.TreeScale})
 	if err != nil {
-		return nil, fmt.Errorf("eval: generating tree: %w", err)
+		return nil, nil, fmt.Errorf("eval: generating tree: %w", err)
 	}
 	hist, err := commitgen.Build(tree, man, commitgen.Params{Seed: p.HistorySeed, Scale: p.CommitScale})
 	if err != nil {
-		return nil, fmt.Errorf("eval: generating history: %w", err)
+		return nil, nil, fmt.Errorf("eval: generating history: %w", err)
 	}
 	repo := hist.Repo
 
 	// §IV: identify janitors over the whole study period.
 	mtext, err := repo.ReadTip("MAINTAINERS")
 	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
+		return nil, nil, fmt.Errorf("eval: %w", err)
 	}
 	entries, err := maintainers.Parse(mtext)
 	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
+		return nil, nil, fmt.Errorf("eval: %w", err)
 	}
-	js, err := janitor.Identify(repo, maintainers.NewIndex(entries), "v3.0", "v4.3", "v4.4", p.JanitorThresholds)
+	js, err := janitor.IdentifyWorkers(repo, maintainers.NewIndex(entries),
+		"v3.0", "v4.3", "v4.4", p.JanitorThresholds, p.Workers)
 	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
+		return nil, nil, fmt.Errorf("eval: %w", err)
 	}
 	jEmails := janitor.Emails(js)
 	// The planted roster is the ground truth for patch attribution even if
@@ -138,37 +159,8 @@ func Execute(p Params) (*Run, error) {
 	// §V-A: the patch stream.
 	ids, err := repo.Between("v4.3", "v4.4", vcs.LogOptions{NoMerges: true, OnlyModify: true})
 	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
+		return nil, nil, fmt.Errorf("eval: %w", err)
 	}
-
-	base, err := repo.CheckoutTree(ids[0])
-	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
-	}
-	session, err := core.NewSession(base)
-	if err != nil {
-		return nil, fmt.Errorf("eval: %w", err)
-	}
-	model := vclock.DefaultModel(p.ModelSeed)
-
-	results := make([]PatchResult, len(ids))
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < p.Workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				results[i] = processOne(repo, session, model, p.Checker, ids[i], jEmails)
-			}
-		}()
-	}
-	for i := range ids {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-
 	return &Run{
 		Params:        p,
 		Tree:          tree,
@@ -176,8 +168,39 @@ func Execute(p Params) (*Run, error) {
 		Repo:          repo,
 		Janitors:      js,
 		JanitorEmails: jEmails,
-		Results:       results,
-	}, nil
+	}, ids, nil
+}
+
+// checkWindow fans the window's patches over the worker pool. One Session
+// holds the window-invariant state (build metadata, arch index, Kconfig
+// valuations, lexed tokens); each patch gets its own Checker so resilience
+// state stays patch-local and reports are identical at any worker count.
+// Results are merged in submission order with bounded in-flight memory.
+func (r *Run) checkWindow(ids []string) error {
+	if len(ids) == 0 {
+		return fmt.Errorf("eval: empty patch window")
+	}
+	base, err := r.Repo.CheckoutTree(ids[0])
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	session, err := core.NewSession(base)
+	if err != nil {
+		return fmt.Errorf("eval: %w", err)
+	}
+	model := vclock.DefaultModel(r.Params.ModelSeed)
+
+	r.Results = make([]PatchResult, len(ids))
+	met := sched.Map(len(ids),
+		sched.Options{Workers: r.Params.Workers, InFlight: r.Params.InFlight},
+		func(i int) PatchResult {
+			return processOne(r.Repo, session, model, r.Params.Checker, ids[i], r.JanitorEmails)
+		},
+		func(i int, res PatchResult) {
+			r.Results[i] = res
+		})
+	r.Pipeline = computePipelineMetrics(met, r.Results, session)
+	return nil
 }
 
 // processOne checks a single commit, mirroring the paper's per-patch

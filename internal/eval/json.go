@@ -42,6 +42,8 @@ type JSONReport struct {
 	CStats  CStats      `json:"c_stats"`
 	HStats  HStats      `json:"h_stats"`
 
+	Pipeline JSONPipeline `json:"pipeline"`
+
 	Faults struct {
 		Retries                int            `json:"retries"`
 		InjectedFaults         int            `json:"injected_faults"`
@@ -74,6 +76,35 @@ type JSONMix struct {
 	Total int `json:"total"`
 }
 
+// JSONPipeline is the machine-readable pipeline section. Only
+// worker-count-invariant fields appear by default; Runtime carries the
+// volatile scheduling figures and is populated solely by JSONWithRuntime,
+// keeping the default report byte-identical at any -workers setting.
+type JSONPipeline struct {
+	Patches        int                  `json:"patches"`
+	Checked        int                  `json:"checked"`
+	ConfigCache    JSONCacheStats       `json:"config_cache"`
+	TokenCache     JSONCacheStats       `json:"token_cache"`
+	VirtualSeconds StageVirtual         `json:"virtual_seconds"`
+	Runtime        *JSONPipelineRuntime `json:"runtime,omitempty"`
+}
+
+// JSONCacheStats is one shared cache's counters.
+type JSONCacheStats struct {
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// JSONPipelineRuntime is the volatile part of the pipeline section.
+type JSONPipelineRuntime struct {
+	Workers       int     `json:"workers"`
+	InFlight      int     `json:"in_flight"`
+	MaxBuffered   int     `json:"max_buffered"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	PatchesPerSec float64 `json:"patches_per_sec"`
+}
+
 // JSONCDF summarizes one figure's distribution in seconds.
 type JSONCDF struct {
 	N      int          `json:"n"`
@@ -86,8 +117,20 @@ type JSONCDF struct {
 }
 
 // JSON builds the machine-readable report. points controls whether the
-// figures carry full CDF point series.
+// figures carry full CDF point series. The output is deterministic: two
+// same-seed runs produce byte-identical bytes regardless of worker count.
 func (r *Run) JSON(points bool) ([]byte, error) {
+	return r.buildJSON(points, false)
+}
+
+// JSONWithRuntime is JSON plus the volatile pipeline runtime section
+// (wall clock, throughput, worker configuration). Its output is NOT
+// reproducible across machines or worker counts.
+func (r *Run) JSONWithRuntime(points bool) ([]byte, error) {
+	return r.buildJSON(points, true)
+}
+
+func (r *Run) buildJSON(points, runtime bool) ([]byte, error) {
 	var out JSONReport
 	out.Commits = len(r.Results)
 	out.Skipped = r.SkippedCount()
@@ -125,6 +168,24 @@ func (r *Run) JSON(points bool) ([]byte, error) {
 	out.Configs = r.ComputeConfigStats()
 	out.CStats = r.ComputeCStats(false)
 	out.HStats = r.ComputeHStats(false)
+
+	pm := r.Pipeline
+	out.Pipeline = JSONPipeline{
+		Patches:        pm.Patches,
+		Checked:        pm.Checked,
+		ConfigCache:    JSONCacheStats{pm.ConfigCache.Hits, pm.ConfigCache.Misses, pm.ConfigCache.HitRate()},
+		TokenCache:     JSONCacheStats{pm.TokenCache.Hits, pm.TokenCache.Misses, pm.TokenCache.HitRate()},
+		VirtualSeconds: pm.Stages,
+	}
+	if runtime {
+		out.Pipeline.Runtime = &JSONPipelineRuntime{
+			Workers:       pm.Workers,
+			InFlight:      pm.InFlight,
+			MaxBuffered:   pm.MaxBuffered,
+			WallSeconds:   pm.WallSeconds,
+			PatchesPerSec: pm.PatchesPerSec,
+		}
+	}
 
 	fs := r.ComputeFaultStats()
 	out.Faults.Retries = fs.Retries

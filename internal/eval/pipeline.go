@@ -1,0 +1,106 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+
+	"jmake/internal/core"
+	"jmake/internal/sched"
+)
+
+// StageVirtual breaks the window's virtual build time down by pipeline
+// stage. Durations come from the deterministic cost model, so every field
+// is worker-count-invariant.
+type StageVirtual struct {
+	ConfigSeconds  float64 `json:"config_seconds"`
+	MakeISeconds   float64 `json:"make_i_seconds"`
+	MakeOSeconds   float64 `json:"make_o_seconds"`
+	BackoffSeconds float64 `json:"backoff_seconds"`
+	TotalSeconds   float64 `json:"total_seconds"`
+}
+
+// PipelineMetrics describes the worker pool's execution of one window.
+//
+// The deterministic fields (patch counts, cache counters, virtual stage
+// times) are invariant under the worker count: caches compute every key
+// exactly once and virtual durations are priced by seeded keys, not by
+// scheduling. They belong in reproducible reports. The volatile fields
+// (wall clock, throughput, reorder high-water mark, and the worker/
+// in-flight configuration itself) describe one machine's run of one
+// configuration and are kept out of the default JSON report so same-seed
+// runs stay byte-identical at any -workers setting.
+type PipelineMetrics struct {
+	// Deterministic.
+	Patches     int             // window commits fanned out
+	Checked     int             // commits that produced a patch report
+	ConfigCache core.CacheStats // shared Kconfig-valuation cache
+	TokenCache  core.CacheStats // shared lexing cache
+	Stages      StageVirtual    // virtual seconds per stage
+
+	// Volatile (scheduling- and machine-dependent).
+	Workers       int
+	InFlight      int
+	WallSeconds   float64
+	PatchesPerSec float64
+	MaxBuffered   int
+}
+
+// computePipelineMetrics folds the scheduler's counters and the merged
+// results into the run's pipeline section. The per-stage sums iterate
+// results in submission order, so even the floating-point accumulation is
+// reproducible.
+func computePipelineMetrics(met sched.Metrics, results []PatchResult, session *core.Session) PipelineMetrics {
+	pm := PipelineMetrics{
+		Patches:       met.Items,
+		ConfigCache:   session.ConfigCacheStats(),
+		TokenCache:    session.TokenCacheStats(),
+		Workers:       met.Workers,
+		InFlight:      met.InFlight,
+		WallSeconds:   met.Wall.Seconds(),
+		PatchesPerSec: met.ItemsPerSec,
+		MaxBuffered:   met.MaxBuffered,
+	}
+	for _, res := range results {
+		if res.Report == nil {
+			continue
+		}
+		pm.Checked++
+		for _, d := range res.Report.ConfigDurations {
+			pm.Stages.ConfigSeconds += d.Seconds()
+		}
+		for _, d := range res.Report.MakeIDurations {
+			pm.Stages.MakeISeconds += d.Seconds()
+		}
+		for _, d := range res.Report.MakeODurations {
+			pm.Stages.MakeOSeconds += d.Seconds()
+		}
+		for _, d := range res.Report.BackoffDurations {
+			pm.Stages.BackoffSeconds += d.Seconds()
+		}
+		pm.Stages.TotalSeconds += res.Report.Total.Seconds()
+	}
+	return pm
+}
+
+// RenderPipeline formats the pipeline section for the text report.
+// runtime additionally prints the volatile scheduling figures.
+func (r *Run) RenderPipeline(runtime bool) string {
+	pm := r.Pipeline
+	var b strings.Builder
+	fmt.Fprintf(&b, "Pipeline\n")
+	fmt.Fprintf(&b, "  patches fanned out:   %d (%d checked)\n", pm.Patches, pm.Checked)
+	fmt.Fprintf(&b, "  config cache:         %d hits / %d misses (%.1f%% hit rate)\n",
+		pm.ConfigCache.Hits, pm.ConfigCache.Misses, 100*pm.ConfigCache.HitRate())
+	fmt.Fprintf(&b, "  token cache:          %d hits / %d misses (%.1f%% hit rate)\n",
+		pm.TokenCache.Hits, pm.TokenCache.Misses, 100*pm.TokenCache.HitRate())
+	fmt.Fprintf(&b, "  virtual stage time:   config %.1fs, make.i %.1fs, make.o %.1fs, backoff %.1fs (total %.1fs)\n",
+		pm.Stages.ConfigSeconds, pm.Stages.MakeISeconds, pm.Stages.MakeOSeconds,
+		pm.Stages.BackoffSeconds, pm.Stages.TotalSeconds)
+	if runtime {
+		fmt.Fprintf(&b, "  workers:              %d (in-flight bound %d, max buffered %d)\n",
+			pm.Workers, pm.InFlight, pm.MaxBuffered)
+		fmt.Fprintf(&b, "  wall clock:           %.2fs (%.1f patches/sec)\n",
+			pm.WallSeconds, pm.PatchesPerSec)
+	}
+	return b.String()
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"jmake/internal/maintainers"
+	"jmake/internal/sched"
 	"jmake/internal/stats"
 	"jmake/internal/vcs"
 )
@@ -73,9 +74,30 @@ type accum struct {
 	fileCounts     map[string]int
 }
 
+// commitTally is the per-commit work computed in parallel: everything the
+// serial fold needs to add one commit to its author's accumulator. The
+// commit lookup and the MAINTAINERS index queries dominate the study's
+// cost and are pure reads, so they parallelize; the fold itself stays
+// serial in submission order, making the study worker-count-invariant.
+type commitTally struct {
+	email, name string
+	inWindow    bool
+	paths       []string // one entry per change, duplicates intact
+	subsystems  []string
+	lists       []string
+	maintains   bool
+	err         error
+}
+
 // Identify runs the study over fromTag..toTag with the window starting at
 // midTag, and returns the ranked janitors.
 func Identify(repo *vcs.Repo, ix *maintainers.Index, fromTag, midTag, toTag string, th Thresholds) ([]AuthorStats, error) {
+	return IdentifyWorkers(repo, ix, fromTag, midTag, toTag, th, 1)
+}
+
+// IdentifyWorkers is Identify with the per-commit tallying fanned over
+// workers. The result is identical at any worker count.
+func IdentifyWorkers(repo *vcs.Repo, ix *maintainers.Index, fromTag, midTag, toTag string, th Thresholds, workers int) ([]AuthorStats, error) {
 	history, err := repo.Between(fromTag, midTag, vcs.LogOptions{NoMerges: true, OnlyModify: true})
 	if err != nil {
 		return nil, fmt.Errorf("janitor: %w", err)
@@ -84,53 +106,44 @@ func Identify(repo *vcs.Repo, ix *maintainers.Index, fromTag, midTag, toTag stri
 	if err != nil {
 		return nil, fmt.Errorf("janitor: %w", err)
 	}
+	ids := make([]string, 0, len(history)+len(window))
+	ids = append(ids, history...)
+	ids = append(ids, window...)
+
+	tallies, _ := sched.Collect(len(ids), sched.Options{Workers: workers}, func(i int) commitTally {
+		return tallyCommit(repo, ix, ids[i], i >= len(history))
+	})
 
 	authors := make(map[string]*accum)
-	tally := func(id string, inWindow bool) error {
-		c, err := repo.Get(id)
-		if err != nil {
-			return err
+	for _, ct := range tallies {
+		if ct.err != nil {
+			return nil, ct.err
 		}
-		a, ok := authors[c.Author.Email]
+		a, ok := authors[ct.email]
 		if !ok {
 			a = &accum{
-				name:       c.Author.Name,
+				name:       ct.name,
 				subsystems: make(map[string]bool),
 				lists:      make(map[string]bool),
 				fileCounts: make(map[string]int),
 			}
-			authors[c.Author.Email] = a
+			authors[ct.email] = a
 		}
 		a.patches++
-		if inWindow {
+		if ct.inWindow {
 			a.windowPatches++
 		}
-		maintains := false
-		for _, ch := range c.Changes {
-			a.fileCounts[ch.Path]++
-			for _, s := range ix.SubsystemsFor(ch.Path) {
-				a.subsystems[s] = true
-			}
-			for _, l := range ix.ListsFor(ch.Path) {
-				a.lists[l] = true
-			}
-			if ix.IsMaintainer(c.Author.Email, ch.Path) {
-				maintains = true
-			}
+		for _, p := range ct.paths {
+			a.fileCounts[p]++
 		}
-		if maintains {
+		for _, s := range ct.subsystems {
+			a.subsystems[s] = true
+		}
+		for _, l := range ct.lists {
+			a.lists[l] = true
+		}
+		if ct.maintains {
 			a.maintainerHits++
-		}
-		return nil
-	}
-	for _, id := range history {
-		if err := tally(id, false); err != nil {
-			return nil, err
-		}
-	}
-	for _, id := range window {
-		if err := tally(id, true); err != nil {
-			return nil, err
 		}
 	}
 
@@ -149,6 +162,9 @@ func Identify(repo *vcs.Repo, ix *maintainers.Index, fromTag, midTag, toTag stri
 		for _, n := range a.fileCounts {
 			counts = append(counts, float64(n))
 		}
+		// Map iteration order is random; the CV's floating-point sums are
+		// order-sensitive in the last ulp, so sort for reproducible output.
+		sort.Float64s(counts)
 		st.FileCV = stats.CoefficientOfVariation(counts)
 		if st.Patches < th.MinPatches ||
 			st.Subsystems < th.MinSubsystems ||
@@ -169,6 +185,28 @@ func Identify(repo *vcs.Repo, ix *maintainers.Index, fromTag, midTag, toTag stri
 		out = out[:th.TopN]
 	}
 	return out, nil
+}
+
+// tallyCommit computes one commit's contribution to the study.
+func tallyCommit(repo *vcs.Repo, ix *maintainers.Index, id string, inWindow bool) commitTally {
+	c, err := repo.Get(id)
+	if err != nil {
+		return commitTally{err: err}
+	}
+	ct := commitTally{
+		email:    c.Author.Email,
+		name:     c.Author.Name,
+		inWindow: inWindow,
+	}
+	for _, ch := range c.Changes {
+		ct.paths = append(ct.paths, ch.Path)
+		ct.subsystems = append(ct.subsystems, ix.SubsystemsFor(ch.Path)...)
+		ct.lists = append(ct.lists, ix.ListsFor(ch.Path)...)
+		if ix.IsMaintainer(c.Author.Email, ch.Path) {
+			ct.maintains = true
+		}
+	}
+	return ct
 }
 
 // Emails extracts the address set of the identified janitors, for

@@ -57,6 +57,12 @@ type ChoiceGroup struct {
 }
 
 // Tree is a parsed Kconfig hierarchy rooted at one file.
+//
+// A Tree is immutable after Parse returns, so concurrent evaluation
+// workers may share one Tree freely: AllYesConfig, AllModConfig,
+// ApplyDefconfig and the dependency queries only read it and build fresh
+// Config values. (In practice sharing goes through core.ConfigProvider,
+// which also memoizes the valuations under a lock.)
 type Tree struct {
 	symbols map[string]*Symbol
 	order   []string
@@ -319,7 +325,9 @@ func (t *Tree) Files() []string {
 	return out
 }
 
-// Config is a complete symbol valuation.
+// Config is a complete symbol valuation. Like Tree it is immutable once
+// built — Value and Defines only read — so one cached Config may back any
+// number of concurrent builders.
 type Config struct {
 	values map[string]Value
 }

@@ -1,0 +1,148 @@
+// Package sched provides the parallel patch-evaluation pipeline: a
+// worker pool that fans items out over N workers while delivering results
+// to the consumer strictly in submission order, with bounded in-flight
+// memory.
+//
+// The pool is deliberately oblivious to what it schedules. Determinism is
+// the caller's contract — a job must compute the same result regardless of
+// which worker runs it or in what order jobs complete — and the pool's
+// contract is that the merge order (and therefore everything the consumer
+// builds from it) is independent of the worker count. The evaluation gets
+// byte-identical reports at any -workers setting because per-patch state is
+// checker-local and the window-invariant caches it shares (Kconfig
+// valuations, lexed tokens) memoize pure functions.
+//
+// Backpressure: each admitted item holds one semaphore slot from dispatch
+// until its result has been emitted in order. With InFlight slots, at most
+// InFlight results (tree clones, patch reports) exist at once, no matter
+// how far the fastest worker runs ahead of an expensive straggler.
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// Options tune one Map run.
+type Options struct {
+	// Workers is the number of concurrent workers; values below 1 mean 1.
+	Workers int
+	// InFlight bounds how many items may be admitted (dispatched, running,
+	// or completed-but-not-yet-merged) at once. Values below Workers are
+	// raised to Workers so no worker is starved; 0 means 2*Workers.
+	InFlight int
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if n > 0 && o.Workers > n {
+		o.Workers = n
+	}
+	if o.InFlight <= 0 {
+		o.InFlight = 2 * o.Workers
+	}
+	if o.InFlight < o.Workers {
+		o.InFlight = o.Workers
+	}
+	return o
+}
+
+// Metrics describes one completed Map run. Items and the option echoes are
+// deterministic; Wall, ItemsPerSec and MaxBuffered depend on scheduling
+// and must not feed reproducible reports.
+type Metrics struct {
+	Items    int
+	Workers  int
+	InFlight int
+	// Wall is the elapsed wall-clock time of the whole run.
+	Wall time.Duration
+	// ItemsPerSec is Items divided by Wall.
+	ItemsPerSec float64
+	// MaxBuffered is the high-water mark of results completed out of order
+	// and held back for in-order emission (always <= InFlight).
+	MaxBuffered int
+}
+
+type slot[T any] struct {
+	i int
+	v T
+}
+
+// Map runs fn(i) for every i in [0,n) on opts.Workers workers and calls
+// emit(i, fn(i)) for every index in strictly ascending order. fn calls run
+// concurrently; emit calls run serially on the calling goroutine. Map
+// returns after every item has been emitted.
+func Map[T any](n int, opts Options, fn func(i int) T, emit func(i int, v T)) Metrics {
+	opts = opts.withDefaults(n)
+	start := time.Now()
+	met := Metrics{Items: n, Workers: opts.Workers, InFlight: opts.InFlight}
+	if n <= 0 {
+		met.Wall = time.Since(start)
+		return met
+	}
+
+	sem := make(chan struct{}, opts.InFlight)
+	jobs := make(chan int)
+	out := make(chan slot[T])
+
+	var wg sync.WaitGroup
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out <- slot[T]{i: i, v: fn(i)}
+			}
+		}()
+	}
+	go func() {
+		// Admission control: an item is dispatched only once an in-flight
+		// slot frees up (released by the merger after in-order emission).
+		for i := 0; i < n; i++ {
+			sem <- struct{}{}
+			jobs <- i
+		}
+		close(jobs)
+	}()
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Reorder buffer: results merged in submission order regardless of
+	// completion order.
+	buffered := make(map[int]T, opts.InFlight)
+	next := 0
+	for s := range out {
+		buffered[s.i] = s.v
+		if len(buffered) > met.MaxBuffered {
+			met.MaxBuffered = len(buffered)
+		}
+		for {
+			v, ok := buffered[next]
+			if !ok {
+				break
+			}
+			delete(buffered, next)
+			emit(next, v)
+			<-sem
+			next++
+		}
+	}
+
+	met.Wall = time.Since(start)
+	if secs := met.Wall.Seconds(); secs > 0 {
+		met.ItemsPerSec = float64(n) / secs
+	}
+	return met
+}
+
+// Collect is Map with the results gathered into a slice, for callers that
+// only need the ordered output.
+func Collect[T any](n int, opts Options, fn func(i int) T) ([]T, Metrics) {
+	out := make([]T, n)
+	met := Map(n, opts, fn, func(i int, v T) { out[i] = v })
+	return out, met
+}

@@ -1,0 +1,127 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapEmitsInSubmissionOrder(t *testing.T) {
+	const n = 200
+	var got []int
+	met := Map(n, Options{Workers: 8},
+		func(i int) int {
+			// Reverse the natural completion order within small windows so
+			// the reorder buffer actually has work to do.
+			time.Sleep(time.Duration((i%7)*50) * time.Microsecond)
+			return i * i
+		},
+		func(i, v int) {
+			if v != i*i {
+				t.Errorf("emit(%d) = %d, want %d", i, v, i*i)
+			}
+			got = append(got, i)
+		})
+	if len(got) != n {
+		t.Fatalf("emitted %d items, want %d", len(got), n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("emission order broken at %d: got index %d", i, v)
+		}
+	}
+	if met.Items != n || met.Workers != 8 {
+		t.Errorf("metrics = %+v", met)
+	}
+	if met.MaxBuffered > met.InFlight {
+		t.Errorf("MaxBuffered %d exceeds InFlight %d", met.MaxBuffered, met.InFlight)
+	}
+}
+
+func TestMapBoundsInFlight(t *testing.T) {
+	const n, inflight = 120, 3
+	var live, maxLive int64
+	met := Map(n, Options{Workers: 3, InFlight: inflight},
+		func(i int) int {
+			cur := atomic.AddInt64(&live, 1)
+			for {
+				prev := atomic.LoadInt64(&maxLive)
+				if cur <= prev || atomic.CompareAndSwapInt64(&maxLive, prev, cur) {
+					break
+				}
+			}
+			// Index 0 is the straggler: everything else finishes first, so
+			// without admission control the fast items would all pile up.
+			if i == 0 {
+				time.Sleep(20 * time.Millisecond)
+			}
+			return i
+		},
+		func(i, v int) { atomic.AddInt64(&live, -1) })
+	if got := atomic.LoadInt64(&maxLive); got > inflight {
+		t.Errorf("max in-flight = %d, want <= %d", got, inflight)
+	}
+	if met.InFlight != inflight {
+		t.Errorf("InFlight echo = %d, want %d", met.InFlight, inflight)
+	}
+}
+
+func TestMapWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) []int {
+		out, _ := Collect(64, Options{Workers: workers}, func(i int) int {
+			return i*31 + 7
+		})
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 9} {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d diverges at %d: %d vs %d", w, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+func TestMapDefaults(t *testing.T) {
+	// Zero and hostile option values must still terminate and emit all.
+	count := 0
+	met := Map(10, Options{Workers: -3, InFlight: -1},
+		func(i int) struct{} { return struct{}{} },
+		func(i int, _ struct{}) { count++ })
+	if count != 10 {
+		t.Fatalf("emitted %d, want 10", count)
+	}
+	if met.Workers != 1 || met.InFlight < met.Workers {
+		t.Errorf("normalized metrics = %+v", met)
+	}
+}
+
+func TestMapEmptyInput(t *testing.T) {
+	called := false
+	met := Map(0, Options{Workers: 4},
+		func(i int) int { t.Error("fn called for empty input"); return 0 },
+		func(i, v int) { called = true })
+	if called || met.Items != 0 {
+		t.Errorf("empty run misbehaved: called=%v metrics=%+v", called, met)
+	}
+}
+
+func TestMapConcurrentFnSerialEmit(t *testing.T) {
+	// emit must never run concurrently with itself even though fn does.
+	var mu sync.Mutex
+	inEmit := false
+	Map(100, Options{Workers: 6}, func(i int) int { return i }, func(i, v int) {
+		mu.Lock()
+		if inEmit {
+			t.Error("emit re-entered concurrently")
+		}
+		inEmit = true
+		mu.Unlock()
+		mu.Lock()
+		inEmit = false
+		mu.Unlock()
+	})
+}

@@ -269,11 +269,17 @@ func Mutate(path, content string, changedLines []int) MutateResult {
 
 // IdentifyJanitors runs the §IV study over a repository.
 func IdentifyJanitors(repo *Repo, maintainersText string, th JanitorThresholds) ([]JanitorStats, error) {
+	return IdentifyJanitorsWorkers(repo, maintainersText, th, 1)
+}
+
+// IdentifyJanitorsWorkers is IdentifyJanitors with the per-commit tallying
+// fanned over workers; the result is identical at any worker count.
+func IdentifyJanitorsWorkers(repo *Repo, maintainersText string, th JanitorThresholds, workers int) ([]JanitorStats, error) {
 	entries, err := maintainers.Parse(maintainersText)
 	if err != nil {
 		return nil, fmt.Errorf("jmake: %w", err)
 	}
-	return janitor.Identify(repo, maintainers.NewIndex(entries), "v3.0", "v4.3", "v4.4", th)
+	return janitor.IdentifyWorkers(repo, maintainers.NewIndex(entries), "v3.0", "v4.3", "v4.4", th, workers)
 }
 
 // DefaultJanitorThresholds returns Table I's values.
