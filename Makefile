@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race bench-witness bench-workers eval
+.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static eval
 
-check: vet build test race
+check: vet build test race lint
 
 build:
 	$(GO) build ./...
@@ -20,12 +20,28 @@ race:
 short:
 	$(GO) test -short ./...
 
+# Static presence-condition lint over the golden corpus: fails on any
+# error (unreadable file, malformed tree), and go vet keeps the linter's
+# own source honest.
+lint: vet
+	$(GO) run ./cmd/jmake-lint -root examples/presence/src >/dev/null
+	$(GO) run ./cmd/jmake-lint -root examples/presence/src -dead
+	$(GO) run ./cmd/jmake-lint -root examples/presence/src -json >/dev/null
+
+# Short fuzz pass: malformed #if input must never panic the analysis.
+fuzz-presence:
+	$(GO) test ./internal/presence/ -run '^$$' -fuzz FuzzPresenceParse -fuzztime 20s
+
 bench-witness:
 	$(GO) test ./internal/core/ -run '^$$' -bench BenchmarkWitnessedIn -benchmem
 
 # Patch-window throughput at 1/2/4/8 workers (speedup tracks CPU cores).
 bench-workers:
 	$(GO) test ./internal/eval/ -run '^$$' -bench BenchmarkCheckWindow -benchtime 3x
+
+# Virtual build time with and without static presence-condition pruning.
+bench-static:
+	$(GO) test ./internal/eval/ -run '^$$' -bench BenchmarkStaticPruning -benchtime 3x
 
 eval:
 	$(GO) run ./cmd/jmake-eval summary

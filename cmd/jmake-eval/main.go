@@ -8,7 +8,7 @@
 //
 // Selectors: table1 table2 table3 table4 fig4a fig4b fig4c fig5 fig6
 // archstats configstats mutstats cstats hstats summary limits
-// invocations faults pipeline all (default: all).
+// invocations faults pipeline presence all (default: all).
 //
 // With -json, diagnostic `#` lines go to stderr so stdout is exactly the
 // report: same-seed runs emit byte-identical JSON at any -workers setting.
@@ -48,6 +48,7 @@ func run() error {
 		points      = flag.Bool("points", false, "print figures as x/y points instead of ASCII plots")
 		allmod      = flag.Bool("allmod", false, "run the whole evaluation with the allmodconfig extension")
 		coverage    = flag.Bool("coverage", false, "run the whole evaluation with coverage-configuration synthesis")
+		static      = flag.Bool("static", false, "run the whole evaluation with the static presence-condition pre-pass")
 		jsonOut     = flag.Bool("json", false, "emit the whole evaluation as machine-readable JSON and exit")
 		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic faults at this per-operation rate (0 = off)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
@@ -75,6 +76,7 @@ func run() error {
 	checkerOpts := jmake.Options{
 		TryAllModConfig: *allmod,
 		CoverageConfigs: *coverage,
+		StaticPresence:  *static,
 		Budget:          *budget,
 	}
 	if *faultRate > 0 {
@@ -233,6 +235,10 @@ func run() error {
 	if sel("pipeline") {
 		fmt.Println("== parallel evaluation pipeline ==")
 		fmt.Println(run.RenderPipeline(*runtimeMet))
+	}
+	if sel("presence") && *static {
+		fmt.Println("== static presence-condition analysis ==")
+		fmt.Println(run.ComputePresenceStats().Render())
 	}
 	return nil
 }

@@ -1,0 +1,184 @@
+// Command jmake-lint runs the static presence-condition analysis over real
+// files on disk, without building anything: for every .c/.h file it reports
+// the per-line #if condition, the Kbuild gate when a Makefile chain is
+// present, and the lines no configuration can ever compile. It is the
+// standalone face of the analysis internal/core uses to prune compiles
+// (DESIGN.md §9).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"jmake/internal/fstree"
+	"jmake/internal/kbuild"
+	"jmake/internal/presence"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jmake-lint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		root     = flag.String("root", ".", "source tree root (Makefile chain, if any, is resolved from here)")
+		arch     = flag.String("arch", kbuild.HostArch, "architecture for SRCARCH Makefile expansion")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
+		deadOnly = flag.Bool("dead", false, "report only provably-dead lines")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: jmake-lint [flags] [file ...]\n\n"+
+				"Without file arguments, every .c/.h file under -root is analyzed.\n"+
+				"File arguments are paths relative to -root.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	tree, err := loadTree(*root)
+	if err != nil {
+		return err
+	}
+	paths := flag.Args()
+	if len(paths) == 0 {
+		for _, p := range tree.Paths() {
+			if strings.HasSuffix(p, ".c") || strings.HasSuffix(p, ".h") {
+				paths = append(paths, p)
+			}
+		}
+		sort.Strings(paths)
+	}
+
+	var results []fileResult
+	for _, p := range paths {
+		p = fstree.Clean(p)
+		content, err := tree.Read(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		results = append(results, analyzeOne(tree, p, content, *arch))
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(results)
+	}
+	for _, r := range results {
+		printText(r, *deadOnly)
+	}
+	return nil
+}
+
+// fileResult is one file's report, shared between the text and JSON modes.
+type fileResult struct {
+	File string `json:"file"`
+	// Gate lists the CONFIG variables the Kbuild descent requires (empty
+	// when no Makefile chain gates the file or none could be resolved).
+	Gate []string `json:"gate,omitempty"`
+	// GateModule is true when the file's own rule is obj-m.
+	GateModule bool `json:"gate_module,omitempty"`
+	// Conds holds one entry per line under a non-trivial #if condition.
+	Conds []lineCond `json:"conds,omitempty"`
+	// Dead lists lines whose condition is provably unsatisfiable.
+	Dead []int `json:"dead,omitempty"`
+}
+
+type lineCond struct {
+	Line int    `json:"line"`
+	Cond string `json:"cond"`
+}
+
+func analyzeOne(tree *fstree.Tree, p, content, arch string) fileResult {
+	r := fileResult{File: p}
+	if strings.HasSuffix(p, ".c") && tree.Exists("Makefile") {
+		if gate, err := kbuild.FileGate(tree, p, arch); err == nil {
+			r.Gate = gate.Vars
+			r.GateModule = gate.OwnModule
+		}
+	}
+	f := presence.Analyze(p, content)
+	for n := 1; n <= f.Len(); n++ {
+		cond := f.LineCond(n)
+		if cond == presence.True {
+			continue
+		}
+		r.Conds = append(r.Conds, lineCond{Line: n, Cond: cond.String()})
+	}
+	r.Dead = f.DeadLines()
+	return r
+}
+
+func printText(r fileResult, deadOnly bool) {
+	if deadOnly {
+		for _, n := range r.Dead {
+			fmt.Printf("%s:%d: dead: no configuration compiles this line\n", r.File, n)
+		}
+		return
+	}
+	fmt.Printf("== %s\n", r.File)
+	if len(r.Gate) > 0 {
+		kind := "builtin or module"
+		if r.GateModule {
+			kind = "module only"
+		}
+		fmt.Printf("gate: CONFIG_%s (%s)\n", strings.Join(r.Gate, " && CONFIG_"), kind)
+	}
+	for _, lc := range r.Conds {
+		fmt.Printf("%4d: %s\n", lc.Line, lc.Cond)
+	}
+	if len(r.Dead) > 0 {
+		parts := make([]string, len(r.Dead))
+		for i, n := range r.Dead {
+			parts[i] = fmt.Sprint(n)
+		}
+		fmt.Printf("dead: %s\n", strings.Join(parts, " "))
+	}
+}
+
+// loadTree mirrors the on-disk root into the in-memory tree the analysis
+// layers operate on. Only build-relevant file kinds are loaded.
+func loadTree(root string) (*fstree.Tree, error) {
+	tree := fstree.New()
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "golden" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		base := d.Name()
+		if !strings.HasSuffix(base, ".c") && !strings.HasSuffix(base, ".h") &&
+			base != "Makefile" && base != "Kbuild.meta" &&
+			!strings.HasPrefix(base, "Kconfig") && !strings.HasSuffix(base, "_defconfig") {
+			return nil
+		}
+		content, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		tree.Write(rel, string(content))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tree, nil
+}

@@ -40,6 +40,7 @@ func run() error {
 		allmod      = flag.Bool("allmod", false, "also try allmodconfig (covers #ifdef MODULE, ~2x configurations)")
 		prescan     = flag.Bool("prescan", false, "statically warn about doomed regions before building")
 		coverage    = flag.Bool("coverage", false, "synthesize targeted configurations for regions standard configs miss")
+		static      = flag.Bool("static", false, "prove dead lines before building and cross-check predictions against .i witnesses")
 		patchFile   = flag.String("patch", "", "check a unified-diff patch file against the v4.4 tree instead of commits")
 		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic faults at this per-operation rate (0 = off)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
@@ -78,6 +79,7 @@ func run() error {
 		TryAllModConfig: *allmod,
 		Prescan:         *prescan,
 		CoverageConfigs: *coverage,
+		StaticPresence:  *static,
 		MaxRetries:      *retries,
 		Budget:          *budget,
 	}
@@ -152,6 +154,14 @@ func printReport(id string, r *jmake.Report) {
 		fmt.Printf("  prescan: %s line %d can never be compiled by standard configurations: %s\n",
 			w.Mutation.File, w.Mutation.Line, w.Reason)
 	}
+	if r.StaticSkippedMakeI > 0 || r.StaticSkippedMakeO > 0 {
+		fmt.Printf("  static pruning: skipped %d make.i and %d make.o invocations\n",
+			r.StaticSkippedMakeI, r.StaticSkippedMakeO)
+	}
+	for _, d := range r.StaticDynamicDisagreements {
+		fmt.Printf("  STATIC/DYNAMIC DISAGREEMENT: %s line %d on %s: predicted visible=%v, observed %v\n",
+			d.File, d.Line, d.Arch, d.Predicted, d.Observed)
+	}
 	for _, f := range r.Files {
 		fmt.Printf("  %-46s %-16s mutations %d/%d", f.Path, f.Status, f.FoundMutations, f.Mutations)
 		if len(f.UsedArches) > 0 {
@@ -167,6 +177,9 @@ func printReport(id string, r *jmake.Report) {
 		for _, e := range f.Escapes {
 			fmt.Printf("      line %d not subjected to the compiler: %s\n",
 				e.Mutation.Line, e.Reason)
+		}
+		if len(f.StaticDeadLines) > 0 {
+			fmt.Printf("      statically dead lines (no compile issued): %v\n", f.StaticDeadLines)
 		}
 		if f.FailureDetail != "" {
 			fmt.Printf("      %s\n", firstLine(f.FailureDetail))

@@ -1,0 +1,13 @@
+/* Three-branch chain: each branch carries the negation of the earlier
+ * ones. Note BAZ depends on BAR in Kconfig, so the third branch
+ * (!FOO && !BAR && BAZ) is dead once dependencies are conjoined — the
+ * stack condition alone stays satisfiable. */
+#if defined(CONFIG_FOO)
+int first;
+#elif defined(CONFIG_BAR)
+int second;
+#elif defined(CONFIG_BAZ)
+int third;
+#else
+int fallback;
+#endif

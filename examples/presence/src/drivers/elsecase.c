@@ -1,0 +1,6 @@
+/* #ifndef and its #else partition every configuration. */
+#ifndef CONFIG_FOO
+int without_foo;
+#else
+int with_foo;
+#endif

@@ -1,0 +1,6 @@
+/* Built only when CONFIG_GATED != n (see drivers/Makefile). */
+int gated_code;
+
+#ifdef MODULE
+int only_as_module;
+#endif

@@ -1,0 +1,9 @@
+int live;
+
+#if 0
+int never_compiled;
+#endif
+
+#if defined(CONFIG_FOO) && !defined(CONFIG_FOO)
+int contradiction;
+#endif

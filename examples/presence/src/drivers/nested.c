@@ -1,0 +1,12 @@
+/* Nested #ifdef: the inner region needs both options. */
+int base;
+
+#ifdef CONFIG_FOO
+int foo_only;
+#ifdef CONFIG_BAR
+int foo_and_bar;
+#endif
+int foo_tail;
+#endif
+
+int always;

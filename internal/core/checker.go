@@ -25,6 +25,9 @@ type Checker struct {
 	archIx  *archIndex
 	configs *ConfigProvider
 	tokens  *cpp.TokenCache
+	// statics caches per-architecture Kconfig knowledge for the static
+	// presence pre-pass (Options.StaticPresence).
+	statics map[string]*archStatic
 
 	// run holds the per-patch resilience state (fault injector, budget
 	// ledger, circuit breaker); CheckPatch resets it for every patch.
@@ -54,6 +57,7 @@ func NewChecker(tree *fstree.Tree, model *vclock.Model, configs *ConfigProvider,
 		archIx:  buildArchIndex(tree, arches),
 		configs: configs,
 		tokens:  cpp.NewTokenCache(),
+		statics: make(map[string]*archStatic),
 	}, nil
 }
 
@@ -69,6 +73,10 @@ type mutEntry struct {
 	// coveredByPatchC is true for .h mutations witnessed during the
 	// patch's own .c processing.
 	coveredByPatchC bool
+	// dead is true when the static presence pre-pass proved the mutation's
+	// condition unsatisfiable under every candidate architecture; the
+	// checker stops chasing it (only with Options.StaticPresence).
+	dead bool
 }
 
 // fileState tracks one changed file during the run.
@@ -91,6 +99,9 @@ type fileState struct {
 	// witness stamp this file's coverage statistics.
 	validatedOK bool
 	lastErr     error
+	// static is the presence pre-pass result (nil without
+	// Options.StaticPresence).
+	static *staticInfo
 }
 
 func (fs *fileState) pending() []*mutEntry {
@@ -101,6 +112,47 @@ func (fs *fileState) pending() []*mutEntry {
 		}
 	}
 	return out
+}
+
+// pendingLive is pending minus statically-dead mutations: the work the
+// build loop still owes. Identical to pending when the pre-pass is off.
+func (fs *fileState) pendingLive() []*mutEntry {
+	var out []*mutEntry
+	for _, m := range fs.muts {
+		if !m.covered && !m.dead {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// allDead reports whether every mutation was statically proven dead; such
+// a file is never handed to make.
+func (fs *fileState) allDead() bool {
+	if len(fs.muts) == 0 {
+		return false
+	}
+	for _, m := range fs.muts {
+		if !m.dead {
+			return false
+		}
+	}
+	return true
+}
+
+// staticDead reports whether the file still has unwitnessed mutations and
+// every one of them is statically dead.
+func (fs *fileState) staticDead() bool {
+	pend := fs.pending()
+	if len(pend) == 0 {
+		return false
+	}
+	for _, m := range pend {
+		if !m.dead {
+			return false
+		}
+	}
+	return true
 }
 
 // CheckPatch runs the full JMake pipeline on a patch given as per-file
@@ -177,6 +229,13 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 		}
 	}
 
+	// Static presence pre-pass: prove lines dead before any build runs,
+	// count the make invocations this prunes, and compute per-architecture
+	// visibility predictions for the dynamic cross-check.
+	if c.opts.StaticPresence {
+		c.staticPrepass(report, cFiles, hFiles)
+	}
+
 	// §III-D: process the patch's .c files across candidate architectures.
 	if len(cFiles) > 0 {
 		c.processCFiles(report, mutatedTree, cFiles, hFiles)
@@ -189,8 +248,10 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 
 	// §III-E: headers not fully covered by the patch's own .c files.
 	for _, hf := range hFiles {
-		if len(hf.pending()) == 0 {
-			hf.state.CoveredByPatchCs = len(cFiles) > 0
+		if len(hf.pendingLive()) == 0 {
+			if len(hf.pending()) == 0 {
+				hf.state.CoveredByPatchCs = len(cFiles) > 0
+			}
 			continue
 		}
 		c.processHFile(report, mutatedTree, hf)
@@ -198,8 +259,9 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 
 	// Finalize outcomes and escape analysis.
 	for _, fs := range append(append([]*fileState(nil), cFiles...), hFiles...) {
-		c.finalize(fs)
+		c.finalize(report, fs)
 	}
+	sortDisagreements(report.StaticDynamicDisagreements)
 
 	for _, d := range report.ConfigDurations {
 		report.Total += d
@@ -362,6 +424,11 @@ func (c *Checker) processCFiles(report *PatchReport, mutatedTree *fstree.Tree, c
 		perFile = append(perFile, choices)
 	}
 	choices := mergeArchChoices(perFile)
+	if c.opts.StaticPresence {
+		// Try the architectures predicted to witness the most mutations
+		// first, so coverage is reached in fewer builds.
+		orderByPredictedWitnesses(choices, cFiles)
+	}
 
 	allMuts := collectMuts(cFiles, hFiles)
 
@@ -425,7 +492,10 @@ func collectMuts(groups ...[]*fileState) []*mutEntry {
 func relevantFiles(cFiles []*fileState, arch string) []*fileState {
 	var out []*fileState
 	for _, fs := range cFiles {
-		if len(fs.pending()) == 0 && fs.compiledOK {
+		if fs.allDead() {
+			continue // statically pruned: no build can witness anything
+		}
+		if len(fs.pendingLive()) == 0 && fs.compiledOK {
 			continue
 		}
 		if strings.HasPrefix(fs.path, "arch/") && !strings.HasPrefix(fs.path, "arch/"+arch+"/") {
@@ -461,8 +531,14 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 				fs.lastErr = res.Err
 				continue
 			}
+			found := markerIDs(res.Text)
+			// Cross-check the static predictions against what the .i
+			// actually shows, before any early exit below can skip it.
+			if c.opts.StaticPresence && cc.Kind == ConfigAllYes {
+				c.recordDisagreements(report, fs, archName, found)
+			}
 			// Which pending mutations does this .i witness?
-			witnessed := witnessedIn(res.Text, allMuts)
+			witnessed := pendingWitnessed(found, allMuts)
 			ownPresent := 0
 			for _, m := range witnessed {
 				if m.file == fs.path {
@@ -510,10 +586,15 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 }
 
 // witnessedIn returns the pending mutations whose ID occurs in iText, in
-// muts order. A single pass over the text collects every marker token —
-// IDs all share the marker prefix and end at the next double quote — so
-// the .i output is not rescanned once per pending mutation.
+// muts order.
 func witnessedIn(iText string, muts []*mutEntry) []*mutEntry {
+	return pendingWitnessed(markerIDs(iText), muts)
+}
+
+// markerIDs collects every mutation-marker token in a .i output. A single
+// pass suffices — IDs all share the marker prefix and end at the next
+// double quote — so the text is not rescanned once per pending mutation.
+func markerIDs(iText string) map[string]bool {
 	const prefix = MutationMarker + `"`
 	var found map[string]bool
 	for off := 0; ; {
@@ -533,6 +614,11 @@ func witnessedIn(iText string, muts []*mutEntry) []*mutEntry {
 		found[iText[start:body+j+1]] = true
 		off = body + j + 1
 	}
+	return found
+}
+
+// pendingWitnessed filters muts to the uncovered ones whose ID was found.
+func pendingWitnessed(found map[string]bool, muts []*mutEntry) []*mutEntry {
 	if len(found) == 0 {
 		return nil
 	}
@@ -580,7 +666,7 @@ func recordUseByPath(report *PatchReport, path, archName string, cc ConfigChoice
 
 func allCovered(files []*fileState) bool {
 	for _, fs := range files {
-		if len(fs.pending()) > 0 {
+		if len(fs.pendingLive()) > 0 {
 			return false
 		}
 	}
@@ -589,6 +675,9 @@ func allCovered(files []*fileState) bool {
 
 func allCompiled(files []*fileState) bool {
 	for _, fs := range files {
+		if fs.allDead() {
+			continue // never compiled by design
+		}
 		if !fs.compiledOK {
 			return false
 		}
@@ -614,24 +703,39 @@ func markErr(files []*fileState, err error) {
 
 // finalize assigns the file's status and runs escape analysis on
 // uncovered mutations.
-func (c *Checker) finalize(fs *fileState) {
+func (c *Checker) finalize(report *PatchReport, fs *fileState) {
 	fo := fs.state
 	fo.FoundMutations = len(fs.muts) - len(fs.pending())
 	for _, m := range fs.muts {
-		if m.covered {
+		switch {
+		case m.covered:
 			fo.CoveredLines = append(fo.CoveredLines, m.mut.CoversLines...)
-		} else {
+			if m.dead {
+				// A .i witnessed a line the pre-pass proved dead: the static
+				// model missed a constraint. Record it loudly.
+				report.StaticDynamicDisagreements = append(report.StaticDynamicDisagreements,
+					StaticDisagreement{File: fs.path, Line: m.mut.Line,
+						Arch: m.coveredByArch, Predicted: false, Observed: true})
+			}
+		case m.dead:
+			fo.StaticDeadLines = append(fo.StaticDeadLines, m.mut.CoversLines...)
+		default:
 			fo.EscapedLines = append(fo.EscapedLines, m.mut.CoversLines...)
 		}
 	}
 	sort.Ints(fo.CoveredLines)
 	sort.Ints(fo.EscapedLines)
+	sort.Ints(fo.StaticDeadLines)
 	switch {
 	case len(fs.pending()) == 0 && (fs.compiledOK || fs.kind == HFile):
 		// Certification is untouched by budget or faults: it structurally
 		// requires every mutation witnessed and (for .c) a successful
 		// pristine compile.
 		fo.Status = StatusCertified
+	case fs.staticDead():
+		// Everything unwitnessed is provably unreachable; no build was (or
+		// could have been) issued for it.
+		fo.Status = StatusStaticDead
 	case c.run != nil && c.run.exhausted:
 		// The budget ran out with work left. Reporting escapes or a build
 		// failure here would claim knowledge the checker never bought, so

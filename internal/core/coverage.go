@@ -130,7 +130,7 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 		if budget <= 0 || c.run.exhausted {
 			break
 		}
-		pending := fs.pending()
+		pending := fs.pendingLive()
 		if len(pending) == 0 {
 			continue
 		}

@@ -33,6 +33,9 @@ func (c *Checker) classifyEscapes(fs *fileState) []Escape {
 
 	var out []Escape
 	for _, m := range fs.pending() {
+		if m.dead {
+			continue // reported as statically dead, not as an escape
+		}
 		reason := c.classifyOne(f, fs, m, kt, allyes)
 		out = append(out, Escape{Mutation: m.mut, Reason: reason})
 	}
@@ -84,15 +87,74 @@ func (c *Checker) classifyFrame(f *csrc.File, fs *fileState, fr csrc.CondFrame) 
 	case csrc.CondIfndef:
 		return c.classifyVarFrame(f, fs, fr, arg, true)
 	case csrc.CondElse:
+		if len(fr.Prior) > 0 {
+			// The region requires every earlier branch of the chain false;
+			// examine them all, not just the opening one.
+			return c.classifyPriorBranches(f, fs, fr)
+		}
 		if fr.OpenKind == csrc.CondIf && strings.TrimSpace(fr.Arg) == "0" {
 			return EscapeOther, false // #else of #if 0 is compiled; not the reason
 		}
 		negated := fr.OpenKind != csrc.CondIfndef
 		return c.classifyVarFrame(f, fs, fr, arg, negated)
 	case csrc.CondElif:
-		return c.classifyExprFrame(f, fs, fr, arg, false)
+		// The branch's own expression can explain the miss, or any earlier
+		// branch the chain negates can: an #elif is not evaluated in
+		// isolation.
+		if r, found := c.classifyExprFrame(f, fs, fr, arg, false); found {
+			return r, true
+		}
+		return c.classifyPriorBranches(f, fs, fr)
 	}
 	return EscapeOther, false
+}
+
+// classifyPriorBranches explains exclusion through the negated earlier
+// branches of an #elif/#else frame: the region requires every prior branch
+// false, so a prior branch that allyesconfig satisfies explains the miss.
+func (c *Checker) classifyPriorBranches(f *csrc.File, fs *fileState, fr csrc.CondFrame) (EscapeReason, bool) {
+	for _, pb := range fr.Prior {
+		arg := strings.TrimSpace(pb.Arg)
+		switch pb.Kind {
+		case csrc.CondIfdef:
+			if r, found := c.classifyVarFrame(f, fs, fr, arg, true); found {
+				return r, true
+			}
+		case csrc.CondIfndef:
+			if r, found := c.classifyVarFrame(f, fs, fr, arg, false); found {
+				return r, true
+			}
+		case csrc.CondIf, csrc.CondElif:
+			if arg == "0" {
+				continue // a never-taken branch excludes nothing
+			}
+			if c.allyesSatisfies(arg) {
+				return EscapeIfndefOrElse, true
+			}
+		}
+	}
+	return EscapeOther, false
+}
+
+// allyesSatisfies coarsely reports whether allyesconfig satisfies a branch
+// expression: it mentions CONFIG variables, negates nothing, and every
+// mentioned variable is declared and on. Good enough for Table IV
+// bucketing; anything subtler falls through to EscapeOther.
+func (c *Checker) allyesSatisfies(expr string) bool {
+	if strings.Contains(expr, "!") || !strings.Contains(expr, "CONFIG_") {
+		return false
+	}
+	names := configVarsIn(expr)
+	if len(names) == 0 {
+		return false
+	}
+	for _, name := range names {
+		declared, value := c.symbolInfo(name)
+		if !declared || value == kconfig.No {
+			return false
+		}
+	}
+	return true
 }
 
 // classifyVarFrame handles a frame controlled by a single variable.

@@ -99,7 +99,7 @@ func TestFinalizePrecedence(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			ch := finalizeChecker(t, tc.exhausted)
 			tc.fs.state = &FileOutcome{Path: tc.fs.path, Kind: tc.fs.kind, Mutations: len(tc.fs.muts)}
-			ch.finalize(tc.fs)
+			ch.finalize(&PatchReport{}, tc.fs)
 			if got := tc.fs.state.Status; got != tc.want {
 				t.Errorf("status = %v, want %v (outcome %+v)", got, tc.want, tc.fs.state)
 			}

@@ -102,7 +102,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 		cands = cands[:c.opts.HCandidateCap]
 	}
 
-	for start := 0; start < len(cands) && len(hf.pending()) > 0; start += headerChunk {
+	for start := 0; start < len(cands) && len(hf.pendingLive()) > 0; start += headerChunk {
 		if c.run.exhausted {
 			break
 		}
@@ -119,7 +119,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 		choices := mergeArchChoices(perFile)
 
 		for _, ac := range choices {
-			if len(hf.pending()) == 0 || c.run.exhausted {
+			if len(hf.pendingLive()) == 0 || c.run.exhausted {
 				break
 			}
 			arch := c.arches[ac.Arch]
@@ -133,7 +133,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 				continue
 			}
 			for _, cc := range ac.Configs {
-				if len(hf.pending()) == 0 || c.run.exhausted || c.run.quarantined[ac.Arch] {
+				if len(hf.pendingLive()) == 0 || c.run.exhausted || c.run.quarantined[ac.Arch] {
 					break
 				}
 				bp, err := c.newBuilders(report, mutatedTree, ac.Arch, cc)
@@ -177,7 +177,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 						m.coveredByArch = ac.Arch
 						m.coveredByDefconfig = cc.Kind == ConfigDefconfig
 					}
-					if len(hf.pending()) == 0 {
+					if len(hf.pendingLive()) == 0 {
 						break
 					}
 				}

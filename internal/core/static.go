@@ -1,0 +1,524 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"jmake/internal/kbuild"
+	"jmake/internal/kconfig"
+	"jmake/internal/presence"
+)
+
+// This file implements the Options.StaticPresence pre-pass: before any
+// build runs, every mutation's changed line gets a presence condition
+// (#if nesting stack ∧ Kbuild gate ∧ Kconfig constraints) and three things
+// are derived from it:
+//
+//  1. dead marking — a mutation whose condition is exactly unsatisfiable
+//     under every candidate architecture can never surface in a .i, so the
+//     checker stops chasing it (and skips the file's builds entirely when
+//     every mutation is dead);
+//  2. per-architecture allyesconfig visibility predictions, used to order
+//     candidate architectures by expected witness count and cross-checked
+//     against the actual .i markers (PatchReport.StaticDynamicDisagreements);
+//  3. nothing else: live lines keep the full dynamic pipeline, so the
+//     certification semantics are unchanged.
+//
+// Everything here over-approximates satisfiability. Opaque conditions stay
+// free variables, unknown gates drop to the stack condition alone, and a
+// Kconfig parse failure makes the architecture count as alive — a line is
+// only marked dead on an exact proof.
+
+// staticInfo holds the per-file result of the presence pre-pass.
+type staticInfo struct {
+	fc *presence.File
+	// predict[arch][mutID] reports whether the mutation's marker is
+	// predicted to appear in the file's .i under that architecture's
+	// allyesconfig. Mutations whose condition depends on something the
+	// static model cannot resolve are absent — no prediction, no
+	// disagreement risk.
+	predict map[string]map[string]bool
+	// predCount[arch] counts predicted-visible mutations, for ordering
+	// candidate architectures.
+	predCount map[string]int
+}
+
+// archStatic caches per-architecture Kconfig knowledge for the pre-pass.
+type archStatic struct {
+	arch *kbuild.Arch
+	kt   *kconfig.Tree
+	// selects are symbols forced by some `select`: the fixpoint raises them
+	// regardless of their own dependencies, so their `depends on` must not
+	// become a hard constraint.
+	selects map[string]bool
+	err     error
+}
+
+func (c *Checker) staticArch(name string) *archStatic {
+	if as, ok := c.statics[name]; ok {
+		return as
+	}
+	arch := c.arches[name]
+	if arch == nil {
+		return nil
+	}
+	as := &archStatic{arch: arch}
+	as.kt, as.err = c.configs.KconfigTree(c.tree, arch)
+	if as.err == nil {
+		as.selects = as.kt.SelectTargets()
+	}
+	if c.statics == nil {
+		c.statics = make(map[string]*archStatic)
+	}
+	c.statics[name] = as
+	return as
+}
+
+// archGate pairs an architecture's Kconfig knowledge with the file's Kbuild
+// gate under that architecture (nil when the Makefile walk failed).
+type archGate struct {
+	as   *archStatic
+	gate *kbuild.Gate
+}
+
+// staticPrepass analyzes every changed file, marks dead mutations, counts
+// the make invocations pruned by fully-dead files, and computes visibility
+// predictions for .c files.
+func (c *Checker) staticPrepass(report *PatchReport, cFiles, hFiles []*fileState) {
+	for _, fs := range cFiles {
+		c.staticAnalyzeC(fs)
+		if fs.allDead() {
+			// The file would otherwise have been preprocessed and compiled
+			// at least once.
+			report.StaticSkippedMakeI++
+			report.StaticSkippedMakeO++
+		}
+	}
+	for _, fs := range hFiles {
+		c.staticAnalyzeH(fs)
+		if fs.allDead() {
+			report.StaticSkippedMakeI++
+		}
+	}
+}
+
+// staticAnalyzeC computes presence conditions for a changed .c file, marks
+// mutations dead when unsatisfiable under every candidate architecture, and
+// predicts per-architecture allyesconfig visibility for the live ones.
+func (c *Checker) staticAnalyzeC(fs *fileState) {
+	content, err := c.tree.Read(fs.path)
+	if err != nil {
+		return
+	}
+	si := &staticInfo{
+		fc:        presence.Analyze(fs.path, content),
+		predict:   make(map[string]map[string]bool),
+		predCount: make(map[string]int),
+	}
+	fs.static = si
+
+	// The candidate architectures are exactly the ones the dynamic loop
+	// would try (§III-C); a witness can only ever come from those.
+	var archNames []string
+	seen := make(map[string]bool)
+	for _, ac := range c.selectArches(fs.path, true) {
+		if !seen[ac.Arch] {
+			seen[ac.Arch] = true
+			archNames = append(archNames, ac.Arch)
+		}
+	}
+	ags := c.archGates(fs.path, archNames, true)
+
+	for _, m := range fs.muts {
+		m.dead = condDead(si.fc.LineCond(m.mut.Line), ags)
+	}
+	for _, an := range archNames {
+		c.predictArch(fs, si, an)
+	}
+}
+
+// staticAnalyzeH marks dead mutations in a changed header. Headers have no
+// Kbuild gate of their own; deadness is proven against the #if stack and
+// every working architecture's Kconfig tree (an arch/<A>/ header against A
+// alone). Predictions are not computed: which candidate .c witnesses a
+// header is not derivable from the header's own conditions.
+func (c *Checker) staticAnalyzeH(fs *fileState) {
+	content, err := c.tree.Read(fs.path)
+	if err != nil {
+		return
+	}
+	si := &staticInfo{
+		fc:        presence.Analyze(fs.path, content),
+		predict:   make(map[string]map[string]bool),
+		predCount: make(map[string]int),
+	}
+	fs.static = si
+	ags := c.archGates(fs.path, c.headerArches(fs.path), false)
+	for _, m := range fs.muts {
+		m.dead = condDead(si.fc.LineCond(m.mut.Line), ags)
+	}
+}
+
+// headerArches lists the architectures whose compilations could pull in the
+// header: its own for arch/<A>/ headers, every working one otherwise.
+func (c *Checker) headerArches(path string) []string {
+	if strings.HasPrefix(path, "arch/") {
+		rest := strings.TrimPrefix(path, "arch/")
+		if i := strings.IndexByte(rest, '/'); i > 0 {
+			if a := c.arches[rest[:i]]; a != nil && !a.Broken {
+				return []string{rest[:i]}
+			}
+			return nil
+		}
+	}
+	var out []string
+	for _, name := range kbuild.ArchNames(c.arches) {
+		if !c.arches[name].Broken {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// archGates resolves each architecture's Kconfig context and (for gated .c
+// files) the file's Kbuild gate under it.
+func (c *Checker) archGates(path string, archNames []string, gated bool) []archGate {
+	var out []archGate
+	for _, an := range archNames {
+		as := c.staticArch(an)
+		if as == nil {
+			continue
+		}
+		ag := archGate{as: as}
+		if gated {
+			if g, err := kbuild.FileGate(c.tree, path, an); err == nil {
+				ag.gate = &g
+			}
+		}
+		out = append(out, ag)
+	}
+	return out
+}
+
+// condDead reports whether cond is exactly unsatisfiable under every
+// candidate architecture. No candidates means no proof.
+func condDead(cond presence.Formula, ags []archGate) bool {
+	if len(ags) == 0 {
+		return false
+	}
+	for _, ag := range ags {
+		if archAlive(ag.as, cond, ag.gate) {
+			return false
+		}
+	}
+	return true
+}
+
+// archAlive reports whether cond could hold under some configuration of one
+// architecture: the condition is conjoined with the file's Kbuild gate and
+// the Kconfig constraints over its symbols, then checked for satisfiability.
+// Any gap in knowledge errs toward alive.
+func archAlive(as *archStatic, cond presence.Formula, gate *kbuild.Gate) bool {
+	if as.err != nil {
+		return true
+	}
+	f := cond
+	if gate != nil {
+		f = presence.And(f, gateFormula(as.kt, gate))
+		f = presence.Replace(f, moduleRepl(as.kt, gate))
+	}
+	f = presence.Substitute(f, undeclaredKnow(as.kt))
+	f = presence.And(f, kconfigConstraints(as, f))
+	sat, _ := presence.Sat(f)
+	return sat
+}
+
+// gateFormula is the Kbuild reachability condition: every gating variable of
+// the descent chain and of the file's own rule must be enabled.
+func gateFormula(kt *kconfig.Tree, g *kbuild.Gate) presence.Formula {
+	out := presence.True
+	for _, v := range g.Vars {
+		out = presence.And(out, symEnabled(kt, v))
+	}
+	return out
+}
+
+// symEnabled is the formula for "option name is y or m" in one
+// architecture's tree. Undeclared options always evaluate to n.
+func symEnabled(kt *kconfig.Tree, name string) presence.Formula {
+	s := kt.Symbol(name)
+	if s == nil {
+		return presence.False
+	}
+	y := presence.Symbol("CONFIG_" + name)
+	if s.Type != kconfig.TypeTristate {
+		return y
+	}
+	return presence.Or(y, presence.Symbol("CONFIG_"+name+"_MODULE"))
+}
+
+// moduleRepl resolves the MODULE macro from the file's own Kbuild rule:
+// obj-m files always build modular, obj-y never, and an obj-$(CONFIG_X)
+// tristate rule builds modular exactly when X is m.
+func moduleRepl(kt *kconfig.Tree, g *kbuild.Gate) func(string) (presence.Formula, bool) {
+	return func(name string) (presence.Formula, bool) {
+		if name != "defined(MODULE)" && name != "?MODULE" {
+			return nil, false
+		}
+		switch {
+		case g.OwnModule:
+			return presence.True, true
+		case g.OwnVar == "":
+			return presence.False, true
+		}
+		if s := kt.Symbol(g.OwnVar); s != nil && s.Type == kconfig.TypeTristate {
+			return presence.Symbol("CONFIG_" + g.OwnVar + "_MODULE"), true
+		}
+		return presence.False, true
+	}
+}
+
+// undeclaredKnow substitutes False for configuration symbols the
+// architecture's tree does not declare — autoconf never defines their
+// macros (Config.Value reports No for unknown names, so this is exact).
+// CONFIG_X_MODULE variables of declared bool options are likewise False.
+func undeclaredKnow(kt *kconfig.Tree) func(string) (bool, bool) {
+	return func(name string) (bool, bool) {
+		if !presence.IsConfigSymbol(name) {
+			return false, false
+		}
+		base := strings.TrimPrefix(name, "CONFIG_")
+		if kt.Symbol(base) != nil {
+			return false, false
+		}
+		if root, ok := strings.CutSuffix(base, "_MODULE"); ok {
+			if s := kt.Symbol(root); s != nil {
+				if s.Type == kconfig.TypeTristate {
+					return false, false // a real module variable: stays free
+				}
+				return false, true // bool options are never m
+			}
+		}
+		return false, true
+	}
+}
+
+// kconfigConstraints conjoins what the architecture's Kconfig tree says
+// about the configuration symbols appearing in f: y and m are exclusive
+// values of one option, and a symbol not forced by `select` can only be
+// enabled when its `depends on` allows it. Dependency clauses are expanded
+// one level — symbols they introduce stay unconstrained, which only widens
+// satisfiability and therefore keeps dead proofs sound.
+func kconfigConstraints(as *archStatic, f presence.Formula) presence.Formula {
+	kt := as.kt
+	out := presence.True
+	syms := presence.Symbols(f)
+	present := make(map[string]bool, len(syms))
+	for _, s := range syms {
+		present[s] = true
+	}
+	for _, name := range syms {
+		if !presence.IsConfigSymbol(name) {
+			continue
+		}
+		base := strings.TrimPrefix(name, "CONFIG_")
+		root, isModuleVar := base, false
+		if kt.Symbol(base) == nil {
+			r, ok := strings.CutSuffix(base, "_MODULE")
+			if !ok {
+				continue
+			}
+			root, isModuleVar = r, true
+		}
+		s := kt.Symbol(root)
+		if s == nil {
+			continue
+		}
+		yVar := presence.Symbol("CONFIG_" + root)
+		mVar := presence.Symbol("CONFIG_" + root + "_MODULE")
+		if s.Type == kconfig.TypeTristate && !isModuleVar && present["CONFIG_"+root+"_MODULE"] {
+			out = presence.And(out, presence.Not(presence.And(yVar, mVar)))
+		}
+		if as.selects[root] || s.DependsOn == nil {
+			continue
+		}
+		enabled, isYes := depFormulas(kt, s.DependsOn)
+		switch {
+		case isModuleVar:
+			out = presence.And(out, presence.Implies(mVar, enabled))
+		case s.Type == kconfig.TypeTristate:
+			// The fixpoint bounds a tristate by its dependency value, so
+			// reaching y needs the dependency at y.
+			out = presence.And(out, presence.Implies(yVar, isYes))
+		default:
+			out = presence.And(out, presence.Implies(yVar, enabled))
+		}
+	}
+	return out
+}
+
+// depAbs abstracts a tristate dependency expression into two booleans:
+// "value != n" and "value == y".
+type depAbs struct{ enabled, isYes presence.Formula }
+
+// depFormulas folds a `depends on` expression into the boolean domain.
+// min/max/negation over {n, m, y} decompose exactly into this pair;
+// =/!= comparisons become one opaque variable for both components.
+func depFormulas(kt *kconfig.Tree, e kconfig.Expr) (enabled, isYes presence.Formula) {
+	fns := kconfig.FoldFuncs[depAbs]{
+		Sym: func(name string) depAbs {
+			switch name {
+			case "y":
+				return depAbs{presence.True, presence.True}
+			case "m":
+				return depAbs{presence.True, presence.False}
+			case "n":
+				return depAbs{presence.False, presence.False}
+			}
+			s := kt.Symbol(name)
+			if s == nil {
+				return depAbs{presence.False, presence.False}
+			}
+			y := presence.Symbol("CONFIG_" + name)
+			if s.Type != kconfig.TypeTristate {
+				return depAbs{y, y}
+			}
+			return depAbs{presence.Or(y, presence.Symbol("CONFIG_"+name+"_MODULE")), y}
+		},
+		Not: func(x depAbs) depAbs {
+			// y - v: != n iff v != y; == y iff v == n.
+			return depAbs{presence.Not(x.isYes), presence.Not(x.enabled)}
+		},
+		And: func(l, r depAbs) depAbs {
+			return depAbs{presence.And(l.enabled, r.enabled), presence.And(l.isYes, r.isYes)}
+		},
+		Or: func(l, r depAbs) depAbs {
+			return depAbs{presence.Or(l.enabled, r.enabled), presence.Or(l.isYes, r.isYes)}
+		},
+		Cmp: func(l, r kconfig.Expr, ne bool) depAbs {
+			op := " = "
+			if ne {
+				op = " != "
+			}
+			v := presence.Symbol("?kconfig:" + l.String() + op + r.String())
+			return depAbs{v, v}
+		},
+	}
+	d := kconfig.FoldExpr(e, fns)
+	return d.enabled, d.isYes
+}
+
+// predictArch evaluates each live mutation's condition under one
+// architecture's allyesconfig. Only conditions the model fully resolves
+// produce a prediction; define-kind mutations never do (their markers
+// surface at macro use sites, not at the definition line).
+func (c *Checker) predictArch(fs *fileState, si *staticInfo, archName string) {
+	as := c.staticArch(archName)
+	if as == nil || as.err != nil || as.arch.Broken {
+		return
+	}
+	gate, gerr := kbuild.FileGate(c.tree, fs.path, archName)
+	if gerr != nil {
+		return
+	}
+	cfg, _, err := c.configs.Get(c.tree, as.arch, ConfigChoice{Kind: ConfigAllYes}, nil)
+	if err != nil {
+		return
+	}
+	// The file itself must be reachable for its markers to appear at all.
+	for _, v := range gate.Vars {
+		if cfg.Value(v) == kconfig.No {
+			return
+		}
+	}
+	asModule := gate.OwnModule || (gate.OwnVar != "" && cfg.Value(gate.OwnVar) == kconfig.Mod)
+	know := func(name string) (bool, bool) {
+		switch name {
+		case "defined(MODULE)", "?MODULE":
+			return asModule, true
+		}
+		if !presence.IsConfigSymbol(name) {
+			return false, false
+		}
+		base := strings.TrimPrefix(name, "CONFIG_")
+		if as.kt.Symbol(base) != nil {
+			return cfg.Value(base) == kconfig.Yes, true
+		}
+		if root, ok := strings.CutSuffix(base, "_MODULE"); ok {
+			if as.kt.Symbol(root) != nil {
+				return cfg.Value(root) == kconfig.Mod, true
+			}
+		}
+		return false, true // undeclared: autoconf never defines it
+	}
+	preds := make(map[string]bool)
+	for _, m := range fs.muts {
+		if m.dead || m.mut.Kind == "define" {
+			continue
+		}
+		v, known := presence.EvalPartial(si.fc.LineCond(m.mut.Line), know)
+		if !known {
+			continue
+		}
+		preds[m.mut.ID] = v
+		if v {
+			si.predCount[archName]++
+		}
+	}
+	if len(preds) > 0 {
+		si.predict[archName] = preds
+	}
+}
+
+// orderByPredictedWitnesses stable-sorts candidate architectures by how
+// many mutations their allyesconfig is predicted to witness, most first.
+// Ties keep the merge order (host architecture first).
+func orderByPredictedWitnesses(choices []ArchChoice, cFiles []*fileState) {
+	score := make(map[string]int, len(choices))
+	for _, ac := range choices {
+		for _, fs := range cFiles {
+			if fs.static != nil {
+				score[ac.Arch] += fs.static.predCount[ac.Arch]
+			}
+		}
+	}
+	sort.SliceStable(choices, func(i, j int) bool {
+		return score[choices[i].Arch] > score[choices[j].Arch]
+	})
+}
+
+// recordDisagreements cross-checks one allyesconfig .i against the file's
+// static predictions. Each prediction is checked once; a mismatch is a
+// checker bug or a constraint the static model missed, never silent.
+func (c *Checker) recordDisagreements(report *PatchReport, fs *fileState, archName string, found map[string]bool) {
+	if fs.static == nil {
+		return
+	}
+	preds := fs.static.predict[archName]
+	for _, m := range fs.muts {
+		want, ok := preds[m.mut.ID]
+		if !ok {
+			continue
+		}
+		if got := found[m.mut.ID]; got != want {
+			report.StaticDynamicDisagreements = append(report.StaticDynamicDisagreements,
+				StaticDisagreement{File: fs.path, Line: m.mut.Line, Arch: archName, Predicted: want, Observed: got})
+			delete(preds, m.mut.ID)
+		}
+	}
+}
+
+// sortDisagreements puts the report's cross-check failures in a canonical
+// order so the JSON output is invariant under worker scheduling.
+func sortDisagreements(ds []StaticDisagreement) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Arch < b.Arch
+	})
+}

@@ -56,6 +56,11 @@ const (
 	// every architecture that could have compiled the file after repeated
 	// non-permanent failures.
 	StatusArchQuarantined
+	// StatusStaticDead: every unwitnessed changed line sits under a
+	// presence condition that is unsatisfiable for every candidate
+	// architecture — no configuration whatsoever can show it to the
+	// compiler, so no compile was issued for it (Options.StaticPresence).
+	StatusStaticDead
 )
 
 func (s Status) String() string {
@@ -78,6 +83,8 @@ func (s Status) String() string {
 		return "budget-exhausted"
 	case StatusArchQuarantined:
 		return "arch-quarantined"
+	case StatusStaticDead:
+		return "static-dead"
 	default:
 		return "unknown"
 	}
@@ -175,6 +182,11 @@ type FileOutcome struct {
 	// for per-line patch annotation.
 	CoveredLines []int
 	EscapedLines []int
+	// StaticDeadLines lists changed lines proven unreachable by the static
+	// presence analysis: unsatisfiable under every candidate architecture.
+	// They are excluded from EscapedLines — no compile was ever issued for
+	// them (only with Options.StaticPresence).
+	StaticDeadLines []int
 
 	// CoveredByPatchCs is true for a header whose mutations were all
 	// witnessed while compiling the .c files of the same patch (§III-E's
@@ -220,6 +232,31 @@ type PatchReport struct {
 	// QuarantinedArches lists architectures the circuit breaker shut off
 	// during this patch, sorted.
 	QuarantinedArches []string
+
+	// StaticSkippedMakeI / StaticSkippedMakeO count preprocessing and
+	// compilation passes the static presence analysis pruned: files whose
+	// every mutation was proven dead are never handed to make. Deterministic
+	// (derived from the patch content, not from scheduling).
+	StaticSkippedMakeI int
+	StaticSkippedMakeO int
+	// StaticDynamicDisagreements lists static/dynamic cross-check failures:
+	// places where a .i witness contradicted the presence prediction.
+	// Always empty unless Options.StaticPresence is set; any entry is a
+	// checker bug or a kconfig constraint the static model missed. Sorted
+	// by file, line, then architecture.
+	StaticDynamicDisagreements []StaticDisagreement
+}
+
+// StaticDisagreement records one static/dynamic cross-check failure.
+type StaticDisagreement struct {
+	File string
+	Line int
+	Arch string
+	// Predicted is the static verdict (visible under this architecture's
+	// allyesconfig, or — for a dead-marked line — visible at all); Observed
+	// is what the .i actually showed.
+	Predicted bool
+	Observed  bool
 }
 
 // Certified reports whether every processed file had all changed lines
@@ -265,6 +302,16 @@ type Options struct {
 	// Vampyr/Troll-style generation the paper cites as the way to handle
 	// #ifndef and ifdef/else cases (§VI-VII).
 	CoverageConfigs bool
+
+	// StaticPresence enables the static presence-condition pre-pass: changed
+	// lines whose condition is unsatisfiable under every candidate
+	// architecture are reported as statically dead and never compiled,
+	// candidate architectures are ordered by predicted witness count, and
+	// every allyesconfig .i is cross-checked against the prediction
+	// (PatchReport.StaticDynamicDisagreements). The analysis only prunes
+	// when the unsatisfiability proof is exact, so certification semantics
+	// are unchanged for live lines.
+	StaticPresence bool
 
 	// MaxRetries bounds how many times one transient MakeI/MakeO/config
 	// failure is retried with capped exponential backoff (charged to

@@ -1,0 +1,119 @@
+package cpp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCondExprBasics(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"defined(CONFIG_FOO)", "defined(CONFIG_FOO)"},
+		{"defined CONFIG_FOO", "defined(CONFIG_FOO)"},
+		{"!defined(A) && defined(B)", "(!defined(A) && defined(B))"},
+		{"CONFIG_X > 2 || defined(Y)", "((CONFIG_X > 2) || defined(Y))"},
+		{"0x10uL", "16"},
+		{"'\\n'", "10"},
+		{"A ? B : C", "(A ? B : C)"},
+		{"(A)", "A"},
+	}
+	for _, c := range cases {
+		e, err := ParseCondExpr(c.src)
+		if err != nil {
+			t.Fatalf("ParseCondExpr(%q): %v", c.src, err)
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("ParseCondExpr(%q) = %s, want %s", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseCondExprErrors(t *testing.T) {
+	for _, src := range []string{"", "(", "A &&", "defined", "defined(", "defined(1)", "A B", "? : :"} {
+		if _, err := ParseCondExpr(src); err == nil {
+			t.Errorf("ParseCondExpr(%q): expected error", src)
+		}
+	}
+}
+
+// TestElifChainDynamic is the 3-branch #elif regression test: each branch
+// must be entered only when every earlier branch's condition failed. A
+// broken evaluator that tests each branch in isolation would emit both
+// "first" and "second" when A and B are both defined.
+func TestElifChainDynamic(t *testing.T) {
+	src := strings.Join([]string{
+		"#ifdef A",
+		"first",
+		"#elif defined(B)",
+		"second",
+		"#elif defined(C)",
+		"third",
+		"#else",
+		"fourth",
+		"#endif",
+		"",
+	}, "\n")
+	cases := []struct {
+		defines map[string]string
+		want    string
+		not     []string
+	}{
+		{map[string]string{"A": "1", "B": "1", "C": "1"}, "first", []string{"second", "third", "fourth"}},
+		{map[string]string{"B": "1", "C": "1"}, "second", []string{"first", "third", "fourth"}},
+		{map[string]string{"C": "1"}, "third", []string{"first", "second", "fourth"}},
+		{nil, "fourth", []string{"first", "second", "third"}},
+	}
+	for _, c := range cases {
+		res, err := Preprocess(mapSource{"main.c": src}, "main.c", Options{Defines: c.defines})
+		if err != nil {
+			t.Fatalf("Preprocess(%v): %v", c.defines, err)
+		}
+		if !strings.Contains(res.Output, c.want) {
+			t.Errorf("defines %v: output missing %q:\n%s", c.defines, c.want, res.Output)
+		}
+		for _, n := range c.not {
+			if strings.Contains(res.Output, n) {
+				t.Errorf("defines %v: output wrongly contains %q:\n%s", c.defines, n, res.Output)
+			}
+		}
+	}
+}
+
+// TestBranchCondExprChain checks the symbolic side of the same chain: the
+// controlling condition of each branch carries the negation of all earlier
+// branch tests.
+func TestBranchCondExprChain(t *testing.T) {
+	prior2 := []PriorBranch{{Kind: "ifdef", Arg: "A"}}
+	prior3 := []PriorBranch{{Kind: "ifdef", Arg: "A"}, {Kind: "elif", Arg: "defined(B)"}}
+	priorElse := append(prior3, PriorBranch{Kind: "elif", Arg: "defined(C)"})
+
+	cases := []struct {
+		kind  string
+		arg   string
+		prior []PriorBranch
+		want  string
+	}{
+		{"ifdef", "A", nil, "defined(A)"},
+		{"elif", "defined(B)", prior2, "(!defined(A) && defined(B))"},
+		{"elif", "defined(C)", prior3, "((!defined(A) && !defined(B)) && defined(C))"},
+		{"else", "", priorElse, "((!defined(A) && !defined(B)) && !defined(C))"},
+	}
+	for _, c := range cases {
+		e, err := BranchCondExpr(c.kind, c.arg, c.prior)
+		if err != nil {
+			t.Fatalf("BranchCondExpr(%s, %q): %v", c.kind, c.arg, err)
+		}
+		if got := e.String(); got != c.want {
+			t.Errorf("BranchCondExpr(%s, %q) = %s, want %s", c.kind, c.arg, got, c.want)
+		}
+	}
+
+	if e, err := BranchCondExpr("ifndef", "GUARD_H", nil); err != nil || e.String() != "!defined(GUARD_H)" {
+		t.Errorf("ifndef: got %v, %v", e, err)
+	}
+	if _, err := BranchCondExpr("elif", "((", prior2); err == nil {
+		t.Errorf("malformed elif arg: expected error")
+	}
+}

@@ -1,10 +1,5 @@
 package cpp
 
-import (
-	"strconv"
-	"strings"
-)
-
 // evalCondition evaluates a #if / #elif controlling expression: `defined`
 // is resolved first, remaining tokens are macro-expanded, leftover
 // identifiers become 0, and the result is a C integer constant expression.
@@ -335,46 +330,23 @@ func (e *exprParser) unary() (expr, error) {
 	return nil, e.p.errf("unexpected token %q in #if expression", t.Text)
 }
 
-// parsePPNumber converts a pp-number to int64, accepting 0x/octal forms and
-// ignoring integer suffixes (u, l, ll, in any case and order).
+// parsePPNumber converts a pp-number to int64, attaching preprocessor
+// location context to any error. The conversion itself lives in
+// ppNumberValue (condexpr.go) so the symbolic parser shares it.
 func parsePPNumber(p *pp, s string) (int64, error) {
-	trimmed := strings.TrimRight(s, "uUlL")
-	if trimmed == "" {
-		return 0, p.errf("bad integer %q in #if expression", s)
-	}
-	v, err := strconv.ParseUint(trimmed, 0, 64)
+	v, err := ppNumberValue(s)
 	if err != nil {
-		return 0, p.errf("bad integer %q in #if expression", s)
+		return 0, p.errf("%v", err)
 	}
-	return int64(v), nil
+	return v, nil
 }
 
-// charValue evaluates a character constant like 'a' or '\n'.
+// charValue evaluates a character constant like 'a' or '\n', attaching
+// location context to any error; see charConstValue (condexpr.go).
 func charValue(p *pp, s string) (int64, error) {
-	if len(s) < 3 || s[0] != '\'' || s[len(s)-1] != '\'' {
-		return 0, p.errf("bad character constant %s", s)
+	v, err := charConstValue(s)
+	if err != nil {
+		return 0, p.errf("%v", err)
 	}
-	body := s[1 : len(s)-1]
-	if body[0] != '\\' {
-		return int64(body[0]), nil
-	}
-	if len(body) < 2 {
-		return 0, p.errf("bad escape in character constant %s", s)
-	}
-	switch body[1] {
-	case 'n':
-		return '\n', nil
-	case 't':
-		return '\t', nil
-	case 'r':
-		return '\r', nil
-	case '0':
-		return 0, nil
-	case '\\':
-		return '\\', nil
-	case '\'':
-		return '\'', nil
-	default:
-		return int64(body[1]), nil
-	}
+	return v, nil
 }

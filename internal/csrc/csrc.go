@@ -41,6 +41,13 @@ func (k CondKind) String() string {
 	}
 }
 
+// CondBranch records the own test of one earlier branch in a conditional
+// chain: the directive kind and its argument.
+type CondBranch struct {
+	Kind CondKind
+	Arg  string
+}
+
 // CondFrame is one enclosing conditional at a given line.
 type CondFrame struct {
 	Kind CondKind
@@ -53,6 +60,12 @@ type CondFrame struct {
 	OpenKind CondKind
 	// Line is the 1-based line of the directive that opened this branch.
 	Line int
+	// Prior lists every earlier branch of the same chain, outermost-opening
+	// first. An #elif or #else branch is active only when all of these
+	// tests failed, so static consumers must conjoin their negations. Empty
+	// for an opening #if/#ifdef/#ifndef frame. The slice is shared between
+	// lines; callers must not mutate it.
+	Prior []CondBranch
 }
 
 // Line describes one physical source line.
@@ -183,14 +196,16 @@ func Analyze(content string) *File {
 				if len(stack) > 0 {
 					top := stack[len(stack)-1]
 					stack = append(stack[:len(stack)-1:len(stack)-1],
-						CondFrame{Kind: CondElif, OpenKind: top.OpenKind, Arg: arg, Line: li.Num})
+						CondFrame{Kind: CondElif, OpenKind: top.OpenKind, Arg: arg, Line: li.Num,
+							Prior: appendBranch(top.Prior, top.Kind, top.Arg)})
 				}
 			case "else":
 				region = li.Num
 				if len(stack) > 0 {
 					top := stack[len(stack)-1]
 					stack = append(stack[:len(stack)-1:len(stack)-1],
-						CondFrame{Kind: CondElse, OpenKind: top.OpenKind, Arg: top.Arg, Line: li.Num})
+						CondFrame{Kind: CondElse, OpenKind: top.OpenKind, Arg: top.Arg, Line: li.Num,
+							Prior: appendBranch(top.Prior, top.Kind, top.Arg)})
 				}
 			case "endif":
 				if len(stack) > 0 {
@@ -205,6 +220,14 @@ func Analyze(content string) *File {
 		inComment = stillIn
 	}
 	return f
+}
+
+// appendBranch extends a prior-branch list into a fresh slice, so chain
+// siblings never alias each other's backing arrays.
+func appendBranch(prior []CondBranch, kind CondKind, arg string) []CondBranch {
+	out := make([]CondBranch, len(prior), len(prior)+1)
+	copy(out, prior)
+	return append(out, CondBranch{Kind: kind, Arg: arg})
 }
 
 // stripComments removes comment text from one line. startInComment says

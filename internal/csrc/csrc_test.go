@@ -254,3 +254,62 @@ int ac;
 		t.Errorf("line 7 inner frame = %+v", acLine.Conds[1])
 	}
 }
+
+func TestElifChainPriors(t *testing.T) {
+	src := strings.Join([]string{
+		"#ifdef A",         // 1
+		"int a;",           // 2
+		"#elif defined(B)", // 3
+		"int b;",           // 4
+		"#elif defined(C)", // 5
+		"int c;",           // 6
+		"#else",            // 7
+		"int d;",           // 8
+		"#endif",           // 9
+		"",
+	}, "\n")
+	f := Analyze(src)
+
+	fr := func(n int) CondFrame {
+		li, ok := f.LineAt(n)
+		if !ok || len(li.Conds) != 1 {
+			t.Fatalf("line %d: want one frame, got %+v", n, li.Conds)
+		}
+		return li.Conds[0]
+	}
+
+	first := fr(2)
+	if first.Kind != CondIfdef || len(first.Prior) != 0 {
+		t.Errorf("opening frame: %+v", first)
+	}
+	second := fr(4)
+	if second.Kind != CondElif || second.Arg != "defined(B)" {
+		t.Errorf("second frame: %+v", second)
+	}
+	if len(second.Prior) != 1 || second.Prior[0] != (CondBranch{CondIfdef, "A"}) {
+		t.Errorf("second frame priors: %+v", second.Prior)
+	}
+	third := fr(6)
+	wantThird := []CondBranch{{CondIfdef, "A"}, {CondElif, "defined(B)"}}
+	if len(third.Prior) != 2 || third.Prior[0] != wantThird[0] || third.Prior[1] != wantThird[1] {
+		t.Errorf("third frame priors: %+v", third.Prior)
+	}
+	last := fr(8)
+	if last.Kind != CondElse || last.OpenKind != CondIfdef {
+		t.Errorf("else frame: %+v", last)
+	}
+	wantElse := []CondBranch{{CondIfdef, "A"}, {CondElif, "defined(B)"}, {CondElif, "defined(C)"}}
+	if len(last.Prior) != 3 {
+		t.Fatalf("else frame priors: %+v", last.Prior)
+	}
+	for i, w := range wantElse {
+		if last.Prior[i] != w {
+			t.Errorf("else prior[%d] = %+v, want %+v", i, last.Prior[i], w)
+		}
+	}
+	// The second branch's Prior slice must not have been clobbered when the
+	// third branch extended the chain.
+	if len(second.Prior) != 1 {
+		t.Errorf("second frame priors mutated: %+v", second.Prior)
+	}
+}

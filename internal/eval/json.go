@@ -44,6 +44,10 @@ type JSONReport struct {
 
 	Pipeline JSONPipeline `json:"pipeline"`
 
+	// Presence reports the static presence-condition pre-pass; present only
+	// when the run enabled it, so default reports are unchanged.
+	Presence *JSONPresence `json:"presence,omitempty"`
+
 	Faults struct {
 		Retries                int            `json:"retries"`
 		InjectedFaults         int            `json:"injected_faults"`
@@ -86,7 +90,21 @@ type JSONPipeline struct {
 	ConfigCache    JSONCacheStats       `json:"config_cache"`
 	TokenCache     JSONCacheStats       `json:"token_cache"`
 	VirtualSeconds StageVirtual         `json:"virtual_seconds"`
+	StaticSkippedI int                  `json:"static_skipped_make_i,omitempty"`
+	StaticSkippedO int                  `json:"static_skipped_make_o,omitempty"`
 	Runtime        *JSONPipelineRuntime `json:"runtime,omitempty"`
+}
+
+// JSONPresence is the machine-readable static-analysis section. Every
+// field is deterministic and worker-count-invariant; disagreements must be
+// zero on a healthy run (each entry is a static/dynamic cross-check
+// failure, i.e. an analysis bug).
+type JSONPresence struct {
+	StaticDeadFiles int `json:"static_dead_files"`
+	StaticDeadLines int `json:"static_dead_lines"`
+	SkippedMakeI    int `json:"skipped_make_i"`
+	SkippedMakeO    int `json:"skipped_make_o"`
+	Disagreements   int `json:"disagreements"`
 }
 
 // JSONCacheStats is one shared cache's counters.
@@ -176,6 +194,18 @@ func (r *Run) buildJSON(points, runtime bool) ([]byte, error) {
 		ConfigCache:    JSONCacheStats{pm.ConfigCache.Hits, pm.ConfigCache.Misses, pm.ConfigCache.HitRate()},
 		TokenCache:     JSONCacheStats{pm.TokenCache.Hits, pm.TokenCache.Misses, pm.TokenCache.HitRate()},
 		VirtualSeconds: pm.Stages,
+		StaticSkippedI: pm.StaticSkippedMakeI,
+		StaticSkippedO: pm.StaticSkippedMakeO,
+	}
+	if r.Params.Checker.StaticPresence {
+		ps := r.ComputePresenceStats()
+		out.Presence = &JSONPresence{
+			StaticDeadFiles: ps.StaticDeadFiles,
+			StaticDeadLines: ps.StaticDeadLines,
+			SkippedMakeI:    ps.SkippedMakeI,
+			SkippedMakeO:    ps.SkippedMakeO,
+			Disagreements:   ps.Disagreements,
+		}
 	}
 	if runtime {
 		out.Pipeline.Runtime = &JSONPipelineRuntime{

@@ -36,6 +36,10 @@ type PipelineMetrics struct {
 	ConfigCache core.CacheStats // shared Kconfig-valuation cache
 	TokenCache  core.CacheStats // shared lexing cache
 	Stages      StageVirtual    // virtual seconds per stage
+	// StaticSkippedMakeI / StaticSkippedMakeO count compiler invocations
+	// the static presence pre-pass pruned (zero unless StaticPresence).
+	StaticSkippedMakeI int
+	StaticSkippedMakeO int
 
 	// Volatile (scheduling- and machine-dependent).
 	Workers       int
@@ -78,6 +82,8 @@ func computePipelineMetrics(met sched.Metrics, results []PatchResult, session *c
 			pm.Stages.BackoffSeconds += d.Seconds()
 		}
 		pm.Stages.TotalSeconds += res.Report.Total.Seconds()
+		pm.StaticSkippedMakeI += res.Report.StaticSkippedMakeI
+		pm.StaticSkippedMakeO += res.Report.StaticSkippedMakeO
 	}
 	return pm
 }
@@ -96,6 +102,10 @@ func (r *Run) RenderPipeline(runtime bool) string {
 	fmt.Fprintf(&b, "  virtual stage time:   config %.1fs, make.i %.1fs, make.o %.1fs, backoff %.1fs (total %.1fs)\n",
 		pm.Stages.ConfigSeconds, pm.Stages.MakeISeconds, pm.Stages.MakeOSeconds,
 		pm.Stages.BackoffSeconds, pm.Stages.TotalSeconds)
+	if pm.StaticSkippedMakeI > 0 || pm.StaticSkippedMakeO > 0 {
+		fmt.Fprintf(&b, "  static pruning:       skipped %d make.i, %d make.o invocations\n",
+			pm.StaticSkippedMakeI, pm.StaticSkippedMakeO)
+	}
 	if runtime {
 		fmt.Fprintf(&b, "  workers:              %d (in-flight bound %d, max buffered %d)\n",
 			pm.Workers, pm.InFlight, pm.MaxBuffered)

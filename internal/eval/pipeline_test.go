@@ -49,6 +49,82 @@ func TestJSONWorkerCountInvariant(t *testing.T) {
 	}
 }
 
+// With the static presence pre-pass enabled, the report must stay
+// worker-count-invariant too — pruning decisions, skip counters and the
+// disagreement list are all made from shared memoized state — and the
+// static/dynamic cross-check must come back clean on a healthy run.
+func TestJSONWorkerInvariantWithStaticPresence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	base := Params{TreeSeed: 41, HistorySeed: 42, ModelSeed: 43, TreeScale: 0.15, CommitScale: 0.008}
+	base.Checker.StaticPresence = true
+
+	run := func(workers, inflight int) ([]byte, *Run) {
+		p := base
+		p.Workers = workers
+		p.InFlight = inflight
+		r, err := Execute(p)
+		if err != nil {
+			t.Fatalf("Execute(workers=%d): %v", workers, err)
+		}
+		js, err := r.JSON(true)
+		if err != nil {
+			t.Fatalf("JSON: %v", err)
+		}
+		return js, r
+	}
+
+	one, rOne := run(1, 0)
+	four, _ := run(4, 8)
+	if !bytes.Equal(one, four) {
+		t.Error("static-presence JSON reports differ between -workers=1 and -workers=4")
+	}
+
+	ps := rOne.ComputePresenceStats()
+	if ps.Disagreements != 0 {
+		t.Errorf("static/dynamic cross-check failed %d times", ps.Disagreements)
+	}
+	var decoded struct {
+		Presence *JSONPresence `json:"presence"`
+	}
+	if err := json.Unmarshal(one, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Presence == nil {
+		t.Fatal("presence section missing with StaticPresence enabled")
+	}
+	if decoded.Presence.Disagreements != 0 {
+		t.Errorf("JSON disagreements = %d, want 0", decoded.Presence.Disagreements)
+	}
+
+	// And the default (pre-pass off) report must not grow a presence
+	// section.
+	off, err := Execute(base.withoutStatic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := off.JSON(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var offDecoded struct {
+		Presence *JSONPresence `json:"presence"`
+	}
+	if err := json.Unmarshal(js, &offDecoded); err != nil {
+		t.Fatal(err)
+	}
+	if offDecoded.Presence != nil {
+		t.Error("presence section present without StaticPresence")
+	}
+}
+
+func (p Params) withoutStatic() Params {
+	p.Checker.StaticPresence = false
+	p.Workers = 2
+	return p
+}
+
 // The volatile runtime section is opt-in and absent from the default
 // report.
 func TestJSONRuntimeSectionOptIn(t *testing.T) {

@@ -517,6 +517,48 @@ func (r *Run) ComputeFaultStats() FaultStats {
 	return s
 }
 
+// PresenceStats aggregates the static presence-condition pre-pass over the
+// window: how much work the pruning saved and whether any prediction was
+// ever contradicted by a .i witness (the cross-check of the tentpole; any
+// disagreement is an analysis bug, not a property of the patch).
+type PresenceStats struct {
+	// StaticDeadFiles counts file outcomes finalized as static-dead;
+	// StaticDeadLines the changed lines proven unreachable.
+	StaticDeadFiles int
+	StaticDeadLines int
+	// SkippedMakeI / SkippedMakeO count the compiler invocations the
+	// pruning made unnecessary.
+	SkippedMakeI int
+	SkippedMakeO int
+	// Disagreements counts static/dynamic cross-check failures.
+	Disagreements int
+}
+
+// ComputePresenceStats aggregates the static-analysis counters from every
+// patch. All counters are zero unless the run enabled StaticPresence.
+func (r *Run) ComputePresenceStats() PresenceStats {
+	var s PresenceStats
+	r.forEachPatch(false, func(res PatchResult) {
+		s.SkippedMakeI += res.Report.StaticSkippedMakeI
+		s.SkippedMakeO += res.Report.StaticSkippedMakeO
+		s.Disagreements += len(res.Report.StaticDynamicDisagreements)
+		for _, f := range res.Report.Files {
+			if f.Status == core.StatusStaticDead {
+				s.StaticDeadFiles++
+			}
+			s.StaticDeadLines += len(f.StaticDeadLines)
+		}
+	})
+	return s
+}
+
+// Render formats the presence-analysis statistics.
+func (s PresenceStats) Render() string {
+	return fmt.Sprintf(
+		"static-dead files: %d (lines: %d); compiles skipped: %d make.i, %d make.o; disagreements: %d\n",
+		s.StaticDeadFiles, s.StaticDeadLines, s.SkippedMakeI, s.SkippedMakeO, s.Disagreements)
+}
+
 // Render formats the fault statistics.
 func (s FaultStats) Render() string {
 	var b strings.Builder

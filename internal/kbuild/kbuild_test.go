@@ -474,3 +474,50 @@ func TestBuilderTokenCacheConsistency(t *testing.T) {
 		t.Error("cache unused")
 	}
 }
+
+func TestFileGate(t *testing.T) {
+	tr := testTree(t)
+	tr.Write("drivers/usb/Makefile", "obj-$(CONFIG_USB_STORAGE) += storage.o\nobj-m += gadget.o\n")
+	tr.Write("drivers/usb/gadget.c", "int gadget(void)\n{\n\treturn 0;\n}\n")
+
+	cases := []struct {
+		file     string
+		wantVars []string
+		wantOwn  string
+		wantMod  bool
+	}{
+		{"drivers/net/netdrv.c", []string{"NETDRV"}, "NETDRV", false},
+		{"drivers/net/bond_main.c", []string{"BONDING"}, "BONDING", false},
+		{"drivers/usb/storage.c", []string{"USB", "USB_STORAGE"}, "USB_STORAGE", false},
+		{"drivers/usb/gadget.c", []string{"USB"}, "", true},
+		{"net/core.c", []string{"NET"}, "NET", false},
+		{"arch/x86_64/kernel/setup.c", nil, "", false},
+	}
+	for _, c := range cases {
+		g, err := FileGate(tr, c.file, "x86_64")
+		if err != nil {
+			t.Fatalf("FileGate(%s): %v", c.file, err)
+		}
+		if !reflect.DeepEqual(g.Vars, c.wantVars) {
+			t.Errorf("FileGate(%s).Vars = %v, want %v", c.file, g.Vars, c.wantVars)
+		}
+		if g.OwnVar != c.wantOwn || g.OwnModule != c.wantMod {
+			t.Errorf("FileGate(%s) own = %q/%v, want %q/%v",
+				c.file, g.OwnVar, g.OwnModule, c.wantOwn, c.wantMod)
+		}
+	}
+
+	if _, err := FileGate(tr, "drivers/net/orphan.c", "x86_64"); err == nil {
+		t.Error("FileGate(orphan) should fail: no object rule")
+	}
+	if _, err := FileGate(tr, "sound/pci/hda.c", "x86_64"); err == nil {
+		t.Error("FileGate(unlisted dir) should fail")
+	}
+	// The arm walk resolves $(SRCARCH) to arm: x86_64 files become invisible.
+	if _, err := FileGate(tr, "arch/x86_64/kernel/setup.c", "arm"); err == nil {
+		t.Error("FileGate(x86_64 file, arm walk) should fail")
+	}
+	if g, err := FileGate(tr, "arch/arm/kernel/entry.c", "arm"); err != nil || len(g.Vars) != 0 {
+		t.Errorf("FileGate(arm entry) = %+v, %v", g, err)
+	}
+}

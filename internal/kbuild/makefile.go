@@ -146,6 +146,88 @@ func GatingConfigs(t *fstree.Tree, cFile, archName string) ([]string, error) {
 	return out, nil
 }
 
+// Gate is the exact Kbuild gate of one file: the conjunction of CONFIG
+// variables that must be enabled for the build to descend to it. Unlike the
+// GatingConfigs heuristic, it is derived from the actual descent chain and
+// object rule, so it is a presence condition, not a guess.
+type Gate struct {
+	// Vars are CONFIG variable names (without prefix, sorted, deduplicated)
+	// gating the descent directories and the file's own rule; all must be
+	// != n for the file to be built.
+	Vars []string
+	// OwnVar is the CONFIG variable of the file's own obj- rule, "" for
+	// obj-y/obj-m. When set it also appears in Vars.
+	OwnVar string
+	// OwnModule is true when the file's own rule is obj-m: the file can
+	// only ever be built as a module.
+	OwnModule bool
+}
+
+// FileGate walks the descent chain of a .c file — the same walk
+// Builder.Reachable performs, minus any configuration — and collects every
+// obj-$(CONFIG_X) condition along it. An error means the chain is broken
+// (missing Makefile, unlisted directory or object): no gate is derivable
+// and callers must not treat the file as unconditionally built.
+func FileGate(t *fstree.Tree, file, archName string) (Gate, error) {
+	file = fstree.Clean(file)
+	dir := path.Dir(file)
+	if dir == "." {
+		dir = ""
+	}
+	var components []string
+	if dir != "" {
+		components = strings.Split(dir, "/")
+	}
+	vars := make(map[string]bool)
+	var gate Gate
+	cur := ""
+	for i := 0; i < len(components); i++ {
+		mf, err := LoadMakefile(t, cur, archName)
+		if err != nil {
+			return Gate{}, err
+		}
+		rule, ok := mf.ruleFor(components[i] + "/")
+		if !ok {
+			// Arch directories nest one extra level: the root Makefile lists
+			// arch/<name>/ in one step.
+			if cur == "" && components[i] == "arch" && i+1 < len(components) {
+				if rule2, ok2 := mf.ruleFor("arch/" + components[i+1] + "/"); ok2 {
+					if rule2.CondVar != "" {
+						vars[rule2.CondVar] = true
+					}
+					cur = path.Join(cur, components[i], components[i+1])
+					i++
+					continue
+				}
+			}
+			return Gate{}, fmt.Errorf("%w: %s not listed in %s", ErrNotReachable, file, mf.Path)
+		}
+		if rule.CondVar != "" {
+			vars[rule.CondVar] = true
+		}
+		cur = path.Join(cur, components[i])
+	}
+	mf, err := LoadMakefile(t, dir, archName)
+	if err != nil {
+		return Gate{}, err
+	}
+	obj := strings.TrimSuffix(path.Base(file), ".c") + ".o"
+	rule, ok := mf.ruleFor(obj)
+	if !ok {
+		return Gate{}, fmt.Errorf("%w: no rule for %s in %s", ErrNotReachable, obj, mf.Path)
+	}
+	gate.OwnVar = rule.CondVar
+	gate.OwnModule = rule.Module
+	if rule.CondVar != "" {
+		vars[rule.CondVar] = true
+	}
+	for v := range vars {
+		gate.Vars = append(gate.Vars, v)
+	}
+	sort.Strings(gate.Vars)
+	return gate, nil
+}
+
 func collectGating(mf *Makefile, obj string, vars map[string]bool, depth int) {
 	if depth > 8 {
 		return

@@ -1,0 +1,88 @@
+package kconfig
+
+import "testing"
+
+// chainTree declares a two-level dependency chain: LEAF depends on MID,
+// MID depends on ROOT && !BLOCK, plus a selector forcing FORCED.
+func chainTree(t *testing.T) *Tree {
+	t.Helper()
+	return parseOne(t, `
+config ROOT
+	bool "root"
+
+config BLOCK
+	bool "block"
+
+config MID
+	bool "mid"
+	depends on ROOT && !BLOCK
+
+config LEAF
+	tristate "leaf"
+	depends on MID
+
+config FORCED
+	bool "forced"
+	depends on BLOCK
+
+config SELECTOR
+	bool "selector"
+	select FORCED
+`)
+}
+
+func TestDependsClosureTwoLevels(t *testing.T) {
+	tree := chainTree(t)
+
+	got := tree.DependsClosure("LEAF", 8)
+	if len(got) != 2 {
+		t.Fatalf("closure = %v, want LEAF and MID clauses", got)
+	}
+	if e := got["LEAF"]; e == nil || e.String() != "MID" {
+		t.Errorf("LEAF clause = %v", got["LEAF"])
+	}
+	if e := got["MID"]; e == nil || e.String() != "(ROOT && !BLOCK)" {
+		t.Errorf("MID clause = %v", got["MID"])
+	}
+
+	// Depth 0 stops at the symbol's own clause.
+	if got := tree.DependsClosure("LEAF", 0); len(got) != 1 || got["LEAF"] == nil {
+		t.Errorf("depth-0 closure = %v", got)
+	}
+	// Symbols without dependencies and undeclared names contribute nothing.
+	if got := tree.DependsClosure("ROOT", 8); len(got) != 0 {
+		t.Errorf("ROOT closure = %v", got)
+	}
+	if got := tree.DependsClosure("NO_SUCH", 8); len(got) != 0 {
+		t.Errorf("undeclared closure = %v", got)
+	}
+}
+
+func TestFoldExprRebuild(t *testing.T) {
+	tree := chainTree(t)
+	fns := FoldFuncs[string]{
+		Sym: func(name string) string { return name },
+		Not: func(x string) string { return "!" + x },
+		And: func(l, r string) string { return "(" + l + " & " + r + ")" },
+		Or:  func(l, r string) string { return "(" + l + " | " + r + ")" },
+		Cmp: func(l, r Expr, ne bool) string { return "cmp" },
+	}
+	if got := FoldExpr(tree.Symbol("MID").DependsOn, fns); got != "(ROOT & !BLOCK)" {
+		t.Errorf("FoldExpr(MID deps) = %q", got)
+	}
+	e, err := ParseExpr(`A || B = y`)
+	if err != nil {
+		t.Fatalf("ParseExpr: %v", err)
+	}
+	if got := FoldExpr(e, fns); got != "(A | cmp)" {
+		t.Errorf("FoldExpr(cmp) = %q", got)
+	}
+}
+
+func TestSelectTargets(t *testing.T) {
+	tree := chainTree(t)
+	got := tree.SelectTargets()
+	if !got["FORCED"] || len(got) != 1 {
+		t.Errorf("SelectTargets = %v", got)
+	}
+}

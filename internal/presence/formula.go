@@ -1,0 +1,231 @@
+// Package presence implements static presence-condition analysis: every
+// line of a C source file gets a boolean formula over CONFIG_* symbols
+// describing the configurations under which the preprocessor emits it. The
+// formula combines the #if/#ifdef/#elif/#else nesting stack (parsed
+// symbolically via internal/cpp, with each #elif/#else branch carrying the
+// negation of all earlier branches in its chain) with the file's Kbuild
+// obj-$(CONFIG_X) gate. Conditions the analysis cannot decide statically —
+// arithmetic over unknown macros, identifiers the file itself (re)defines —
+// become opaque free variables, so satisfiability checks over-approximate:
+// a line is declared dead only when no valuation at all enables it.
+package presence
+
+import (
+	"sort"
+	"strings"
+)
+
+// Formula is a boolean formula over named symbols. Values are built with
+// True, False, Symbol, Not, And and Or; the constructors constant-fold, so
+// a formula containing no symbols is always exactly True or False.
+type Formula interface {
+	String() string
+	formula()
+}
+
+type constF bool
+type symF string
+type notF struct{ x Formula }
+type andF struct{ l, r Formula }
+type orF struct{ l, r Formula }
+
+func (constF) formula() {}
+func (symF) formula()   {}
+func (notF) formula()   {}
+func (andF) formula()   {}
+func (orF) formula()    {}
+
+// True and False are the constant formulas.
+var (
+	True  Formula = constF(true)
+	False Formula = constF(false)
+)
+
+func (f constF) String() string {
+	if f {
+		return "true"
+	}
+	return "false"
+}
+func (f symF) String() string { return string(f) }
+func (f notF) String() string { return "!" + f.x.String() }
+func (f andF) String() string { return "(" + f.l.String() + " && " + f.r.String() + ")" }
+func (f orF) String() string  { return "(" + f.l.String() + " || " + f.r.String() + ")" }
+
+// Symbol is a formula variable. CONFIG_* names mean "this option is y";
+// other spellings ("defined(FOO)", "?FOO") are opaque unknowns.
+func Symbol(name string) Formula { return symF(name) }
+
+// Not negates a formula, folding constants and double negation.
+func Not(x Formula) Formula {
+	switch n := x.(type) {
+	case constF:
+		return constF(!n)
+	case notF:
+		return n.x
+	}
+	return notF{x: x}
+}
+
+// And conjoins formulas, folding constants.
+func And(xs ...Formula) Formula {
+	out := True
+	for _, x := range xs {
+		if x == nil {
+			continue
+		}
+		if c, ok := x.(constF); ok {
+			if !c {
+				return False
+			}
+			continue
+		}
+		if out == True {
+			out = x
+		} else {
+			out = andF{l: out, r: x}
+		}
+	}
+	return out
+}
+
+// Or disjoins formulas, folding constants.
+func Or(xs ...Formula) Formula {
+	out := False
+	for _, x := range xs {
+		if x == nil {
+			continue
+		}
+		if c, ok := x.(constF); ok {
+			if c {
+				return True
+			}
+			continue
+		}
+		if out == False {
+			out = x
+		} else {
+			out = orF{l: out, r: x}
+		}
+	}
+	return out
+}
+
+// Implies builds the material implication p -> q.
+func Implies(p, q Formula) Formula { return Or(Not(p), q) }
+
+// Eval evaluates f under a total assignment (missing symbols read false).
+func Eval(f Formula, assign map[string]bool) bool {
+	v, _ := EvalPartial(f, func(name string) (bool, bool) {
+		return assign[name], true
+	})
+	return v
+}
+
+// EvalPartial evaluates f under a partial assignment: know returns (value,
+// true) for resolved symbols and (_, false) for unknown ones. The second
+// result reports whether the formula's value is determined; short-circuit
+// rules apply, so one known-false conjunct decides a conjunction.
+func EvalPartial(f Formula, know func(string) (bool, bool)) (value, known bool) {
+	switch n := f.(type) {
+	case constF:
+		return bool(n), true
+	case symF:
+		return know(string(n))
+	case notF:
+		v, ok := EvalPartial(n.x, know)
+		return !v, ok
+	case andF:
+		lv, lok := EvalPartial(n.l, know)
+		rv, rok := EvalPartial(n.r, know)
+		switch {
+		case lok && !lv, rok && !rv:
+			return false, true
+		case lok && rok:
+			return true, true
+		}
+		return false, false
+	case orF:
+		lv, lok := EvalPartial(n.l, know)
+		rv, rok := EvalPartial(n.r, know)
+		switch {
+		case lok && lv, rok && rv:
+			return true, true
+		case lok && rok:
+			return false, true
+		}
+		return false, false
+	}
+	return false, false
+}
+
+// Substitute replaces resolved symbols with constants and re-folds.
+func Substitute(f Formula, know func(string) (bool, bool)) Formula {
+	switch n := f.(type) {
+	case symF:
+		if v, ok := know(string(n)); ok {
+			return constF(v)
+		}
+		return n
+	case notF:
+		return Not(Substitute(n.x, know))
+	case andF:
+		return And(Substitute(n.l, know), Substitute(n.r, know))
+	case orF:
+		return Or(Substitute(n.l, know), Substitute(n.r, know))
+	}
+	return f
+}
+
+// Replace rewrites symbols into arbitrary sub-formulas and re-folds: repl
+// returns (replacement, true) for symbols to rewrite. Substitute is the
+// constant-only special case.
+func Replace(f Formula, repl func(string) (Formula, bool)) Formula {
+	switch n := f.(type) {
+	case symF:
+		if g, ok := repl(string(n)); ok {
+			return g
+		}
+		return n
+	case notF:
+		return Not(Replace(n.x, repl))
+	case andF:
+		return And(Replace(n.l, repl), Replace(n.r, repl))
+	case orF:
+		return Or(Replace(n.l, repl), Replace(n.r, repl))
+	}
+	return f
+}
+
+// Symbols returns the distinct symbol names in f, sorted.
+func Symbols(f Formula) []string {
+	set := make(map[string]bool)
+	collectSymbols(f, set)
+	out := make([]string, 0, len(set))
+	for s := range set {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func collectSymbols(f Formula, into map[string]bool) {
+	switch n := f.(type) {
+	case symF:
+		into[string(n)] = true
+	case notF:
+		collectSymbols(n.x, into)
+	case andF:
+		collectSymbols(n.l, into)
+		collectSymbols(n.r, into)
+	case orF:
+		collectSymbols(n.l, into)
+		collectSymbols(n.r, into)
+	}
+}
+
+// IsConfigSymbol reports whether a formula symbol denotes a CONFIG_* option
+// (as opposed to an opaque unknown like "defined(FOO)" or "?EXPR").
+func IsConfigSymbol(name string) bool {
+	return strings.HasPrefix(name, "CONFIG_") && !strings.ContainsAny(name, "?() ")
+}

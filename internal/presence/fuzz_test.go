@@ -1,0 +1,37 @@
+package presence
+
+import (
+	"testing"
+
+	"jmake/internal/cpp"
+)
+
+// FuzzPresenceParse throws arbitrary source at the symbolic conditional
+// parser and the full line analysis: malformed #if lines must degrade to
+// opaque variables, never panic, and every resulting condition must render
+// and answer satisfiability.
+func FuzzPresenceParse(f *testing.F) {
+	f.Add("#if defined(CONFIG_A) && (CONFIG_B > 2)\nint x;\n#endif\n")
+	f.Add("#if ((\n#elif ?:\n#else\n#endif\n")
+	f.Add("#ifdef\n#elif 1 ? : 0\nint y;\n#endif\n")
+	f.Add("#if 'x' == 0x1uLL\n/* c */ int z;\n#endif\n")
+	f.Add("#define CONFIG_SELF 1\n#ifdef CONFIG_SELF\nint s;\n#endif\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 1<<14 {
+			t.Skip("oversized input")
+		}
+		// The symbolic expression parser must return, not panic, on any
+		// directive argument.
+		if e, err := cpp.ParseCondExpr(src); err == nil {
+			_ = e.String()
+		}
+		fa := Analyze("fuzz.c", src)
+		for i := 1; i <= fa.Len(); i++ {
+			cond := fa.LineCond(i)
+			_ = cond.String()
+			if len(Symbols(cond)) <= 8 {
+				_, _ = Sat(cond)
+			}
+		}
+	})
+}

@@ -1,0 +1,66 @@
+package presence
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestGoldenCorpus pins the analysis output over examples/presence: every
+// .c file under src/ has a golden Dump in golden/<name>.txt. Regenerate
+// with UPDATE_GOLDEN=1 go test ./internal/presence/ after an intentional
+// format or analysis change.
+func TestGoldenCorpus(t *testing.T) {
+	srcDir := filepath.Join("..", "..", "examples", "presence", "src", "drivers")
+	goldenDir := filepath.Join("..", "..", "examples", "presence", "golden")
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatalf("corpus missing: %v", err)
+	}
+	update := os.Getenv("UPDATE_GOLDEN") != ""
+
+	seen := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), ".c") {
+			continue
+		}
+		seen++
+		content, err := os.ReadFile(filepath.Join(srcDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := Analyze("drivers/"+e.Name(), string(content)).Dump()
+		goldenPath := filepath.Join(goldenDir, e.Name()+".txt")
+		if update {
+			if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("%s: missing golden (run with UPDATE_GOLDEN=1): %v", e.Name(), err)
+		}
+		if got != string(want) {
+			t.Errorf("%s: analysis drifted from golden\n--- got ---\n%s--- want ---\n%s",
+				e.Name(), got, want)
+		}
+	}
+	if seen < 5 {
+		t.Errorf("corpus has only %d .c files, want the full set", seen)
+	}
+}
+
+// The corpus must contain a provably dead region (the acceptance case
+// "unsatisfiable #if 0") — guard against the corpus degrading.
+func TestGoldenCorpusHasDeadLines(t *testing.T) {
+	content, err := os.ReadFile(filepath.Join("..", "..", "examples", "presence", "src", "drivers", "ifzero.c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Analyze("drivers/ifzero.c", string(content))
+	if len(f.DeadLines()) == 0 {
+		t.Error("ifzero.c has no provably dead lines")
+	}
+}

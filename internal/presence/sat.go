@@ -1,0 +1,57 @@
+package presence
+
+// MaxSatSymbols bounds SAT-by-enumeration. Presence conditions are shallow
+// — a nesting stack plus a Kbuild gate plus a few dependency clauses rarely
+// exceeds a dozen distinct symbols — so 2^20 assignments is a comfortable
+// ceiling; anything wider is conservatively reported satisfiable.
+const MaxSatSymbols = 20
+
+// Sat decides satisfiability of f by enumerating assignments over its
+// symbols. exact is false when f has more than MaxSatSymbols symbols, in
+// which case sat is conservatively true: callers prove lines *dead* with
+// this, so an inexact answer must never claim unsatisfiability.
+func Sat(f Formula) (sat, exact bool) {
+	if c, ok := f.(constF); ok {
+		return bool(c), true
+	}
+	syms := Symbols(f)
+	if len(syms) > MaxSatSymbols {
+		return true, false
+	}
+	assign := make(map[string]bool, len(syms))
+	for mask := uint64(0); mask < uint64(1)<<len(syms); mask++ {
+		for i, s := range syms {
+			assign[s] = mask&(1<<i) != 0
+		}
+		if Eval(f, assign) {
+			return true, true
+		}
+	}
+	return false, true
+}
+
+// SatAssignment is Sat plus a witness: when f is satisfiable within the
+// enumeration bound, it returns one satisfying assignment over f's symbols.
+func SatAssignment(f Formula) (assign map[string]bool, sat, exact bool) {
+	if c, ok := f.(constF); ok {
+		return map[string]bool{}, bool(c), true
+	}
+	syms := Symbols(f)
+	if len(syms) > MaxSatSymbols {
+		return nil, true, false
+	}
+	a := make(map[string]bool, len(syms))
+	for mask := uint64(0); mask < uint64(1)<<len(syms); mask++ {
+		for i, s := range syms {
+			a[s] = mask&(1<<i) != 0
+		}
+		if Eval(f, a) {
+			out := make(map[string]bool, len(a))
+			for k, v := range a {
+				out[k] = v
+			}
+			return out, true, true
+		}
+	}
+	return nil, false, true
+}

@@ -85,7 +85,13 @@ const (
 	StatusNoMakefile      = core.StatusNoMakefile
 	StatusBudgetExhausted = core.StatusBudgetExhausted
 	StatusArchQuarantined = core.StatusArchQuarantined
+	StatusStaticDead      = core.StatusStaticDead
 )
+
+// StaticDisagreement is one static/dynamic cross-check failure recorded in
+// a Report when Options.StaticPresence is enabled (any entry indicates a
+// bug in the static analysis, not in the patch).
+type StaticDisagreement = core.StaticDisagreement
 
 // UniformFaultPlan builds a fault plan applying rate to every fault class
 // (transient preprocessor and config failures, truncated .i output,
