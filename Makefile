@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static eval
+.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static bench cache-smoke eval
 
-check: vet build test race lint
+check: vet build test race lint cache-smoke
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,19 @@ bench-workers:
 # Virtual build time with and without static presence-condition pruning.
 bench-static:
 	$(GO) test ./internal/eval/ -run '^$$' -bench BenchmarkStaticPruning -benchtime 3x
+
+# Pipeline benchmark: worker sweep plus cold-vs-warm result-cache passes.
+# Writes BENCH_pipeline.json (the EXPERIMENTS.md §cache numbers come from it).
+bench:
+	$(GO) run ./cmd/jmake-bench -o BENCH_pipeline.json
+
+# Result-cache round trip: two evaluations against the same -cache-dir
+# (cold, then warm from the persisted tier) must emit byte-identical JSON.
+cache-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/jmake-eval -json -tree-scale 0.15 -commit-scale 0.008 -cache-dir "$$dir/cache" -workers 2 >"$$dir/cold.json" 2>/dev/null && \
+	$(GO) run ./cmd/jmake-eval -json -tree-scale 0.15 -commit-scale 0.008 -cache-dir "$$dir/cache" -workers 4 >"$$dir/warm.json" 2>/dev/null && \
+	cmp "$$dir/cold.json" "$$dir/warm.json" && echo "cache-smoke: cold and warm JSON byte-identical"
 
 eval:
 	$(GO) run ./cmd/jmake-eval summary

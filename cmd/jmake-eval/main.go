@@ -53,6 +53,9 @@ func run() error {
 		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic faults at this per-operation rate (0 = off)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
 		budget      = flag.Duration("budget", 0, "per-patch virtual-time budget (0 = unlimited)")
+		cacheDir    = flag.String("cache-dir", "", "persist the compile-result cache here across runs (warm-start + save back)")
+		cacheMax    = flag.Int64("cache-max-bytes", 0, "persistent result-cache size bound (0 = 64 MiB)")
+		noCache     = flag.Bool("no-result-cache", false, "disable the shared compile-result cache (identical output, more compute)")
 	)
 	flag.Parse()
 
@@ -84,14 +87,17 @@ func run() error {
 	}
 	start := time.Now()
 	run, err := jmake.Evaluate(jmake.EvalParams{
-		TreeSeed:    *treeSeed,
-		HistorySeed: *histSeed,
-		ModelSeed:   *modelSeed,
-		TreeScale:   *treeScale,
-		CommitScale: *commitScale,
-		Workers:     *workers,
-		InFlight:    *inflight,
-		Checker:     checkerOpts,
+		TreeSeed:      *treeSeed,
+		HistorySeed:   *histSeed,
+		ModelSeed:     *modelSeed,
+		TreeScale:     *treeScale,
+		CommitScale:   *commitScale,
+		Workers:       *workers,
+		InFlight:      *inflight,
+		Checker:       checkerOpts,
+		NoResultCache: *noCache,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
 	})
 	if err != nil {
 		return err

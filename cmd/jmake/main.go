@@ -46,6 +46,9 @@ func run() error {
 		faultSeed   = flag.Uint64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
 		budget      = flag.Duration("budget", 0, "per-patch virtual-time budget (0 = unlimited)")
 		retries     = flag.Int("retries", 0, "max retries per transient failure (0 = default 2, negative = off)")
+		cacheDir    = flag.String("cache-dir", "", "persist the compile-result cache here across runs (warm-start + save back)")
+		noCache     = flag.Bool("no-result-cache", false, "disable the shared compile-result cache (identical verdicts, more compute)")
+		cacheStats  = flag.Bool("cache-stats", false, "print result-cache counters after checking")
 	)
 	flag.Parse()
 
@@ -108,6 +111,23 @@ func run() error {
 		return nil
 	}
 
+	// One session across all targets so the commits share the arch index,
+	// configuration cache, and compile-result cache. With -cache-dir the
+	// result cache additionally survives across jmake runs.
+	base, err := hist.Repo.CheckoutTree(targets[0])
+	if err != nil {
+		return err
+	}
+	session, err := jmake.NewSession(base)
+	if err != nil {
+		return err
+	}
+	if *noCache {
+		session.SetResultCache(nil)
+	} else if *cacheDir != "" {
+		session.SetResultCache(jmake.LoadResultCache(*cacheDir))
+	}
+
 	for _, id := range targets {
 		if *show {
 			text, err := hist.Repo.Show(id)
@@ -116,7 +136,7 @@ func run() error {
 			}
 			fmt.Println(text)
 		}
-		report, err := jmake.CheckCommit(hist.Repo, id, opts)
+		report, err := jmake.CheckCommitWith(session, hist.Repo, id, opts)
 		if err != nil {
 			return err
 		}
@@ -127,6 +147,17 @@ func run() error {
 				return err
 			}
 			fmt.Print(jmake.Annotate(fds, report))
+		}
+	}
+	if st, ok := session.ResultCacheStats(); ok && *cacheStats {
+		fmt.Printf("result cache: make.i %d/%d hits (%d deduped), make.o %d/%d hits, %d entries, saved %v virtual\n",
+			st.MakeI.Hits, st.MakeI.Hits+st.MakeI.Misses, st.MakeI.Deduped,
+			st.MakeO.Hits, st.MakeO.Hits+st.MakeO.Misses,
+			st.Entries, st.SavedVirtual.Round(1e6))
+	}
+	if !*noCache && *cacheDir != "" {
+		if err := jmake.SaveResultCache(session.ResultCache(), *cacheDir, 0); err != nil {
+			return fmt.Errorf("persisting result cache: %w", err)
 		}
 	}
 	return nil

@@ -1,0 +1,556 @@
+// Package ccache is a content-addressed compile-result cache: it memoizes
+// preprocessing (.i) and compilation (.o) verdicts across builds, patches
+// and — via the optional persistent tier — across runs.
+//
+// The key problem is the classic ccache one: which headers a translation
+// unit depends on is only known *after* preprocessing it. The cache
+// therefore stores manifests ("direct mode"): a probe hashes the invariant
+// context (arch name, kconfig valuation fingerprint, cpp.Options
+// fingerprint) together with the root file's content, then verifies each
+// candidate entry's manifest — every file the original run read (path +
+// content hash) and every path it probed and found absent — against the
+// current tree. A manifest that verifies proves the entire include closure
+// is unchanged, so the memoized verdict is exactly what recomputation
+// would produce. Anything that can change a verdict misses: a mutated
+// root or transitively included header, a created file that shadows an
+// include, a different CONFIG_ valuation, different predefined macros
+// (so allyes vs allmod vs MODULE=1 never cross-contaminate), or a
+// different architecture. Kbuild reachability is deliberately NOT cached
+// — kbuild re-walks Makefiles on every call — so Kbuild gate edits take
+// effect live and Makefiles stay out of the manifest.
+//
+// The root path itself is excluded from the fingerprint so that
+// identical-content translation units dedupe: a successful .i entry can
+// be served for a different path by rewriting the root's line markers
+// (serving is refused — a plain miss — if the quoted old path appears
+// outside marker lines, e.g. via __FILE__, which would make the rewrite
+// unsound). Failure entries embed paths in their message, so they only
+// ever serve for the exact root path that produced them.
+//
+// Concurrency follows the TokenCache discipline: a per-probe-key
+// in-flight election makes every distinct result computed exactly once,
+// so hit/miss counters are worker-count-invariant. (They are NOT
+// warmth-invariant — a warm start from disk legitimately converts misses
+// to hits — which is why they live with the volatile runtime metrics,
+// never in the default reproducible report.)
+package ccache
+
+import (
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"jmake/internal/cc"
+	"jmake/internal/cpp"
+	"jmake/internal/vclock"
+)
+
+// Source supplies file contents for manifest hashing and verification
+// (satisfied by kbuild.TreeSource).
+type Source interface {
+	ReadFile(path string) (string, bool)
+}
+
+// Stage separates the two cached pipeline stages.
+type Stage int
+
+// Cache stages.
+const (
+	StageI Stage = iota // MakeI: preprocessing results
+	StageO              // MakeO: compilation verdicts
+	numStages
+)
+
+func (s Stage) String() string {
+	if s == StageI {
+		return "make_i"
+	}
+	return "make_o"
+}
+
+// Stats are one stage's counters. Hits and Misses are worker-count-
+// invariant (compute-exactly-once); Deduped counts hits served for a
+// fingerprint that was stored earlier in the same MakeI invocation
+// (identical translation units preprocessed once per group).
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Deduped     uint64
+	BytesServed uint64
+	BytesStored uint64
+}
+
+// HitRate is Hits / (Hits+Misses).
+func (s Stats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// StatsSet is a full cache snapshot.
+type StatsSet struct {
+	MakeI, MakeO Stats
+	// Entries / Bytes describe the in-memory store right now.
+	Entries int
+	Bytes   int64
+	// LoadedEntries counts entries warm-started from the persistent tier.
+	LoadedEntries int
+	// SavedVirtual is the effective virtual time the cache saved: for every
+	// serve, the full recompute price minus the charged probe cost. The
+	// reported per-patch durations always use the full price (so reports
+	// are byte-identical with the cache on, off, warm or cold); this ledger
+	// is where the cache's honest effective win is accounted.
+	SavedVirtual time.Duration
+}
+
+// dep is one manifest entry: a file the original run read (content hash)
+// or probed and found absent.
+type dep struct {
+	Path   string `json:"p"`
+	Hash   uint64 `json:"h,omitempty"`
+	Absent bool   `json:"a,omitempty"`
+}
+
+// entry is one memoized verdict. Immutable after insertion except for
+// lastUse, which is only touched under the cache lock.
+type entry struct {
+	stage    Stage
+	ctx      uint64
+	rootPath string
+	deps     []dep // deps[0] is the root file
+	id       uint64
+
+	failed  bool
+	errText string
+	text    string // StageI success payload
+	work    vclock.FileWork
+	object  cc.Object // StageO success payload
+
+	size    int64
+	lastUse uint64
+}
+
+// Cache is the two-tier store. The zero value is not usable; call New.
+type Cache struct {
+	mu       sync.Mutex
+	seq      uint64
+	index    map[uint64][]*entry // probe key -> candidate entries
+	byID     map[uint64]*entry
+	inflight map[uint64]chan struct{}
+	bytes    int64
+	loaded   int
+	stats    [numStages]Stats
+	saved    time.Duration
+}
+
+// New returns an empty cache.
+func New() *Cache {
+	return &Cache{
+		index:    make(map[uint64][]*entry),
+		byID:     make(map[uint64]*entry),
+		inflight: make(map[uint64]chan struct{}),
+	}
+}
+
+// Stats snapshots the counters.
+func (c *Cache) Stats() StatsSet {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return StatsSet{
+		MakeI:         c.stats[StageI],
+		MakeO:         c.stats[StageO],
+		Entries:       len(c.byID),
+		Bytes:         c.bytes,
+		LoadedEntries: c.loaded,
+		SavedVirtual:  c.saved,
+	}
+}
+
+// AddSaved credits the effective-time ledger (full price minus probe
+// cost for one serve).
+func (c *Cache) AddSaved(d time.Duration) {
+	c.mu.Lock()
+	c.saved += d
+	c.mu.Unlock()
+}
+
+// NoteDedup counts one within-invocation dedupe hit.
+func (c *Cache) NoteDedup(stage Stage) {
+	c.mu.Lock()
+	c.stats[stage].Deduped++
+	c.mu.Unlock()
+}
+
+func hashContent(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	return h.Sum64()
+}
+
+func hashU64(h interface{ Write([]byte) (int, error) }, v uint64) {
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+}
+
+func probeKey(stage Stage, ctx, rootHash uint64) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte{byte(stage)})
+	hashU64(h, ctx)
+	hashU64(h, rootHash)
+	return h.Sum64()
+}
+
+// OptionsFingerprint hashes the verdict-relevant cpp.Options fields:
+// include search order, predefined macros, and nesting bound. The token
+// cache is a pure memoization and is excluded.
+func OptionsFingerprint(o cpp.Options) uint64 {
+	h := fnv.New64a()
+	for _, d := range o.IncludeDirs {
+		_, _ = h.Write([]byte(d))
+		_, _ = h.Write([]byte{0})
+	}
+	names := make([]string, 0, len(o.Defines))
+	for name := range o.Defines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	_, _ = h.Write([]byte{1})
+	for _, name := range names {
+		_, _ = h.Write([]byte(name))
+		_, _ = h.Write([]byte{'='})
+		_, _ = h.Write([]byte(o.Defines[name]))
+		_, _ = h.Write([]byte{0})
+	}
+	hashU64(h, uint64(o.MaxDepth))
+	return h.Sum64()
+}
+
+// Context pins the invariant key components — stage, architecture,
+// config fingerprint, options fingerprint — for a sequence of probes.
+type Context struct {
+	c   *Cache
+	stg Stage
+	ctx uint64
+}
+
+// Context builds a probe context.
+func (c *Cache) Context(stage Stage, archName string, configFP, optsFP uint64) Context {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte{byte(stage)})
+	_, _ = h.Write([]byte(archName))
+	_, _ = h.Write([]byte{0})
+	hashU64(h, configFP)
+	hashU64(h, optsFP)
+	return Context{c: c, stg: stage, ctx: h.Sum64()}
+}
+
+// Probe is the result of one lookup. On a hit the payload fields are
+// filled and the probe is finished. On a miss the caller holds the
+// probe key's in-flight slot and MUST finish the probe with exactly one
+// of StoreI / StoreO / StoreFailure / Cancel — other workers probing the
+// same key wait until then (compute-exactly-once).
+type Probe struct {
+	c        *Cache
+	stg      Stage
+	ctx      uint64
+	src      Source
+	rootPath string
+	rootHash uint64
+	rootOK   bool
+	done     bool
+
+	// Key identifies the probe (context + root content); the builder uses
+	// it to detect within-invocation dedupe.
+	Key uint64
+	// Hit reports whether a verified entry was served.
+	Hit bool
+	// Deps is the number of manifest entries verified for the hit,
+	// for probe pricing (vclock.Model.CacheProbe).
+	Deps int
+
+	// Served payload (valid when Hit).
+	Failed  bool
+	ErrText string
+	Text    string
+	Work    vclock.FileWork
+	Object  cc.Object
+}
+
+// Probe looks up the verdict for rootPath against src.
+func (cx Context) Probe(src Source, rootPath string) *Probe {
+	p := &Probe{c: cx.c, stg: cx.stg, ctx: cx.ctx, src: src, rootPath: rootPath}
+	content, ok := src.ReadFile(rootPath)
+	if !ok {
+		// Unreadable root: nothing to fingerprint; count the failed lookup
+		// and let the caller recompute (the preprocessor will report the
+		// real error). Store becomes a no-op.
+		cx.c.mu.Lock()
+		cx.c.stats[cx.stg].Misses++
+		cx.c.mu.Unlock()
+		p.done = true
+		return p
+	}
+	p.rootOK = true
+	p.rootHash = hashContent(content)
+	p.Key = probeKey(cx.stg, cx.ctx, p.rootHash)
+
+	c := cx.c
+	for {
+		c.mu.Lock()
+		if ch, busy := c.inflight[p.Key]; busy {
+			c.mu.Unlock()
+			<-ch
+			continue
+		}
+		cands := append([]*entry(nil), c.index[p.Key]...)
+		ch := make(chan struct{})
+		c.inflight[p.Key] = ch
+		c.mu.Unlock()
+
+		// Verify manifests against the current tree outside the lock;
+		// entries are immutable and no other worker can insert under this
+		// key while we hold the in-flight slot.
+		for _, e := range cands {
+			text, ok := p.tryServe(e)
+			if !ok {
+				continue
+			}
+			c.mu.Lock()
+			c.seq++
+			e.lastUse = c.seq
+			st := &c.stats[p.stg]
+			st.Hits++
+			st.BytesServed += uint64(e.size)
+			delete(c.inflight, p.Key)
+			c.mu.Unlock()
+			close(ch)
+			p.Hit = true
+			p.Deps = len(e.deps)
+			p.Failed = e.failed
+			p.ErrText = e.errText
+			p.Text = text
+			p.Work = e.work
+			p.Object = e.object
+			p.done = true
+			return p
+		}
+		// Miss: keep the in-flight slot until Store*/Cancel.
+		return p
+	}
+}
+
+// tryServe verifies e's manifest for this probe and returns the (possibly
+// root-remapped) .i text.
+func (p *Probe) tryServe(e *entry) (string, bool) {
+	if e.ctx != p.ctx || e.stage != p.stg {
+		return "", false
+	}
+	if len(e.deps) == 0 || e.deps[0].Hash != p.rootHash {
+		return "", false
+	}
+	// Failures embed the root path in their message: exact path only.
+	if e.failed && e.rootPath != p.rootPath {
+		return "", false
+	}
+	for _, d := range e.deps[1:] {
+		if d.Absent {
+			if _, ok := p.src.ReadFile(d.Path); ok {
+				return "", false
+			}
+			continue
+		}
+		content, ok := p.src.ReadFile(d.Path)
+		if !ok || hashContent(content) != d.Hash {
+			return "", false
+		}
+	}
+	if e.failed || e.stage == StageO || e.rootPath == p.rootPath {
+		return e.text, true
+	}
+	return remapRoot(e.text, e.rootPath, p.rootPath)
+}
+
+// remapRoot rewrites the gcc-style line markers that name oldPath so a
+// cached .i text serves an identical-content file at newPath. Markers and
+// the __FILE__ builtin both embed the Go-quoted path; only marker lines
+// are rewritten, and if the quoted old path appears anywhere else (a
+// __FILE__ expansion or a source literal spelling the path) the rewrite
+// would be unsound, so serving is refused.
+func remapRoot(text, oldPath, newPath string) (string, bool) {
+	oldQ := strconv.Quote(oldPath)
+	if !strings.Contains(text, oldQ) {
+		return text, true
+	}
+	newQ := strconv.Quote(newPath)
+	lines := strings.Split(text, "\n")
+	for i, ln := range lines {
+		if rest, ok := strings.CutPrefix(ln, "# "); ok {
+			if j := strings.IndexByte(rest, ' '); j > 0 && isDigits(rest[:j]) {
+				q := rest[j+1:]
+				if q == oldQ || strings.HasPrefix(q, oldQ+" ") {
+					lines[i] = "# " + rest[:j] + " " + newQ + q[len(oldQ):]
+					continue
+				}
+				// A marker for another file cannot contain the quoted old
+				// path (an interior '"' would have been escaped).
+				continue
+			}
+		}
+		if strings.Contains(ln, oldQ) {
+			return "", false
+		}
+	}
+	return strings.Join(lines, "\n"), true
+}
+
+func isDigits(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] < '0' || s[i] > '9' {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// buildDeps hashes the closure reported by the preprocessor against the
+// probe's tree. inputs[0] is normally the root file; it is forced to the
+// front so deps[0] is always the root.
+func (p *Probe) buildDeps(inputs, missing []string) []dep {
+	deps := make([]dep, 0, len(inputs)+len(missing))
+	deps = append(deps, dep{Path: p.rootPath, Hash: p.rootHash})
+	for _, in := range inputs {
+		if in == p.rootPath {
+			continue
+		}
+		content, ok := p.src.ReadFile(in)
+		if !ok {
+			// The tree changed mid-run (cannot happen on the single-threaded
+			// builder path); treat as unhashable.
+			return nil
+		}
+		deps = append(deps, dep{Path: in, Hash: hashContent(content)})
+	}
+	for _, m := range missing {
+		deps = append(deps, dep{Path: m, Absent: true})
+	}
+	return deps
+}
+
+// StoreI finishes a miss with a successful preprocessing result.
+func (p *Probe) StoreI(inputs, missing []string, text string, work vclock.FileWork) {
+	p.store(&entry{
+		stage: StageI, ctx: p.ctx, rootPath: p.rootPath,
+		deps: p.buildDeps(inputs, missing), text: text, work: work,
+	})
+}
+
+// StoreO finishes a miss with a successful compilation verdict.
+func (p *Probe) StoreO(inputs, missing []string, obj cc.Object) {
+	p.store(&entry{
+		stage: StageO, ctx: p.ctx, rootPath: p.rootPath,
+		deps: p.buildDeps(inputs, missing), object: obj,
+	})
+}
+
+// StoreFailure finishes a miss with a genuine (deterministic) failure.
+// Injected faults must never reach here: the builder rolls them before
+// probing, so fault outcomes are neither stored nor served.
+func (p *Probe) StoreFailure(inputs, missing []string, errText string) {
+	p.store(&entry{
+		stage: p.stg, ctx: p.ctx, rootPath: p.rootPath,
+		deps: p.buildDeps(inputs, missing), failed: true, errText: errText,
+	})
+}
+
+// Cancel finishes a miss without storing (counts as a plain miss).
+func (p *Probe) Cancel() { p.store(nil) }
+
+func (p *Probe) store(e *entry) {
+	if p.done {
+		return
+	}
+	p.done = true
+	c := p.c
+	c.mu.Lock()
+	c.stats[p.stg].Misses++
+	if e != nil && len(e.deps) > 0 {
+		e.id = entryID(e)
+		e.size = entrySize(e)
+		c.insertLocked(e)
+		c.stats[p.stg].BytesStored += uint64(e.size)
+	}
+	ch := c.inflight[p.Key]
+	delete(c.inflight, p.Key)
+	c.mu.Unlock()
+	if ch != nil {
+		close(ch)
+	}
+}
+
+// insertLocked adds e to the index, replacing any entry with the same
+// identity (same stage, context, root path and manifest).
+func (c *Cache) insertLocked(e *entry) {
+	c.seq++
+	e.lastUse = c.seq
+	if old, ok := c.byID[e.id]; ok {
+		c.removeLocked(old)
+	}
+	c.byID[e.id] = e
+	pk := probeKey(e.stage, e.ctx, e.deps[0].Hash)
+	c.index[pk] = append(c.index[pk], e)
+	c.bytes += e.size
+}
+
+func (c *Cache) removeLocked(e *entry) {
+	delete(c.byID, e.id)
+	pk := probeKey(e.stage, e.ctx, e.deps[0].Hash)
+	list := c.index[pk]
+	for i, x := range list {
+		if x == e {
+			c.index[pk] = append(list[:i:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(c.index[pk]) == 0 {
+		delete(c.index, pk)
+	}
+	c.bytes -= e.size
+}
+
+// entryID identifies an entry by everything key-side: stage, context,
+// root path and full manifest. Deterministic recomputation cannot attach
+// two payloads to one identity, so duplicates are safe to replace.
+func entryID(e *entry) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte{byte(e.stage)})
+	hashU64(h, e.ctx)
+	_, _ = h.Write([]byte(e.rootPath))
+	_, _ = h.Write([]byte{0})
+	for _, d := range e.deps {
+		_, _ = h.Write([]byte(d.Path))
+		_, _ = h.Write([]byte{0})
+		hashU64(h, d.Hash)
+		if d.Absent {
+			_, _ = h.Write([]byte{1})
+		}
+	}
+	return h.Sum64()
+}
+
+func entrySize(e *entry) int64 {
+	n := int64(len(e.text) + len(e.errText) + len(e.rootPath) + 64)
+	for _, d := range e.deps {
+		n += int64(len(d.Path)) + 16
+	}
+	for _, f := range e.object.Defined {
+		n += int64(len(f))
+	}
+	return n
+}

@@ -1,0 +1,452 @@
+package ccache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"jmake/internal/cc"
+	"jmake/internal/cpp"
+	"jmake/internal/vclock"
+)
+
+func optsWith(dirs []string, defines map[string]string, depth int) cpp.Options {
+	return cpp.Options{IncludeDirs: dirs, Defines: defines, MaxDepth: depth}
+}
+
+// mapSource is a trivial Source over a mutable file map.
+type mapSource map[string]string
+
+func (m mapSource) ReadFile(p string) (string, bool) {
+	s, ok := m[p]
+	return s, ok
+}
+
+func testSource() mapSource {
+	return mapSource{
+		"drivers/a.c":     "#include <sub.h>\nint f(void) { return X; }\n",
+		"include/sub.h":   "#include <deep.h>\n#define X 1\n",
+		"include/deep.h":  "typedef int deep_t;\n",
+		"drivers/same.c":  "#include <sub.h>\nint f(void) { return X; }\n",
+		"drivers/other.c": "int g(void) { return 2; }\n",
+	}
+}
+
+const rootText = "# 1 \"drivers/a.c\"\n# 1 \"include/sub.h\" 1\nint body;\n# 2 \"drivers/a.c\" 2\nint f(void) { return 1; }\n"
+
+var (
+	testInputs  = []string{"drivers/a.c", "include/sub.h", "include/deep.h"}
+	testMissing = []string{"drivers/sub.h"} // probed before include/ and absent
+	testWork    = vclock.FileWork{Lines: 40, Includes: 2}
+)
+
+func storeOne(t *testing.T, c *Cache, src mapSource) Context {
+	t.Helper()
+	cx := c.Context(StageI, "x86", 11, 22)
+	p := cx.Probe(src, "drivers/a.c")
+	if p.Hit {
+		t.Fatalf("unexpected hit on empty cache")
+	}
+	p.StoreI(testInputs, testMissing, rootText, testWork)
+	return cx
+}
+
+func TestStoreAndHit(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := storeOne(t, c, src)
+
+	p := cx.Probe(src, "drivers/a.c")
+	if !p.Hit {
+		t.Fatalf("expected hit after store")
+	}
+	if p.Text != rootText || p.Work != testWork || p.Failed {
+		t.Fatalf("served payload mismatch: %+v", p)
+	}
+	if p.Deps != len(testInputs)+len(testMissing) {
+		t.Fatalf("Deps = %d, want %d", p.Deps, len(testInputs)+len(testMissing))
+	}
+	st := c.Stats()
+	if st.MakeI.Hits != 1 || st.MakeI.Misses != 1 {
+		t.Fatalf("stats = %+v", st.MakeI)
+	}
+	if st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("entries/bytes = %d/%d", st.Entries, st.Bytes)
+	}
+}
+
+// Mutating any file of the include closure — even a transitive header the
+// root never names directly — must invalidate.
+func TestTransitiveDepInvalidation(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := storeOne(t, c, src)
+
+	src["include/deep.h"] = "typedef long deep_t;\n"
+	p := cx.Probe(src, "drivers/a.c")
+	if p.Hit {
+		t.Fatalf("expected miss after transitive header edit")
+	}
+	p.Cancel()
+
+	// Restoring the original content makes the old entry valid again.
+	src["include/deep.h"] = testSource()["include/deep.h"]
+	if p := cx.Probe(src, "drivers/a.c"); !p.Hit {
+		t.Fatalf("expected hit after restoring header")
+	}
+}
+
+// Creating a file at a path the original run probed and found absent must
+// invalidate: the new file would shadow the include that was used.
+func TestAbsentDepInvalidation(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := storeOne(t, c, src)
+
+	src["drivers/sub.h"] = "#define X 9\n"
+	p := cx.Probe(src, "drivers/a.c")
+	if p.Hit {
+		t.Fatalf("expected miss after creating a shadowing header")
+	}
+	p.Cancel()
+}
+
+func TestContextSeparation(t *testing.T) {
+	src := testSource()
+	c := New()
+	storeOne(t, c, src)
+
+	for name, cx := range map[string]Context{
+		"arch":   c.Context(StageI, "arm", 11, 22),
+		"config": c.Context(StageI, "x86", 12, 22),
+		"opts":   c.Context(StageI, "x86", 11, 23),
+		"stage":  c.Context(StageO, "x86", 11, 22),
+	} {
+		p := cx.Probe(src, "drivers/a.c")
+		if p.Hit {
+			t.Fatalf("%s: expected miss under different context", name)
+		}
+		p.Cancel()
+	}
+}
+
+// An identical-content file at a different path is served with the root's
+// line markers rewritten.
+func TestRootRemap(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := storeOne(t, c, src)
+
+	p := cx.Probe(src, "drivers/same.c")
+	if !p.Hit {
+		t.Fatalf("expected dedupe hit for identical content at a new path")
+	}
+	want := "# 1 \"drivers/same.c\"\n# 1 \"include/sub.h\" 1\nint body;\n# 2 \"drivers/same.c\" 2\nint f(void) { return 1; }\n"
+	if p.Text != want {
+		t.Fatalf("remapped text:\n%q\nwant:\n%q", p.Text, want)
+	}
+}
+
+// If the quoted root path appears outside marker lines (__FILE__ expansion
+// or a string literal spelling the path), remapping would corrupt the
+// payload, so serving is refused.
+func TestRootRemapRefused(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := c.Context(StageI, "x86", 11, 22)
+	p := cx.Probe(src, "drivers/a.c")
+	text := "# 1 \"drivers/a.c\"\nconst char *f = \"drivers/a.c\";\n"
+	p.StoreI(testInputs, nil, text, testWork)
+
+	// Exact path still serves verbatim.
+	if p := cx.Probe(src, "drivers/a.c"); !p.Hit || p.Text != text {
+		t.Fatalf("same-path serve failed: %+v", p)
+	}
+	// Different path must refuse (counted as a miss).
+	p2 := cx.Probe(src, "drivers/same.c")
+	if p2.Hit {
+		t.Fatalf("expected refusal for __FILE__-style payload")
+	}
+	p2.Cancel()
+}
+
+// Failure entries embed the root path in their message, so they serve only
+// for the exact path that produced them.
+func TestFailureExactPathOnly(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := c.Context(StageI, "x86", 11, 22)
+	p := cx.Probe(src, "drivers/a.c")
+	p.StoreFailure(testInputs, nil, "cpp: drivers/a.c:2: unterminated conditional")
+
+	hit := cx.Probe(src, "drivers/a.c")
+	if !hit.Hit || !hit.Failed || hit.ErrText == "" {
+		t.Fatalf("failure serve: %+v", hit)
+	}
+	other := cx.Probe(src, "drivers/same.c")
+	if other.Hit {
+		t.Fatalf("failure must not serve cross-path")
+	}
+	other.Cancel()
+}
+
+func TestStageORoundTrip(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := c.Context(StageO, "x86", 11, 22)
+	obj := cc.Object{Lines: 120, Functions: 3, Defined: []string{"f", "g"}}
+	p := cx.Probe(src, "drivers/a.c")
+	p.StoreO(testInputs, testMissing, obj)
+
+	hit := cx.Probe(src, "drivers/a.c")
+	if !hit.Hit || hit.Failed {
+		t.Fatalf("StageO serve: %+v", hit)
+	}
+	if hit.Object.Lines != obj.Lines || hit.Object.Functions != obj.Functions ||
+		len(hit.Object.Defined) != 2 {
+		t.Fatalf("object payload mismatch: %+v", hit.Object)
+	}
+}
+
+func TestCancelCountsMissStoresNothing(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := c.Context(StageI, "x86", 11, 22)
+	p := cx.Probe(src, "drivers/a.c")
+	p.Cancel()
+	st := c.Stats()
+	if st.MakeI.Misses != 1 || st.Entries != 0 {
+		t.Fatalf("after cancel: %+v", st)
+	}
+}
+
+func TestUnreadableRootIsMiss(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := c.Context(StageI, "x86", 11, 22)
+	p := cx.Probe(src, "drivers/gone.c")
+	if p.Hit {
+		t.Fatalf("unreadable root cannot hit")
+	}
+	p.StoreI(nil, nil, "x", testWork) // must be a no-op
+	if st := c.Stats(); st.Entries != 0 || st.MakeI.Misses != 1 {
+		t.Fatalf("after unreadable root: %+v", st)
+	}
+}
+
+func TestSavedLedger(t *testing.T) {
+	c := New()
+	c.AddSaved(3 * time.Second)
+	c.AddSaved(time.Second)
+	if got := c.Stats().SavedVirtual; got != 4*time.Second {
+		t.Fatalf("SavedVirtual = %v", got)
+	}
+	c.NoteDedup(StageI)
+	if got := c.Stats().MakeI.Deduped; got != 1 {
+		t.Fatalf("Deduped = %d", got)
+	}
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	src := testSource()
+	dir := t.TempDir()
+	c := New()
+	cx := storeOne(t, c, src)
+	ox := c.Context(StageO, "x86", 11, 22)
+	p := ox.Probe(src, "drivers/a.c")
+	p.StoreO(testInputs, testMissing, cc.Object{Lines: 10, Functions: 1})
+	if err := c.Save(dir, 0); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+
+	warm := New()
+	warm.Load(dir)
+	st := warm.Stats()
+	if st.LoadedEntries != 2 || st.Entries != 2 {
+		t.Fatalf("loaded %d/%d entries", st.LoadedEntries, st.Entries)
+	}
+	wcx := warm.Context(StageI, "x86", 11, 22)
+	if p := wcx.Probe(src, "drivers/a.c"); !p.Hit || p.Text != rootText {
+		t.Fatalf("warm StageI probe: %+v", p)
+	}
+	_ = cx
+}
+
+func TestLoadRejectsVersionMismatch(t *testing.T) {
+	src := testSource()
+	dir := t.TempDir()
+	c := New()
+	storeOne(t, c, src)
+	if err := c.Save(dir, 0); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := filepath.Join(dir, persistFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var df diskFile
+	if err := json.Unmarshal(raw, &df); err != nil {
+		t.Fatal(err)
+	}
+	df.Version = persistVersion + 1
+	raw2, _ := json.Marshal(&df)
+	if err := os.WriteFile(path, raw2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm := New()
+	warm.Load(dir)
+	if st := warm.Stats(); st.LoadedEntries != 0 || st.Entries != 0 {
+		t.Fatalf("version-mismatched file must load cold, got %+v", st)
+	}
+}
+
+func TestLoadDropsCorruptEntries(t *testing.T) {
+	src := testSource()
+	dir := t.TempDir()
+	c := New()
+	storeOne(t, c, src)
+	if err := c.Save(dir, 0); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := filepath.Join(dir, persistFile)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var df diskFile
+	if err := json.Unmarshal(raw, &df); err != nil {
+		t.Fatal(err)
+	}
+	df.Entries[0].Text += "tampered"
+	raw2, _ := json.Marshal(&df)
+	if err := os.WriteFile(path, raw2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm := New()
+	warm.Load(dir) // must not error, must drop the tampered entry
+	if st := warm.Stats(); st.LoadedEntries != 0 || st.Entries != 0 {
+		t.Fatalf("tampered entry must be dropped, got %+v", st)
+	}
+
+	// Total garbage in place of the file is also just a cold start.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	warm2 := New()
+	warm2.Load(dir)
+	if st := warm2.Stats(); st.Entries != 0 {
+		t.Fatalf("garbage file must load cold, got %+v", st)
+	}
+}
+
+// Save keeps the most-recently-used entries within the byte bound.
+func TestSaveLRUBound(t *testing.T) {
+	src := mapSource{}
+	c := New()
+	cx := c.Context(StageI, "x86", 1, 2)
+	for i := 0; i < 8; i++ {
+		path := fmt.Sprintf("drivers/f%d.c", i)
+		src[path] = fmt.Sprintf("int f%d(void){return %d;}\n", i, i)
+		p := cx.Probe(src, path)
+		p.StoreI([]string{path}, nil, fmt.Sprintf("# 1 %q\npayload %d\n", path, i), testWork)
+	}
+	// Touch entry 0 so it is the most recent.
+	if p := cx.Probe(src, "drivers/f0.c"); !p.Hit {
+		t.Fatalf("expected hit on f0")
+	}
+
+	dir := t.TempDir()
+	// Budget for roughly two entries (each ~100 bytes of accounted size).
+	if err := c.Save(dir, 250); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	warm := New()
+	warm.Load(dir)
+	st := warm.Stats()
+	if st.Entries == 0 || st.Entries >= 8 {
+		t.Fatalf("LRU bound kept %d entries, want a strict MRU subset", st.Entries)
+	}
+	// The most recently used entry must have survived.
+	if p := warm.Context(StageI, "x86", 1, 2).Probe(src, "drivers/f0.c"); !p.Hit {
+		t.Fatalf("MRU entry evicted by LRU bound")
+	}
+}
+
+// Eight goroutines hammer one key: the singleflight election must compute
+// exactly once, and the counters must come out worker-count-invariant.
+// Run under -race in `make check`.
+func TestConcurrentSingleflight(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := c.Context(StageI, "x86", 11, 22)
+
+	const n = 8
+	var computes int32
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for g := 0; g < n; g++ {
+		go func() {
+			defer wg.Done()
+			p := cx.Probe(src, "drivers/a.c")
+			if p.Hit {
+				return
+			}
+			mu.Lock()
+			computes++
+			mu.Unlock()
+			p.StoreI(testInputs, testMissing, rootText, testWork)
+		}()
+	}
+	wg.Wait()
+	if computes != 1 {
+		t.Fatalf("computed %d times, want exactly once", computes)
+	}
+	st := c.Stats()
+	if st.MakeI.Misses != 1 || st.MakeI.Hits != n-1 {
+		t.Fatalf("counters not invariant: %+v", st.MakeI)
+	}
+
+	// Different keys in parallel must not serialize or collide.
+	wg.Add(n)
+	for g := 0; g < n; g++ {
+		g := g
+		go func() {
+			defer wg.Done()
+			path := fmt.Sprintf("drivers/p%d.c", g)
+			mu.Lock()
+			src[path] = fmt.Sprintf("int p%d;\n", g)
+			mu.Unlock()
+			ms := mapSource{path: fmt.Sprintf("int p%d;\n", g)}
+			p := cx.Probe(ms, path)
+			if !p.Hit {
+				p.StoreI([]string{path}, nil, "text", testWork)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestOptionsFingerprint(t *testing.T) {
+	base := func() map[string]string { return map[string]string{"A": "1", "B": "2"} }
+	a := OptionsFingerprint(optsWith([]string{"include"}, base(), 10))
+	if b := OptionsFingerprint(optsWith([]string{"include"}, base(), 10)); a != b {
+		t.Fatalf("fingerprint not deterministic")
+	}
+	if b := OptionsFingerprint(optsWith([]string{"include", "arch"}, base(), 10)); a == b {
+		t.Fatalf("include dirs must affect fingerprint")
+	}
+	d := base()
+	d["MODULE"] = "1"
+	if b := OptionsFingerprint(optsWith([]string{"include"}, d, 10)); a == b {
+		t.Fatalf("defines must affect fingerprint")
+	}
+	if b := OptionsFingerprint(optsWith([]string{"include"}, base(), 11)); a == b {
+		t.Fatalf("max depth must affect fingerprint")
+	}
+}

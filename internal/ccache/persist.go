@@ -1,0 +1,167 @@
+package ccache
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"jmake/internal/cc"
+	"jmake/internal/vclock"
+)
+
+// persistVersion guards the on-disk format: a file written by a different
+// version is ignored wholesale (cold start, never an error).
+const persistVersion = 1
+
+// persistFile is the cache's file name under the -cache-dir directory.
+const persistFile = "jmake-ccache.json"
+
+// DefaultMaxBytes bounds the persisted tier when the caller passes 0.
+const DefaultMaxBytes = 64 << 20
+
+// diskFile is the versioned on-disk format: one JSON document holding the
+// most-recently-used entries, each with an integrity checksum.
+type diskFile struct {
+	Version int         `json:"version"`
+	Entries []diskEntry `json:"entries"`
+}
+
+type diskEntry struct {
+	Stage  int             `json:"stage"`
+	Ctx    uint64          `json:"ctx"`
+	Root   string          `json:"root"`
+	Deps   []dep           `json:"deps"`
+	Failed bool            `json:"failed,omitempty"`
+	Err    string          `json:"err,omitempty"`
+	Text   string          `json:"text,omitempty"`
+	Work   vclock.FileWork `json:"work"`
+	Object cc.Object       `json:"object"`
+	// Check is a content checksum over every other field; entries that do
+	// not verify are dropped silently (corrupt entry = miss, never error).
+	Check uint64 `json:"check"`
+}
+
+func (d *diskEntry) checksum() uint64 {
+	e := d.toEntry()
+	h := entryID(e)
+	// Fold the payload in on top of the key-side identity.
+	return h ^ hashContent(d.Err) ^ hashContent(d.Text) ^
+		uint64(d.Work.Lines)<<32 ^ uint64(d.Work.Includes) ^
+		uint64(d.Object.Lines)<<16 ^ uint64(d.Object.Functions) ^
+		uint64(boolBit(d.Failed))<<63 ^ hashStrings(d.Object.Defined)
+}
+
+func boolBit(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func hashStrings(ss []string) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, s := range ss {
+		h ^= hashContent(s)
+		h *= 1099511628211
+	}
+	return h
+}
+
+func (d *diskEntry) toEntry() *entry {
+	return &entry{
+		stage:    Stage(d.Stage),
+		ctx:      d.Ctx,
+		rootPath: d.Root,
+		deps:     d.Deps,
+		failed:   d.Failed,
+		errText:  d.Err,
+		text:     d.Text,
+		work:     d.Work,
+		object:   d.Object,
+	}
+}
+
+// Load warm-starts the cache from dir. It is strictly best-effort: a
+// missing, unreadable, version-mismatched or corrupt file (or corrupt
+// individual entries) leaves the cache cold — persistence failures must
+// never change verdicts, only hit rates.
+func (c *Cache) Load(dir string) {
+	raw, err := os.ReadFile(filepath.Join(dir, persistFile))
+	if err != nil {
+		return
+	}
+	var df diskFile
+	if json.Unmarshal(raw, &df) != nil || df.Version != persistVersion {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The file is MRU-first; insert in reverse so recency survives the
+	// round-trip (insertLocked stamps increasing use sequence numbers).
+	for i := len(df.Entries) - 1; i >= 0; i-- {
+		d := &df.Entries[i]
+		if d.Stage < 0 || Stage(d.Stage) >= numStages || len(d.Deps) == 0 {
+			continue
+		}
+		if d.checksum() != d.Check {
+			continue
+		}
+		e := d.toEntry()
+		e.id = entryID(e)
+		e.size = entrySize(e)
+		if _, dup := c.byID[e.id]; dup {
+			continue
+		}
+		c.insertLocked(e)
+		c.loaded++
+	}
+}
+
+// Save persists the most-recently-used entries to dir, bounded by
+// maxBytes of payload (0 = DefaultMaxBytes). The write is atomic
+// (temp file + rename) so a crashed run cannot leave a torn cache.
+func (c *Cache) Save(dir string, maxBytes int64) error {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	c.mu.Lock()
+	entries := make([]*entry, 0, len(c.byID))
+	for _, e := range c.byID {
+		entries = append(entries, e)
+	}
+	c.mu.Unlock()
+	// LRU bound: newest use first, cut at the byte budget.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].lastUse > entries[j].lastUse })
+	df := diskFile{Version: persistVersion}
+	var total int64
+	for _, e := range entries {
+		if total+e.size > maxBytes {
+			break
+		}
+		total += e.size
+		d := diskEntry{
+			Stage: int(e.stage), Ctx: e.ctx, Root: e.rootPath, Deps: e.deps,
+			Failed: e.failed, Err: e.errText, Text: e.text,
+			Work: e.work, Object: e.object,
+		}
+		d.Check = d.checksum()
+		df.Entries = append(df.Entries, d)
+	}
+	raw, err := json.Marshal(&df)
+	if err != nil {
+		return fmt.Errorf("ccache: encoding: %w", err)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("ccache: %w", err)
+	}
+	tmp := filepath.Join(dir, persistFile+".tmp")
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("ccache: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, persistFile)); err != nil {
+		return fmt.Errorf("ccache: %w", err)
+	}
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"sort"
 	"strings"
 
+	"jmake/internal/ccache"
 	"jmake/internal/cpp"
 
 	"jmake/internal/fstree"
@@ -25,6 +26,9 @@ type Checker struct {
 	archIx  *archIndex
 	configs *ConfigProvider
 	tokens  *cpp.TokenCache
+	// results memoizes preprocessing/compilation verdicts across builders
+	// and (via Session) across patches; nil disables result caching.
+	results *ccache.Cache
 	// statics caches per-architecture Kconfig knowledge for the static
 	// presence pre-pass (Options.StaticPresence).
 	statics map[string]*archStatic
@@ -57,6 +61,7 @@ func NewChecker(tree *fstree.Tree, model *vclock.Model, configs *ConfigProvider,
 		archIx:  buildArchIndex(tree, arches),
 		configs: configs,
 		tokens:  cpp.NewTokenCache(),
+		results: ccache.New(),
 		statics: make(map[string]*archStatic),
 	}, nil
 }
@@ -404,6 +409,8 @@ func (c *Checker) newBuilders(report *PatchReport, mutatedTree *fstree.Tree, arc
 	ob.Cache = c.tokens
 	ib.Faults = c.run.inj
 	ob.Faults = c.run.inj
+	ib.Results = c.results
+	ob.Results = c.results
 	d := c.model.ConfigCreate(symbols, report.Commit+":"+archName+":"+choice.Kind.String()+choice.Path)
 	report.ConfigDurations = append(report.ConfigDurations, d)
 	c.run.charge(d)

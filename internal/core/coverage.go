@@ -179,6 +179,8 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 			ob.Cache = c.tokens
 			ib.Faults = c.run.inj
 			ob.Faults = c.run.inj
+			ib.Results = c.results
+			ob.Results = c.results
 			bp := &builderPair{ib: ib, ob: ob}
 			c.runGroup(report, bp, kbuild.HostArch,
 				ConfigChoice{Kind: ConfigCoverage}, []*fileState{fs}, fs.muts)

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"jmake/internal/ccache"
 	"jmake/internal/cpp"
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
@@ -22,6 +23,7 @@ type Session struct {
 	archIx  *archIndex
 	configs *ConfigProvider
 	tokens  *cpp.TokenCache
+	results *ccache.Cache
 }
 
 // NewSession captures shared state from a base tree (any window snapshot).
@@ -37,7 +39,29 @@ func NewSession(base *fstree.Tree) (*Session, error) {
 		archIx:  buildArchIndex(base, arches),
 		configs: NewConfigProvider(),
 		tokens:  cpp.NewTokenCache(),
+		results: ccache.New(),
 	}, nil
+}
+
+// SetResultCache replaces the shared compile-result cache — e.g. with one
+// warm-started from disk (ccache.Load) — or disables result caching
+// entirely (nil). Call it before the first Checker; verdicts and reported
+// durations are identical either way, only real compute changes.
+func (s *Session) SetResultCache(c *ccache.Cache) { s.results = c }
+
+// ResultCache returns the shared compile-result cache (nil when disabled),
+// e.g. to persist it with ccache.Save after a window completes.
+func (s *Session) ResultCache() *ccache.Cache { return s.results }
+
+// ResultCacheStats snapshots the shared compile-result cache counters.
+// Unlike the config/token counters these are warmth-dependent (a
+// -cache-dir warm start converts misses to hits), so they belong with the
+// volatile runtime metrics, never in the default reproducible report.
+func (s *Session) ResultCacheStats() (ccache.StatsSet, bool) {
+	if s.results == nil {
+		return ccache.StatsSet{}, false
+	}
+	return s.results.Stats(), true
 }
 
 // Checker builds a checker over one patch snapshot, reusing the session's
@@ -55,6 +79,7 @@ func (s *Session) Checker(tree *fstree.Tree, model *vclock.Model, opts Options) 
 		archIx:  s.archIx,
 		configs: s.configs,
 		tokens:  s.tokens,
+		results: s.results,
 	}
 }
 

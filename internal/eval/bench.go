@@ -1,0 +1,115 @@
+package eval
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// BenchWorkerResult is one worker-count pass over the window.
+type BenchWorkerResult struct {
+	Workers       int     `json:"workers"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	PatchesPerSec float64 `json:"patches_per_sec"`
+	Checked       int     `json:"checked"`
+}
+
+// BenchCacheResult is one cache-state pass (cold = empty -cache-dir,
+// warm = same dir on the second pass). EffectiveVirtualSeconds is the
+// run's honest virtual cost: the full recompute price minus what the
+// result cache saved (probes charged in place of compiles).
+type BenchCacheResult struct {
+	WallSeconds             float64 `json:"wall_seconds"`
+	TotalVirtualSeconds     float64 `json:"total_virtual_seconds"`
+	SavedVirtualSeconds     float64 `json:"saved_virtual_seconds"`
+	EffectiveVirtualSeconds float64 `json:"effective_virtual_seconds"`
+	MakeIHits               uint64  `json:"make_i_hits"`
+	MakeIMisses             uint64  `json:"make_i_misses"`
+	MakeOHits               uint64  `json:"make_o_hits"`
+	MakeOMisses             uint64  `json:"make_o_misses"`
+	LoadedEntries           int     `json:"loaded_entries"`
+}
+
+// BenchReport is the output of RunBenchmarks, written by cmd/jmake-bench
+// to BENCH_pipeline.json.
+type BenchReport struct {
+	TreeScale      float64             `json:"tree_scale"`
+	CommitScale    float64             `json:"commit_scale"`
+	WindowCommits  int                 `json:"window_commits"`
+	WorkerSweep    []BenchWorkerResult `json:"worker_sweep"`
+	Cold           BenchCacheResult    `json:"cache_cold"`
+	Warm           BenchCacheResult    `json:"cache_warm"`
+	WarmSavingsPct float64             `json:"warm_savings_pct"`
+}
+
+// MarshalIndent renders the report as BENCH_pipeline.json content.
+func (b *BenchReport) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(b, "", "  ")
+}
+
+// RunBenchmarks prepares the evaluation substrate once and then measures
+// (a) window throughput at 1/2/4/8 workers with the default in-memory
+// result cache, and (b) a cold-then-warm pair of runs against cacheDir,
+// which must start empty so the first pass populates the persistent tier
+// and the second warm-starts from it. The warm-vs-cold comparison is in
+// effective virtual seconds — the deterministic cost-model currency the
+// paper reports — so it is machine-independent.
+func RunBenchmarks(p Params, cacheDir string) (*BenchReport, error) {
+	if cacheDir == "" {
+		return nil, fmt.Errorf("eval: RunBenchmarks needs a cache dir")
+	}
+	run, ids, err := prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BenchReport{
+		TreeScale:     run.Params.TreeScale,
+		CommitScale:   run.Params.CommitScale,
+		WindowCommits: len(ids),
+	}
+
+	for _, w := range []int{1, 2, 4, 8} {
+		shell := *run
+		shell.Params.Workers = w
+		if err := shell.checkWindow(ids); err != nil {
+			return nil, fmt.Errorf("eval: bench workers=%d: %w", w, err)
+		}
+		rep.WorkerSweep = append(rep.WorkerSweep, BenchWorkerResult{
+			Workers:       w,
+			WallSeconds:   shell.Pipeline.WallSeconds,
+			PatchesPerSec: shell.Pipeline.PatchesPerSec,
+			Checked:       shell.Pipeline.Checked,
+		})
+	}
+
+	cachePass := func() (BenchCacheResult, error) {
+		shell := *run
+		shell.Params.CacheDir = cacheDir
+		if err := shell.checkWindow(ids); err != nil {
+			return BenchCacheResult{}, err
+		}
+		pm := shell.Pipeline
+		rc := pm.ResultCache
+		return BenchCacheResult{
+			WallSeconds:             pm.WallSeconds,
+			TotalVirtualSeconds:     pm.Stages.TotalSeconds,
+			SavedVirtualSeconds:     rc.SavedVirtualSeconds,
+			EffectiveVirtualSeconds: pm.EffectiveSeconds(),
+			MakeIHits:               rc.MakeI.Hits,
+			MakeIMisses:             rc.MakeI.Misses,
+			MakeOHits:               rc.MakeO.Hits,
+			MakeOMisses:             rc.MakeO.Misses,
+			LoadedEntries:           rc.LoadedEntries,
+		}, nil
+	}
+	if rep.Cold, err = cachePass(); err != nil {
+		return nil, fmt.Errorf("eval: bench cold pass: %w", err)
+	}
+	if rep.Warm, err = cachePass(); err != nil {
+		return nil, fmt.Errorf("eval: bench warm pass: %w", err)
+	}
+	if rep.Cold.EffectiveVirtualSeconds > 0 {
+		rep.WarmSavingsPct = 100 * (rep.Cold.EffectiveVirtualSeconds - rep.Warm.EffectiveVirtualSeconds) /
+			rep.Cold.EffectiveVirtualSeconds
+	}
+	return rep, nil
+}

@@ -9,6 +9,7 @@ import (
 	"runtime"
 	"strings"
 
+	"jmake/internal/ccache"
 	"jmake/internal/commitgen"
 	"jmake/internal/core"
 	"jmake/internal/fstree"
@@ -40,6 +41,15 @@ type Params struct {
 	InFlight int
 	// Checker tunes the JMake pipeline.
 	Checker core.Options
+	// NoResultCache disables the shared compile-result cache (on by
+	// default; see internal/ccache). Verdicts and the default JSON report
+	// are byte-identical either way — the cache only changes real compute.
+	NoResultCache bool
+	// CacheDir enables the persistent result-cache tier: warm-start from
+	// this directory before the window, persist back after it.
+	CacheDir string
+	// CacheMaxBytes bounds the persisted cache payload (0 = 64 MiB).
+	CacheMaxBytes int64
 	// JanitorThresholds for the §IV study; zero value uses scaled paper
 	// thresholds.
 	JanitorThresholds janitor.Thresholds
@@ -188,6 +198,13 @@ func (r *Run) checkWindow(ids []string) error {
 	if err != nil {
 		return fmt.Errorf("eval: %w", err)
 	}
+	if r.Params.NoResultCache {
+		session.SetResultCache(nil)
+	} else if r.Params.CacheDir != "" {
+		rc := ccache.New()
+		rc.Load(r.Params.CacheDir) // best-effort warm start; corrupt = cold
+		session.SetResultCache(rc)
+	}
 	model := vclock.DefaultModel(r.Params.ModelSeed)
 
 	r.Results = make([]PatchResult, len(ids))
@@ -200,6 +217,11 @@ func (r *Run) checkWindow(ids []string) error {
 			r.Results[i] = res
 		})
 	r.Pipeline = computePipelineMetrics(met, r.Results, session)
+	if !r.Params.NoResultCache && r.Params.CacheDir != "" {
+		if err := session.ResultCache().Save(r.Params.CacheDir, r.Params.CacheMaxBytes); err != nil {
+			return fmt.Errorf("eval: persisting result cache: %w", err)
+		}
+	}
 	return nil
 }
 

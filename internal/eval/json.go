@@ -80,15 +80,16 @@ type JSONMix struct {
 	Total int `json:"total"`
 }
 
-// JSONPipeline is the machine-readable pipeline section. Only
-// worker-count-invariant fields appear by default; Runtime carries the
-// volatile scheduling figures and is populated solely by JSONWithRuntime,
-// keeping the default report byte-identical at any -workers setting.
+// JSONPipeline is the machine-readable pipeline section. Only fields that
+// are invariant under the worker count AND the result-cache state appear
+// by default; Runtime carries the volatile figures (scheduling, plus the
+// token- and result-cache counters, which depend on cache warmth) and is
+// populated solely by JSONWithRuntime, keeping the default report
+// byte-identical at any -workers setting and any cache state.
 type JSONPipeline struct {
 	Patches        int                  `json:"patches"`
 	Checked        int                  `json:"checked"`
 	ConfigCache    JSONCacheStats       `json:"config_cache"`
-	TokenCache     JSONCacheStats       `json:"token_cache"`
 	VirtualSeconds StageVirtual         `json:"virtual_seconds"`
 	StaticSkippedI int                  `json:"static_skipped_make_i,omitempty"`
 	StaticSkippedO int                  `json:"static_skipped_make_o,omitempty"`
@@ -114,13 +115,39 @@ type JSONCacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
-// JSONPipelineRuntime is the volatile part of the pipeline section.
+// JSONPipelineRuntime is the volatile part of the pipeline section. The
+// token-cache counters live here (not in the default section) because a
+// warm result cache serves verdicts without re-lexing, shifting the
+// token-cache hit/miss split with cache warmth.
 type JSONPipelineRuntime struct {
-	Workers       int     `json:"workers"`
-	InFlight      int     `json:"in_flight"`
-	MaxBuffered   int     `json:"max_buffered"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	PatchesPerSec float64 `json:"patches_per_sec"`
+	Workers       int              `json:"workers"`
+	InFlight      int              `json:"in_flight"`
+	MaxBuffered   int              `json:"max_buffered"`
+	WallSeconds   float64          `json:"wall_seconds"`
+	PatchesPerSec float64          `json:"patches_per_sec"`
+	TokenCache    JSONCacheStats   `json:"token_cache"`
+	ResultCache   *JSONResultCache `json:"result_cache,omitempty"`
+}
+
+// JSONResultCache is the shared compile-result cache section, present in
+// runtime reports when the cache is enabled.
+type JSONResultCache struct {
+	MakeI            JSONResultCacheStage `json:"make_i"`
+	MakeO            JSONResultCacheStage `json:"make_o"`
+	Entries          int                  `json:"entries"`
+	Bytes            int64                `json:"bytes"`
+	LoadedEntries    int                  `json:"loaded_entries"`
+	SavedVirtualSecs float64              `json:"saved_virtual_seconds"`
+	EffectiveSecs    float64              `json:"effective_seconds"`
+}
+
+// JSONResultCacheStage is one stage's result-cache counters.
+type JSONResultCacheStage struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Deduped     uint64 `json:"deduped"`
+	BytesServed uint64 `json:"bytes_served"`
+	BytesStored uint64 `json:"bytes_stored"`
 }
 
 // JSONCDF summarizes one figure's distribution in seconds.
@@ -192,7 +219,6 @@ func (r *Run) buildJSON(points, runtime bool) ([]byte, error) {
 		Patches:        pm.Patches,
 		Checked:        pm.Checked,
 		ConfigCache:    JSONCacheStats{pm.ConfigCache.Hits, pm.ConfigCache.Misses, pm.ConfigCache.HitRate()},
-		TokenCache:     JSONCacheStats{pm.TokenCache.Hits, pm.TokenCache.Misses, pm.TokenCache.HitRate()},
 		VirtualSeconds: pm.Stages,
 		StaticSkippedI: pm.StaticSkippedMakeI,
 		StaticSkippedO: pm.StaticSkippedMakeO,
@@ -208,13 +234,26 @@ func (r *Run) buildJSON(points, runtime bool) ([]byte, error) {
 		}
 	}
 	if runtime {
-		out.Pipeline.Runtime = &JSONPipelineRuntime{
+		rt := &JSONPipelineRuntime{
 			Workers:       pm.Workers,
 			InFlight:      pm.InFlight,
 			MaxBuffered:   pm.MaxBuffered,
 			WallSeconds:   pm.WallSeconds,
 			PatchesPerSec: pm.PatchesPerSec,
+			TokenCache:    JSONCacheStats{pm.TokenCache.Hits, pm.TokenCache.Misses, pm.TokenCache.HitRate()},
 		}
+		if rc := pm.ResultCache; rc.Enabled {
+			rt.ResultCache = &JSONResultCache{
+				MakeI:            JSONResultCacheStage(rc.MakeI),
+				MakeO:            JSONResultCacheStage(rc.MakeO),
+				Entries:          rc.Entries,
+				Bytes:            rc.Bytes,
+				LoadedEntries:    rc.LoadedEntries,
+				SavedVirtualSecs: rc.SavedVirtualSeconds,
+				EffectiveSecs:    pm.EffectiveSeconds(),
+			}
+		}
+		out.Pipeline.Runtime = rt
 	}
 
 	fs := r.ComputeFaultStats()

@@ -21,32 +21,69 @@ type StageVirtual struct {
 
 // PipelineMetrics describes the worker pool's execution of one window.
 //
-// The deterministic fields (patch counts, cache counters, virtual stage
-// times) are invariant under the worker count: caches compute every key
-// exactly once and virtual durations are priced by seeded keys, not by
-// scheduling. They belong in reproducible reports. The volatile fields
-// (wall clock, throughput, reorder high-water mark, and the worker/
-// in-flight configuration itself) describe one machine's run of one
-// configuration and are kept out of the default JSON report so same-seed
-// runs stay byte-identical at any -workers setting.
+// The deterministic fields (patch counts, the config-cache counters,
+// virtual stage times) are invariant under the worker count AND the
+// result-cache state: caches compute every key exactly once and virtual
+// durations are priced by seeded keys, not by scheduling. They belong in
+// reproducible reports. The volatile fields (wall clock, throughput,
+// reorder high-water mark, the worker/in-flight configuration, and the
+// token/result cache counters — which depend on how warm the result
+// cache is, since served verdicts skip lexing entirely) describe one
+// machine's run of one configuration and are kept out of the default
+// JSON report so same-seed runs stay byte-identical at any -workers
+// setting and any cache state.
 type PipelineMetrics struct {
 	// Deterministic.
 	Patches     int             // window commits fanned out
 	Checked     int             // commits that produced a patch report
 	ConfigCache core.CacheStats // shared Kconfig-valuation cache
-	TokenCache  core.CacheStats // shared lexing cache
 	Stages      StageVirtual    // virtual seconds per stage
 	// StaticSkippedMakeI / StaticSkippedMakeO count compiler invocations
 	// the static presence pre-pass pruned (zero unless StaticPresence).
 	StaticSkippedMakeI int
 	StaticSkippedMakeO int
 
-	// Volatile (scheduling- and machine-dependent).
+	// Volatile (scheduling-, machine- and cache-warmth-dependent).
+	TokenCache    core.CacheStats // shared lexing cache
+	ResultCache   ResultCacheMetrics
 	Workers       int
 	InFlight      int
 	WallSeconds   float64
 	PatchesPerSec float64
 	MaxBuffered   int
+}
+
+// ResultCacheMetrics aggregates the shared compile-result cache
+// (internal/ccache). Counters are worker-count-invariant but warmth-
+// dependent — a -cache-dir warm start converts misses to hits — so they
+// ride with the volatile runtime section in JSON.
+type ResultCacheMetrics struct {
+	Enabled      bool
+	MakeI, MakeO ResultCacheStage
+	Entries      int
+	Bytes        int64
+	// LoadedEntries counts entries warm-started from the persistent tier.
+	LoadedEntries int
+	// SavedVirtualSeconds is the effective virtual time the cache saved
+	// (full recompute price minus charged probe costs). Reported per-patch
+	// durations always use the full price; EffectiveSeconds() is the
+	// honest cost of the run with probes charged instead.
+	SavedVirtualSeconds float64
+}
+
+// ResultCacheStage is one stage's counters.
+type ResultCacheStage struct {
+	Hits        uint64
+	Misses      uint64
+	Deduped     uint64
+	BytesServed uint64
+	BytesStored uint64
+}
+
+// EffectiveSeconds is the window's virtual build time with cache probes
+// charged in place of the compiles they replaced.
+func (pm PipelineMetrics) EffectiveSeconds() float64 {
+	return pm.Stages.TotalSeconds - pm.ResultCache.SavedVirtualSeconds
 }
 
 // computePipelineMetrics folds the scheduler's counters and the merged
@@ -63,6 +100,17 @@ func computePipelineMetrics(met sched.Metrics, results []PatchResult, session *c
 		WallSeconds:   met.Wall.Seconds(),
 		PatchesPerSec: met.ItemsPerSec,
 		MaxBuffered:   met.MaxBuffered,
+	}
+	if rc, ok := session.ResultCacheStats(); ok {
+		pm.ResultCache = ResultCacheMetrics{
+			Enabled:             true,
+			MakeI:               ResultCacheStage(rc.MakeI),
+			MakeO:               ResultCacheStage(rc.MakeO),
+			Entries:             rc.Entries,
+			Bytes:               rc.Bytes,
+			LoadedEntries:       rc.LoadedEntries,
+			SavedVirtualSeconds: rc.SavedVirtual.Seconds(),
+		}
 	}
 	for _, res := range results {
 		if res.Report == nil {
@@ -105,6 +153,17 @@ func (r *Run) RenderPipeline(runtime bool) string {
 	if pm.StaticSkippedMakeI > 0 || pm.StaticSkippedMakeO > 0 {
 		fmt.Fprintf(&b, "  static pruning:       skipped %d make.i, %d make.o invocations\n",
 			pm.StaticSkippedMakeI, pm.StaticSkippedMakeO)
+	}
+	if rc := pm.ResultCache; rc.Enabled {
+		fmt.Fprintf(&b, "  result cache:         make.i %d/%d hits (%d deduped), make.o %d/%d hits, %d entries (%.1f MB)\n",
+			rc.MakeI.Hits, rc.MakeI.Hits+rc.MakeI.Misses, rc.MakeI.Deduped,
+			rc.MakeO.Hits, rc.MakeO.Hits+rc.MakeO.Misses,
+			rc.Entries, float64(rc.Bytes)/(1<<20))
+		if rc.LoadedEntries > 0 {
+			fmt.Fprintf(&b, "  result cache warmth:  %d entries loaded from -cache-dir\n", rc.LoadedEntries)
+		}
+		fmt.Fprintf(&b, "  result cache effect:  saved %.1f virtual s (effective %.1fs of %.1fs)\n",
+			rc.SavedVirtualSeconds, pm.EffectiveSeconds(), pm.Stages.TotalSeconds)
 	}
 	if runtime {
 		fmt.Fprintf(&b, "  workers:              %d (in-flight bound %d, max buffered %d)\n",

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"jmake/internal/cc"
+	"jmake/internal/ccache"
 	"jmake/internal/cpp"
 	"jmake/internal/faultinject"
 	"jmake/internal/fstree"
@@ -57,10 +58,40 @@ type Builder struct {
 	// (transient preprocessor errors, truncated .i output, mid-run
 	// cross-compiler breakage, stalls). nil disables injection.
 	Faults *faultinject.Injector
+	// Results optionally memoizes preprocessing and compilation verdicts
+	// across builds, patches and runs, keyed by the include closure (see
+	// internal/ccache). Reported durations stay at the full recompute
+	// price — caching saves real compute, not reported virtual time — with
+	// the effective probe-priced ledger kept on the cache itself. Injected
+	// faults are rolled before any probe and are never stored or served.
+	// Set it before the first MakeI/MakeO call; nil disables caching.
+	Results *ccache.Cache
 
 	invoked bool
 	// invokeSeq distinguishes jitter keys between invocations.
 	invokeSeq int
+
+	// Memoized result-cache key components; constant for a builder's
+	// lifetime (fixed arch, config and tree metadata).
+	fpInit       bool
+	cfgFP        uint64
+	optsFPMod    uint64
+	optsFPNonMod uint64
+}
+
+// cacheContext builds the probe context for this builder's invariants.
+func (b *Builder) cacheContext(stage ccache.Stage, asModule bool) ccache.Context {
+	if !b.fpInit {
+		b.cfgFP = b.Cfg.Fingerprint()
+		b.optsFPNonMod = ccache.OptionsFingerprint(b.cppOptions(false))
+		b.optsFPMod = ccache.OptionsFingerprint(b.cppOptions(true))
+		b.fpInit = true
+	}
+	optsFP := b.optsFPNonMod
+	if asModule {
+		optsFP = b.optsFPMod
+	}
+	return b.Results.Context(stage, b.Arch.Name, b.cfgFP, optsFP)
 }
 
 // NewBuilder assembles a builder. It fails for architectures marked broken
@@ -178,9 +209,15 @@ func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
 	first := !b.invoked
 	b.invoked = true
 
+	key := fmt.Sprintf("%s:%d", b.Arch.Name, b.invokeSeq)
 	archDown := b.Faults.ArchBroken(b.Arch.Name)
 	results := make([]IFile, 0, len(files))
-	var works []vclock.FileWork
+	var works []vclock.FileWork // every preprocessed file: the full (reported) price
+	// Effective-ledger state, used only with the result cache: recomputed
+	// files' work plus probe costs for the hits.
+	var missWorks []vclock.FileWork
+	var probeCost time.Duration
+	var stored map[uint64]bool // probe keys stored by this invocation (dedupe)
 	for _, f := range files {
 		r := IFile{Path: fstree.Clean(f)}
 		if archDown {
@@ -188,33 +225,88 @@ func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
 			results = append(results, r)
 			continue
 		}
+		// Faults roll before any cache probe: an injected failure is never
+		// stored, and a file the fault hits is never served from cache, so
+		// the fault sequence (and every report) is cache-state-independent.
 		if b.Faults.FailPreprocess(b.Arch.Name + ":i:" + r.Path) {
 			r.Err = fmt.Errorf("%w: preprocessor crashed on %s (%s)", ErrTransient, r.Path, b.Arch.Name)
 			results = append(results, r)
 			continue
 		}
+		// Reachability is always computed live (never cached): Kbuild gate
+		// and Makefile edits must take effect immediately.
 		v, err := b.Reachable(r.Path)
 		if err != nil {
 			r.Err = err
 			results = append(results, r)
 			continue
 		}
+		if b.Results == nil {
+			res, err := cpp.Preprocess(TreeSource{b.Tree}, r.Path, b.cppOptions(v == kconfig.Mod))
+			if err != nil {
+				r.Err = err
+				results = append(results, r)
+				continue
+			}
+			r.Text = res.Output
+			if b.Faults.TruncateI(b.Arch.Name + ":i:" + r.Path) {
+				r.Text = r.Text[:len(r.Text)/2]
+			}
+			r.Work = vclock.FileWork{Lines: res.InputLines, Includes: res.Includes}
+			works = append(works, r.Work)
+			results = append(results, r)
+			continue
+		}
+		p := b.cacheContext(ccache.StageI, v == kconfig.Mod).Probe(TreeSource{b.Tree}, r.Path)
+		if p.Hit {
+			probeCost += b.Model.CacheProbe(p.Deps, key+":"+r.Path)
+			if stored[p.Key] {
+				b.Results.NoteDedup(ccache.StageI)
+			}
+			if p.Failed {
+				r.Err = errors.New(p.ErrText)
+				results = append(results, r)
+				continue
+			}
+			r.Text = p.Text
+			if b.Faults.TruncateI(b.Arch.Name + ":i:" + r.Path) {
+				r.Text = r.Text[:len(r.Text)/2]
+			}
+			r.Work = p.Work
+			works = append(works, r.Work)
+			results = append(results, r)
+			continue
+		}
 		res, err := cpp.Preprocess(TreeSource{b.Tree}, r.Path, b.cppOptions(v == kconfig.Mod))
+		if stored == nil {
+			stored = make(map[uint64]bool)
+		}
+		stored[p.Key] = true
 		if err != nil {
+			p.StoreFailure(res.Inputs, res.Missing, err.Error())
 			r.Err = err
 			results = append(results, r)
 			continue
 		}
 		r.Text = res.Output
+		r.Work = vclock.FileWork{Lines: res.InputLines, Includes: res.Includes}
+		// Store the clean text before the truncation fault is applied, so
+		// an injected truncation is never served to a later probe.
+		p.StoreI(res.Inputs, res.Missing, res.Output, r.Work)
 		if b.Faults.TruncateI(b.Arch.Name + ":i:" + r.Path) {
 			r.Text = r.Text[:len(r.Text)/2]
 		}
-		r.Work = vclock.FileWork{Lines: res.InputLines, Includes: res.Includes}
 		works = append(works, r.Work)
+		missWorks = append(missWorks, r.Work)
 		results = append(results, r)
 	}
-	key := fmt.Sprintf("%s:%d", b.Arch.Name, b.invokeSeq)
 	dur := b.Model.MakeI(first, b.Arch.SetupOps, works, key)
+	if b.Results != nil {
+		eff := b.Model.MakeI(first, b.Arch.SetupOps, missWorks, key) + probeCost
+		if eff < dur {
+			b.Results.AddSaved(dur - eff)
+		}
+	}
 	dur += b.Faults.Stall(key)
 	return results, dur
 }
@@ -229,9 +321,10 @@ func (b *Builder) MakeO(file string) (cc.Object, time.Duration, error) {
 	key := fmt.Sprintf("%s:o:%d", b.Arch.Name, b.invokeSeq)
 
 	file = fstree.Clean(file)
-	failDur := b.Model.MakeO(first, b.Arch.SetupOps, 0, 0, key)
+	failBase := b.Model.MakeO(first, b.Arch.SetupOps, 0, 0, key)
 	stall := b.Faults.Stall(key)
-	failDur += stall
+	failDur := failBase + stall
+	// Injected faults roll before any cache interaction (see MakeI).
 	if b.Faults.ArchBroken(b.Arch.Name) {
 		return cc.Object{}, failDur, fmt.Errorf("%w: %s (broke mid-run)", ErrBrokenArch, b.Arch.Name)
 	}
@@ -241,6 +334,45 @@ func (b *Builder) MakeO(file string) (cc.Object, time.Duration, error) {
 	v, err := b.Reachable(file)
 	if err != nil {
 		return cc.Object{}, failDur, err
+	}
+	if b.Results != nil {
+		p := b.cacheContext(ccache.StageO, v == kconfig.Mod).Probe(TreeSource{b.Tree}, file)
+		if p.Hit {
+			probe := b.Model.CacheProbe(p.Deps, key)
+			if p.Failed {
+				if probe < failBase {
+					b.Results.AddSaved(failBase - probe)
+				}
+				return cc.Object{}, failDur, errors.New(p.ErrText)
+			}
+			obj := p.Object
+			prereq := 0
+			if b.Meta.WholeBuildFiles[file] {
+				prereq = b.Tree.Len()
+			}
+			dur := b.Model.MakeO(first, b.Arch.SetupOps, obj.Lines, prereq, key)
+			if probe < dur {
+				b.Results.AddSaved(dur - probe)
+			}
+			return obj, dur + stall, nil
+		}
+		res, err := cpp.Preprocess(TreeSource{b.Tree}, file, b.cppOptions(v == kconfig.Mod))
+		if err != nil {
+			p.StoreFailure(res.Inputs, res.Missing, err.Error())
+			return cc.Object{}, failDur, err
+		}
+		obj, err := cc.Compile(res.Output)
+		if err != nil {
+			p.StoreFailure(res.Inputs, res.Missing, err.Error())
+			return cc.Object{}, failDur, err
+		}
+		p.StoreO(res.Inputs, res.Missing, obj)
+		prereq := 0
+		if b.Meta.WholeBuildFiles[file] {
+			prereq = b.Tree.Len()
+		}
+		dur := b.Model.MakeO(first, b.Arch.SetupOps, obj.Lines, prereq, key)
+		return obj, dur + stall, nil
 	}
 	res, err := cpp.Preprocess(TreeSource{b.Tree}, file, b.cppOptions(v == kconfig.Mod))
 	if err != nil {

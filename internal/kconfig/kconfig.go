@@ -3,6 +3,7 @@ package kconfig
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"strings"
 )
@@ -367,6 +368,25 @@ func (c *Config) Defines() map[string]string {
 		}
 	}
 	return out
+}
+
+// Fingerprint returns a stable content hash of the complete valuation —
+// every symbol, including explicit n entries, since Value (and hence
+// Kbuild reachability) distinguishes them from absent ones. Two configs
+// with equal fingerprints make identical Value and Defines decisions, so
+// the fingerprint is a sound result-cache key component (internal/ccache).
+func (c *Config) Fingerprint() uint64 {
+	names := make([]string, 0, len(c.values))
+	for name := range c.values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	h := fnv.New64a()
+	for _, name := range names {
+		_, _ = h.Write([]byte(name))
+		_, _ = h.Write([]byte{'=', byte(c.values[name]), 0})
+	}
+	return h.Sum64()
 }
 
 // EnabledCount returns how many symbols are y or m (used in reports).

@@ -54,6 +54,13 @@ type Model struct {
 	// charges itself for waiting out a flaky substrate.
 	BackoffBase time.Duration
 	BackoffCap  time.Duration
+
+	// Result-cache probing (internal/ccache): fixed overhead per lookup
+	// plus one content check per manifest entry (the include closure is
+	// typically a handful of headers, so a probe is orders of magnitude
+	// cheaper than the compile it replaces).
+	CacheProbeBase   time.Duration
+	CacheProbePerDep time.Duration
 }
 
 // DefaultModel returns the calibrated cost model used throughout the
@@ -80,6 +87,8 @@ func DefaultModel(seed uint64) *Model {
 		CompilePerLine:       800 * time.Microsecond,
 		BackoffBase:          800 * time.Millisecond,
 		BackoffCap:           10 * time.Second,
+		CacheProbeBase:       15 * time.Millisecond,
+		CacheProbePerDep:     500 * time.Microsecond,
 	}
 }
 
@@ -146,6 +155,15 @@ func (m *Model) Backoff(attempt int, key string) time.Duration {
 		d = m.BackoffCap
 	}
 	return m.scale(d, fmt.Sprintf("backoff:%s:%d", key, attempt))
+}
+
+// CacheProbe prices one result-cache lookup that verified nDeps manifest
+// entries (root file plus headers) against the tree. Charged instead of
+// the full preprocess/compile price when a cached verdict is served, so
+// the effective virtual-time ledger stays honest.
+func (m *Model) CacheProbe(nDeps int, key string) time.Duration {
+	d := m.CacheProbeBase + time.Duration(nDeps)*m.CacheProbePerDep
+	return m.scale(d, "probe:"+key)
 }
 
 // MakeO prices one `make file.o` invocation compiling compiledLines of

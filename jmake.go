@@ -32,6 +32,7 @@ package jmake
 import (
 	"fmt"
 
+	"jmake/internal/ccache"
 	"jmake/internal/commitgen"
 	"jmake/internal/core"
 	"jmake/internal/eval"
@@ -72,7 +73,33 @@ type (
 	FaultPlan = faultinject.Plan
 	// FaultEvent is one injected fault recorded in a Report.
 	FaultEvent = faultinject.Event
+	// ResultCache is the shared compile-result cache: content-addressed
+	// .i/.o verdicts keyed by include-closure fingerprints, shared across
+	// patches via a Session and optionally persisted across runs.
+	ResultCache = ccache.Cache
+	// ResultCacheStats snapshots a ResultCache's counters.
+	ResultCacheStats = ccache.StatsSet
 )
+
+// NewResultCache returns an empty compile-result cache, e.g. to share one
+// cache across several Sessions via Session.SetResultCache.
+func NewResultCache() *ResultCache { return ccache.New() }
+
+// LoadResultCache returns a compile-result cache warm-started from dir
+// (best-effort: a missing or corrupt cache file just yields a cold cache).
+// Persist it back with SaveResultCache after checking.
+func LoadResultCache(dir string) *ResultCache {
+	c := ccache.New()
+	c.Load(dir)
+	return c
+}
+
+// SaveResultCache persists a cache to dir for future LoadResultCache
+// calls, evicting least-recently-used entries beyond maxBytes (0 = the
+// 64 MiB default).
+func SaveResultCache(c *ResultCache, dir string, maxBytes int64) error {
+	return c.Save(dir, maxBytes)
+}
 
 // Re-exported statuses.
 const (
@@ -252,6 +279,21 @@ func CheckCommit(repo *Repo, id string, opts Options) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("jmake: %w", err)
 	}
+	return checkCommitWith(session, repo, tree, id, opts)
+}
+
+// CheckCommitWith is CheckCommit reusing a shared Session, so many
+// commits share one arch index, configuration cache, token cache and
+// compile-result cache. Verdicts are identical to CheckCommit's.
+func CheckCommitWith(session *Session, repo *Repo, id string, opts Options) (*Report, error) {
+	tree, err := repo.CheckoutTree(id)
+	if err != nil {
+		return nil, fmt.Errorf("jmake: %w", err)
+	}
+	return checkCommitWith(session, repo, tree, id, opts)
+}
+
+func checkCommitWith(session *Session, repo *Repo, tree *Tree, id string, opts Options) (*Report, error) {
 	fds, err := repo.FileDiffs(id)
 	if err != nil {
 		return nil, fmt.Errorf("jmake: %w", err)
@@ -305,3 +347,13 @@ func CoverageRatio(report *Report) (covered, relevant int) {
 // Evaluate reproduces the paper's §V evaluation end to end and returns the
 // run with every table and figure computable from it.
 func Evaluate(p EvalParams) (*Run, error) { return eval.Execute(p) }
+
+// BenchReport is the pipeline benchmark output (cmd/jmake-bench).
+type BenchReport = eval.BenchReport
+
+// RunBenchmarks prepares one evaluation substrate and measures window
+// throughput at 1/2/4/8 workers plus a cold-then-warm result-cache pair
+// against cacheDir (which must start empty).
+func RunBenchmarks(p EvalParams, cacheDir string) (*BenchReport, error) {
+	return eval.RunBenchmarks(p, cacheDir)
+}
