@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static bench cache-smoke eval
+.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static bench cache-smoke trace-smoke eval
 
-check: vet build test race lint cache-smoke
+check: vet build test race lint cache-smoke trace-smoke
 
 build:
 	$(GO) build ./...
@@ -55,6 +55,17 @@ cache-smoke:
 	$(GO) run ./cmd/jmake-eval -json -tree-scale 0.15 -commit-scale 0.008 -cache-dir "$$dir/cache" -workers 2 >"$$dir/cold.json" 2>/dev/null && \
 	$(GO) run ./cmd/jmake-eval -json -tree-scale 0.15 -commit-scale 0.008 -cache-dir "$$dir/cache" -workers 4 >"$$dir/warm.json" 2>/dev/null && \
 	cmp "$$dir/cold.json" "$$dir/warm.json" && echo "cache-smoke: cold and warm JSON byte-identical"
+
+# Trace determinism: the Chrome trace export must be structurally valid
+# (balanced B/E pairs, monotone per-track timestamps, valid pid/tid — see
+# cmd/trace-check) and byte-identical across worker counts, because span
+# times come from the virtual clock, never the host scheduler.
+trace-smoke:
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT && \
+	$(GO) run ./cmd/jmake-eval -tree-scale 0.15 -commit-scale 0.008 -workers 1 -trace-out "$$dir/w1.json" summary >/dev/null && \
+	$(GO) run ./cmd/jmake-eval -tree-scale 0.15 -commit-scale 0.008 -workers 4 -trace-out "$$dir/w4.json" summary >/dev/null && \
+	$(GO) run ./cmd/trace-check "$$dir/w1.json" "$$dir/w4.json" && \
+	cmp "$$dir/w1.json" "$$dir/w4.json" && echo "trace-smoke: traces valid and byte-identical across workers"
 
 eval:
 	$(GO) run ./cmd/jmake-eval summary

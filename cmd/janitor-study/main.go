@@ -16,6 +16,7 @@ import (
 	"runtime"
 
 	"jmake"
+	"jmake/internal/metrics"
 	"jmake/internal/stats"
 )
 
@@ -34,6 +35,7 @@ func run() error {
 		commitScale = flag.Float64("commit-scale", 1.0, "history size multiplier")
 		paperTh     = flag.Bool("paper-thresholds", true, "use the paper's Table I thresholds unscaled")
 		workers     = flag.Int("workers", 0, "parallel commit-tally workers (0 = auto)")
+		dump        = flag.Bool("metrics", false, "dump the study tallies as a raw metrics-registry snapshot after the tables")
 	)
 	flag.Parse()
 
@@ -100,6 +102,23 @@ func run() error {
 	}
 	fmt.Println(t2.String())
 	fmt.Printf("(*) planted Table II roster member: %d/%d identified\n", hits, len(js))
+
+	if *dump {
+		// The study's headline tallies, registered so downstream tooling
+		// reads them the same way it reads the pipeline's counters.
+		reg := metrics.NewRegistry()
+		reg.Counter("study_candidates").Add(uint64(len(js)))
+		reg.Counter("study_roster_hits").Add(uint64(hits))
+		reg.Counter("study_roster_size").Add(uint64(len(hist.Janitors)))
+		for _, j := range js {
+			reg.Counter("study_janitor_patches").Add(uint64(j.Patches))
+			reg.Counter("study_window_patches").Add(uint64(j.WindowPatches))
+		}
+		fmt.Println()
+		for _, s := range reg.Snapshot() {
+			fmt.Printf("%s %s %s\n", s.Kind, s.Name, s.Value)
+		}
+	}
 	return nil
 }
 

@@ -75,6 +75,13 @@ func run() error {
 		rep.Warm.MakeIHits, rep.Warm.MakeIHits+rep.Warm.MakeIMisses,
 		rep.Warm.MakeOHits, rep.Warm.MakeOHits+rep.Warm.MakeOMisses)
 	fmt.Printf("  warm saves %.1f%% of cold's effective virtual time\n", rep.WarmSavingsPct)
+	if len(rep.Spans) > 0 {
+		fmt.Printf("\nspan attribution (warm pass, virtual seconds):\n")
+		for _, s := range rep.Spans {
+			fmt.Printf("  %-8s %6d spans  %8.1fs charged  %8.1fs saved by cache\n",
+				s.Kind, s.Spans, s.VirtualSeconds, s.SavedVirtualSeconds)
+		}
+	}
 
 	data, err := rep.MarshalIndent()
 	if err != nil {

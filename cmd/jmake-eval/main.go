@@ -8,12 +8,20 @@
 //
 // Selectors: table1 table2 table3 table4 fig4a fig4b fig4c fig5 fig6
 // archstats configstats mutstats cstats hstats summary limits
-// invocations faults pipeline presence all (default: all).
+// invocations faults pipeline presence spans all (default: all).
 //
 // With -json, diagnostic `#` lines go to stderr so stdout is exactly the
 // report: same-seed runs emit byte-identical JSON at any -workers setting.
 // -runtime-metrics opts into the volatile scheduling figures (wall clock,
 // throughput, worker configuration), which are NOT reproducible.
+//
+// -trace-out writes a Chrome trace-event JSON file of the whole run's
+// virtual-time spans (load in Perfetto / chrome://tracing); -trace-tree
+// writes the same spans as an indented text tree. Both are stamped with
+// virtual times from the deterministic cost model, so like the JSON
+// report they are byte-identical at any -workers setting and any
+// result-cache state. The `spans` selector prints the per-kind summary
+// table on stdout.
 package main
 
 import (
@@ -56,6 +64,8 @@ func run() error {
 		cacheDir    = flag.String("cache-dir", "", "persist the compile-result cache here across runs (warm-start + save back)")
 		cacheMax    = flag.Int64("cache-max-bytes", 0, "persistent result-cache size bound (0 = 64 MiB)")
 		noCache     = flag.Bool("no-result-cache", false, "disable the shared compile-result cache (identical output, more compute)")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run's virtual-time spans")
+		traceTree   = flag.String("trace-tree", "", "write the run's virtual-time spans as an indented text tree")
 	)
 	flag.Parse()
 
@@ -85,6 +95,7 @@ func run() error {
 	if *faultRate > 0 {
 		checkerOpts.Faults = jmake.UniformFaultPlan(*faultSeed, *faultRate)
 	}
+	traced := *traceOut != "" || *traceTree != "" || want["spans"]
 	start := time.Now()
 	run, err := jmake.Evaluate(jmake.EvalParams{
 		TreeSeed:      *treeSeed,
@@ -98,12 +109,26 @@ func run() error {
 		NoResultCache: *noCache,
 		CacheDir:      *cacheDir,
 		CacheMaxBytes: *cacheMax,
+		Trace:         traced,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(diag, "# evaluated %d window commits (%d skipped by path filter) in %v\n\n",
 		len(run.Results), run.SkippedCount(), time.Since(start).Round(time.Millisecond))
+
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, run.ChromeTrace(), 0o644); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		fmt.Fprintf(diag, "# wrote Chrome trace to %s\n", *traceOut)
+	}
+	if *traceTree != "" {
+		if err := os.WriteFile(*traceTree, []byte(run.TraceTree()), 0o644); err != nil {
+			return fmt.Errorf("writing trace tree: %w", err)
+		}
+		fmt.Fprintf(diag, "# wrote span tree to %s\n", *traceTree)
+	}
 
 	if *jsonOut {
 		var data []byte
@@ -245,6 +270,10 @@ func run() error {
 	if sel("presence") && *static {
 		fmt.Println("== static presence-condition analysis ==")
 		fmt.Println(run.ComputePresenceStats().Render())
+	}
+	if sel("spans") && traced {
+		fmt.Println("== virtual-time spans by kind ==")
+		fmt.Println(run.TraceSummary())
 	}
 	return nil
 }

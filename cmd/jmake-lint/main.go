@@ -18,7 +18,9 @@ import (
 
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
+	"jmake/internal/metrics"
 	"jmake/internal/presence"
+	"jmake/internal/stats"
 )
 
 func main() {
@@ -34,6 +36,7 @@ func run() error {
 		arch     = flag.String("arch", kbuild.HostArch, "architecture for SRCARCH Makefile expansion")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		deadOnly = flag.Bool("dead", false, "report only provably-dead lines")
+		summary  = flag.Bool("summary", false, "print the per-arch/per-stage analysis summary table after the reports")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
@@ -58,6 +61,10 @@ func run() error {
 		sort.Strings(paths)
 	}
 
+	// The analysis tallies flow through the same metrics registry the
+	// build pipeline uses, so the summary table reads from the registry —
+	// never from a second, hand-maintained counter pile.
+	reg := metrics.NewRegistry()
 	var results []fileResult
 	for _, p := range paths {
 		p = fstree.Clean(p)
@@ -65,7 +72,7 @@ func run() error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", p, err)
 		}
-		results = append(results, analyzeOne(tree, p, content, *arch))
+		results = append(results, analyzeOne(tree, p, content, *arch, reg))
 	}
 
 	if *jsonOut {
@@ -76,7 +83,29 @@ func run() error {
 	for _, r := range results {
 		printText(r, *deadOnly)
 	}
+	if *summary {
+		fmt.Println("== analysis summary by stage and arch ==")
+		fmt.Println(renderSummary(reg, *arch))
+	}
 	return nil
+}
+
+// lint stage names for the summary table; "gate" tallies only run for .c
+// files under a Makefile chain, "presence" and "dead" for every file.
+var lintStages = []struct{ stage, metric string }{
+	{"files", "lint_files"},
+	{"gate", "lint_gates_resolved"},
+	{"gate-module", "lint_gates_module"},
+	{"presence", "lint_conditional_lines"},
+	{"dead", "lint_dead_lines"},
+}
+
+func renderSummary(reg *metrics.Registry, arch string) string {
+	tb := stats.NewTable("stage", "arch", "count")
+	for _, s := range lintStages {
+		tb.AddRow(s.stage, arch, fmt.Sprintf("%d", reg.Counter(s.metric, metrics.L("arch", arch)).Value()))
+	}
+	return tb.String()
 }
 
 // fileResult is one file's report, shared between the text and JSON modes.
@@ -98,12 +127,20 @@ type lineCond struct {
 	Cond string `json:"cond"`
 }
 
-func analyzeOne(tree *fstree.Tree, p, content, arch string) fileResult {
+func analyzeOne(tree *fstree.Tree, p, content, arch string, reg *metrics.Registry) fileResult {
+	byArch := metrics.L("arch", arch)
+	reg.Counter("lint_files", byArch).Inc()
 	r := fileResult{File: p}
 	if strings.HasSuffix(p, ".c") && tree.Exists("Makefile") {
 		if gate, err := kbuild.FileGate(tree, p, arch); err == nil {
 			r.Gate = gate.Vars
 			r.GateModule = gate.OwnModule
+			if len(gate.Vars) > 0 {
+				reg.Counter("lint_gates_resolved", byArch).Inc()
+			}
+			if gate.OwnModule {
+				reg.Counter("lint_gates_module", byArch).Inc()
+			}
 		}
 	}
 	f := presence.Analyze(p, content)
@@ -115,6 +152,8 @@ func analyzeOne(tree *fstree.Tree, p, content, arch string) fileResult {
 		r.Conds = append(r.Conds, lineCond{Line: n, Cond: cond.String()})
 	}
 	r.Dead = f.DeadLines()
+	reg.Counter("lint_conditional_lines", byArch).Add(uint64(len(r.Conds)))
+	reg.Counter("lint_dead_lines", byArch).Add(uint64(len(r.Dead)))
 	return r
 }
 

@@ -49,6 +49,8 @@ func run() error {
 		cacheDir    = flag.String("cache-dir", "", "persist the compile-result cache here across runs (warm-start + save back)")
 		noCache     = flag.Bool("no-result-cache", false, "disable the shared compile-result cache (identical verdicts, more compute)")
 		cacheStats  = flag.Bool("cache-stats", false, "print result-cache counters after checking")
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the checked commits' virtual-time spans")
+		traceTree   = flag.String("trace-tree", "", "write the checked commits' virtual-time spans as an indented text tree")
 	)
 	flag.Parse()
 
@@ -128,6 +130,8 @@ func run() error {
 		session.SetResultCache(jmake.LoadResultCache(*cacheDir))
 	}
 
+	tracing := *traceOut != "" || *traceTree != ""
+	var spans []*jmake.TraceSpan
 	for _, id := range targets {
 		if *show {
 			text, err := hist.Repo.Show(id)
@@ -136,7 +140,15 @@ func run() error {
 			}
 			fmt.Println(text)
 		}
-		report, err := jmake.CheckCommitWith(session, hist.Repo, id, opts)
+		var report *jmake.Report
+		var err error
+		if tracing {
+			var span *jmake.TraceSpan
+			report, span, err = jmake.CheckCommitTraced(session, hist.Repo, id, opts)
+			spans = append(spans, span)
+		} else {
+			report, err = jmake.CheckCommitWith(session, hist.Repo, id, opts)
+		}
 		if err != nil {
 			return err
 		}
@@ -154,6 +166,23 @@ func run() error {
 			st.MakeI.Hits, st.MakeI.Hits+st.MakeI.Misses, st.MakeI.Deduped,
 			st.MakeO.Hits, st.MakeO.Hits+st.MakeO.Misses,
 			st.Entries, st.SavedVirtual.Round(1e6))
+	}
+	if tracing {
+		// Stamp once over the whole session: cache outcomes are defined by
+		// first occurrence across all checked commits, in checking order.
+		tr := jmake.MergeTraces(spans...)
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, tr.Chrome(4), 0o644); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+			fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
+		}
+		if *traceTree != "" {
+			if err := os.WriteFile(*traceTree, []byte(tr.Tree()), 0o644); err != nil {
+				return fmt.Errorf("writing trace tree: %w", err)
+			}
+			fmt.Printf("wrote span tree to %s\n", *traceTree)
+		}
 	}
 	if !*noCache && *cacheDir != "" {
 		if err := jmake.SaveResultCache(session.ResultCache(), *cacheDir, 0); err != nil {

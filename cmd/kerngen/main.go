@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"jmake"
+	"jmake/internal/metrics"
 )
 
 func main() {
@@ -29,6 +30,7 @@ func run() error {
 		scale = flag.Float64("scale", 1.0, "size multiplier")
 		cat   = flag.String("cat", "", "print one file and exit")
 		ls    = flag.String("ls", "", "list files under a prefix and exit")
+		dump  = flag.Bool("metrics", false, "dump the composition tallies as a raw metrics-registry snapshot")
 	)
 	flag.Parse()
 
@@ -51,30 +53,42 @@ func run() error {
 		return nil
 	}
 
-	var cFiles, hFiles, kconfigs, makefiles, other int
-	lines := 0
+	// Composition tallies live in a metrics registry rather than a pile of
+	// local ints, so -metrics can dump exactly the numbers the report used.
+	reg := metrics.NewRegistry()
+	byKind := func(kind string) *metrics.Counter {
+		return reg.Counter("gen_files", metrics.L("kind", kind))
+	}
+	lines := reg.Counter("gen_lines")
 	if err := tree.Walk(func(p, content string) error {
-		lines += strings.Count(content, "\n")
+		lines.Add(uint64(strings.Count(content, "\n")))
 		switch {
 		case strings.HasSuffix(p, ".c"):
-			cFiles++
+			byKind("c").Inc()
 		case strings.HasSuffix(p, ".h"):
-			hFiles++
+			byKind("h").Inc()
 		case strings.HasSuffix(p, "Kconfig") || strings.Contains(p, "Kconfig."):
-			kconfigs++
+			byKind("kconfig").Inc()
 		case strings.HasSuffix(p, "Makefile") || strings.HasSuffix(p, "Kbuild"):
-			makefiles++
+			byKind("makefile").Inc()
 		default:
-			other++
+			byKind("other").Inc()
 		}
 		return nil
 	}); err != nil {
 		return err
 	}
 
-	fmt.Printf("tree: %d files, %d lines\n", tree.Len(), lines)
+	if *dump {
+		for _, s := range reg.Snapshot() {
+			fmt.Printf("%s %s %s\n", s.Kind, s.Name, s.Value)
+		}
+		return nil
+	}
+	fmt.Printf("tree: %d files, %d lines\n", tree.Len(), lines.Value())
 	fmt.Printf("  .c %d, .h %d, Kconfig %d, Makefile %d, other %d\n",
-		cFiles, hFiles, kconfigs, makefiles, other)
+		byKind("c").Value(), byKind("h").Value(), byKind("kconfig").Value(),
+		byKind("makefile").Value(), byKind("other").Value())
 	fmt.Printf("subsystems: %d   drivers: %d\n", len(man.Subsystems), len(man.Drivers))
 	archBound, quirk := 0, 0
 	siteCounts := map[string]int{}

@@ -1,0 +1,40 @@
+// Command trace-check validates Chrome trace-event JSON files produced
+// by jmake's -trace-out: parseable JSON with a traceEvents array,
+// balanced B/E pairs per track, non-decreasing timestamps within each
+// track, and valid pid/tid on every event. It exits non-zero on the
+// first invalid file, so `make trace-smoke` can gate on it.
+//
+// Usage:
+//
+//	trace-check trace.json [more.json ...]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"jmake/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: trace-check trace.json [more.json ...]")
+		os.Exit(2)
+	}
+	bad := false
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err == nil {
+			err = trace.ValidateChrome(data)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trace-check: %s: %v\n", path, err)
+			bad = true
+			continue
+		}
+		fmt.Printf("%s: ok (%d bytes)\n", path, len(data))
+	}
+	if bad {
+		os.Exit(1)
+	}
+}

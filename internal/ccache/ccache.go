@@ -45,6 +45,7 @@ import (
 
 	"jmake/internal/cc"
 	"jmake/internal/cpp"
+	"jmake/internal/metrics"
 	"jmake/internal/vclock"
 )
 
@@ -105,6 +106,9 @@ type StatsSet struct {
 	// are byte-identical with the cache on, off, warm or cold); this ledger
 	// is where the cache's honest effective win is accounted.
 	SavedVirtual time.Duration
+	// The same ledger attributed per stage (SavedVirtual is their sum),
+	// for the bench report's span attribution.
+	SavedMakeI, SavedMakeO time.Duration
 }
 
 // dep is one manifest entry: a file the original run read (content hash)
@@ -134,6 +138,37 @@ type entry struct {
 	lastUse uint64
 }
 
+// stageSeries holds one stage's counter handles in the owning registry —
+// the registry is the single home for these numbers; Stats() builds its
+// snapshot as a view over it.
+type stageSeries struct {
+	hits, misses, deduped    *metrics.Counter
+	bytesServed, bytesStored *metrics.Counter
+	savedNS                  *metrics.Counter // effective ledger, integer ns
+}
+
+func newStageSeries(reg *metrics.Registry, stage Stage) stageSeries {
+	l := metrics.L("stage", stage.String())
+	return stageSeries{
+		hits:        reg.Counter("result_cache_hits", l),
+		misses:      reg.Counter("result_cache_misses", l),
+		deduped:     reg.Counter("result_cache_deduped", l),
+		bytesServed: reg.Counter("result_cache_bytes_served", l),
+		bytesStored: reg.Counter("result_cache_bytes_stored", l),
+		savedNS:     reg.Counter("result_cache_saved_ns", l),
+	}
+}
+
+func (s stageSeries) snapshot() Stats {
+	return Stats{
+		Hits:        s.hits.Value(),
+		Misses:      s.misses.Value(),
+		Deduped:     s.deduped.Value(),
+		BytesServed: s.bytesServed.Value(),
+		BytesStored: s.bytesStored.Value(),
+	}
+}
+
 // Cache is the two-tier store. The zero value is not usable; call New.
 type Cache struct {
 	mu       sync.Mutex
@@ -143,46 +178,53 @@ type Cache struct {
 	inflight map[uint64]chan struct{}
 	bytes    int64
 	loaded   int
-	stats    [numStages]Stats
-	saved    time.Duration
+	series   [numStages]stageSeries
 }
 
-// New returns an empty cache.
-func New() *Cache {
-	return &Cache{
+// New returns an empty cache counting into a private registry.
+func New() *Cache { return NewIn(metrics.NewRegistry()) }
+
+// NewIn returns an empty cache whose counters are series in reg, so a
+// shared session registry owns every cache's numbers.
+func NewIn(reg *metrics.Registry) *Cache {
+	c := &Cache{
 		index:    make(map[uint64][]*entry),
 		byID:     make(map[uint64]*entry),
 		inflight: make(map[uint64]chan struct{}),
 	}
+	for s := StageI; s < numStages; s++ {
+		c.series[s] = newStageSeries(reg, s)
+	}
+	return c
 }
 
 // Stats snapshots the counters.
 func (c *Cache) Stats() StatsSet {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	savedI := c.series[StageI].savedNS.Duration()
+	savedO := c.series[StageO].savedNS.Duration()
 	return StatsSet{
-		MakeI:         c.stats[StageI],
-		MakeO:         c.stats[StageO],
+		MakeI:         c.series[StageI].snapshot(),
+		MakeO:         c.series[StageO].snapshot(),
 		Entries:       len(c.byID),
 		Bytes:         c.bytes,
 		LoadedEntries: c.loaded,
-		SavedVirtual:  c.saved,
+		SavedVirtual:  savedI + savedO,
+		SavedMakeI:    savedI,
+		SavedMakeO:    savedO,
 	}
 }
 
-// AddSaved credits the effective-time ledger (full price minus probe
-// cost for one serve).
-func (c *Cache) AddSaved(d time.Duration) {
-	c.mu.Lock()
-	c.saved += d
-	c.mu.Unlock()
+// AddSaved credits the stage's effective-time ledger (full price minus
+// probe cost for one serve).
+func (c *Cache) AddSaved(stage Stage, d time.Duration) {
+	c.series[stage].savedNS.AddDuration(d)
 }
 
 // NoteDedup counts one within-invocation dedupe hit.
 func (c *Cache) NoteDedup(stage Stage) {
-	c.mu.Lock()
-	c.stats[stage].Deduped++
-	c.mu.Unlock()
+	c.series[stage].deduped.Inc()
 }
 
 func hashContent(s string) uint64 {
@@ -242,13 +284,27 @@ type Context struct {
 
 // Context builds a probe context.
 func (c *Cache) Context(stage Stage, archName string, configFP, optsFP uint64) Context {
+	return Context{c: c, stg: stage, ctx: ContextKey(stage, archName, configFP, optsFP)}
+}
+
+// ContextKey hashes the invariant probe-context components. Exposed so
+// the tracing layer can compute probe identities even when no cache is
+// attached (trace cache-outcome stamping must be cache-state-invariant).
+func ContextKey(stage Stage, archName string, configFP, optsFP uint64) uint64 {
 	h := fnv.New64a()
 	_, _ = h.Write([]byte{byte(stage)})
 	_, _ = h.Write([]byte(archName))
 	_, _ = h.Write([]byte{0})
 	hashU64(h, configFP)
 	hashU64(h, optsFP)
-	return Context{c: c, stg: stage, ctx: h.Sum64()}
+	return h.Sum64()
+}
+
+// KeyFor returns the probe key a Probe for rootContent under ctxKey
+// would carry — the same identity Probe.Key reports when a cache is
+// attached.
+func KeyFor(stage Stage, ctxKey uint64, rootContent string) uint64 {
+	return probeKey(stage, ctxKey, hashContent(rootContent))
 }
 
 // Probe is the result of one lookup. On a hit the payload fields are
@@ -291,9 +347,7 @@ func (cx Context) Probe(src Source, rootPath string) *Probe {
 		// Unreadable root: nothing to fingerprint; count the failed lookup
 		// and let the caller recompute (the preprocessor will report the
 		// real error). Store becomes a no-op.
-		cx.c.mu.Lock()
-		cx.c.stats[cx.stg].Misses++
-		cx.c.mu.Unlock()
+		cx.c.series[cx.stg].misses.Inc()
 		p.done = true
 		return p
 	}
@@ -325,11 +379,10 @@ func (cx Context) Probe(src Source, rootPath string) *Probe {
 			c.mu.Lock()
 			c.seq++
 			e.lastUse = c.seq
-			st := &c.stats[p.stg]
-			st.Hits++
-			st.BytesServed += uint64(e.size)
 			delete(c.inflight, p.Key)
 			c.mu.Unlock()
+			c.series[p.stg].hits.Inc()
+			c.series[p.stg].bytesServed.Add(uint64(e.size))
 			close(ch)
 			p.Hit = true
 			p.Deps = len(e.deps)
@@ -479,12 +532,12 @@ func (p *Probe) store(e *entry) {
 	p.done = true
 	c := p.c
 	c.mu.Lock()
-	c.stats[p.stg].Misses++
+	c.series[p.stg].misses.Inc()
 	if e != nil && len(e.deps) > 0 {
 		e.id = entryID(e)
 		e.size = entrySize(e)
 		c.insertLocked(e)
-		c.stats[p.stg].BytesStored += uint64(e.size)
+		c.series[p.stg].bytesStored.Add(uint64(e.size))
 	}
 	ch := c.inflight[p.Key]
 	delete(c.inflight, p.Key)

@@ -240,10 +240,14 @@ func TestUnreadableRootIsMiss(t *testing.T) {
 
 func TestSavedLedger(t *testing.T) {
 	c := New()
-	c.AddSaved(3 * time.Second)
-	c.AddSaved(time.Second)
-	if got := c.Stats().SavedVirtual; got != 4*time.Second {
-		t.Fatalf("SavedVirtual = %v", got)
+	c.AddSaved(StageI, 3*time.Second)
+	c.AddSaved(StageO, time.Second)
+	st := c.Stats()
+	if st.SavedVirtual != 4*time.Second {
+		t.Fatalf("SavedVirtual = %v", st.SavedVirtual)
+	}
+	if st.SavedMakeI != 3*time.Second || st.SavedMakeO != time.Second {
+		t.Fatalf("per-stage saved = %v / %v, want 3s / 1s", st.SavedMakeI, st.SavedMakeO)
 	}
 	c.NoteDedup(StageI)
 	if got := c.Stats().MakeI.Deduped; got != 1 {

@@ -3,7 +3,9 @@ package core
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"sort"
+	"strconv"
 	"strings"
 
 	"jmake/internal/ccache"
@@ -13,6 +15,7 @@ import (
 	"jmake/internal/kbuild"
 	"jmake/internal/kconfig"
 	"jmake/internal/textdiff"
+	"jmake/internal/trace"
 	"jmake/internal/vclock"
 )
 
@@ -36,6 +39,31 @@ type Checker struct {
 	// run holds the per-patch resilience state (fault injector, budget
 	// ledger, circuit breaker); CheckPatch resets it for every patch.
 	run *runState
+
+	// rec records the patch's span tree against a per-patch virtual clock
+	// (nil disables tracing — every recorder method no-ops). The checker
+	// charges each priced duration on the recorder exactly once, so span
+	// edges line up with the reported stage totals.
+	rec *trace.Recorder
+}
+
+// SetTrace installs the per-patch trace recorder. Call it before
+// CheckPatch; pass nil to disable (the default).
+func (c *Checker) SetTrace(rec *trace.Recorder) { c.rec = rec }
+
+// configTraceKey is the config span's content identity: a hash of the
+// ConfigProvider's valuation key, so Trace.Stamp classifies the first
+// occurrence of each distinct (arch, kind, path) as "compute" and
+// repeats as "reuse" — mirroring the provider's compute-exactly-once
+// discipline without consulting its warmth-dependent live counters.
+func configTraceKey(parts ...string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte("config"))
+	for _, p := range parts {
+		h.Write([]byte{'|'})
+		h.Write([]byte(p))
+	}
+	return h.Sum64()
 }
 
 // NewChecker builds a checker over tree (the snapshot after applying the
@@ -169,12 +197,14 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 	var cFiles, hFiles []*fileState
 	mutatedTree := c.tree.Clone()
 
+	classifySpan := c.rec.Open(trace.KindClassify, trace.A("diff_files", strconv.Itoa(len(fds))))
 	for _, g := range groupByPath(fds) {
 		path := g.path
 		kind, ok := classify(path)
 		if !ok {
 			continue
 		}
+		fileMark := c.rec.Mark(trace.KindFile, trace.A("path", path), trace.A("kind", kindName(kind)))
 		outcome := FileOutcome{Path: path, Kind: kind}
 		fs := &fileState{path: path, kind: kind, state: &outcome}
 
@@ -194,6 +224,7 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 		changed := g.changedLines(countLines(content))
 		fs.res = Mutate(path, content, changed)
 		outcome.Mutations = len(fs.res.Mutations)
+		fileMark.Add(trace.A("mutations", strconv.Itoa(outcome.Mutations)))
 		if len(fs.res.Mutations) == 0 {
 			outcome.Status = StatusCommentOnly
 			report.Files = append(report.Files, outcome)
@@ -211,6 +242,7 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 		}
 		report.Files = append(report.Files, outcome)
 	}
+	c.rec.Close(classifySpan)
 	if report.Untreatable {
 		// Paper §V-D: mutating build-setup files breaks every subsequent
 		// compilation, so the whole patch is untreatable.
@@ -238,7 +270,13 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 	// count the make invocations this prunes, and compute per-architecture
 	// visibility predictions for the dynamic cross-check.
 	if c.opts.StaticPresence {
+		staticSpan := c.rec.Open(trace.KindStatic,
+			trace.A("files", strconv.Itoa(len(cFiles)+len(hFiles))))
 		c.staticPrepass(report, cFiles, hFiles)
+		staticSpan.Add(
+			trace.A("pruned_make_i", strconv.Itoa(report.StaticSkippedMakeI)),
+			trace.A("pruned_make_o", strconv.Itoa(report.StaticSkippedMakeO)))
+		c.rec.Close(staticSpan)
 	}
 
 	// §III-D: process the patch's .c files across candidate architectures.
@@ -263,6 +301,7 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 	}
 
 	// Finalize outcomes and escape analysis.
+	c.rec.Mark(trace.KindFinalize, trace.A("files", strconv.Itoa(len(cFiles)+len(hFiles))))
 	for _, fs := range append(append([]*fileState(nil), cFiles...), hFiles...) {
 		c.finalize(report, fs)
 	}
@@ -344,6 +383,13 @@ func rebind(report *PatchReport, fss []*fileState) {
 	}
 }
 
+func kindName(k FileKind) string {
+	if k == HFile {
+		return "h"
+	}
+	return "c"
+}
+
 func classify(path string) (FileKind, bool) {
 	switch {
 	case strings.HasSuffix(path, ".c"):
@@ -411,9 +457,17 @@ func (c *Checker) newBuilders(report *PatchReport, mutatedTree *fstree.Tree, arc
 	ob.Faults = c.run.inj
 	ib.Results = c.results
 	ob.Results = c.results
+	ib.Trace = c.rec
+	ob.Trace = c.rec
 	d := c.model.ConfigCreate(symbols, report.Commit+":"+archName+":"+choice.Kind.String()+choice.Path)
 	report.ConfigDurations = append(report.ConfigDurations, d)
 	c.run.charge(d)
+	if sp := c.rec.Leaf(trace.KindConfig, d,
+		trace.A("arch", archName),
+		trace.A("config", choice.Kind.String()+choice.Path),
+		trace.A("symbols", strconv.Itoa(symbols))); sp != nil {
+		sp.Key = configTraceKey(archName, choice.Kind.String(), choice.Path)
+	}
 	return &builderPair{ib: ib, ob: ob}, nil
 }
 
@@ -455,6 +509,7 @@ func (c *Checker) processCFiles(report *PatchReport, mutatedTree *fstree.Tree, c
 			markQuarantined(relevantFiles(cFiles, ac.Arch), ac.Arch)
 			continue
 		}
+		archSpan := c.rec.Open(trace.KindArch, trace.A("arch", ac.Arch))
 		for _, cc := range ac.Configs {
 			if allCovered(cFiles) && allCompiled(cFiles) {
 				break
@@ -475,6 +530,7 @@ func (c *Checker) processCFiles(report *PatchReport, mutatedTree *fstree.Tree, c
 			}
 			c.runGroup(report, bp, ac.Arch, cc, relevant, allMuts)
 		}
+		c.rec.Close(archSpan)
 		if c.run.quarantined[ac.Arch] {
 			markQuarantined(relevantFiles(cFiles, ac.Arch), ac.Arch)
 		}
@@ -546,6 +602,10 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 			}
 			// Which pending mutations does this .i witness?
 			witnessed := pendingWitnessed(found, allMuts)
+			c.rec.Mark(trace.KindWitnessScan,
+				trace.A("path", fs.path),
+				trace.A("markers", strconv.Itoa(len(found))),
+				trace.A("witnessed", strconv.Itoa(len(witnessed))))
 			ownPresent := 0
 			for _, m := range witnessed {
 				if m.file == fs.path {

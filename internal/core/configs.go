@@ -8,6 +8,7 @@ import (
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
 	"jmake/internal/kconfig"
+	"jmake/internal/metrics"
 )
 
 // ConfigProvider caches parsed Kconfig trees and computed configurations
@@ -26,8 +27,10 @@ type ConfigProvider struct {
 	mu     sync.Mutex
 	trees  map[string]*kconfig.Tree
 	values map[string]*kconfig.Config
-	hits   uint64
-	misses uint64
+	// Counter handles into the owning metrics registry — the registry is
+	// the single home for these numbers; Stats() is a view over it.
+	hits   *metrics.Counter
+	misses *metrics.Counter
 }
 
 // CacheStats are lookup counters for one shared cache.
@@ -44,11 +47,20 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// NewConfigProvider returns an empty provider.
+// NewConfigProvider returns an empty provider counting into a private
+// registry.
 func NewConfigProvider() *ConfigProvider {
+	return NewConfigProviderIn(metrics.NewRegistry())
+}
+
+// NewConfigProviderIn returns an empty provider whose counters are
+// series in reg.
+func NewConfigProviderIn(reg *metrics.Registry) *ConfigProvider {
 	return &ConfigProvider{
 		trees:  make(map[string]*kconfig.Tree),
 		values: make(map[string]*kconfig.Config),
+		hits:   reg.Counter("config_cache_hits"),
+		misses: reg.Counter("config_cache_misses"),
 	}
 }
 
@@ -90,10 +102,10 @@ func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigCho
 		return nil, 0, err
 	}
 	if cfg, ok := p.values[key]; ok {
-		p.hits++
+		p.hits.Inc()
 		return cfg, kt.Len(), nil
 	}
-	p.misses++
+	p.misses.Inc()
 	var cfg *kconfig.Config
 	switch choice.Kind {
 	case ConfigAllMod:
@@ -114,9 +126,8 @@ func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigCho
 	return cfg, kt.Len(), nil
 }
 
-// Stats returns the valuation-cache counters.
+// Stats returns the valuation-cache counters (a view over the registry
+// series).
 func (p *ConfigProvider) Stats() CacheStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return CacheStats{Hits: p.hits, Misses: p.misses}
+	return CacheStats{Hits: p.hits.Value(), Misses: p.misses.Value()}
 }

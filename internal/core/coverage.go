@@ -9,6 +9,7 @@ import (
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
 	"jmake/internal/kconfig"
+	"jmake/internal/trace"
 )
 
 // maxCoverageConfigs bounds how many synthesized configurations one patch
@@ -123,6 +124,8 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 	if err != nil {
 		return
 	}
+	covSpan := c.rec.Open(trace.KindCoverage, trace.A("arch", kbuild.HostArch))
+	defer c.rec.Close(covSpan)
 	tried := make(map[string]bool)
 	budget := maxCoverageConfigs
 
@@ -167,6 +170,11 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 			d := c.model.ConfigCreate(kt.Len(), report.Commit+":coverage:"+key)
 			report.ConfigDurations = append(report.ConfigDurations, d)
 			c.run.charge(d)
+			if sp := c.rec.Leaf(trace.KindConfig, d,
+				trace.A("arch", kbuild.HostArch),
+				trace.A("config", "coverage:"+key)); sp != nil {
+				sp.Key = configTraceKey(kbuild.HostArch, "coverage", key)
+			}
 			if !satisfied {
 				continue
 			}
@@ -181,6 +189,8 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 			ob.Faults = c.run.inj
 			ib.Results = c.results
 			ob.Results = c.results
+			ib.Trace = c.rec
+			ob.Trace = c.rec
 			bp := &builderPair{ib: ib, ob: ob}
 			c.runGroup(report, bp, kbuild.HostArch,
 				ConfigChoice{Kind: ConfigCoverage}, []*fileState{fs}, fs.muts)

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"jmake/internal/fstree"
+	"jmake/internal/trace"
 )
 
 // headerChunk is how many candidate .c files one make invocation
@@ -95,6 +97,10 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 	if len(cands) == 0 {
 		return
 	}
+	hSpan := c.rec.Open(trace.KindHFile,
+		trace.A("path", hf.path),
+		trace.A("candidates", strconv.Itoa(len(cands))))
+	defer c.rec.Close(hSpan)
 	// Above the threshold, restrict to allyesconfig only (paper: avoids
 	// false positives at a bounded cost; threshold is user-configurable).
 	useDefconfigs := len(cands) <= c.opts.HCandidateLimit
@@ -159,6 +165,9 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 						continue
 					}
 					witnessed := witnessedIn(res.Text, hf.muts)
+					c.rec.Mark(trace.KindWitnessScan,
+						trace.A("path", res.Path),
+						trace.A("witnessed", strconv.Itoa(len(witnessed))))
 					if len(witnessed) == 0 {
 						continue
 					}

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"time"
 
 	"jmake/internal/faultinject"
 	"jmake/internal/kbuild"
+	"jmake/internal/trace"
 )
 
 // errArchQuarantined marks files whose remaining candidate architecture
@@ -89,6 +91,9 @@ func (c *Checker) chargeBackoff(report *PatchReport, attempt int, key string) {
 	report.BackoffDurations = append(report.BackoffDurations, d)
 	report.Retries++
 	c.run.charge(d)
+	c.rec.Leaf(trace.KindBackoff, d,
+		trace.A("attempt", strconv.Itoa(attempt)),
+		trace.A("op", key))
 }
 
 // makeIGroup runs one MakeI invocation and retries any transiently

@@ -7,6 +7,7 @@ import (
 	"jmake/internal/cpp"
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
+	"jmake/internal/metrics"
 	"jmake/internal/vclock"
 )
 
@@ -21,27 +22,38 @@ type Session struct {
 	meta    *kbuild.Meta
 	arches  map[string]*kbuild.Arch
 	archIx  *archIndex
+	metrics *metrics.Registry
 	configs *ConfigProvider
 	tokens  *cpp.TokenCache
 	results *ccache.Cache
 }
 
 // NewSession captures shared state from a base tree (any window snapshot).
+// The session owns one metrics.Registry; every shared cache's counters
+// are series in it, so the scattered per-package counter piles are views
+// over a single home.
 func NewSession(base *fstree.Tree) (*Session, error) {
 	meta, err := kbuild.LoadMeta(base)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	arches := kbuild.DiscoverArches(base, meta)
+	reg := metrics.NewRegistry()
 	return &Session{
 		meta:    meta,
 		arches:  arches,
 		archIx:  buildArchIndex(base, arches),
-		configs: NewConfigProvider(),
-		tokens:  cpp.NewTokenCache(),
-		results: ccache.New(),
+		metrics: reg,
+		configs: NewConfigProviderIn(reg),
+		tokens:  cpp.NewTokenCacheIn(reg),
+		results: ccache.NewIn(reg),
 	}, nil
 }
+
+// Metrics returns the session's registry. Counters created by a
+// replacement result cache (SetResultCache) live in that cache's own
+// registry; everything else counts here.
+func (s *Session) Metrics() *metrics.Registry { return s.metrics }
 
 // SetResultCache replaces the shared compile-result cache — e.g. with one
 // warm-started from disk (ccache.Load) — or disables result caching

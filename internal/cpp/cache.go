@@ -3,6 +3,8 @@ package cpp
 import (
 	"hash/fnv"
 	"sync"
+
+	"jmake/internal/metrics"
 )
 
 // TokenCache memoizes the per-file scanning work (logical-line splitting
@@ -24,8 +26,11 @@ import (
 type TokenCache struct {
 	mu      sync.Mutex
 	entries map[uint64]*cachedFile
-	hits    uint64
-	misses  uint64
+	// Lookup counters live in the owning registry (metrics.Registry is
+	// the single home for every pipeline counter); these are handles to
+	// the "token_cache_hits"/"token_cache_misses" series.
+	hits   *metrics.Counter
+	misses *metrics.Counter
 }
 
 type cachedFile struct {
@@ -34,9 +39,19 @@ type cachedFile struct {
 	toks  [][]Token
 }
 
-// NewTokenCache returns an empty cache.
+// NewTokenCache returns an empty cache counting into a private registry.
 func NewTokenCache() *TokenCache {
-	return &TokenCache{entries: make(map[uint64]*cachedFile)}
+	return NewTokenCacheIn(metrics.NewRegistry())
+}
+
+// NewTokenCacheIn returns an empty cache whose counters are series in
+// reg, so a shared session registry owns every cache's numbers.
+func NewTokenCacheIn(reg *metrics.Registry) *TokenCache {
+	return &TokenCache{
+		entries: make(map[uint64]*cachedFile),
+		hits:    reg.Counter("token_cache_hits"),
+		misses:  reg.Counter("token_cache_misses"),
+	}
 }
 
 func contentKey(path, content string) uint64 {
@@ -54,11 +69,11 @@ func (c *TokenCache) scan(path, content string) ([]logicalLine, [][]Token) {
 	c.mu.Lock()
 	e, ok := c.entries[key]
 	if ok {
-		c.hits++
+		c.hits.Inc()
 	} else {
 		e = &cachedFile{}
 		c.entries[key] = e
-		c.misses++
+		c.misses.Inc()
 	}
 	c.mu.Unlock()
 
@@ -79,10 +94,9 @@ func (c *TokenCache) Len() int {
 	return len(c.entries)
 }
 
-// Stats returns the lookup counters. Misses equal the number of distinct
-// keys ever requested, so both values are invariant under concurrency.
+// Stats returns the lookup counters (a view over the registry series).
+// Misses equal the number of distinct keys ever requested, so both
+// values are invariant under concurrency.
 func (c *TokenCache) Stats() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Value(), c.misses.Value()
 }

@@ -3,6 +3,9 @@ package eval
 import (
 	"encoding/json"
 	"fmt"
+	"time"
+
+	"jmake/internal/trace"
 )
 
 // BenchWorkerResult is one worker-count pass over the window.
@@ -29,6 +32,18 @@ type BenchCacheResult struct {
 	LoadedEntries           int     `json:"loaded_entries"`
 }
 
+// BenchSpanStat attributes the window's virtual time — and the result
+// cache's effective-seconds savings — to one span kind. Counts and
+// virtual seconds come from the warm pass's merged trace (deterministic);
+// the saved seconds come from the cache's per-stage ledger, so
+// make.i/make.o carry the attribution and the other kinds report zero.
+type BenchSpanStat struct {
+	Kind                string  `json:"kind"`
+	Spans               int     `json:"spans"`
+	VirtualSeconds      float64 `json:"virtual_seconds"`
+	SavedVirtualSeconds float64 `json:"saved_virtual_seconds"`
+}
+
 // BenchReport is the output of RunBenchmarks, written by cmd/jmake-bench
 // to BENCH_pipeline.json.
 type BenchReport struct {
@@ -39,6 +54,7 @@ type BenchReport struct {
 	Cold           BenchCacheResult    `json:"cache_cold"`
 	Warm           BenchCacheResult    `json:"cache_warm"`
 	WarmSavingsPct float64             `json:"warm_savings_pct"`
+	Spans          []BenchSpanStat     `json:"spans"`
 }
 
 // MarshalIndent renders the report as BENCH_pipeline.json content.
@@ -81,11 +97,12 @@ func RunBenchmarks(p Params, cacheDir string) (*BenchReport, error) {
 		})
 	}
 
-	cachePass := func() (BenchCacheResult, error) {
+	cachePass := func(traced bool) (BenchCacheResult, *Run, error) {
 		shell := *run
 		shell.Params.CacheDir = cacheDir
+		shell.Params.Trace = traced
 		if err := shell.checkWindow(ids); err != nil {
-			return BenchCacheResult{}, err
+			return BenchCacheResult{}, nil, err
 		}
 		pm := shell.Pipeline
 		rc := pm.ResultCache
@@ -99,17 +116,53 @@ func RunBenchmarks(p Params, cacheDir string) (*BenchReport, error) {
 			MakeOHits:               rc.MakeO.Hits,
 			MakeOMisses:             rc.MakeO.Misses,
 			LoadedEntries:           rc.LoadedEntries,
-		}, nil
+		}, &shell, nil
 	}
-	if rep.Cold, err = cachePass(); err != nil {
+	if rep.Cold, _, err = cachePass(false); err != nil {
 		return nil, fmt.Errorf("eval: bench cold pass: %w", err)
 	}
-	if rep.Warm, err = cachePass(); err != nil {
+	var warmRun *Run
+	if rep.Warm, warmRun, err = cachePass(true); err != nil {
 		return nil, fmt.Errorf("eval: bench warm pass: %w", err)
 	}
 	if rep.Cold.EffectiveVirtualSeconds > 0 {
 		rep.WarmSavingsPct = 100 * (rep.Cold.EffectiveVirtualSeconds - rep.Warm.EffectiveVirtualSeconds) /
 			rep.Cold.EffectiveVirtualSeconds
 	}
+	rep.Spans = benchSpans(warmRun)
 	return rep, nil
+}
+
+// benchSpans aggregates the warm pass's merged trace by span kind and
+// attributes the result cache's per-stage effective savings to the
+// make.i / make.o kinds. The trace itself is deterministic; only the
+// saved-seconds columns depend on cache warmth (they are the point).
+func benchSpans(run *Run) []BenchSpanStat {
+	if run == nil || run.Trace == nil {
+		return nil
+	}
+	counts := make(map[string]int)
+	virtual := make(map[string]time.Duration)
+	for _, root := range run.Trace.Spans {
+		root.Walk(func(s *trace.Span) {
+			counts[s.Kind]++
+			virtual[s.Kind] += s.Dur()
+		})
+	}
+	saved := map[string]float64{
+		trace.KindMakeI: run.Pipeline.ResultCache.SavedMakeISeconds,
+		trace.KindMakeO: run.Pipeline.ResultCache.SavedMakeOSeconds,
+	}
+	var out []BenchSpanStat
+	for _, kind := range []string{
+		trace.KindConfig, trace.KindMakeI, trace.KindMakeO, trace.KindBackoff,
+	} {
+		out = append(out, BenchSpanStat{
+			Kind:                kind,
+			Spans:               counts[kind],
+			VirtualSeconds:      virtual[kind].Seconds(),
+			SavedVirtualSeconds: saved[kind],
+		})
+	}
+	return out
 }

@@ -17,6 +17,7 @@ import (
 	"jmake/internal/kernelgen"
 	"jmake/internal/maintainers"
 	"jmake/internal/sched"
+	"jmake/internal/trace"
 	"jmake/internal/vclock"
 	"jmake/internal/vcs"
 )
@@ -50,6 +51,11 @@ type Params struct {
 	CacheDir string
 	// CacheMaxBytes bounds the persisted cache payload (0 = 64 MiB).
 	CacheMaxBytes int64
+	// Trace records a virtual-time span tree for every checked patch (see
+	// internal/trace). The merged trace is a reproducible artifact —
+	// byte-identical at any Workers count and under any cache state — so
+	// turning it on never perturbs the run it observes.
+	Trace bool
 	// JanitorThresholds for the §IV study; zero value uses scaled paper
 	// thresholds.
 	JanitorThresholds janitor.Thresholds
@@ -99,6 +105,8 @@ type PatchResult struct {
 	Skipped bool
 	Report  *core.PatchReport
 	Err     error
+	// Span is the patch's trace tree (nil unless Params.Trace).
+	Span *trace.Span
 }
 
 // Run is a completed evaluation.
@@ -115,6 +123,10 @@ type Run struct {
 	Results []PatchResult
 	// Pipeline describes the worker pool's execution of the window.
 	Pipeline PipelineMetrics
+	// Trace is the merged session trace (nil unless Params.Trace): one
+	// span tree per checked patch, in submission order, cache outcomes
+	// stamped.
+	Trace *trace.Trace
 }
 
 // Execute runs the complete evaluation: substrate generation and janitor
@@ -211,12 +223,25 @@ func (r *Run) checkWindow(ids []string) error {
 	met := sched.Map(len(ids),
 		sched.Options{Workers: r.Params.Workers, InFlight: r.Params.InFlight},
 		func(i int) PatchResult {
-			return processOne(r.Repo, session, model, r.Params.Checker, ids[i], r.JanitorEmails)
+			return processOne(r.Repo, session, model, r.Params.Checker, ids[i], r.JanitorEmails, r.Params.Trace)
 		},
 		func(i int, res PatchResult) {
 			r.Results[i] = res
 		})
 	r.Pipeline = computePipelineMetrics(met, r.Results, session)
+	if r.Params.Trace {
+		// r.Results is indexed by submission order, so the merged trace is
+		// identical at any worker count; Stamp then classifies cache
+		// outcomes from content keys in that same canonical order.
+		tr := &trace.Trace{}
+		for i := range r.Results {
+			if s := r.Results[i].Span; s != nil {
+				tr.Spans = append(tr.Spans, s)
+			}
+		}
+		tr.Stamp()
+		r.Trace = tr
+	}
 	if !r.Params.NoResultCache && r.Params.CacheDir != "" {
 		if err := session.ResultCache().Save(r.Params.CacheDir, r.Params.CacheMaxBytes); err != nil {
 			return fmt.Errorf("eval: persisting result cache: %w", err)
@@ -227,7 +252,7 @@ func (r *Run) checkWindow(ids []string) error {
 
 // processOne checks a single commit, mirroring the paper's per-patch
 // pipeline: clean checkout, path filtering, then JMake.
-func processOne(repo *vcs.Repo, session *core.Session, model *vclock.Model, opts core.Options, id string, jEmails map[string]bool) PatchResult {
+func processOne(repo *vcs.Repo, session *core.Session, model *vclock.Model, opts core.Options, id string, jEmails map[string]bool, traced bool) PatchResult {
 	res := PatchResult{Commit: id}
 	c, err := repo.Get(id)
 	if err != nil {
@@ -260,12 +285,20 @@ func processOne(repo *vcs.Repo, session *core.Session, model *vclock.Model, opts
 		return res
 	}
 	checker := session.Checker(tree, model, opts)
+	var rec *trace.Recorder
+	if traced {
+		// Each patch gets its own virtual clock starting at zero, so the
+		// span tree depends only on the patch's own deterministic charges.
+		rec = trace.NewRecorder(trace.KindPatch, model.NewClock(), trace.A("commit", id))
+		checker.SetTrace(rec)
+	}
 	report, err := checker.CheckPatch(id, kept)
 	if err != nil {
 		res.Err = err
 		return res
 	}
 	res.Report = report
+	res.Span = rec.Finish()
 	return res
 }
 

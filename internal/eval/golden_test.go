@@ -1,0 +1,46 @@
+package eval
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The registry refactor's byte-compat bar: the default JSON report for
+// the documented seed run must match the output pinned before the
+// scattered ad-hoc counters moved into the metrics registry. Regenerate
+// (after an intentional report change) with UPDATE_GOLDEN=1.
+func TestJSONMatchesSeedGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation run")
+	}
+	p := Params{TreeSeed: 1, HistorySeed: 2, ModelSeed: 3,
+		TreeScale: 0.15, CommitScale: 0.008, Workers: 4}
+	r, err := Execute(p)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	got, err := r.JSON(false)
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	got = append(got, '\n') // the golden was captured from the CLI, which ends with a newline
+
+	path := filepath.Join("testdata", "golden_seed.json")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("JSON report drifted from the pre-refactor seed golden (len %d vs %d).\n"+
+			"If the change is intentional, regenerate with UPDATE_GOLDEN=1.", len(got), len(want))
+	}
+}

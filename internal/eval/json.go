@@ -138,6 +138,8 @@ type JSONResultCache struct {
 	Bytes            int64                `json:"bytes"`
 	LoadedEntries    int                  `json:"loaded_entries"`
 	SavedVirtualSecs float64              `json:"saved_virtual_seconds"`
+	SavedMakeISecs   float64              `json:"saved_make_i_seconds"`
+	SavedMakeOSecs   float64              `json:"saved_make_o_seconds"`
 	EffectiveSecs    float64              `json:"effective_seconds"`
 }
 
@@ -250,6 +252,8 @@ func (r *Run) buildJSON(points, runtime bool) ([]byte, error) {
 				Bytes:            rc.Bytes,
 				LoadedEntries:    rc.LoadedEntries,
 				SavedVirtualSecs: rc.SavedVirtualSeconds,
+				SavedMakeISecs:   rc.SavedMakeISeconds,
+				SavedMakeOSecs:   rc.SavedMakeOSeconds,
 				EffectiveSecs:    pm.EffectiveSeconds(),
 			}
 		}

@@ -69,6 +69,10 @@ type ResultCacheMetrics struct {
 	// durations always use the full price; EffectiveSeconds() is the
 	// honest cost of the run with probes charged instead.
 	SavedVirtualSeconds float64
+	// The same ledger attributed per stage (their sum is
+	// SavedVirtualSeconds), for span-level savings attribution.
+	SavedMakeISeconds float64
+	SavedMakeOSeconds float64
 }
 
 // ResultCacheStage is one stage's counters.
@@ -110,6 +114,8 @@ func computePipelineMetrics(met sched.Metrics, results []PatchResult, session *c
 			Bytes:               rc.Bytes,
 			LoadedEntries:       rc.LoadedEntries,
 			SavedVirtualSeconds: rc.SavedVirtual.Seconds(),
+			SavedMakeISeconds:   rc.SavedMakeI.Seconds(),
+			SavedMakeOSeconds:   rc.SavedMakeO.Seconds(),
 		}
 	}
 	for _, res := range results {

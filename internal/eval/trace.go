@@ -1,0 +1,36 @@
+package eval
+
+// traceLanes fixes the Chrome export's virtual-lane count. Lanes are a
+// rendering device (a deterministic earliest-free-lane layout of the
+// per-patch span trees), NOT the host worker pool: pinning the count
+// keeps the exported bytes identical at any -workers setting.
+const traceLanes = 4
+
+// ChromeTrace renders the merged session trace in Chrome trace-event
+// JSON (load it in Perfetto or chrome://tracing). Returns nil when the
+// run was not traced. The bytes are a reproducible artifact: identical
+// for same-seed runs at any worker count and any result-cache state.
+func (r *Run) ChromeTrace() []byte {
+	if r.Trace == nil {
+		return nil
+	}
+	return r.Trace.Chrome(traceLanes)
+}
+
+// TraceTree renders the merged trace as an indented plain-text span
+// tree. Empty when the run was not traced.
+func (r *Run) TraceTree() string {
+	if r.Trace == nil {
+		return ""
+	}
+	return r.Trace.Tree()
+}
+
+// TraceSummary renders the per-stage / per-arch span summary table.
+// Empty when the run was not traced.
+func (r *Run) TraceSummary() string {
+	if r.Trace == nil {
+		return ""
+	}
+	return r.Trace.RenderSummary()
+}

@@ -246,6 +246,34 @@ func (in *Injector) ArchBroken(arch string) bool {
 	return true
 }
 
+// EventCount returns how many faults have been injected so far, so the
+// tracing layer can snapshot-and-diff around one operation without
+// copying the whole event list.
+func (in *Injector) EventCount() int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.events)
+}
+
+// EventsSince returns the faults injected after the first n, in order
+// (n from a prior EventCount call).
+func (in *Injector) EventsSince(n int) []Event {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if n < 0 || n > len(in.events) {
+		n = len(in.events)
+	}
+	out := make([]Event, len(in.events)-n)
+	copy(out, in.events[n:])
+	return out
+}
+
 // Events returns the faults injected so far, in order.
 func (in *Injector) Events() []Event {
 	if in == nil {

@@ -13,6 +13,7 @@ import (
 	"jmake/internal/faultinject"
 	"jmake/internal/fstree"
 	"jmake/internal/kconfig"
+	"jmake/internal/trace"
 	"jmake/internal/vclock"
 )
 
@@ -66,6 +67,11 @@ type Builder struct {
 	// faults are rolled before any probe and are never stored or served.
 	// Set it before the first MakeI/MakeO call; nil disables caching.
 	Results *ccache.Cache
+	// Trace optionally records every make invocation as a virtual-time
+	// span (internal/trace). Spans carry only cache-state- and worker-
+	// invariant attributes: probe identities (for post-merge cache-outcome
+	// stamping), never live hit/miss outcomes. nil disables recording.
+	Trace *trace.Recorder
 
 	invoked bool
 	// invokeSeq distinguishes jitter keys between invocations.
@@ -79,19 +85,40 @@ type Builder struct {
 	optsFPNonMod uint64
 }
 
-// cacheContext builds the probe context for this builder's invariants.
-func (b *Builder) cacheContext(stage ccache.Stage, asModule bool) ccache.Context {
+// fingerprints memoizes the result-cache key components (fixed for a
+// builder's lifetime).
+func (b *Builder) fingerprints() {
 	if !b.fpInit {
 		b.cfgFP = b.Cfg.Fingerprint()
 		b.optsFPNonMod = ccache.OptionsFingerprint(b.cppOptions(false))
 		b.optsFPMod = ccache.OptionsFingerprint(b.cppOptions(true))
 		b.fpInit = true
 	}
-	optsFP := b.optsFPNonMod
+}
+
+func (b *Builder) optsFP(asModule bool) uint64 {
 	if asModule {
-		optsFP = b.optsFPMod
+		return b.optsFPMod
 	}
-	return b.Results.Context(stage, b.Arch.Name, b.cfgFP, optsFP)
+	return b.optsFPNonMod
+}
+
+// cacheContext builds the probe context for this builder's invariants.
+func (b *Builder) cacheContext(stage ccache.Stage, asModule bool) ccache.Context {
+	b.fingerprints()
+	return b.Results.Context(stage, b.Arch.Name, b.cfgFP, b.optsFP(asModule))
+}
+
+// traceKey computes the probe identity a cache probe for path would
+// carry, without requiring an attached cache: trace spans must carry the
+// same identities whether the result cache is off, cold or warm.
+func (b *Builder) traceKey(stage ccache.Stage, asModule bool, path string) uint64 {
+	content, ok := TreeSource{b.Tree}.ReadFile(path)
+	if !ok {
+		return 0
+	}
+	b.fingerprints()
+	return ccache.KeyFor(stage, ccache.ContextKey(stage, b.Arch.Name, b.cfgFP, b.optsFP(asModule)), content)
 }
 
 // NewBuilder assembles a builder. It fails for architectures marked broken
@@ -182,6 +209,12 @@ type IFile struct {
 	// Err is non-nil when this file failed (unreachable, missing include,
 	// #error, ...); other files in the same invocation may still succeed.
 	Err error
+
+	// Trace bookkeeping: whether the file got far enough to have a probe
+	// identity (past reachability and pre-probe faults), and whether it
+	// was preprocessed as a module.
+	keyed bool
+	mod   bool
 }
 
 // cppOptions builds the preprocessor options for one file. asModule adds
@@ -210,6 +243,17 @@ func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
 	b.invoked = true
 
 	key := fmt.Sprintf("%s:%d", b.Arch.Name, b.invokeSeq)
+	var span *trace.Span
+	evBase := 0
+	if b.Trace != nil {
+		b.fingerprints()
+		evBase = b.Faults.EventCount()
+		span = b.Trace.Open(trace.KindMakeI,
+			trace.A("arch", b.Arch.Name),
+			trace.A("cfg", fmt.Sprintf("%016x", b.cfgFP)),
+			trace.A("files", fmt.Sprintf("%d", len(files))),
+			trace.A("first", fmt.Sprintf("%t", first)))
+	}
 	archDown := b.Faults.ArchBroken(b.Arch.Name)
 	results := make([]IFile, 0, len(files))
 	var works []vclock.FileWork // every preprocessed file: the full (reported) price
@@ -241,6 +285,8 @@ func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
 			results = append(results, r)
 			continue
 		}
+		r.mod = v == kconfig.Mod
+		r.keyed = true
 		if b.Results == nil {
 			res, err := cpp.Preprocess(TreeSource{b.Tree}, r.Path, b.cppOptions(v == kconfig.Mod))
 			if err != nil {
@@ -304,17 +350,94 @@ func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
 	if b.Results != nil {
 		eff := b.Model.MakeI(first, b.Arch.SetupOps, missWorks, key) + probeCost
 		if eff < dur {
-			b.Results.AddSaved(dur - eff)
+			b.Results.AddSaved(ccache.StageI, dur-eff)
 		}
 	}
 	dur += b.Faults.Stall(key)
+	if span != nil {
+		evs := b.Faults.EventsSince(evBase)
+		for i := range results {
+			r := &results[i]
+			attrs := []trace.Attr{trace.A("path", r.Path), trace.A("outcome", outcomeOf(r.Err))}
+			for _, ev := range evs {
+				if ev.Op == b.Arch.Name+":i:"+r.Path {
+					attrs = append(attrs, trace.A("fault", ev.Kind.String()))
+				}
+			}
+			m := b.Trace.Mark(trace.KindFile, attrs...)
+			if r.keyed {
+				m.Key = b.traceKey(ccache.StageI, r.mod, r.Path)
+			}
+		}
+		for _, ev := range evs {
+			if ev.Op == key || ev.Op == b.Arch.Name {
+				span.Add(trace.A("fault", ev.Kind.String()))
+			}
+		}
+		b.Trace.Advance(dur)
+		b.Trace.Close(span)
+	}
 	return results, dur
+}
+
+// outcomeOf classifies a make result for span attributes. Every class is
+// deterministic: fault-injected outcomes follow the seeded plan, and
+// cached verdicts reproduce the recomputed error text exactly.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case errors.Is(err, ErrNotReachable):
+		return "unreachable"
+	case errors.Is(err, ErrBrokenArch):
+		return "arch-broken"
+	case errors.Is(err, ErrTransient):
+		return "transient"
+	default:
+		return "error"
+	}
 }
 
 // MakeO runs `make file.o`: preprocess then compile. The returned duration
 // includes the whole-kernel prerequisite build when the tree metadata
 // marks the file that way (paper §V-C).
 func (b *Builder) MakeO(file string) (cc.Object, time.Duration, error) {
+	if b.Trace == nil {
+		return b.makeO(file)
+	}
+	b.fingerprints()
+	file = fstree.Clean(file)
+	span := b.Trace.Open(trace.KindMakeO,
+		trace.A("arch", b.Arch.Name),
+		trace.A("cfg", fmt.Sprintf("%016x", b.cfgFP)),
+		trace.A("path", file))
+	evBase := b.Faults.EventCount()
+	obj, dur, err := b.makeO(file)
+	span.Add(trace.A("outcome", outcomeOf(err)))
+	preProbeFault := false
+	for _, ev := range b.Faults.EventsSince(evBase) {
+		span.Add(trace.A("fault", ev.Kind.String()))
+		if ev.Kind == faultinject.KindPreprocess || ev.Kind == faultinject.KindArchBreak {
+			preProbeFault = true
+		}
+	}
+	// Files that got past reachability and the pre-probe faults have a
+	// probe identity; record it on a cache-probe mark so post-merge
+	// stamping can assign the deterministic cache outcome.
+	if !preProbeFault {
+		if v, rerr := b.Reachable(file); rerr == nil {
+			if k := b.traceKey(ccache.StageO, v == kconfig.Mod, file); k != 0 {
+				m := b.Trace.Mark(trace.KindCacheProbe, trace.A("path", file))
+				m.Key = k
+			}
+		}
+	}
+	b.Trace.Advance(dur)
+	b.Trace.Close(span)
+	return obj, dur, err
+}
+
+func (b *Builder) makeO(file string) (cc.Object, time.Duration, error) {
 	b.invokeSeq++
 	first := !b.invoked
 	b.invoked = true
@@ -341,7 +464,7 @@ func (b *Builder) MakeO(file string) (cc.Object, time.Duration, error) {
 			probe := b.Model.CacheProbe(p.Deps, key)
 			if p.Failed {
 				if probe < failBase {
-					b.Results.AddSaved(failBase - probe)
+					b.Results.AddSaved(ccache.StageO, failBase-probe)
 				}
 				return cc.Object{}, failDur, errors.New(p.ErrText)
 			}
@@ -352,7 +475,7 @@ func (b *Builder) MakeO(file string) (cc.Object, time.Duration, error) {
 			}
 			dur := b.Model.MakeO(first, b.Arch.SetupOps, obj.Lines, prereq, key)
 			if probe < dur {
-				b.Results.AddSaved(dur - probe)
+				b.Results.AddSaved(ccache.StageO, dur-probe)
 			}
 			return obj, dur + stall, nil
 		}

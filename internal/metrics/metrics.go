@@ -1,0 +1,231 @@
+// Package metrics is the pipeline's single home for counters, gauges and
+// histograms. PR 2-4 each grew a private counter pile (PipelineMetrics,
+// ccache hit/miss ledgers, token-cache counters, fault tallies); those are
+// now *views* over one Registry, so a number can never drift between the
+// place it is incremented and the place it is reported.
+//
+// Determinism discipline: counters and gauges are integers updated with
+// atomic adds, which commute — their final values are invariant under any
+// worker interleaving as long as the *set* of increments is deterministic
+// (the compute-exactly-once caches guarantee that for cache counters).
+// Durations are stored as integer nanoseconds for the same reason; float
+// accumulation is left to readers, who see only the final sums.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one key=value dimension on a metric. Metrics with the same
+// name but different label sets are distinct series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer. The zero value is ready
+// to use, but series obtained from a Registry are the norm.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// AddDuration adds d as integer nanoseconds (negative d is ignored).
+func (c *Counter) AddDuration(d time.Duration) {
+	if d > 0 {
+		c.v.Add(uint64(d))
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Duration reinterprets the count as nanoseconds.
+func (c *Counter) Duration() time.Duration { return time.Duration(c.v.Load()) }
+
+// Gauge is a settable integer (e.g. entries resident in a cache).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets. Observations are
+// float64; bucket bounds are upper-inclusive, with an implicit +Inf
+// bucket at the end. Count and Sum are exact for integer observations.
+type Histogram struct {
+	mu      sync.Mutex
+	bounds  []float64
+	buckets []uint64
+	count   uint64
+	sum     float64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += x
+	for i, b := range h.bounds {
+		if x <= b {
+			h.buckets[i]++
+			return
+		}
+	}
+	h.buckets[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Buckets returns (bounds, counts); counts has one extra slot for +Inf.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.buckets...)
+}
+
+// Registry hands out metric series keyed by (name, labels). Lookups are
+// cheap but callers on hot paths should hold the returned handle.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	keys   []string // insertion-independent: sorted on Snapshot
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+	}
+}
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteString(name)
+	for _, l := range ls {
+		b.WriteByte('{')
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// Counter returns the counter series for (name, labels), creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[key]
+	if !ok {
+		c = &Counter{}
+		r.counts[key] = c
+		r.keys = append(r.keys, "c:"+key)
+	}
+	return c
+}
+
+// Gauge returns the gauge series for (name, labels).
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[key]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[key] = g
+		r.keys = append(r.keys, "g:"+key)
+	}
+	return g
+}
+
+// Histogram returns the histogram series for (name, labels) with the
+// given bucket upper bounds (ignored if the series already exists).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	key := seriesKey(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[key]
+	if !ok {
+		bs := append([]float64(nil), bounds...)
+		sort.Float64s(bs)
+		h = &Histogram{bounds: bs, buckets: make([]uint64, len(bs)+1)}
+		r.hists[key] = h
+		r.keys = append(r.keys, "h:"+key)
+	}
+	return h
+}
+
+// Sample is one series value in a Snapshot dump.
+type Sample struct {
+	Kind  string // "counter", "gauge", "histogram"
+	Name  string // full series key incl. labels
+	Value string // rendered value
+}
+
+// Snapshot returns every series sorted by kind-prefixed key, for tests
+// and debug dumps. Sorting (not insertion order) keeps the dump
+// deterministic under concurrent series creation.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := append([]string(nil), r.keys...)
+	sort.Strings(keys)
+	out := make([]Sample, 0, len(keys))
+	for _, k := range keys {
+		name := k[2:]
+		switch k[:2] {
+		case "c:":
+			out = append(out, Sample{Kind: "counter", Name: name, Value: fmt.Sprintf("%d", r.counts[name].Value())})
+		case "g:":
+			out = append(out, Sample{Kind: "gauge", Name: name, Value: fmt.Sprintf("%d", r.gauges[name].Value())})
+		case "h:":
+			h := r.hists[name]
+			out = append(out, Sample{Kind: "histogram", Name: name, Value: fmt.Sprintf("count=%d sum=%g", h.Count(), h.Sum())})
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeriesIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("hits", L("stage", "make_i"))
+	b := r.Counter("hits", L("stage", "make_i"))
+	if a != b {
+		t.Fatal("same (name, labels) must return the same series")
+	}
+	// Label order must not matter.
+	x := r.Counter("hits", L("stage", "make_o"), L("arch", "x86"))
+	y := r.Counter("hits", L("arch", "x86"), L("stage", "make_o"))
+	if x != y {
+		t.Fatal("label order must not create distinct series")
+	}
+	if x == a {
+		t.Fatal("different labels must be distinct series")
+	}
+	if r.Counter("other") == a {
+		t.Fatal("different names must be distinct series")
+	}
+}
+
+// Counter totals must be exact under concurrent adds: the registry is the
+// single home for numbers that used to live in per-package fields.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	d := r.Counter("ns")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				d.AddDuration(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := d.Duration(); got != 8000*time.Microsecond {
+		t.Fatalf("duration counter = %v, want 8ms", got)
+	}
+}
+
+func TestNegativeDurationIgnored(t *testing.T) {
+	var c Counter
+	c.AddDuration(-time.Second)
+	if c.Value() != 0 {
+		t.Fatalf("negative duration must be ignored, got %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("entries")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10})
+	for _, x := range []float64{0.5, 1, 5, 100} {
+		h.Observe(x)
+	}
+	if h.Count() != 4 || h.Sum() != 106.5 {
+		t.Fatalf("count=%d sum=%g, want 4 / 106.5", h.Count(), h.Sum())
+	}
+	_, counts := h.Buckets()
+	want := []uint64{2, 1, 1} // <=1, <=10, +Inf
+	for i, w := range want {
+		if counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d", i, counts[i], w)
+		}
+	}
+}
+
+// Snapshot order must be stable regardless of series creation order.
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func(order []string) []Sample {
+		r := NewRegistry()
+		for _, n := range order {
+			r.Counter(n).Inc()
+		}
+		return r.Snapshot()
+	}
+	a := mk([]string{"b", "a", "c"})
+	b := mk([]string{"c", "b", "a"})
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("want 3 samples, got %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("snapshot order depends on creation order: %v vs %v", a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Chrome renders the trace as Chrome trace-event JSON (the "JSON Array
+// Format" with B/E duration events), loadable in Perfetto and
+// chrome://tracing.
+//
+// Tracks are *virtual lanes*, not host workers: each patch span is laid
+// onto the lane that frees earliest in virtual time (ties go to the
+// lowest lane), in submission order. With lanes=1 the whole run is one
+// sequential virtual timeline. Host worker identity is scheduling noise —
+// putting it in the trace would break byte-identity across -workers — so
+// it never appears here; wall-clock figures stay in the volatile runtime
+// metrics.
+//
+// The JSON is hand-assembled so the bytes are deterministic: object keys
+// in fixed order, attributes in recorded order, timestamps as exact
+// microseconds with nanosecond fraction.
+func (t *Trace) Chrome(lanes int) []byte {
+	if lanes < 1 {
+		lanes = 1
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"displayTimeUnit":"ms","otherData":{"clock":"virtual","generator":"jmake"},"traceEvents":[`)
+	first := true
+	event := func(ph string, name string, ts time.Duration, tid int, attrs []Attr) {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		buf.WriteString(`{"name":`)
+		writeJSONString(&buf, name)
+		buf.WriteString(`,"cat":"jmake","ph":"`)
+		buf.WriteString(ph)
+		buf.WriteString(`","ts":`)
+		writeMicros(&buf, ts)
+		buf.WriteString(`,"pid":1,"tid":`)
+		fmt.Fprintf(&buf, "%d", tid)
+		if len(attrs) > 0 {
+			buf.WriteString(`,"args":{`)
+			for i, a := range attrs {
+				if i > 0 {
+					buf.WriteByte(',')
+				}
+				writeJSONString(&buf, a.Key)
+				buf.WriteByte(':')
+				writeJSONString(&buf, a.Value)
+			}
+			buf.WriteByte('}')
+		}
+		buf.WriteByte('}')
+	}
+
+	// Process/thread naming metadata, then one lane at a time so each
+	// track's events are in strictly non-decreasing timestamp order.
+	meta := func(name string, tid int, value string) {
+		if !first {
+			buf.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&buf, `{"name":"%s","cat":"__metadata","ph":"M","ts":0,"pid":1,"tid":%d,"args":{"name":`, name, tid)
+		writeJSONString(&buf, value)
+		buf.WriteString(`}}`)
+	}
+	meta("process_name", 0, "jmake virtual time")
+	for l := 0; l < lanes; l++ {
+		meta("thread_name", l, fmt.Sprintf("virtual lane %d", l))
+	}
+
+	laneSpans, laneOffsets := layout(t.Spans, lanes)
+	for l := 0; l < lanes; l++ {
+		for i, root := range laneSpans[l] {
+			off := laneOffsets[l][i]
+			var emit func(s *Span)
+			emit = func(s *Span) {
+				event("B", s.Kind, off+s.Start, l, s.Attrs)
+				for _, c := range s.Children {
+					emit(c)
+				}
+				event("E", s.Kind, off+s.End, l, nil)
+			}
+			emit(root)
+		}
+	}
+	buf.WriteString("]}\n")
+	return buf.Bytes()
+}
+
+// layout assigns top-level spans to lanes in submission order, each to
+// the lane with the earliest free virtual time (lowest index on ties),
+// and returns per-lane span lists with their lane-local start offsets.
+func layout(spans []*Span, lanes int) ([][]*Span, [][]time.Duration) {
+	busy := make([]time.Duration, lanes)
+	outSpans := make([][]*Span, lanes)
+	outOffs := make([][]time.Duration, lanes)
+	for _, s := range spans {
+		best := 0
+		for l := 1; l < lanes; l++ {
+			if busy[l] < busy[best] {
+				best = l
+			}
+		}
+		outSpans[best] = append(outSpans[best], s)
+		outOffs[best] = append(outOffs[best], busy[best])
+		busy[best] += s.Dur()
+	}
+	return outSpans, outOffs
+}
+
+// writeMicros writes a virtual duration as microseconds with exact
+// nanosecond fraction ("1234.567").
+func writeMicros(buf *bytes.Buffer, d time.Duration) {
+	ns := d.Nanoseconds()
+	fmt.Fprintf(buf, "%d", ns/1000)
+	if frac := ns % 1000; frac != 0 {
+		fmt.Fprintf(buf, ".%03d", frac)
+	}
+}
+
+func writeJSONString(buf *bytes.Buffer, s string) {
+	b, err := json.Marshal(s)
+	if err != nil { // cannot happen for a string
+		b = []byte(`""`)
+	}
+	buf.Write(b)
+}
+
+// ValidateChrome checks data against the trace-event invariants the
+// smoke target cares about: parseable JSON with a traceEvents array,
+// every event carrying a valid non-negative integer pid/tid, balanced
+// B/E pairs per track with matching names, and non-decreasing timestamps
+// within each track.
+func ValidateChrome(data []byte) error {
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return fmt.Errorf("missing traceEvents array")
+	}
+	type ev struct {
+		Name string   `json:"name"`
+		Ph   string   `json:"ph"`
+		Ts   *float64 `json:"ts"`
+		Pid  *int64   `json:"pid"`
+		Tid  *int64   `json:"tid"`
+	}
+	type track struct{ pid, tid int64 }
+	stacks := make(map[track][]string)
+	lastTs := make(map[track]float64)
+	for i, raw := range doc.TraceEvents {
+		var e ev
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("event %d: %w", i, err)
+		}
+		if e.Pid == nil || e.Tid == nil || *e.Pid < 0 || *e.Tid < 0 {
+			return fmt.Errorf("event %d (%s): missing or negative pid/tid", i, e.Name)
+		}
+		tr := track{*e.Pid, *e.Tid}
+		switch e.Ph {
+		case "M":
+			continue
+		case "B", "E":
+			if e.Ts == nil {
+				return fmt.Errorf("event %d (%s): missing ts", i, e.Name)
+			}
+			if last, ok := lastTs[tr]; ok && *e.Ts < last {
+				return fmt.Errorf("event %d (%s): ts %v before %v on track %v", i, e.Name, *e.Ts, last, tr)
+			}
+			lastTs[tr] = *e.Ts
+			if e.Ph == "B" {
+				stacks[tr] = append(stacks[tr], e.Name)
+			} else {
+				st := stacks[tr]
+				if len(st) == 0 {
+					return fmt.Errorf("event %d: E %q with no open B on track %v", i, e.Name, tr)
+				}
+				if top := st[len(st)-1]; top != e.Name {
+					return fmt.Errorf("event %d: E %q closes B %q on track %v", i, e.Name, top, tr)
+				}
+				stacks[tr] = st[:len(st)-1]
+			}
+		default:
+			return fmt.Errorf("event %d (%s): unexpected phase %q", i, e.Name, e.Ph)
+		}
+	}
+	var unbalanced []string
+	for tr, st := range stacks {
+		if len(st) > 0 {
+			unbalanced = append(unbalanced, fmt.Sprintf("track %v: %d unclosed", tr, len(st)))
+		}
+	}
+	sort.Strings(unbalanced)
+	if len(unbalanced) > 0 {
+		return fmt.Errorf("unbalanced B/E pairs: %v", unbalanced)
+	}
+	return nil
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"jmake/internal/stats"
+)
+
+// StageLine is one row of the per-arch/per-stage attribution summary.
+type StageLine struct {
+	Stage   string
+	Arch    string
+	Count   int
+	Virtual time.Duration
+}
+
+// Summarize aggregates the priced stage spans (config, make.i, make.o,
+// backoff) by (stage, arch). The arch is inherited from the nearest
+// enclosing span carrying an "arch" attribute; spans outside any arch
+// context (e.g. backoff while creating a configuration before its arch
+// span opened) report under the arch attribute they carry themselves, or
+// "-". Rows are sorted by stage then arch.
+func (t *Trace) Summarize() []StageLine {
+	type key struct{ stage, arch string }
+	agg := make(map[key]*StageLine)
+	var walk func(s *Span, arch string)
+	walk = func(s *Span, arch string) {
+		if a, ok := s.Attr("arch"); ok {
+			arch = a
+		}
+		switch s.Kind {
+		case KindConfig, KindMakeI, KindMakeO, KindBackoff:
+			a := arch
+			if a == "" {
+				a = "-"
+			}
+			k := key{s.Kind, a}
+			line, ok := agg[k]
+			if !ok {
+				line = &StageLine{Stage: s.Kind, Arch: a}
+				agg[k] = line
+			}
+			line.Count++
+			line.Virtual += s.Dur()
+		}
+		for _, c := range s.Children {
+			walk(c, arch)
+		}
+	}
+	for _, s := range t.Spans {
+		walk(s, "")
+	}
+	out := make([]StageLine, 0, len(agg))
+	for _, l := range agg {
+		out = append(out, *l)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Stage != out[j].Stage {
+			return out[i].Stage < out[j].Stage
+		}
+		return out[i].Arch < out[j].Arch
+	})
+	return out
+}
+
+// RenderSummary formats Summarize as the per-arch/per-stage table shown
+// by jmake-eval and jmake-lint.
+func (t *Trace) RenderSummary() string {
+	lines := t.Summarize()
+	tb := stats.NewTable("stage", "arch", "spans", "virtual s")
+	var total time.Duration
+	n := 0
+	for _, l := range lines {
+		tb.AddRow(l.Stage, l.Arch, fmt.Sprintf("%d", l.Count),
+			fmt.Sprintf("%.1f", l.Virtual.Seconds()))
+		total += l.Virtual
+		n += l.Count
+	}
+	tb.AddRow("total", "", fmt.Sprintf("%d", n), fmt.Sprintf("%.1f", total.Seconds()))
+	return tb.String()
+}

@@ -1,0 +1,212 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"jmake/internal/vclock"
+)
+
+func newRec(kind string) *Recorder {
+	m := vclock.DefaultModel(1)
+	return NewRecorder(kind, m.NewClock())
+}
+
+func TestRecorderNesting(t *testing.T) {
+	r := newRec(KindPatch)
+	arch := r.Open(KindArch, A("arch", "x86"))
+	cfg := r.Leaf(KindConfig, 2*time.Second, A("kind", "allyes"))
+	grp := r.Open(KindMakeI)
+	r.Mark(KindFile, A("path", "a.c"))
+	r.Advance(3 * time.Second)
+	r.Close(grp)
+	r.Close(arch)
+	root := r.Finish()
+
+	if root.Dur() != 5*time.Second {
+		t.Fatalf("root duration %v, want 5s", root.Dur())
+	}
+	if len(root.Children) != 1 || root.Children[0] != arch {
+		t.Fatalf("arch must be the only child of the patch span")
+	}
+	if cfg.Start != 0 || cfg.End != 2*time.Second {
+		t.Fatalf("config span [%v,%v], want [0,2s]", cfg.Start, cfg.End)
+	}
+	if grp.Start != 2*time.Second || grp.End != 5*time.Second {
+		t.Fatalf("make.i span [%v,%v], want [2s,5s]", grp.Start, grp.End)
+	}
+	mark := grp.Children[0]
+	if mark.Start != 2*time.Second || mark.Dur() != 0 {
+		t.Fatalf("file mark at %v dur %v, want 2s / 0", mark.Start, mark.Dur())
+	}
+	if arch.End != 5*time.Second {
+		t.Fatalf("arch end %v, want 5s", arch.End)
+	}
+}
+
+// Close on an outer span must also close still-open inner spans.
+func TestCloseCascades(t *testing.T) {
+	r := newRec(KindPatch)
+	outer := r.Open(KindArch)
+	inner := r.Open(KindMakeI)
+	r.Advance(time.Second)
+	r.Close(outer)
+	if inner.End != time.Second {
+		t.Fatalf("inner span not closed by outer Close: end %v", inner.End)
+	}
+	// Recorder must still be usable at root level.
+	s := r.Leaf(KindConfig, time.Second)
+	if s.Start != time.Second {
+		t.Fatalf("post-cascade span starts at %v, want 1s", s.Start)
+	}
+}
+
+// A nil recorder must be a total no-op so untraced runs cost nothing.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	s := r.Open(KindArch)
+	r.Advance(time.Second)
+	r.Close(s)
+	if r.Leaf(KindConfig, time.Second) != nil || r.Mark(KindFile) != nil {
+		t.Fatal("nil recorder returned a span")
+	}
+	if r.Finish() != nil || r.Now() != 0 {
+		t.Fatal("nil recorder Finish/Now not inert")
+	}
+	s.Add(A("k", "v")) // nil span Add must not panic
+}
+
+func TestStampCacheOutcomes(t *testing.T) {
+	mkPatch := func(keys ...uint64) *Span {
+		p := &Span{Kind: KindPatch}
+		grp := &Span{Kind: KindMakeI}
+		p.Children = append(p.Children, grp)
+		for _, k := range keys {
+			grp.Children = append(grp.Children, &Span{Kind: KindFile, Key: k})
+		}
+		return p
+	}
+	tr := &Trace{Spans: []*Span{mkPatch(10, 20), mkPatch(10), mkPatch(30, 20)}}
+	tr.Stamp()
+	want := [][]string{{"compute", "compute"}, {"reuse"}, {"compute", "reuse"}}
+	wantGrp := []string{"compute", "reuse", "compute"}
+	for i, p := range tr.Spans {
+		grp := p.Children[0]
+		if got, _ := grp.Attr("cache"); got != wantGrp[i] {
+			t.Fatalf("patch %d group cache=%q, want %q", i, got, wantGrp[i])
+		}
+		for j, f := range grp.Children {
+			if got, _ := f.Attr("cache"); got != want[i][j] {
+				t.Fatalf("patch %d file %d cache=%q, want %q", i, j, got, want[i][j])
+			}
+		}
+		if got, _ := p.Attr("cache"); got != "" {
+			t.Fatalf("patch span must not inherit a cache attr, got %q", got)
+		}
+	}
+}
+
+func buildTrace() *Trace {
+	r := newRec(KindPatch)
+	r.Root().Add(A("commit", "abc"))
+	arch := r.Open(KindArch, A("arch", "x86_64"))
+	r.Leaf(KindConfig, 2500*time.Millisecond, A("kind", "allyes"))
+	grp := r.Open(KindMakeI)
+	r.Mark(KindFile, A("path", "drivers/a.c"))
+	r.Advance(12 * time.Second)
+	r.Close(grp)
+	r.Mark(KindWitnessScan, A("path", "drivers/a.c"))
+	r.Leaf(KindMakeO, 4*time.Second+400*time.Nanosecond, A("path", "drivers/a.c"))
+	r.Leaf(KindBackoff, time.Second, A("attempt", "1"))
+	r.Close(arch)
+	return &Trace{Spans: []*Span{r.Finish()}}
+}
+
+func TestChromeValid(t *testing.T) {
+	for _, lanes := range []int{1, 2, 4} {
+		data := buildTrace().Chrome(lanes)
+		if err := ValidateChrome(data); err != nil {
+			t.Fatalf("lanes=%d: %v\n%s", lanes, err, data)
+		}
+	}
+}
+
+func TestChromeDeterministic(t *testing.T) {
+	a := string(buildTrace().Chrome(2))
+	b := string(buildTrace().Chrome(2))
+	if a != b {
+		t.Fatal("Chrome export not byte-identical for identical traces")
+	}
+}
+
+func TestValidateChromeRejects(t *testing.T) {
+	cases := map[string]string{
+		"not json":        `{`,
+		"no events":       `{"foo":1}`,
+		"missing pid":     `{"traceEvents":[{"name":"x","ph":"B","ts":0,"tid":0}]}`,
+		"unbalanced":      `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":0}]}`,
+		"wrong close":     `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":0},{"name":"y","ph":"E","ts":1,"pid":1,"tid":0}]}`,
+		"time reversal":   `{"traceEvents":[{"name":"x","ph":"B","ts":5,"pid":1,"tid":0},{"name":"x","ph":"E","ts":1,"pid":1,"tid":0}]}`,
+		"stray end":       `{"traceEvents":[{"name":"x","ph":"E","ts":0,"pid":1,"tid":0}]}`,
+		"negative tid":    `{"traceEvents":[{"name":"x","ph":"B","ts":0,"pid":1,"tid":-1}]}`,
+		"unknown phase":   `{"traceEvents":[{"name":"x","ph":"Q","ts":0,"pid":1,"tid":0}]}`,
+		"missing ts on B": `{"traceEvents":[{"name":"x","ph":"B","pid":1,"tid":0}]}`,
+	}
+	for name, data := range cases {
+		if err := ValidateChrome([]byte(data)); err == nil {
+			t.Errorf("%s: validator accepted invalid trace", name)
+		}
+	}
+	if err := ValidateChrome([]byte(`{"traceEvents":[]}`)); err != nil {
+		t.Errorf("empty trace must validate: %v", err)
+	}
+}
+
+// Lane layout: spans fill the emptiest lane in submission order, so the
+// assignment is a pure function of the span durations.
+func TestLaneLayout(t *testing.T) {
+	mk := func(d time.Duration) *Span { return &Span{Kind: KindPatch, End: d} }
+	spans := []*Span{mk(10), mk(2), mk(3), mk(1)}
+	laneSpans, laneOffs := layout(spans, 2)
+	// 10 -> lane0; 2 -> lane1; 3 -> lane1 (busy 2 < 10); 1 -> lane1 (5 < 10).
+	if len(laneSpans[0]) != 1 || len(laneSpans[1]) != 3 {
+		t.Fatalf("lane sizes %d/%d, want 1/3", len(laneSpans[0]), len(laneSpans[1]))
+	}
+	wantOffs := []time.Duration{0, 2, 5}
+	for i, off := range laneOffs[1] {
+		if off != wantOffs[i] {
+			t.Fatalf("lane1 offset[%d] = %v, want %v", i, off, wantOffs[i])
+		}
+	}
+}
+
+func TestTreeAndSummary(t *testing.T) {
+	tr := buildTrace()
+	tree := tr.Tree()
+	for _, want := range []string{
+		"session: 1 patch spans",
+		"patch @0s +", "arch @0s +", "arch=x86_64",
+		"config @0s +2.5s", "make.i @2.5s +12s",
+		"file @2.5s +0s path=drivers/a.c",
+		"witness-scan @14.5s", "make.o @14.5s +4s", "backoff @18.5s +1s",
+	} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("tree missing %q:\n%s", want, tree)
+		}
+	}
+	lines := tr.Summarize()
+	byStage := map[string]StageLine{}
+	for _, l := range lines {
+		byStage[l.Stage] = l
+	}
+	if l := byStage[KindMakeO]; l.Arch != "x86_64" || l.Count != 1 || l.Virtual != 4*time.Second+400*time.Nanosecond {
+		t.Fatalf("make.o summary %+v wrong", l)
+	}
+	if l := byStage[KindBackoff]; l.Count != 1 || l.Virtual != time.Second {
+		t.Fatalf("backoff summary %+v wrong", l)
+	}
+	if !strings.Contains(tr.RenderSummary(), "make.i") {
+		t.Fatalf("rendered summary missing make.i:\n%s", tr.RenderSummary())
+	}
+}

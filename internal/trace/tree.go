@@ -1,0 +1,40 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+)
+
+// Tree renders the trace as an indented plain-text span tree, one line
+// per span: virtual start, duration, kind, and attributes in recorded
+// order. The format is stable — a golden test pins it — so structural
+// regressions (missing stage, wrong parent) show up as diffs.
+func (t *Trace) Tree() string {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "session: %d patch spans (virtual time)\n", len(t.Spans))
+	for _, s := range t.Spans {
+		writeTree(&buf, s, 1)
+	}
+	return buf.String()
+}
+
+func writeTree(buf *bytes.Buffer, s *Span, depth int) {
+	for i := 0; i < depth; i++ {
+		buf.WriteString("  ")
+	}
+	fmt.Fprintf(buf, "%s @%s +%s", s.Kind, fmtDur(s.Start), fmtDur(s.Dur()))
+	for _, a := range s.Attrs {
+		fmt.Fprintf(buf, " %s=%s", a.Key, a.Value)
+	}
+	buf.WriteByte('\n')
+	for _, c := range s.Children {
+		writeTree(buf, c, depth+1)
+	}
+}
+
+// fmtDur prints a duration rounded to the microsecond: fine enough for
+// every priced operation, coarse enough to keep lines readable.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Microsecond).String()
+}

@@ -42,6 +42,7 @@ import (
 	"jmake/internal/kernelgen"
 	"jmake/internal/maintainers"
 	"jmake/internal/textdiff"
+	"jmake/internal/trace"
 	"jmake/internal/vclock"
 	"jmake/internal/vcs"
 )
@@ -306,6 +307,61 @@ func checkCommitWith(session *Session, repo *Repo, tree *Tree, id string, opts O
 	}
 	checker := session.Checker(tree, vclock.DefaultModel(uint64(len(id))), opts)
 	return checker.CheckPatch(id, kept)
+}
+
+// Tracing types (internal/trace): spans are stamped with virtual times
+// from the deterministic cost model, so a trace is a reproducible
+// artifact, byte-identical at any concurrency and any cache state.
+type (
+	// TraceSpan is one node of a recorded virtual-time span tree.
+	TraceSpan = trace.Span
+	// SessionTrace is a merged session trace ready for export (Chrome
+	// trace-event JSON, plain-text tree, per-stage summary).
+	SessionTrace = trace.Trace
+)
+
+// CheckCommitTraced is CheckCommitWith additionally recording the
+// patch's virtual-time span tree. The returned span is unstamped;
+// assemble one or more of them with MergeTraces before exporting.
+func CheckCommitTraced(session *Session, repo *Repo, id string, opts Options) (*Report, *TraceSpan, error) {
+	tree, err := repo.CheckoutTree(id)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jmake: %w", err)
+	}
+	fds, err := repo.FileDiffs(id)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jmake: %w", err)
+	}
+	kept := fds[:0:0]
+	for _, fd := range fds {
+		if eval.RelevantPath(fd.NewPath) {
+			kept = append(kept, fd)
+		}
+	}
+	model := vclock.DefaultModel(uint64(len(id)))
+	checker := session.Checker(tree, model, opts)
+	rec := trace.NewRecorder(trace.KindPatch, model.NewClock(), trace.A("commit", id))
+	checker.SetTrace(rec)
+	report, err := checker.CheckPatch(id, kept)
+	if err != nil {
+		return nil, nil, err
+	}
+	return report, rec.Finish(), nil
+}
+
+// MergeTraces assembles per-patch span trees — in checking order, which
+// must be deterministic for the result to be — into a session trace and
+// stamps the deterministic cache outcomes (first occurrence of each
+// content key = "compute", repeats = "reuse"). Nil spans are skipped.
+func MergeTraces(spans ...*TraceSpan) *SessionTrace {
+	t := &trace.Trace{}
+	for _, s := range spans {
+		if s != nil {
+			t.Spans = append(t.Spans, s)
+		}
+	}
+	t.Stamp()
+	return t
 }
 
 // Mutate inserts mutation tokens for the changed lines of one file,
