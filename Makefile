@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static bench cache-smoke trace-smoke eval
+.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static bench cache-smoke trace-smoke daemon-smoke eval
 
-check: vet build test race lint cache-smoke trace-smoke
+check: vet build test race lint cache-smoke trace-smoke daemon-smoke
 
 build:
 	$(GO) build ./...
@@ -66,6 +66,12 @@ trace-smoke:
 	$(GO) run ./cmd/jmake-eval -tree-scale 0.15 -commit-scale 0.008 -workers 4 -trace-out "$$dir/w4.json" summary >/dev/null && \
 	$(GO) run ./cmd/trace-check "$$dir/w1.json" "$$dir/w4.json" && \
 	cmp "$$dir/w1.json" "$$dir/w4.json" && echo "trace-smoke: traces valid and byte-identical across workers"
+
+# Service round trip: start jmaked, replay 200 requests at concurrency 32
+# (plus a -chaos burst), byte-compare a daemon report against the batch
+# CLI's, and require a clean SIGTERM drain with a flushed cache tier.
+daemon-smoke:
+	@GO="$(GO)" sh scripts/daemon-smoke.sh
 
 eval:
 	$(GO) run ./cmd/jmake-eval summary

@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"jmake"
+	"jmake/internal/cliopts"
 	"jmake/internal/stats"
 )
 
@@ -45,27 +46,22 @@ func main() {
 
 func run() error {
 	var (
-		treeSeed    = flag.Int64("tree-seed", 1, "kernel tree generation seed")
-		histSeed    = flag.Int64("history-seed", 2, "commit history generation seed")
-		modelSeed   = flag.Uint64("model-seed", 3, "virtual-time model seed")
-		treeScale   = flag.Float64("tree-scale", 1.6, "kernel tree size multiplier")
-		commitScale = flag.Float64("commit-scale", 1.0, "history size multiplier (1.0 = 12,946 window commits)")
-		workers     = flag.Int("workers", 0, "parallel patch workers (0 = auto, capped at 25)")
-		inflight    = flag.Int("inflight", 0, "bound on admitted-but-unmerged patches (0 = 2*workers)")
-		runtimeMet  = flag.Bool("runtime-metrics", false, "include volatile scheduling metrics (wall clock, throughput); output is no longer reproducible")
-		points      = flag.Bool("points", false, "print figures as x/y points instead of ASCII plots")
-		allmod      = flag.Bool("allmod", false, "run the whole evaluation with the allmodconfig extension")
-		coverage    = flag.Bool("coverage", false, "run the whole evaluation with coverage-configuration synthesis")
-		static      = flag.Bool("static", false, "run the whole evaluation with the static presence-condition pre-pass")
-		jsonOut     = flag.Bool("json", false, "emit the whole evaluation as machine-readable JSON and exit")
-		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic faults at this per-operation rate (0 = off)")
-		faultSeed   = flag.Uint64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
-		budget      = flag.Duration("budget", 0, "per-patch virtual-time budget (0 = unlimited)")
-		cacheDir    = flag.String("cache-dir", "", "persist the compile-result cache here across runs (warm-start + save back)")
-		cacheMax    = flag.Int64("cache-max-bytes", 0, "persistent result-cache size bound (0 = 64 MiB)")
-		noCache     = flag.Bool("no-result-cache", false, "disable the shared compile-result cache (identical output, more compute)")
-		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the run's virtual-time spans")
-		traceTree   = flag.String("trace-tree", "", "write the run's virtual-time spans as an indented text tree")
+		ws    cliopts.Workspace
+		chk   cliopts.Check
+		cache cliopts.Cache
+		tro   cliopts.Trace
+	)
+	ws.Register(flag.CommandLine, 1.6, 1.0)
+	chk.Register(flag.CommandLine)
+	cache.Register(flag.CommandLine)
+	tro.Register(flag.CommandLine)
+	var (
+		modelSeed  = flag.Uint64("model-seed", 3, "virtual-time model seed")
+		workers    = flag.Int("workers", 0, "parallel patch workers (0 = auto, capped at 25)")
+		inflight   = flag.Int("inflight", 0, "bound on admitted-but-unmerged patches (0 = 2*workers)")
+		runtimeMet = flag.Bool("runtime-metrics", false, "include volatile scheduling metrics (wall clock, throughput); output is no longer reproducible")
+		points     = flag.Bool("points", false, "print figures as x/y points instead of ASCII plots")
+		jsonOut    = flag.Bool("json", false, "emit the whole evaluation as machine-readable JSON and exit")
 	)
 	flag.Parse()
 
@@ -85,30 +81,21 @@ func run() error {
 		diag = os.Stderr
 	}
 	fmt.Fprintf(diag, "# jmake-eval: tree-scale=%.2f commit-scale=%.2f workers=%d\n",
-		*treeScale, *commitScale, *workers)
-	checkerOpts := jmake.Options{
-		TryAllModConfig: *allmod,
-		CoverageConfigs: *coverage,
-		StaticPresence:  *static,
-		Budget:          *budget,
-	}
-	if *faultRate > 0 {
-		checkerOpts.Faults = jmake.UniformFaultPlan(*faultSeed, *faultRate)
-	}
-	traced := *traceOut != "" || *traceTree != "" || want["spans"]
+		ws.TreeScale, ws.CommitScale, *workers)
+	traced := tro.Enabled() || want["spans"]
 	start := time.Now()
 	run, err := jmake.Evaluate(jmake.EvalParams{
-		TreeSeed:      *treeSeed,
-		HistorySeed:   *histSeed,
+		TreeSeed:      ws.TreeSeed,
+		HistorySeed:   ws.HistorySeed,
 		ModelSeed:     *modelSeed,
-		TreeScale:     *treeScale,
-		CommitScale:   *commitScale,
+		TreeScale:     ws.TreeScale,
+		CommitScale:   ws.CommitScale,
 		Workers:       *workers,
 		InFlight:      *inflight,
-		Checker:       checkerOpts,
-		NoResultCache: *noCache,
-		CacheDir:      *cacheDir,
-		CacheMaxBytes: *cacheMax,
+		Checker:       chk.Options(),
+		NoResultCache: cache.Disable,
+		CacheDir:      cache.Dir,
+		CacheMaxBytes: cache.MaxBytes,
 		Trace:         traced,
 	})
 	if err != nil {
@@ -117,17 +104,10 @@ func run() error {
 	fmt.Fprintf(diag, "# evaluated %d window commits (%d skipped by path filter) in %v\n\n",
 		len(run.Results), run.SkippedCount(), time.Since(start).Round(time.Millisecond))
 
-	if *traceOut != "" {
-		if err := os.WriteFile(*traceOut, run.ChromeTrace(), 0o644); err != nil {
-			return fmt.Errorf("writing trace: %w", err)
+	if tro.Enabled() {
+		if err := tro.WriteFiles(run.ChromeTrace(), run.TraceTree(), diag); err != nil {
+			return err
 		}
-		fmt.Fprintf(diag, "# wrote Chrome trace to %s\n", *traceOut)
-	}
-	if *traceTree != "" {
-		if err := os.WriteFile(*traceTree, []byte(run.TraceTree()), 0o644); err != nil {
-			return fmt.Errorf("writing trace tree: %w", err)
-		}
-		fmt.Fprintf(diag, "# wrote span tree to %s\n", *traceTree)
 	}
 
 	if *jsonOut {
@@ -267,7 +247,7 @@ func run() error {
 		fmt.Println("== parallel evaluation pipeline ==")
 		fmt.Println(run.RenderPipeline(*runtimeMet))
 	}
-	if sel("presence") && *static {
+	if sel("presence") && chk.Static {
 		fmt.Println("== static presence-condition analysis ==")
 		fmt.Println(run.ComputePresenceStats().Render())
 	}

@@ -1,0 +1,260 @@
+// Command jmake-load replays a commit stream against a running jmaked
+// at configurable concurrency and reports what the service did under
+// pressure: latency percentiles, shed (429) and timeout (504) rates, and
+// — the non-negotiable part — that every 200 answer upholds the safety
+// invariant: a certified file has all mutations found and no escaped
+// lines. A single false certification fails the run.
+//
+// Usage:
+//
+//	jmake-load [-addr host:port] [-n 200] [-c 32] [-deadline-ms N] [-chaos]
+//
+// -chaos adds a deterministic fault plan (fault_rate 0.25, seed varying
+// per request) to every request, driving the daemon's resilience layer
+// through the public API; the safety assertion and the daemon must both
+// survive.
+//
+// Helper modes for scripts:
+//
+//	jmake-load -print-latest-commit     print the window's tip commit ID
+//	jmake-load -report-for <commit>     print the daemon's report verbatim
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"jmake"
+	"jmake/internal/cliopts"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jmake-load:", err)
+		os.Exit(1)
+	}
+}
+
+type tally struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+
+	ok        atomic.Int64
+	shed      atomic.Int64
+	timedOut  atomic.Int64
+	failed    atomic.Int64
+	falseCert atomic.Int64
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8344", "jmaked address")
+		n           = flag.Int("n", 200, "total requests to replay")
+		c           = flag.Int("c", 32, "concurrent clients")
+		deadlineMS  = flag.Int64("deadline-ms", 0, "per-request deadline_ms (0 = daemon default)")
+		chaos       = flag.Bool("chaos", false, "inject a deterministic fault plan on every request")
+		faultSeed   = flag.Uint64("fault-seed", 1, "base fault-plan seed for -chaos (request i uses seed+i)")
+		printLatest = flag.Bool("print-latest-commit", false, "print the window's tip commit ID and exit")
+		reportFor   = flag.String("report-for", "", "print the daemon's report for one commit verbatim and exit")
+	)
+	flag.Parse()
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 10 * time.Minute}
+
+	commits, err := fetchCommits(client, base)
+	if err != nil {
+		return err
+	}
+	if *printLatest {
+		fmt.Println(commits[len(commits)-1])
+		return nil
+	}
+	if *reportFor != "" {
+		body, status, err := postCheck(client, base, checkBody{Commit: *reportFor, DeadlineMS: *deadlineMS})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("daemon answered %d: %s", status, body)
+		}
+		_, err = os.Stdout.Write(body)
+		return err
+	}
+
+	fmt.Printf("replaying %d requests over %d commits at concurrency %d (chaos=%v)\n",
+		*n, len(commits), *c, *chaos)
+	var t tally
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				req := checkBody{Commit: commits[i%len(commits)], DeadlineMS: *deadlineMS}
+				if *chaos {
+					req.Options = cliopts.Check{FaultRate: 0.25, FaultSeed: *faultSeed + uint64(i)}
+				}
+				doOne(client, base, req, &t)
+			}
+		}()
+	}
+	start := time.Now()
+	for i := 0; i < *n; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	printSummary(&t, *n, elapsed)
+
+	if err := checkHealth(client, base); err != nil {
+		return fmt.Errorf("daemon unhealthy after the burst: %w", err)
+	}
+	fmt.Println("daemon healthy after the burst")
+	if t.falseCert.Load() > 0 {
+		return fmt.Errorf("%d FALSE CERTIFICATIONS — the daemon lied under load", t.falseCert.Load())
+	}
+	if t.ok.Load() == 0 {
+		return fmt.Errorf("no request succeeded; nothing validated")
+	}
+	return nil
+}
+
+type checkBody struct {
+	Commit     string        `json:"commit"`
+	Options    cliopts.Check `json:"options"`
+	DeadlineMS int64         `json:"deadline_ms,omitempty"`
+}
+
+func fetchCommits(client *http.Client, base string) ([]string, error) {
+	resp, err := client.Get(base + "/commits")
+	if err != nil {
+		return nil, fmt.Errorf("reaching daemon: %w", err)
+	}
+	defer resp.Body.Close()
+	var payload struct {
+		Commits []string `json:"commits"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("decoding /commits: %w", err)
+	}
+	if len(payload.Commits) == 0 {
+		return nil, fmt.Errorf("daemon reports an empty commit window")
+	}
+	return payload.Commits, nil
+}
+
+func postCheck(client *http.Client, base string, req checkBody) ([]byte, int, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Post(base+"/check", "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, err
+}
+
+func doOne(client *http.Client, base string, req checkBody, t *tally) {
+	start := time.Now()
+	body, status, err := postCheck(client, base, req)
+	lat := time.Since(start)
+	if err != nil {
+		t.failed.Add(1)
+		return
+	}
+	t.mu.Lock()
+	t.latencies = append(t.latencies, lat)
+	t.mu.Unlock()
+	switch status {
+	case http.StatusOK:
+		var report jmake.Report
+		if err := json.Unmarshal(body, &report); err != nil {
+			t.failed.Add(1)
+			fmt.Fprintf(os.Stderr, "jmake-load: %s: undecodable report: %v\n", req.Commit, err)
+			return
+		}
+		if bad := falseCertifications(&report); len(bad) > 0 {
+			t.falseCert.Add(int64(len(bad)))
+			for _, msg := range bad {
+				fmt.Fprintf(os.Stderr, "jmake-load: FALSE CERTIFICATION on %s: %s\n", req.Commit, msg)
+			}
+		}
+		t.ok.Add(1)
+	case http.StatusTooManyRequests:
+		t.shed.Add(1)
+	case http.StatusGatewayTimeout:
+		t.timedOut.Add(1)
+	default:
+		t.failed.Add(1)
+		fmt.Fprintf(os.Stderr, "jmake-load: %s: status %d: %.200s\n", req.Commit, status, body)
+	}
+}
+
+// falseCertifications applies the chaos-sweep safety invariant to a
+// served report: certified ⇒ every mutation witnessed and no escapes.
+func falseCertifications(r *jmake.Report) []string {
+	var bad []string
+	for _, f := range r.Files {
+		if f.Status != jmake.StatusCertified {
+			continue
+		}
+		if f.FoundMutations != f.Mutations {
+			bad = append(bad, fmt.Sprintf("%s certified with %d/%d mutations found",
+				f.Path, f.FoundMutations, f.Mutations))
+		}
+		if len(f.EscapedLines) != 0 {
+			bad = append(bad, fmt.Sprintf("%s certified with escaped lines %v",
+				f.Path, f.EscapedLines))
+		}
+	}
+	return bad
+}
+
+func printSummary(t *tally, n int, elapsed time.Duration) {
+	t.mu.Lock()
+	lats := append([]time.Duration(nil), t.latencies...)
+	t.mu.Unlock()
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(q float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)-1))
+		return lats[i].Round(time.Millisecond)
+	}
+	ok, shed, timedOut, failed := t.ok.Load(), t.shed.Load(), t.timedOut.Load(), t.failed.Load()
+	fmt.Printf("done in %v: %d ok, %d shed (429), %d timed out (504), %d failed\n",
+		elapsed.Round(time.Millisecond), ok, shed, timedOut, failed)
+	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  max %v\n", pct(0.50), pct(0.95), pct(0.99), pct(1.0))
+	fmt.Printf("rates: shed %.1f%%  timeout %.1f%%  throughput %.1f req/s\n",
+		100*float64(shed)/float64(n), 100*float64(timedOut)/float64(n),
+		float64(ok)/elapsed.Seconds())
+}
+
+func checkHealth(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("healthz answered %d: %s", resp.StatusCode, body)
+	}
+	return nil
+}

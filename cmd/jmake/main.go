@@ -8,16 +8,20 @@
 //	jmake [-tree-scale S] [-commit-scale S] [-n N | -commit ID] [-show]
 //
 // With -n, the latest N window commits are checked; with -commit, one
-// specific commit.
+// specific commit. With -json, each report is printed as indented JSON
+// (and the workspace chatter goes to stderr), byte-identical to the
+// report jmaked serves for the same commit.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"jmake"
+	"jmake/internal/cliopts"
 )
 
 func main() {
@@ -29,79 +33,51 @@ func main() {
 
 func run() error {
 	var (
-		treeSeed    = flag.Int64("tree-seed", 1, "kernel tree generation seed")
-		histSeed    = flag.Int64("history-seed", 2, "history generation seed")
-		treeScale   = flag.Float64("tree-scale", 0.4, "kernel tree size multiplier")
-		commitScale = flag.Float64("commit-scale", 0.05, "history size multiplier")
-		n           = flag.Int("n", 5, "check the latest N window commits")
-		commitID    = flag.String("commit", "", "check one specific commit ID")
-		show        = flag.Bool("show", false, "print each commit's patch before the verdict")
-		annotate    = flag.Bool("annotate", false, "print the patch with per-line compile verdicts")
-		allmod      = flag.Bool("allmod", false, "also try allmodconfig (covers #ifdef MODULE, ~2x configurations)")
-		prescan     = flag.Bool("prescan", false, "statically warn about doomed regions before building")
-		coverage    = flag.Bool("coverage", false, "synthesize targeted configurations for regions standard configs miss")
-		static      = flag.Bool("static", false, "prove dead lines before building and cross-check predictions against .i witnesses")
-		patchFile   = flag.String("patch", "", "check a unified-diff patch file against the v4.4 tree instead of commits")
-		faultRate   = flag.Float64("fault-rate", 0, "inject deterministic faults at this per-operation rate (0 = off)")
-		faultSeed   = flag.Uint64("fault-seed", 1, "fault-plan seed (with -fault-rate)")
-		budget      = flag.Duration("budget", 0, "per-patch virtual-time budget (0 = unlimited)")
-		retries     = flag.Int("retries", 0, "max retries per transient failure (0 = default 2, negative = off)")
-		cacheDir    = flag.String("cache-dir", "", "persist the compile-result cache here across runs (warm-start + save back)")
-		noCache     = flag.Bool("no-result-cache", false, "disable the shared compile-result cache (identical verdicts, more compute)")
-		cacheStats  = flag.Bool("cache-stats", false, "print result-cache counters after checking")
-		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON file of the checked commits' virtual-time spans")
-		traceTree   = flag.String("trace-tree", "", "write the checked commits' virtual-time spans as an indented text tree")
+		ws    cliopts.Workspace
+		chk   cliopts.Check
+		cache cliopts.Cache
+		tro   cliopts.Trace
+	)
+	ws.Register(flag.CommandLine, 0.4, 0.05)
+	chk.Register(flag.CommandLine)
+	cache.Register(flag.CommandLine)
+	tro.Register(flag.CommandLine)
+	var (
+		n         = flag.Int("n", 5, "check the latest N window commits")
+		commitID  = flag.String("commit", "", "check one specific commit ID")
+		show      = flag.Bool("show", false, "print each commit's patch before the verdict")
+		annotate  = flag.Bool("annotate", false, "print the patch with per-line compile verdicts")
+		patchFile = flag.String("patch", "", "check a unified-diff patch file against the v4.4 tree instead of commits")
+		jsonOut   = flag.Bool("json", false, "print each report as indented JSON (diagnostics go to stderr)")
 	)
 	flag.Parse()
 
-	fmt.Println("generating workspace...")
-	tree, man, err := jmake.GenerateKernel(*treeSeed, *treeScale)
-	if err != nil {
-		return err
-	}
-	hist, err := jmake.SynthesizeHistory(tree, man, *histSeed, *commitScale)
-	if err != nil {
-		return err
-	}
-	ids, err := hist.Repo.Between("v4.3", "v4.4", jmake.ModifyingNonMerge)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("workspace: %d files, %d window commits\n\n", tree.Len(), len(ids))
-
-	var targets []string
-	if *commitID != "" {
-		targets = []string{*commitID}
-	} else {
-		start := len(ids) - *n
-		if start < 0 {
-			start = 0
-		}
-		targets = ids[start:]
+	// Under -json, stdout is exactly the report(s); chatter goes to stderr.
+	diag := os.Stdout
+	if *jsonOut {
+		diag = os.Stderr
 	}
 
-	opts := jmake.Options{
-		TryAllModConfig: *allmod,
-		Prescan:         *prescan,
-		CoverageConfigs: *coverage,
-		StaticPresence:  *static,
-		MaxRetries:      *retries,
-		Budget:          *budget,
+	fmt.Fprintln(diag, "generating workspace...")
+	built, err := ws.Build()
+	if err != nil {
+		return err
 	}
-	if *faultRate > 0 {
-		opts.Faults = jmake.UniformFaultPlan(*faultSeed, *faultRate)
-	}
+	fmt.Fprintf(diag, "workspace: %d files, %d window commits\n\n", built.Tree.Len(), len(built.WindowIDs))
+
+	targets := built.Targets(*commitID, *n)
+	opts := chk.Options()
 
 	if *patchFile != "" {
 		text, err := os.ReadFile(*patchFile)
 		if err != nil {
 			return err
 		}
-		head, err := hist.Repo.TagID("v4.4")
+		head, err := built.Hist.Repo.TagID("v4.4")
 		if err != nil {
 			return err
 		}
-		base, err := hist.Repo.CheckoutTree(head)
+		base, err := built.Hist.Repo.CheckoutTree(head)
 		if err != nil {
 			return err
 		}
@@ -109,86 +85,75 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		printReport("(patch file)", report)
-		return nil
+		return emitReport("(patch file)", report, *jsonOut)
 	}
 
 	// One session across all targets so the commits share the arch index,
 	// configuration cache, and compile-result cache. With -cache-dir the
 	// result cache additionally survives across jmake runs.
-	base, err := hist.Repo.CheckoutTree(targets[0])
+	session, err := built.SessionAt(targets[0])
 	if err != nil {
 		return err
 	}
-	session, err := jmake.NewSession(base)
-	if err != nil {
-		return err
-	}
-	if *noCache {
-		session.SetResultCache(nil)
-	} else if *cacheDir != "" {
-		session.SetResultCache(jmake.LoadResultCache(*cacheDir))
-	}
+	cache.Apply(session)
 
-	tracing := *traceOut != "" || *traceTree != ""
 	var spans []*jmake.TraceSpan
 	for _, id := range targets {
 		if *show {
-			text, err := hist.Repo.Show(id)
+			text, err := built.Hist.Repo.Show(id)
 			if err != nil {
 				return err
 			}
-			fmt.Println(text)
+			fmt.Fprintln(diag, text)
 		}
 		var report *jmake.Report
 		var err error
-		if tracing {
+		if tro.Enabled() {
 			var span *jmake.TraceSpan
-			report, span, err = jmake.CheckCommitTraced(session, hist.Repo, id, opts)
+			report, span, err = jmake.CheckCommitTraced(session, built.Hist.Repo, id, opts)
 			spans = append(spans, span)
 		} else {
-			report, err = jmake.CheckCommitWith(session, hist.Repo, id, opts)
+			report, err = jmake.CheckCommitWith(session, built.Hist.Repo, id, opts)
 		}
 		if err != nil {
 			return err
 		}
-		printReport(id, report)
+		if err := emitReport(id, report, *jsonOut); err != nil {
+			return err
+		}
 		if *annotate {
-			fds, err := hist.Repo.FileDiffs(id)
+			fds, err := built.Hist.Repo.FileDiffs(id)
 			if err != nil {
 				return err
 			}
-			fmt.Print(jmake.Annotate(fds, report))
+			fmt.Fprint(diag, jmake.Annotate(fds, report))
 		}
 	}
-	if st, ok := session.ResultCacheStats(); ok && *cacheStats {
-		fmt.Printf("result cache: make.i %d/%d hits (%d deduped), make.o %d/%d hits, %d entries, saved %v virtual\n",
-			st.MakeI.Hits, st.MakeI.Hits+st.MakeI.Misses, st.MakeI.Deduped,
-			st.MakeO.Hits, st.MakeO.Hits+st.MakeO.Misses,
-			st.Entries, st.SavedVirtual.Round(1e6))
-	}
-	if tracing {
+	cache.PrintStats(diag, session)
+	if tro.Enabled() {
 		// Stamp once over the whole session: cache outcomes are defined by
 		// first occurrence across all checked commits, in checking order.
 		tr := jmake.MergeTraces(spans...)
-		if *traceOut != "" {
-			if err := os.WriteFile(*traceOut, tr.Chrome(4), 0o644); err != nil {
-				return fmt.Errorf("writing trace: %w", err)
-			}
-			fmt.Printf("wrote Chrome trace to %s\n", *traceOut)
-		}
-		if *traceTree != "" {
-			if err := os.WriteFile(*traceTree, []byte(tr.Tree()), 0o644); err != nil {
-				return fmt.Errorf("writing trace tree: %w", err)
-			}
-			fmt.Printf("wrote span tree to %s\n", *traceTree)
+		if err := tro.WriteFiles(tr.Chrome(4), tr.Tree(), diag); err != nil {
+			return err
 		}
 	}
-	if !*noCache && *cacheDir != "" {
-		if err := jmake.SaveResultCache(session.ResultCache(), *cacheDir, 0); err != nil {
-			return fmt.Errorf("persisting result cache: %w", err)
-		}
+	if err := cache.Flush(session); err != nil {
+		return fmt.Errorf("persisting result cache: %w", err)
 	}
+	return nil
+}
+
+func emitReport(id string, r *jmake.Report, asJSON bool) error {
+	if asJSON {
+		data, err := json.MarshalIndent(r, "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(append(data, '\n'))
+		return err
+	}
+	printReport(id, r)
 	return nil
 }
 
@@ -206,6 +171,9 @@ func printReport(id string, r *jmake.Report) {
 	}
 	if r.BudgetExhausted {
 		fmt.Printf("  budget exhausted: checking stopped before completion\n")
+	}
+	if r.Interrupted {
+		fmt.Printf("  interrupted: checking stopped before completion\n")
 	}
 	if len(r.QuarantinedArches) > 0 {
 		fmt.Printf("  quarantined arches: %s\n", strings.Join(r.QuarantinedArches, ","))

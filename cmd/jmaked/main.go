@@ -1,0 +1,100 @@
+// Command jmaked serves jmake checks over HTTP from a warm session: the
+// generated workspace, arch index, Kconfig valuations, lexed tokens and
+// the compile-result cache stay resident across requests, so a check
+// costs its own work only — not the per-invocation warm-up the batch CLI
+// pays.
+//
+// Usage:
+//
+//	jmaked [-addr :8344] [workspace/cache flags as in jmake]
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness (process up, session present)
+//	GET  /readyz    readiness (503 while draining)
+//	GET  /metricsz  daemon + session metrics, latency percentiles
+//	GET  /commits   the workspace's window commit IDs
+//	POST /check     {"commit": ID, "options": {...}, "deadline_ms": N}
+//	POST /batch     {"commits": [ID...], ...}
+//
+// The /check happy path answers the same bytes `jmake -commit ID -json`
+// prints for the same workspace flags. Overload sheds with 429 +
+// Retry-After; deadline expiry answers 504 with a partial report; SIGINT
+// or SIGTERM drains gracefully and flushes the persistent cache tier.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"jmake/internal/daemon"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "jmaked:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var cfg daemon.Config
+	cfg.Workspace.Register(flag.CommandLine, 0.4, 0.05)
+	cfg.Cache.Register(flag.CommandLine)
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8344", "listen address")
+		maxInFlight  = flag.Int("max-inflight", 2, "max concurrently running checks")
+		maxQueue     = flag.Int("max-queue", 8, "max requests waiting for a slot before shedding with 429 (-1 = none)")
+		deadline     = flag.Duration("deadline", 60*time.Second, "default per-request deadline")
+		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+		debug        = flag.Bool("debug", false, "enable debug_panic/debug_hold_ms request fields (tests only)")
+	)
+	flag.Parse()
+	cfg.MaxInFlight = *maxInFlight
+	cfg.MaxQueue = *maxQueue
+	cfg.DefaultDeadline = *deadline
+	cfg.MaxDeadline = *maxDeadline
+	cfg.Debug = *debug
+
+	log.Printf("jmaked: generating workspace (tree-scale %.2f, commit-scale %.2f)...",
+		cfg.Workspace.TreeScale, cfg.Workspace.CommitScale)
+	start := time.Now()
+	s, err := daemon.New(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("jmaked: warm in %v, %d window commits, serving on %s",
+		time.Since(start).Round(time.Millisecond), len(s.Commits()), *addr)
+
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			errc <- err
+		}
+	}()
+
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case sig := <-sigc:
+		log.Printf("jmaked: %v: draining (grace %v)...", sig, *drainTimeout)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := s.Shutdown(ctx, srv); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Printf("jmaked: drained cleanly")
+	return nil
+}

@@ -179,6 +179,13 @@ type Cache struct {
 	bytes    int64
 	loaded   int
 	series   [numStages]stageSeries
+	// loadFailures / saveFailures count persistence problems (corrupt or
+	// version-mismatched files, dropped entries, failed writes). Cold-start
+	// semantics are unchanged — these exist so an operator can tell "cold
+	// by design" from "disk is eating the cache".
+	loadFailures *metrics.Counter
+	saveFailures *metrics.Counter
+	warnOnce     sync.Once
 }
 
 // New returns an empty cache counting into a private registry.
@@ -188,9 +195,11 @@ func New() *Cache { return NewIn(metrics.NewRegistry()) }
 // shared session registry owns every cache's numbers.
 func NewIn(reg *metrics.Registry) *Cache {
 	c := &Cache{
-		index:    make(map[uint64][]*entry),
-		byID:     make(map[uint64]*entry),
-		inflight: make(map[uint64]chan struct{}),
+		index:        make(map[uint64][]*entry),
+		byID:         make(map[uint64]*entry),
+		inflight:     make(map[uint64]chan struct{}),
+		loadFailures: reg.Counter("ccache_load_failures"),
+		saveFailures: reg.Counter("ccache_save_failures"),
 	}
 	for s := StageI; s < numStages; s++ {
 		c.series[s] = newStageSeries(reg, s)

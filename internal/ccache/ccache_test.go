@@ -11,6 +11,7 @@ import (
 
 	"jmake/internal/cc"
 	"jmake/internal/cpp"
+	"jmake/internal/metrics"
 	"jmake/internal/vclock"
 )
 
@@ -452,5 +453,79 @@ func TestOptionsFingerprint(t *testing.T) {
 	}
 	if b := OptionsFingerprint(optsWith([]string{"include"}, base(), 11)); a == b {
 		t.Fatalf("max depth must affect fingerprint")
+	}
+}
+
+// Persistence failures stay silent in behavior (cold start) but must be
+// visible in the metrics registry, so an operator can tell "cold by
+// design" from "disk is eating the cache".
+func TestPersistFailureCounters(t *testing.T) {
+	src := testSource()
+	dir := t.TempDir()
+	c := New()
+	storeOne(t, c, src)
+	if err := c.Save(dir, 0); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	path := filepath.Join(dir, persistFile)
+
+	// A missing file is cold by design: no failure counted.
+	reg := metrics.NewRegistry()
+	cold := NewIn(reg)
+	cold.Load(t.TempDir())
+	if got := reg.Counter("ccache_load_failures").Value(); got != 0 {
+		t.Fatalf("missing file counted %d load failures, want 0", got)
+	}
+
+	// Garbage in place of the file: one load failure.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg = metrics.NewRegistry()
+	NewIn(reg).Load(dir)
+	if got := reg.Counter("ccache_load_failures").Value(); got != 1 {
+		t.Fatalf("garbage file counted %d load failures, want 1", got)
+	}
+
+	// Tampered entries: one load failure per dropped entry.
+	if err := c.Save(dir, 0); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var df diskFile
+	if err := json.Unmarshal(raw, &df); err != nil {
+		t.Fatal(err)
+	}
+	df.Entries[0].Text += "tampered"
+	raw2, _ := json.Marshal(&df)
+	if err := os.WriteFile(path, raw2, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg = metrics.NewRegistry()
+	warm := NewIn(reg)
+	warm.Load(dir)
+	if got := reg.Counter("ccache_load_failures").Value(); got != 1 {
+		t.Fatalf("tampered entry counted %d load failures, want 1", got)
+	}
+	if st := warm.Stats(); st.Entries != 0 {
+		t.Fatalf("tampered entry must still be dropped, got %+v", st)
+	}
+
+	// A failed save counts too (target dir is a file, MkdirAll fails).
+	blocked := filepath.Join(t.TempDir(), "blocked")
+	if err := os.WriteFile(blocked, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg = metrics.NewRegistry()
+	sc := NewIn(reg)
+	storeOne(t, sc, src)
+	if err := sc.Save(filepath.Join(blocked, "cache"), 0); err == nil {
+		t.Fatal("Save into a file path must error")
+	}
+	if got := reg.Counter("ccache_save_failures").Value(); got != 1 {
+		t.Fatalf("failed save counted %d save failures, want 1", got)
 	}
 }

@@ -3,11 +3,13 @@ package ccache
 import (
 	"encoding/json"
 	"fmt"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"jmake/internal/cc"
+	"jmake/internal/metrics"
 	"jmake/internal/vclock"
 )
 
@@ -83,29 +85,53 @@ func (d *diskEntry) toEntry() *entry {
 	}
 }
 
+// notePersistFailure counts one persistence problem and logs a single
+// stderr warning for the cache's lifetime. The failure never changes
+// behavior (cold start / lost entries only), but it must not be silent:
+// a daemon operator watching ccache_load_failures/ccache_save_failures
+// can tell "cold by design" from "disk is eating the cache".
+func (c *Cache) notePersistFailure(counter *metrics.Counter, n uint64, what string) {
+	counter.Add(n)
+	c.warnOnce.Do(func() {
+		log.Printf("ccache: %s (cache stays best-effort; watch ccache_load_failures/ccache_save_failures for recurrence)", what)
+	})
+}
+
 // Load warm-starts the cache from dir. It is strictly best-effort: a
 // missing, unreadable, version-mismatched or corrupt file (or corrupt
 // individual entries) leaves the cache cold — persistence failures must
-// never change verdicts, only hit rates.
+// never change verdicts, only hit rates. A missing file is cold by
+// design; every other failure is counted in ccache_load_failures.
 func (c *Cache) Load(dir string) {
 	raw, err := os.ReadFile(filepath.Join(dir, persistFile))
 	if err != nil {
+		if !os.IsNotExist(err) {
+			c.notePersistFailure(c.loadFailures, 1, fmt.Sprintf("reading persistent tier: %v", err))
+		}
 		return
 	}
 	var df diskFile
-	if json.Unmarshal(raw, &df) != nil || df.Version != persistVersion {
+	if json.Unmarshal(raw, &df) != nil {
+		c.notePersistFailure(c.loadFailures, 1, fmt.Sprintf("corrupt persistent tier %s: not valid JSON", filepath.Join(dir, persistFile)))
+		return
+	}
+	if df.Version != persistVersion {
+		c.notePersistFailure(c.loadFailures, 1, fmt.Sprintf("persistent tier version %d != %d: ignoring file", df.Version, persistVersion))
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	dropped := 0
 	// The file is MRU-first; insert in reverse so recency survives the
 	// round-trip (insertLocked stamps increasing use sequence numbers).
 	for i := len(df.Entries) - 1; i >= 0; i-- {
 		d := &df.Entries[i]
 		if d.Stage < 0 || Stage(d.Stage) >= numStages || len(d.Deps) == 0 {
+			dropped++
 			continue
 		}
 		if d.checksum() != d.Check {
+			dropped++
 			continue
 		}
 		e := d.toEntry()
@@ -116,6 +142,9 @@ func (c *Cache) Load(dir string) {
 		}
 		c.insertLocked(e)
 		c.loaded++
+	}
+	if dropped > 0 {
+		c.notePersistFailure(c.loadFailures, uint64(dropped), fmt.Sprintf("dropped %d corrupt entries from persistent tier", dropped))
 	}
 }
 
@@ -151,16 +180,20 @@ func (c *Cache) Save(dir string, maxBytes int64) error {
 	}
 	raw, err := json.Marshal(&df)
 	if err != nil {
+		c.notePersistFailure(c.saveFailures, 1, fmt.Sprintf("encoding persistent tier: %v", err))
 		return fmt.Errorf("ccache: encoding: %w", err)
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		c.notePersistFailure(c.saveFailures, 1, fmt.Sprintf("saving persistent tier: %v", err))
 		return fmt.Errorf("ccache: %w", err)
 	}
 	tmp := filepath.Join(dir, persistFile+".tmp")
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		c.notePersistFailure(c.saveFailures, 1, fmt.Sprintf("saving persistent tier: %v", err))
 		return fmt.Errorf("ccache: %w", err)
 	}
 	if err := os.Rename(tmp, filepath.Join(dir, persistFile)); err != nil {
+		c.notePersistFailure(c.saveFailures, 1, fmt.Sprintf("saving persistent tier: %v", err))
 		return fmt.Errorf("ccache: %w", err)
 	}
 	return nil

@@ -321,6 +321,7 @@ func (c *Checker) CheckPatch(commit string, fds []textdiff.FileDiff) (*PatchRepo
 	}
 	report.FaultEvents = c.run.inj.Events()
 	report.BudgetExhausted = c.run.exhausted
+	report.Interrupted = c.run.interrupted
 	report.QuarantinedArches = c.run.quarantinedList()
 	return report, nil
 }
@@ -432,7 +433,7 @@ func (c *Checker) newBuilders(report *PatchReport, mutatedTree *fstree.Tree, arc
 	for attempt := 0; ; attempt++ {
 		cfg, symbols, err = c.configs.Get(c.tree, arch, choice, c.run.inj)
 		if err == nil || !kbuild.IsTransient(err) ||
-			attempt >= c.run.maxRetries || c.run.exhausted {
+			attempt >= c.run.maxRetries || c.run.halted() {
 			break
 		}
 		c.chargeBackoff(report, attempt+1, "config:"+archName+":"+choice.Kind.String()+choice.Path)
@@ -497,7 +498,7 @@ func (c *Checker) processCFiles(report *PatchReport, mutatedTree *fstree.Tree, c
 		if allCovered(cFiles) && allCompiled(cFiles) {
 			break
 		}
-		if c.run.exhausted {
+		if c.run.halted() {
 			break
 		}
 		arch := c.arches[ac.Arch]
@@ -514,7 +515,7 @@ func (c *Checker) processCFiles(report *PatchReport, mutatedTree *fstree.Tree, c
 			if allCovered(cFiles) && allCompiled(cFiles) {
 				break
 			}
-			if c.run.exhausted || c.run.quarantined[ac.Arch] {
+			if c.run.halted() || c.run.quarantined[ac.Arch] {
 				break
 			}
 			bp, err := c.newBuilders(report, mutatedTree, ac.Arch, cc)
@@ -574,7 +575,7 @@ func relevantFiles(cFiles []*fileState, arch string) []*fileState {
 // mutations showed up.
 func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string, cc ConfigChoice, files []*fileState, allMuts []*mutEntry) {
 	for start := 0; start < len(files); start += c.opts.MaxGroupSize {
-		if c.run.exhausted || c.run.quarantined[archName] {
+		if c.run.halted() || c.run.quarantined[archName] {
 			break
 		}
 		end := start + c.opts.MaxGroupSize
@@ -615,7 +616,7 @@ func (c *Checker) runGroup(report *PatchReport, bp *builderPair, archName string
 			if len(witnessed) == 0 && (fs.compiledOK || fs.validatedOK) {
 				continue
 			}
-			if c.run.exhausted || c.run.quarantined[archName] {
+			if c.run.halted() || c.run.quarantined[archName] {
 				break
 			}
 			// Compile the pristine file to validate the configuration.
@@ -809,6 +810,13 @@ func (c *Checker) finalize(report *PatchReport, fs *fileState) {
 		// degrade honestly.
 		fo.Status = StatusBudgetExhausted
 		fo.FailureDetail = "virtual-time budget exhausted"
+	case c.run != nil && c.run.interrupted:
+		// The caller canceled (deadline, client gone) with work left. Same
+		// honesty rule as budget exhaustion: a partial answer, clearly
+		// labeled, never escapes the checker did not diagnose. Budget takes
+		// precedence above because it is the deterministic cause.
+		fo.Status = StatusCanceled
+		fo.FailureDetail = "check canceled before completion"
 	case fs.compiledOK || fs.validatedOK || (fs.kind == HFile && fo.FoundMutations > 0):
 		fo.Status = StatusEscapes
 		fo.Escapes = c.classifyEscapes(fs)

@@ -130,7 +130,7 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 	budget := maxCoverageConfigs
 
 	for _, fs := range cFiles {
-		if budget <= 0 || c.run.exhausted {
+		if budget <= 0 || c.run.halted() {
 			break
 		}
 		pending := fs.pendingLive()
@@ -143,7 +143,7 @@ func (c *Checker) processCoverageConfigs(report *PatchReport, mutatedTree *fstre
 		}
 		f := csrc.Analyze(content)
 		for _, m := range pending {
-			if budget <= 0 || c.run.exhausted {
+			if budget <= 0 || c.run.halted() {
 				break
 			}
 			wants := c.coverageWants(f, m, kt)

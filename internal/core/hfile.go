@@ -109,7 +109,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 	}
 
 	for start := 0; start < len(cands) && len(hf.pendingLive()) > 0; start += headerChunk {
-		if c.run.exhausted {
+		if c.run.halted() {
 			break
 		}
 		end := start + headerChunk
@@ -125,7 +125,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 		choices := mergeArchChoices(perFile)
 
 		for _, ac := range choices {
-			if len(hf.pendingLive()) == 0 || c.run.exhausted {
+			if len(hf.pendingLive()) == 0 || c.run.halted() {
 				break
 			}
 			arch := c.arches[ac.Arch]
@@ -139,7 +139,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 				continue
 			}
 			for _, cc := range ac.Configs {
-				if len(hf.pendingLive()) == 0 || c.run.exhausted || c.run.quarantined[ac.Arch] {
+				if len(hf.pendingLive()) == 0 || c.run.halted() || c.run.quarantined[ac.Arch] {
 					break
 				}
 				bp, err := c.newBuilders(report, mutatedTree, ac.Arch, cc)
@@ -171,7 +171,7 @@ func (c *Checker) processHFile(report *PatchReport, mutatedTree *fstree.Tree, hf
 					if len(witnessed) == 0 {
 						continue
 					}
-					if c.run.exhausted || c.run.quarantined[ac.Arch] {
+					if c.run.halted() || c.run.quarantined[ac.Arch] {
 						break
 					}
 					oerr := c.makeO(report, bp, res.Path)

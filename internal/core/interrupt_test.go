@@ -1,0 +1,89 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestInterruptImmediate: an interrupt that is already pending when the
+// check starts must stop the pipeline at the first stage boundary and
+// finalize every unfinished file as canceled — never as certified, and
+// never with escapes the checker did not diagnose.
+func TestInterruptImmediate(t *testing.T) {
+	tr, fds := chaosEdits(t)
+	r := chaosRun(t, tr, fds, Options{Interrupt: func() bool { return true }})
+	if !r.Interrupted {
+		t.Fatal("report not marked Interrupted")
+	}
+	sawCanceled := false
+	for _, f := range r.Files {
+		switch f.Status {
+		case StatusCanceled:
+			sawCanceled = true
+		case StatusCertified:
+			t.Errorf("%s certified under an immediate interrupt", f.Path)
+		case StatusEscapes:
+			// EscapedLines (the raw unwitnessed set) is expected on a
+			// canceled file, but claiming a *diagnosed* escape without
+			// having compiled anything would be a lie.
+			t.Errorf("%s reports diagnosed escapes under an immediate interrupt", f.Path)
+		}
+	}
+	if !sawCanceled {
+		t.Errorf("no file finalized canceled: %+v", r.Files)
+	}
+}
+
+// TestInterruptPartial sweeps the trip point across every poll count and
+// asserts the certification safety invariant at each: whatever boundary
+// the interrupt lands on, a certified file has all mutations found and no
+// escapes, and a tripped run is always marked Interrupted.
+func TestInterruptPartial(t *testing.T) {
+	// First measure how often a full run polls.
+	polls := 0
+	tr, fds := chaosEdits(t)
+	full := chaosRun(t, tr, fds, Options{Interrupt: func() bool { polls++; return false }})
+	if !full.Certified() {
+		t.Fatalf("fixture patch should certify with a non-firing interrupt: %+v", full.Files)
+	}
+	if full.Interrupted {
+		t.Fatal("non-firing interrupt marked the report Interrupted")
+	}
+	if polls == 0 {
+		t.Fatal("Interrupt was never polled; stage boundaries are not wired")
+	}
+
+	for trip := 1; trip <= polls; trip++ {
+		n := 0
+		tr, fds := chaosEdits(t)
+		r := chaosRun(t, tr, fds, Options{Interrupt: func() bool { n++; return n >= trip }})
+		if !r.Interrupted {
+			t.Fatalf("trip %d: report not marked Interrupted", trip)
+		}
+		for _, f := range r.Files {
+			if f.Status == StatusCertified {
+				if f.FoundMutations != f.Mutations {
+					t.Errorf("trip %d: %s certified with %d/%d mutations",
+						trip, f.Path, f.FoundMutations, f.Mutations)
+				}
+				if len(f.EscapedLines) != 0 {
+					t.Errorf("trip %d: %s certified with escapes %v",
+						trip, f.Path, f.EscapedLines)
+				}
+			}
+		}
+	}
+}
+
+// TestInterruptNilIsNoop: leaving Interrupt unset (or never firing) must
+// not perturb the report in any way — the deterministic evaluation path
+// depends on this.
+func TestInterruptNilIsNoop(t *testing.T) {
+	tr, fds := chaosEdits(t)
+	base := chaosRun(t, tr, fds, Options{})
+	tr2, fds2 := chaosEdits(t)
+	quiet := chaosRun(t, tr2, fds2, Options{Interrupt: func() bool { return false }})
+	if !reflect.DeepEqual(base, quiet) {
+		t.Fatalf("non-firing interrupt changed the report:\nbase  %+v\nquiet %+v", base, quiet)
+	}
+}

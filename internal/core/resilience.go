@@ -28,6 +28,12 @@ type runState struct {
 	spent     time.Duration
 	exhausted bool
 
+	// interrupt is Options.Interrupt; interrupted latches its first true
+	// return so one firing stops the whole patch (and the report can say
+	// so) even if the callback later flips back.
+	interrupt   func() bool
+	interrupted bool
+
 	maxRetries  int
 	threshold   int
 	archFails   map[string]int
@@ -38,6 +44,7 @@ func newRunState(opts Options, commit string) *runState {
 	return &runState{
 		inj:         faultinject.New(opts.Faults, commit),
 		budget:      opts.Budget,
+		interrupt:   opts.Interrupt,
 		maxRetries:  opts.MaxRetries,
 		threshold:   opts.ArchFailureThreshold,
 		archFails:   make(map[string]int),
@@ -52,6 +59,20 @@ func (r *runState) charge(d time.Duration) {
 	if r.budget > 0 && r.spent >= r.budget {
 		r.exhausted = true
 	}
+}
+
+// halted reports whether the patch must stop launching work: the virtual
+// budget ran out, or the caller's interrupt fired. It is the single poll
+// every stage boundary uses, so budget exhaustion and cancellation stop
+// the pipeline at exactly the same points.
+func (r *runState) halted() bool {
+	if r.exhausted || r.interrupted {
+		return true
+	}
+	if r.interrupt != nil && r.interrupt() {
+		r.interrupted = true
+	}
+	return r.interrupted
 }
 
 // noteArch feeds the circuit breaker one architecture outcome. Success
@@ -111,7 +132,7 @@ func (c *Checker) makeIGroup(report *PatchReport, bp *builderPair, paths []strin
 				retry = append(retry, i)
 			}
 		}
-		if len(retry) == 0 || c.run.exhausted {
+		if len(retry) == 0 || c.run.halted() {
 			break
 		}
 		c.chargeBackoff(report, attempt, "makei:"+bp.ib.Arch.Name)
@@ -156,7 +177,7 @@ func (c *Checker) makeO(report *PatchReport, bp *builderPair, path string) error
 			c.run.noteArch(bp.ob.Arch.Name, nil)
 			return nil
 		}
-		if !kbuild.IsTransient(err) || attempt >= c.run.maxRetries || c.run.exhausted {
+		if !kbuild.IsTransient(err) || attempt >= c.run.maxRetries || c.run.halted() {
 			c.run.noteArch(bp.ob.Arch.Name, err)
 			return err
 		}

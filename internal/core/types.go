@@ -61,6 +61,12 @@ const (
 	// architecture — no configuration whatsoever can show it to the
 	// compiler, so no compile was issued for it (Options.StaticPresence).
 	StatusStaticDead
+	// StatusCanceled: the caller's Options.Interrupt fired (a service
+	// deadline expired, a client went away) before the file's mutations
+	// could all be witnessed. Like StatusBudgetExhausted it reports the
+	// partial truth honestly — never escapes the checker did not diagnose,
+	// never certification it did not earn.
+	StatusCanceled
 )
 
 func (s Status) String() string {
@@ -85,6 +91,8 @@ func (s Status) String() string {
 		return "arch-quarantined"
 	case StatusStaticDead:
 		return "static-dead"
+	case StatusCanceled:
+		return "canceled"
 	default:
 		return "unknown"
 	}
@@ -229,6 +237,12 @@ type PatchReport struct {
 	// BudgetExhausted is true when the virtual-time budget ran out and
 	// the checker stopped launching builds.
 	BudgetExhausted bool
+	// Interrupted is true when Options.Interrupt stopped the check before
+	// completion (service deadline, client gone); the report is a partial
+	// answer. Unlike BudgetExhausted this is wall-clock-driven and
+	// therefore NOT reproducible — it never occurs in evaluation runs,
+	// which do not set Interrupt.
+	Interrupted bool `json:",omitempty"`
 	// QuarantinedArches lists architectures the circuit breaker shut off
 	// during this patch, sorted.
 	QuarantinedArches []string
@@ -325,6 +339,14 @@ type Options struct {
 	// checker stops launching builds and finalizes pending files with
 	// StatusBudgetExhausted. 0 means unlimited.
 	Budget time.Duration
+	// Interrupt, when non-nil, is polled at every stage boundary (before a
+	// configuration is built, between file groups, before each compile and
+	// retry). The first true return stops the check: no further builds are
+	// launched and pending files finalize as StatusCanceled. This is the
+	// cancellation hook for service deadlines — wall-clock-driven and thus
+	// NOT deterministic; reproducible evaluation runs must leave it nil
+	// (nil costs nothing and changes nothing).
+	Interrupt func() bool
 	// Faults configures deterministic fault injection. The zero plan
 	// injects nothing and adds no overhead.
 	Faults faultinject.Plan

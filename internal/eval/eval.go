@@ -5,6 +5,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -24,6 +25,13 @@ import (
 
 // Params configure a full evaluation run.
 type Params struct {
+	// Ctx, when non-nil, cancels the patch window: commits not yet handed
+	// to a worker when Ctx is done are never checked (their results carry
+	// Ctx's error), and in-flight checkers stop at the next stage boundary
+	// with canceled partial reports. nil means run to completion — the
+	// deterministic default; canceled runs are inherently partial and must
+	// not feed reproducible reports.
+	Ctx context.Context
 	// TreeSeed / HistorySeed / ModelSeed drive the three deterministic
 	// generators.
 	TreeSeed    int64
@@ -218,16 +226,31 @@ func (r *Run) checkWindow(ids []string) error {
 		session.SetResultCache(rc)
 	}
 	model := vclock.DefaultModel(r.Params.ModelSeed)
+	ctx := r.Params.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	opts := r.Params.Checker
+	if r.Params.Ctx != nil && opts.Interrupt == nil {
+		// Stop in-flight checkers at their next stage boundary once the
+		// window is canceled, instead of letting them run to completion.
+		opts.Interrupt = func() bool { return ctx.Err() != nil }
+	}
 
 	r.Results = make([]PatchResult, len(ids))
-	met := sched.Map(len(ids),
+	met := sched.MapCtx(ctx, len(ids),
 		sched.Options{Workers: r.Params.Workers, InFlight: r.Params.InFlight},
 		func(i int) PatchResult {
-			return processOne(r.Repo, session, model, r.Params.Checker, ids[i], r.JanitorEmails, r.Params.Trace)
+			return processOne(r.Repo, session, model, opts, ids[i], r.JanitorEmails, r.Params.Trace)
 		},
 		func(i int, res PatchResult) {
 			r.Results[i] = res
 		})
+	// Canceled items are exactly the un-dispatched tail; stamp them so a
+	// partial run is distinguishable from one whose commits all failed.
+	for i := len(ids) - met.Canceled; i < len(ids); i++ {
+		r.Results[i] = PatchResult{Commit: ids[i], Err: ctx.Err()}
+	}
 	r.Pipeline = computePipelineMetrics(met, r.Results, session)
 	if r.Params.Trace {
 		// r.Results is indexed by submission order, so the merged trace is

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+	"errors"
 	"testing"
 	"time"
 
@@ -276,5 +278,45 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 	if t1 != t2 {
 		t.Errorf("total virtual times differ: %v vs %v", t1, t2)
+	}
+}
+
+// TestWindowCancellation cancels the patch window from inside the first
+// checker poll and asserts the partial-run contract: the un-dispatched
+// tail is stamped with the context error (never silently zero), in-flight
+// patches stop with honestly-labeled reports, and no canceled run ever
+// certifies a file with unwitnessed mutations.
+func TestWindowCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	p := Params{TreeSeed: 41, HistorySeed: 42, ModelSeed: 43,
+		TreeScale: 0.15, CommitScale: 0.008, Workers: 2, Ctx: ctx}
+	p.Checker.Interrupt = func() bool { cancel(); return true }
+	r, err := Execute(p)
+	if err != nil {
+		t.Fatalf("Execute: %v", err)
+	}
+	if r.Pipeline.Canceled == 0 {
+		t.Fatal("cancellation mid-window left Pipeline.Canceled == 0")
+	}
+	for _, res := range r.Results {
+		if res.Err != nil && !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("%s: unexpected error %v", res.Commit, res.Err)
+		}
+		if res.Report == nil {
+			continue
+		}
+		for _, f := range res.Report.Files {
+			if f.Status == core.StatusCertified && f.FoundMutations != f.Mutations {
+				t.Errorf("%s: %s certified with %d/%d mutations on a canceled run",
+					res.Commit, f.Path, f.FoundMutations, f.Mutations)
+			}
+		}
+	}
+	for i := len(r.Results) - r.Pipeline.Canceled; i < len(r.Results); i++ {
+		res := r.Results[i]
+		if res.Commit == "" || !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("canceled tail entry %d not stamped: %+v", i, res)
+		}
 	}
 }

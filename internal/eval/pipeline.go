@@ -51,6 +51,9 @@ type PipelineMetrics struct {
 	WallSeconds   float64
 	PatchesPerSec float64
 	MaxBuffered   int
+	// Canceled counts window commits never checked because Params.Ctx was
+	// done first (always 0 on a run-to-completion evaluation).
+	Canceled int
 }
 
 // ResultCacheMetrics aggregates the shared compile-result cache
@@ -104,6 +107,7 @@ func computePipelineMetrics(met sched.Metrics, results []PatchResult, session *c
 		WallSeconds:   met.Wall.Seconds(),
 		PatchesPerSec: met.ItemsPerSec,
 		MaxBuffered:   met.MaxBuffered,
+		Canceled:      met.Canceled,
 	}
 	if rc, ok := session.ResultCacheStats(); ok {
 		pm.ResultCache = ResultCacheMetrics{

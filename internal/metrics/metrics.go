@@ -116,6 +116,45 @@ func (h *Histogram) Buckets() ([]float64, []uint64) {
 	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.buckets...)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the bucket holding the target rank, the standard Prometheus-style
+// estimate. Samples beyond the last finite bound are reported as that
+// bound (the estimate cannot exceed what the buckets can resolve).
+// Returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.count)
+	var cum float64
+	for i, b := range h.bounds {
+		n := float64(h.buckets[i])
+		if cum+n >= target {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if n == 0 {
+				return b
+			}
+			return lower + (b-lower)*((target-cum)/n)
+		}
+		cum += n
+	}
+	if len(h.bounds) == 0 {
+		return 0
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Registry hands out metric series keyed by (name, labels). Lookups are
 // cheap but callers on hot paths should hold the returned handle.
 type Registry struct {

@@ -109,3 +109,34 @@ func TestSnapshotDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 uniform samples in (0,4]: 25 per bucket up to 4, none beyond.
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) * 0.04)
+	}
+	checks := []struct {
+		q, lo, hi float64
+	}{
+		{0.25, 0.9, 1.1},
+		{0.50, 1.9, 2.1},
+		{0.95, 3.7, 3.9},
+		{1.00, 3.9, 4.1},
+	}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.lo || got > c.hi {
+			t.Errorf("Quantile(%v) = %v, want in [%v, %v]", c.q, got, c.lo, c.hi)
+		}
+	}
+	// A sample past the last bound is clamped to it.
+	h.Observe(1000)
+	if got := h.Quantile(1); got != 8 {
+		t.Errorf("Quantile(1) with +Inf sample = %v, want 8 (last bound)", got)
+	}
+}

@@ -19,6 +19,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"time"
 )
@@ -63,6 +64,11 @@ type Metrics struct {
 	// MaxBuffered is the high-water mark of results completed out of order
 	// and held back for in-order emission (always <= InFlight).
 	MaxBuffered int
+	// Canceled counts items never dispatched because the context was done
+	// first (MapCtx). Dispatch is sequential, so the canceled items are
+	// exactly the indexes [Items-Canceled, Items) — the emitted results
+	// form an in-order prefix.
+	Canceled int
 }
 
 type slot[T any] struct {
@@ -75,6 +81,17 @@ type slot[T any] struct {
 // concurrently; emit calls run serially on the calling goroutine. Map
 // returns after every item has been emitted.
 func Map[T any](n int, opts Options, fn func(i int) T, emit func(i int, v T)) Metrics {
+	return MapCtx(context.Background(), n, opts, fn, emit)
+}
+
+// MapCtx is Map with a cancellation path: once ctx is done, items not yet
+// handed to a worker are never dispatched (fn is not called for them and
+// emit never sees them), while already-running items finish and are
+// emitted in order. The emitted indexes therefore form the in-order
+// prefix [0, Items-Canceled). Callers that want running items to stop
+// early must additionally check ctx inside fn — the pool only guarantees
+// prompt abandonment of the queue.
+func MapCtx[T any](ctx context.Context, n int, opts Options, fn func(i int) T, emit func(i int, v T)) Metrics {
 	opts = opts.withDefaults(n)
 	start := time.Now()
 	met := Metrics{Items: n, Workers: opts.Workers, InFlight: opts.InFlight}
@@ -97,14 +114,40 @@ func Map[T any](n int, opts Options, fn func(i int) T, emit func(i int, v T)) Me
 			}
 		}()
 	}
+	// canceled is written by the dispatcher before it closes jobs and read
+	// by the merger only after out closes; the jobs-close -> workers-done
+	// -> out-close chain orders the accesses.
+	canceled := 0
+	done := ctx.Done()
 	go func() {
+		defer close(jobs)
 		// Admission control: an item is dispatched only once an in-flight
 		// slot frees up (released by the merger after in-order emission).
 		for i := 0; i < n; i++ {
-			sem <- struct{}{}
-			jobs <- i
+			select {
+			case sem <- struct{}{}:
+			case <-done:
+				canceled = n - i
+				return
+			}
+			// Re-check after the (possibly long) slot wait so a cancellation
+			// that happened while blocked is honored before dispatch, even if
+			// a worker is already free to take the job.
+			select {
+			case <-done:
+				<-sem
+				canceled = n - i
+				return
+			default:
+			}
+			select {
+			case jobs <- i:
+			case <-done:
+				<-sem
+				canceled = n - i
+				return
+			}
 		}
-		close(jobs)
 	}()
 	go func() {
 		wg.Wait()
@@ -132,9 +175,10 @@ func Map[T any](n int, opts Options, fn func(i int) T, emit func(i int, v T)) Me
 		}
 	}
 
+	met.Canceled = canceled
 	met.Wall = time.Since(start)
 	if secs := met.Wall.Seconds(); secs > 0 {
-		met.ItemsPerSec = float64(n) / secs
+		met.ItemsPerSec = float64(n-canceled) / secs
 	}
 	return met
 }

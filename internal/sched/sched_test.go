@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -124,4 +125,91 @@ func TestMapConcurrentFnSerialEmit(t *testing.T) {
 		inEmit = false
 		mu.Unlock()
 	})
+}
+
+// MapCtx: once the context is canceled, items not yet handed to a worker
+// never run; everything dispatched before the cancellation is still
+// emitted, in order, as the prefix [0, Items-Canceled).
+func TestMapCtxCancelSkipsQueuedItems(t *testing.T) {
+	const n = 50
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran sync.Map
+	var emitted []int
+	met := MapCtx(ctx, n, Options{Workers: 1, InFlight: 1},
+		func(i int) int {
+			ran.Store(i, true)
+			if i == 0 {
+				// Cancel while item 0 is the only dispatched item. The
+				// in-flight slot is held until item 0 is emitted, so the
+				// dispatcher cannot hand out item 1 before observing done.
+				cancel()
+			}
+			return i
+		},
+		func(i int, v int) { emitted = append(emitted, v) })
+
+	if met.Canceled != n-1 {
+		t.Fatalf("Canceled = %d, want %d", met.Canceled, n-1)
+	}
+	if len(emitted) != 1 || emitted[0] != 0 {
+		t.Fatalf("emitted = %v, want [0]", emitted)
+	}
+	ran.Range(func(k, _ any) bool {
+		if k.(int) != 0 {
+			t.Errorf("canceled item %d ran", k)
+		}
+		return true
+	})
+}
+
+// Cancellation mid-flight with many workers: the emitted results are an
+// ascending prefix, nothing past the canceled boundary ever runs, and the
+// books balance.
+func TestMapCtxCancelMidFlight(t *testing.T) {
+	const n = 300
+	ctx, cancel := context.WithCancel(context.Background())
+	var ranCount atomic.Int64
+	var emitted []int
+	met := MapCtx(ctx, n, Options{Workers: 8},
+		func(i int) int {
+			ranCount.Add(1)
+			if i == 40 {
+				cancel()
+			}
+			time.Sleep(time.Millisecond)
+			return i
+		},
+		func(i int, v int) { emitted = append(emitted, v) })
+
+	if met.Canceled == 0 {
+		t.Fatal("expected some items to be canceled")
+	}
+	boundary := n - met.Canceled
+	if len(emitted) != boundary {
+		t.Fatalf("emitted %d items, want %d (= Items-Canceled)", len(emitted), boundary)
+	}
+	for i, v := range emitted {
+		if v != i {
+			t.Fatalf("emitted[%d] = %d; merge order broken", i, v)
+		}
+	}
+	if got := int(ranCount.Load()); got != boundary {
+		t.Fatalf("fn ran %d times, want %d (every dispatched item, nothing more)", got, boundary)
+	}
+}
+
+// An already-done context runs nothing.
+func TestMapCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	met := MapCtx(ctx, 10, Options{Workers: 4},
+		func(i int) int { ran = true; return i },
+		func(i int, v int) { t.Errorf("emit(%d) on a dead context", i) })
+	if ran {
+		t.Error("fn ran on a dead context")
+	}
+	if met.Canceled != 10 {
+		t.Fatalf("Canceled = %d, want 10", met.Canceled)
+	}
 }

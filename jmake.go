@@ -114,6 +114,7 @@ const (
 	StatusBudgetExhausted = core.StatusBudgetExhausted
 	StatusArchQuarantined = core.StatusArchQuarantined
 	StatusStaticDead      = core.StatusStaticDead
+	StatusCanceled        = core.StatusCanceled
 )
 
 // StaticDisagreement is one static/dynamic cross-check failure recorded in
