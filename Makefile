@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static bench cache-smoke trace-smoke daemon-smoke eval
+.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static bench bench-scaling cache-smoke trace-smoke daemon-smoke eval
 
-check: vet build test race lint cache-smoke trace-smoke daemon-smoke
+check: vet build test race lint cache-smoke trace-smoke daemon-smoke bench-scaling
 
 build:
 	$(GO) build ./...
@@ -47,6 +47,13 @@ bench-static:
 # Writes BENCH_pipeline.json (the EXPERIMENTS.md §cache numbers come from it).
 bench:
 	$(GO) run ./cmd/jmake-bench -o BENCH_pipeline.json
+
+# Worker-scaling smoke gate: a fast corpus through the window at 1 and 4
+# workers; fails if the 4-worker pass is not >= 1.5x the 1-worker
+# throughput (a regression to the old convoy-on-global-mutexes pathology).
+# Hosts with < 4 CPUs skip — wall-clock speedup needs real cores.
+bench-scaling:
+	$(GO) run ./cmd/jmake-bench -scaling-check -tree-scale 0.25 -commit-scale 0.01 -min-speedup 1.5
 
 # Result-cache round trip: two evaluations against the same -cache-dir
 # (cold, then warm from the persisted tier) must emit byte-identical JSON.

@@ -6,12 +6,21 @@
 // The cold/warm comparison is in effective virtual seconds — the
 // deterministic cost-model currency — so the headline savings figure is
 // machine-independent; only the wall-clock columns vary by host.
+//
+// Profiling flags (-cpuprofile, -mutexprofile, -blockprofile) capture
+// pprof profiles of the benchmarked run, for hunting lock convoys and
+// allocation hot spots in the pipeline. -scaling-check turns the command
+// into a CI smoke gate: run only the worker sweep at a small scale and
+// fail unless 4-worker throughput clears -min-speedup times the 1-worker
+// throughput (skipped on hosts without enough CPUs to parallelize).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"jmake"
 )
@@ -28,12 +37,68 @@ func run() error {
 		treeSeed    = flag.Int64("tree-seed", 51, "kernel tree generation seed")
 		histSeed    = flag.Int64("history-seed", 52, "commit history generation seed")
 		modelSeed   = flag.Uint64("model-seed", 53, "virtual-time model seed")
-		treeScale   = flag.Float64("tree-scale", 0.25, "kernel tree size multiplier")
+		treeScale   = flag.Float64("tree-scale", 1.0, "kernel tree size multiplier")
 		commitScale = flag.Float64("commit-scale", 0.02, "history size multiplier")
 		out         = flag.String("o", "BENCH_pipeline.json", "output report path")
 		cacheDir    = flag.String("cache-dir", "", "directory for the cold/warm cache pair (default: a fresh temp dir)")
+
+		cpuProfile   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mutexProfile = flag.String("mutexprofile", "", "write a mutex-contention profile to this file")
+		blockProfile = flag.String("blockprofile", "", "write a blocking profile to this file")
+
+		scalingCheck = flag.Bool("scaling-check", false, "run only the 1-vs-4-worker sweep and fail below -min-speedup (CI smoke)")
+		minSpeedup   = flag.Float64("min-speedup", 1.5, "minimum 4-worker/1-worker throughput ratio for -scaling-check")
 	)
 	flag.Parse()
+
+	if *mutexProfile != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	if *blockProfile != "" {
+		runtime.SetBlockProfileRate(1)
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	writeProfile := func(name, path string) error {
+		if path == "" {
+			return nil
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return pprof.Lookup(name).WriteTo(f, 0)
+	}
+	defer func() {
+		if err := writeProfile("mutex", *mutexProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "jmake-bench: mutex profile:", err)
+		}
+		if err := writeProfile("block", *blockProfile); err != nil {
+			fmt.Fprintln(os.Stderr, "jmake-bench: block profile:", err)
+		}
+	}()
+
+	params := jmake.EvalParams{
+		TreeSeed:    *treeSeed,
+		HistorySeed: *histSeed,
+		ModelSeed:   *modelSeed,
+		TreeScale:   *treeScale,
+		CommitScale: *commitScale,
+	}
+
+	if *scalingCheck {
+		return runScalingCheck(params, *minSpeedup)
+	}
 
 	dir := *cacheDir
 	if dir == "" {
@@ -47,13 +112,7 @@ func run() error {
 
 	fmt.Printf("benchmarking: tree-scale=%.2f commit-scale=%.2f cache-dir=%s\n",
 		*treeScale, *commitScale, dir)
-	rep, err := jmake.RunBenchmarks(jmake.EvalParams{
-		TreeSeed:    *treeSeed,
-		HistorySeed: *histSeed,
-		ModelSeed:   *modelSeed,
-		TreeScale:   *treeScale,
-		CommitScale: *commitScale,
-	}, dir)
+	rep, err := jmake.RunBenchmarks(params, dir)
 	if err != nil {
 		return err
 	}
@@ -91,5 +150,38 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\nwrote %s\n", *out)
+	return nil
+}
+
+// runScalingCheck is the CI smoke gate for worker scaling: measure the
+// window at 1 and 4 workers and require the 4-worker pass to clear
+// minSpeedup× the 1-worker throughput. Wall-clock speedup needs real
+// cores — a 1-CPU container cannot parallelize CPU-bound work no matter
+// how contention-free the pipeline is — so hosts with fewer than 4 CPUs
+// skip (exit 0) rather than report a false regression.
+func runScalingCheck(params jmake.EvalParams, minSpeedup float64) error {
+	if n := runtime.NumCPU(); n < 4 {
+		fmt.Printf("scaling-check: SKIP (%d CPU(s) available, need >= 4 for a meaningful 4-worker ratio)\n", n)
+		return nil
+	}
+	fmt.Printf("scaling-check: tree-scale=%.2f commit-scale=%.3f min-speedup=%.2fx\n",
+		params.TreeScale, params.CommitScale, minSpeedup)
+	sweep, err := jmake.RunWorkerSweep(params, []int{1, 4})
+	if err != nil {
+		return err
+	}
+	for _, w := range sweep {
+		fmt.Printf("  workers=%d  wall %.2fs  %.1f patches/sec\n",
+			w.Workers, w.WallSeconds, w.PatchesPerSec)
+	}
+	if sweep[0].PatchesPerSec <= 0 {
+		return fmt.Errorf("scaling-check: 1-worker pass measured no throughput")
+	}
+	ratio := sweep[1].PatchesPerSec / sweep[0].PatchesPerSec
+	fmt.Printf("  speedup: %.2fx (threshold %.2fx)\n", ratio, minSpeedup)
+	if ratio < minSpeedup {
+		return fmt.Errorf("scaling-check: 4-worker throughput is only %.2fx the 1-worker throughput (want >= %.2fx) — the parallel pipeline is serializing", ratio, minSpeedup)
+	}
+	fmt.Println("scaling-check: OK")
 	return nil
 }

@@ -32,7 +32,10 @@
 // so hit/miss counters are worker-count-invariant. (They are NOT
 // warmth-invariant — a warm start from disk legitimately converts misses
 // to hits — which is why they live with the volatile runtime metrics,
-// never in the default reproducible report.)
+// never in the default reproducible report.) The store itself is split
+// into shards addressed by probe-key prefix, each with its own mutex, so
+// workers probing different translation units never serialize on one
+// lock; only the recency sequence is global (a single atomic counter).
 package ccache
 
 import (
@@ -41,6 +44,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"jmake/internal/cc"
@@ -169,16 +173,30 @@ func (s stageSeries) snapshot() Stats {
 	}
 }
 
-// Cache is the two-tier store. The zero value is not usable; call New.
-type Cache struct {
+// cacheShards is the shard count; a power of two so the shard index is a
+// mask of the probe key's top bits.
+const cacheShards = 16
+
+// cacheShard is one independently locked slice of the store. An entry
+// lives in the shard of its probe key; entryID includes every probe-key
+// component (stage, context, root content hash via deps[0]), so the byID
+// identity index can live shard-local too.
+type cacheShard struct {
 	mu       sync.Mutex
-	seq      uint64
 	index    map[uint64][]*entry // probe key -> candidate entries
 	byID     map[uint64]*entry
 	inflight map[uint64]chan struct{}
 	bytes    int64
-	loaded   int
-	series   [numStages]stageSeries
+}
+
+// Cache is the two-tier store. The zero value is not usable; call New.
+type Cache struct {
+	shards [cacheShards]cacheShard
+	// seq is the global recency sequence: one atomic counter instead of a
+	// lock gives LRU ordering a total order across shards.
+	seq    atomic.Uint64
+	loaded atomic.Int64
+	series [numStages]stageSeries
 	// loadFailures / saveFailures count persistence problems (corrupt or
 	// version-mismatched files, dropped entries, failed writes). Cold-start
 	// semantics are unchanged — these exist so an operator can tell "cold
@@ -195,11 +213,14 @@ func New() *Cache { return NewIn(metrics.NewRegistry()) }
 // shared session registry owns every cache's numbers.
 func NewIn(reg *metrics.Registry) *Cache {
 	c := &Cache{
-		index:        make(map[uint64][]*entry),
-		byID:         make(map[uint64]*entry),
-		inflight:     make(map[uint64]chan struct{}),
 		loadFailures: reg.Counter("ccache_load_failures"),
 		saveFailures: reg.Counter("ccache_save_failures"),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.index = make(map[uint64][]*entry)
+		sh.byID = make(map[uint64]*entry)
+		sh.inflight = make(map[uint64]chan struct{})
 	}
 	for s := StageI; s < numStages; s++ {
 		c.series[s] = newStageSeries(reg, s)
@@ -207,18 +228,32 @@ func NewIn(reg *metrics.Registry) *Cache {
 	return c
 }
 
-// Stats snapshots the counters.
+// shardFor maps a probe key to its shard by prefix (top bits).
+func (c *Cache) shardFor(pk uint64) *cacheShard {
+	return &c.shards[pk>>(64-4)] // top log2(cacheShards) bits
+}
+
+// Stats snapshots the counters. Shards are visited in turn, so the
+// entry/byte totals are a consistent sum of per-shard snapshots (exact
+// whenever no store races the call, which is when the numbers matter).
 func (c *Cache) Stats() StatsSet {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	var entries int
+	var bytes int64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		entries += len(sh.byID)
+		bytes += sh.bytes
+		sh.mu.Unlock()
+	}
 	savedI := c.series[StageI].savedNS.Duration()
 	savedO := c.series[StageO].savedNS.Duration()
 	return StatsSet{
 		MakeI:         c.series[StageI].snapshot(),
 		MakeO:         c.series[StageO].snapshot(),
-		Entries:       len(c.byID),
-		Bytes:         c.bytes,
-		LoadedEntries: c.loaded,
+		Entries:       entries,
+		Bytes:         bytes,
+		LoadedEntries: int(c.loaded.Load()),
 		SavedVirtual:  savedI + savedO,
 		SavedMakeI:    savedI,
 		SavedMakeO:    savedO,
@@ -267,17 +302,26 @@ func OptionsFingerprint(o cpp.Options) uint64 {
 		_, _ = h.Write([]byte(d))
 		_, _ = h.Write([]byte{0})
 	}
-	names := make([]string, 0, len(o.Defines))
-	for name := range o.Defines {
-		names = append(names, name)
-	}
-	sort.Strings(names)
 	_, _ = h.Write([]byte{1})
-	for _, name := range names {
+	writeDef := func(name, body string) {
 		_, _ = h.Write([]byte(name))
 		_, _ = h.Write([]byte{'='})
-		_, _ = h.Write([]byte(o.Defines[name]))
+		_, _ = h.Write([]byte(body))
 		_, _ = h.Write([]byte{0})
+	}
+	if o.Predefined != nil {
+		// Pre-sorted in the shared set; byte-identical to the map walk
+		// below, so either Options form yields the same fingerprint.
+		o.Predefined.VisitDefines(writeDef)
+	} else {
+		names := make([]string, 0, len(o.Defines))
+		for name := range o.Defines {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			writeDef(name, o.Defines[name])
+		}
 	}
 	hashU64(h, uint64(o.MaxDepth))
 	return h.Sum64()
@@ -365,17 +409,18 @@ func (cx Context) Probe(src Source, rootPath string) *Probe {
 	p.Key = probeKey(cx.stg, cx.ctx, p.rootHash)
 
 	c := cx.c
+	sh := c.shardFor(p.Key)
 	for {
-		c.mu.Lock()
-		if ch, busy := c.inflight[p.Key]; busy {
-			c.mu.Unlock()
+		sh.mu.Lock()
+		if ch, busy := sh.inflight[p.Key]; busy {
+			sh.mu.Unlock()
 			<-ch
 			continue
 		}
-		cands := append([]*entry(nil), c.index[p.Key]...)
+		cands := append([]*entry(nil), sh.index[p.Key]...)
 		ch := make(chan struct{})
-		c.inflight[p.Key] = ch
-		c.mu.Unlock()
+		sh.inflight[p.Key] = ch
+		sh.mu.Unlock()
 
 		// Verify manifests against the current tree outside the lock;
 		// entries are immutable and no other worker can insert under this
@@ -385,11 +430,10 @@ func (cx Context) Probe(src Source, rootPath string) *Probe {
 			if !ok {
 				continue
 			}
-			c.mu.Lock()
-			c.seq++
-			e.lastUse = c.seq
-			delete(c.inflight, p.Key)
-			c.mu.Unlock()
+			sh.mu.Lock()
+			e.lastUse = c.seq.Add(1)
+			delete(sh.inflight, p.Key)
+			sh.mu.Unlock()
 			c.series[p.stg].hits.Inc()
 			c.series[p.stg].bytesServed.Add(uint64(e.size))
 			close(ch)
@@ -540,50 +584,51 @@ func (p *Probe) store(e *entry) {
 	}
 	p.done = true
 	c := p.c
-	c.mu.Lock()
+	sh := c.shardFor(p.Key)
+	sh.mu.Lock()
 	c.series[p.stg].misses.Inc()
 	if e != nil && len(e.deps) > 0 {
 		e.id = entryID(e)
 		e.size = entrySize(e)
-		c.insertLocked(e)
+		c.insertLocked(sh, e)
 		c.series[p.stg].bytesStored.Add(uint64(e.size))
 	}
-	ch := c.inflight[p.Key]
-	delete(c.inflight, p.Key)
-	c.mu.Unlock()
+	ch := sh.inflight[p.Key]
+	delete(sh.inflight, p.Key)
+	sh.mu.Unlock()
 	if ch != nil {
 		close(ch)
 	}
 }
 
-// insertLocked adds e to the index, replacing any entry with the same
-// identity (same stage, context, root path and manifest).
-func (c *Cache) insertLocked(e *entry) {
-	c.seq++
-	e.lastUse = c.seq
-	if old, ok := c.byID[e.id]; ok {
-		c.removeLocked(old)
+// insertLocked adds e to sh (which must be the shard of e's probe key and
+// be held locked), replacing any entry with the same identity (same
+// stage, context, root path and manifest).
+func (c *Cache) insertLocked(sh *cacheShard, e *entry) {
+	e.lastUse = c.seq.Add(1)
+	if old, ok := sh.byID[e.id]; ok {
+		c.removeLocked(sh, old)
 	}
-	c.byID[e.id] = e
+	sh.byID[e.id] = e
 	pk := probeKey(e.stage, e.ctx, e.deps[0].Hash)
-	c.index[pk] = append(c.index[pk], e)
-	c.bytes += e.size
+	sh.index[pk] = append(sh.index[pk], e)
+	sh.bytes += e.size
 }
 
-func (c *Cache) removeLocked(e *entry) {
-	delete(c.byID, e.id)
+func (c *Cache) removeLocked(sh *cacheShard, e *entry) {
+	delete(sh.byID, e.id)
 	pk := probeKey(e.stage, e.ctx, e.deps[0].Hash)
-	list := c.index[pk]
+	list := sh.index[pk]
 	for i, x := range list {
 		if x == e {
-			c.index[pk] = append(list[:i:i], list[i+1:]...)
+			sh.index[pk] = append(list[:i:i], list[i+1:]...)
 			break
 		}
 	}
-	if len(c.index[pk]) == 0 {
-		delete(c.index, pk)
+	if len(sh.index[pk]) == 0 {
+		delete(sh.index, pk)
 	}
-	c.bytes -= e.size
+	sh.bytes -= e.size
 }
 
 // entryID identifies an entry by everything key-side: stage, context,

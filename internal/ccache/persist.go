@@ -119,11 +119,11 @@ func (c *Cache) Load(dir string) {
 		c.notePersistFailure(c.loadFailures, 1, fmt.Sprintf("persistent tier version %d != %d: ignoring file", df.Version, persistVersion))
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	dropped := 0
 	// The file is MRU-first; insert in reverse so recency survives the
 	// round-trip (insertLocked stamps increasing use sequence numbers).
+	// Each entry goes to the shard of its probe key; taking that shard's
+	// lock per insert is fine on this cold path.
 	for i := len(df.Entries) - 1; i >= 0; i-- {
 		d := &df.Entries[i]
 		if d.Stage < 0 || Stage(d.Stage) >= numStages || len(d.Deps) == 0 {
@@ -137,11 +137,15 @@ func (c *Cache) Load(dir string) {
 		e := d.toEntry()
 		e.id = entryID(e)
 		e.size = entrySize(e)
-		if _, dup := c.byID[e.id]; dup {
+		sh := c.shardFor(probeKey(e.stage, e.ctx, e.deps[0].Hash))
+		sh.mu.Lock()
+		if _, dup := sh.byID[e.id]; dup {
+			sh.mu.Unlock()
 			continue
 		}
-		c.insertLocked(e)
-		c.loaded++
+		c.insertLocked(sh, e)
+		sh.mu.Unlock()
+		c.loaded.Add(1)
 	}
 	if dropped > 0 {
 		c.notePersistFailure(c.loadFailures, uint64(dropped), fmt.Sprintf("dropped %d corrupt entries from persistent tier", dropped))
@@ -155,13 +159,17 @@ func (c *Cache) Save(dir string, maxBytes int64) error {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	c.mu.Lock()
-	entries := make([]*entry, 0, len(c.byID))
-	for _, e := range c.byID {
-		entries = append(entries, e)
+	var entries []*entry
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.byID {
+			entries = append(entries, e)
+		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
-	// LRU bound: newest use first, cut at the byte budget.
+	// LRU bound: newest use first, cut at the byte budget (the global
+	// atomic sequence gives lastUse a total order across shards).
 	sort.Slice(entries, func(i, j int) bool { return entries[i].lastUse > entries[j].lastUse })
 	df := diskFile{Version: persistVersion}
 	var total int64

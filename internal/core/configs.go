@@ -18,19 +18,40 @@ import (
 // *valuation* is identical as long as the Kconfig files are unchanged, so
 // caching it is sound and keeps the 12,000-patch evaluation tractable.
 //
-// A ConfigProvider is safe for concurrent use by the evaluation workers:
-// both caches are checked and filled under one mutex, so every valuation
-// is computed exactly once and the hit/miss counters are invariant under
-// concurrency (misses always equal the number of distinct keys), keeping
-// pipeline metrics reproducible across -workers settings.
+// A ConfigProvider is safe for concurrent use by the evaluation workers
+// and uses the per-key election pattern (the same discipline as
+// cpp.TokenCache): the provider's mutex only guards the entry maps, never
+// a computation. Concurrent first requests for one key elect a single
+// computer via the entry's sync.Once and the rest wait on it, so every
+// valuation is computed exactly once and the hit/miss counters are
+// invariant under concurrency (misses always equal the number of distinct
+// keys), keeping pipeline metrics reproducible across -workers settings.
+// Crucially, workers computing *different* keys no longer serialize
+// behind each other: parsing one arch's Kconfig tree or valuating
+// allyesconfig happens outside the map lock.
 type ConfigProvider struct {
 	mu     sync.Mutex
-	trees  map[string]*kconfig.Tree
-	values map[string]*kconfig.Config
+	trees  map[string]*treeEntry
+	values map[string]*valueEntry
 	// Counter handles into the owning metrics registry — the registry is
 	// the single home for these numbers; Stats() is a view over it.
 	hits   *metrics.Counter
 	misses *metrics.Counter
+}
+
+// treeEntry is one arch's parsed-Kconfig election slot.
+type treeEntry struct {
+	once sync.Once
+	kt   *kconfig.Tree
+	err  error
+}
+
+// valueEntry is one (arch, choice) valuation election slot.
+type valueEntry struct {
+	once    sync.Once
+	cfg     *kconfig.Config
+	symbols int
+	err     error
 }
 
 // CacheStats are lookup counters for one shared cache.
@@ -57,30 +78,49 @@ func NewConfigProvider() *ConfigProvider {
 // series in reg.
 func NewConfigProviderIn(reg *metrics.Registry) *ConfigProvider {
 	return &ConfigProvider{
-		trees:  make(map[string]*kconfig.Tree),
-		values: make(map[string]*kconfig.Config),
+		trees:  make(map[string]*treeEntry),
+		values: make(map[string]*valueEntry),
 		hits:   reg.Counter("config_cache_hits"),
 		misses: reg.Counter("config_cache_misses"),
 	}
 }
 
-// KconfigTree returns the parsed Kconfig hierarchy for an architecture.
-func (p *ConfigProvider) KconfigTree(t *fstree.Tree, arch *kbuild.Arch) (*kconfig.Tree, error) {
+// treeEntryFor returns the election slot for arch, creating it on first
+// request. Only the map access is locked; parsing runs under the slot's
+// once.
+func (p *ConfigProvider) treeEntryFor(arch string) *treeEntry {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.kconfigTreeLocked(t, arch)
+	e, ok := p.trees[arch]
+	if !ok {
+		e = &treeEntry{}
+		p.trees[arch] = e
+	}
+	return e
 }
 
-func (p *ConfigProvider) kconfigTreeLocked(t *fstree.Tree, arch *kbuild.Arch) (*kconfig.Tree, error) {
-	if kt, ok := p.trees[arch.Name]; ok {
-		return kt, nil
-	}
-	kt, err := kconfig.Parse(kbuild.TreeSource{T: t}, arch.KconfigRoot)
-	if err != nil {
-		return nil, fmt.Errorf("core: parsing %s: %w", arch.KconfigRoot, err)
-	}
-	p.trees[arch.Name] = kt
-	return kt, nil
+// KconfigTree returns the parsed Kconfig hierarchy for an architecture,
+// parsing it exactly once per arch no matter how many workers ask.
+func (p *ConfigProvider) KconfigTree(t *fstree.Tree, arch *kbuild.Arch) (*kconfig.Tree, error) {
+	e := p.treeEntryFor(arch.Name)
+	e.once.Do(func() {
+		kt, err := kconfig.Parse(kbuild.TreeSource{T: t}, arch.KconfigRoot)
+		if err != nil {
+			e.err = fmt.Errorf("core: parsing %s: %w", arch.KconfigRoot, err)
+			// Do not cache failures: drop the slot so a later request
+			// re-elects and retries (deterministic inputs will fail the
+			// same way, but transiently injected tree states must not
+			// poison the window).
+			p.mu.Lock()
+			if p.trees[arch.Name] == e {
+				delete(p.trees, arch.Name)
+			}
+			p.mu.Unlock()
+			return
+		}
+		e.kt = kt
+	})
+	return e.kt, e.err
 }
 
 // Get returns the configuration for (arch, choice), computing and caching
@@ -89,6 +129,11 @@ func (p *ConfigProvider) kconfigTreeLocked(t *fstree.Tree, arch *kbuild.Arch) (*
 // transient generation failures — the valuation cache cannot absorb
 // those, because the paper's evaluation regenerates the configuration
 // for every patch and any regeneration can fail; pass nil to disable.
+//
+// Counting discipline: the elected computer counts the miss; waiters and
+// later callers count hits. Failed computations are never cached (the
+// slot is dropped), and every caller that observes the failure counts a
+// miss — so on the success path misses still equal distinct keys.
 func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigChoice, inj *faultinject.Injector) (*kconfig.Config, int, error) {
 	if inj.FailConfig(arch.Name + ":" + choice.Kind.String() + choice.Path) {
 		return nil, 0, fmt.Errorf("%w: config generation failed (%s, %s)",
@@ -96,16 +141,48 @@ func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigCho
 	}
 	key := arch.Name + "|" + choice.Kind.String() + "|" + choice.Path
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	kt, err := p.kconfigTreeLocked(t, arch)
+	e, ok := p.values[key]
+	if !ok {
+		e = &valueEntry{}
+		p.values[key] = e
+	}
+	p.mu.Unlock()
+
+	won := false
+	e.once.Do(func() {
+		won = true
+		e.cfg, e.symbols, e.err = p.compute(t, arch, choice)
+		if e.err != nil {
+			// Failed valuations are not cached: drop the slot so the next
+			// request re-elects (and is counted as a fresh miss, matching
+			// the pre-election counter semantics for error paths).
+			p.mu.Lock()
+			if p.values[key] == e {
+				delete(p.values, key)
+			}
+			p.mu.Unlock()
+		}
+	})
+	switch {
+	case e.err != nil:
+		p.misses.Inc()
+		return nil, 0, e.err
+	case won:
+		p.misses.Inc()
+	default:
+		p.hits.Inc()
+	}
+	return e.cfg, e.symbols, nil
+}
+
+// compute performs one full valuation — Kconfig tree parse (itself a
+// cached election) plus the choice's config derivation — outside any
+// provider-wide lock.
+func (p *ConfigProvider) compute(t *fstree.Tree, arch *kbuild.Arch, choice ConfigChoice) (*kconfig.Config, int, error) {
+	kt, err := p.KconfigTree(t, arch)
 	if err != nil {
 		return nil, 0, err
 	}
-	if cfg, ok := p.values[key]; ok {
-		p.hits.Inc()
-		return cfg, kt.Len(), nil
-	}
-	p.misses.Inc()
 	var cfg *kconfig.Config
 	switch choice.Kind {
 	case ConfigAllMod:
@@ -122,7 +199,6 @@ func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigCho
 	default:
 		cfg = kt.AllYesConfig()
 	}
-	p.values[key] = cfg
 	return cfg, kt.Len(), nil
 }
 

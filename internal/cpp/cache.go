@@ -8,11 +8,14 @@ import (
 )
 
 // TokenCache memoizes the per-file scanning work (logical-line splitting
-// and tokenization) keyed by content identity. Headers like the kernel's
-// common includes are preprocessed thousands of times across an
-// evaluation with identical content; conditional evaluation and macro
-// expansion still run per inclusion (they depend on the macro state), but
-// the lexing does not.
+// and tokenization) keyed by content identity — the content bytes alone,
+// never the path. Headers like the kernel's common includes are
+// preprocessed thousands of times across an evaluation with identical
+// content, frequently under *different* paths (the same header reached
+// via different include dirs, or identical files in sibling drivers);
+// all of them share one entry. Conditional evaluation and macro
+// expansion still run per inclusion (they depend on the macro state),
+// but the lexing does not.
 //
 // Cached tokens are shared between preprocessor runs. This is safe
 // because the expansion pipeline treats tokens as values: worklists copy
@@ -21,11 +24,20 @@ import (
 // A TokenCache is safe for concurrent use. Each key is computed exactly
 // once: concurrent first requests for the same content elect one computer
 // and the rest wait on it, so the miss count equals the number of distinct
-// keys regardless of worker count or interleaving — which keeps cache
-// statistics reproducible across -workers settings.
+// contents regardless of worker count or interleaving — which keeps cache
+// statistics reproducible across -workers settings. The store is split
+// into shards addressed by key prefix so workers scanning different files
+// never contend on one mutex, and each bucket chains entries whose
+// content is verified on every lookup — an FNV-64 collision can therefore
+// never serve the wrong token stream; it only widens one bucket.
 type TokenCache struct {
-	mu      sync.Mutex
-	entries map[uint64]*cachedFile
+	shards [tokenShards]tokenShard
+	// Predefined macro sets, elected per key exactly like file entries.
+	// Cardinality is tiny (arches x configurations x MODULE flag), so one
+	// mutex suffices; the build itself runs outside it under the entry's
+	// once.
+	preMu  sync.Mutex
+	preSet map[uint64]*predefEntry
 	// Lookup counters live in the owning registry (metrics.Registry is
 	// the single home for every pipeline counter); these are handles to
 	// the "token_cache_hits"/"token_cache_misses" series.
@@ -33,8 +45,32 @@ type TokenCache struct {
 	misses *metrics.Counter
 }
 
+type predefEntry struct {
+	once sync.Once
+	pre  *Predefined
+}
+
+// tokenShards is the shard count; a power of two so the shard index is a
+// mask of the key's top bits. 16 comfortably exceeds the paper's 25
+// worker processes' realistic simultaneous-scan overlap.
+const tokenShards = 16
+
+type tokenShard struct {
+	mu sync.Mutex
+	// entries chains cached files per 64-bit key: every entry in a chain
+	// has the same FNV-64 but (on collision) different content, and
+	// lookups compare content before serving.
+	entries map[uint64][]*cachedFile
+}
+
 type cachedFile struct {
-	once  sync.Once
+	once sync.Once
+	// content is the exact bytes this entry was keyed from; lookups
+	// verify it so a hash collision is a chain scan, never a wrong serve.
+	content string
+	// path records the first path the content was seen under — debug
+	// info only, never part of the key.
+	path  string
 	lines []logicalLine
 	toks  [][]Token
 }
@@ -47,35 +83,51 @@ func NewTokenCache() *TokenCache {
 // NewTokenCacheIn returns an empty cache whose counters are series in
 // reg, so a shared session registry owns every cache's numbers.
 func NewTokenCacheIn(reg *metrics.Registry) *TokenCache {
-	return &TokenCache{
-		entries: make(map[uint64]*cachedFile),
-		hits:    reg.Counter("token_cache_hits"),
-		misses:  reg.Counter("token_cache_misses"),
+	c := &TokenCache{
+		preSet: make(map[uint64]*predefEntry),
+		hits:   reg.Counter("token_cache_hits"),
+		misses: reg.Counter("token_cache_misses"),
 	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[uint64][]*cachedFile)
+	}
+	return c
 }
 
-func contentKey(path, content string) uint64 {
+// contentKey hashes the content alone: two paths holding identical bytes
+// share one cache entry (the doc'd "keyed by content identity").
+func contentKey(content string) uint64 {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(path))
-	_, _ = h.Write([]byte{0})
 	_, _ = h.Write([]byte(content))
 	return h.Sum64()
 }
 
+// shardFor maps a key to its shard by prefix (top bits).
+func (c *TokenCache) shardFor(key uint64) *tokenShard {
+	return &c.shards[key>>(64-4)] // top log2(tokenShards) bits
+}
+
 // scan returns the logical lines and per-line tokens for content, from the
-// cache when possible.
+// cache when possible. path is carried as debug information only.
 func (c *TokenCache) scan(path, content string) ([]logicalLine, [][]Token) {
-	key := contentKey(path, content)
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if ok {
+	key := contentKey(content)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	var e *cachedFile
+	for _, cand := range sh.entries[key] {
+		if cand.content == content {
+			e = cand
+			break
+		}
+	}
+	if e != nil {
 		c.hits.Inc()
 	} else {
-		e = &cachedFile{}
-		c.entries[key] = e
+		e = &cachedFile{content: content, path: path}
+		sh.entries[key] = append(sh.entries[key], e)
 		c.misses.Inc()
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
 
 	e.once.Do(func() {
 		e.lines = logicalLines(content)
@@ -87,15 +139,39 @@ func (c *TokenCache) scan(path, content string) ([]logicalLine, [][]Token) {
 	return e.lines, e.toks
 }
 
+// PredefinedFor returns the shared pre-lexed macro set for key, building
+// it at most once per cache via build(). The key must fully identify the
+// define set's content (kbuild hashes the arch name, the configuration
+// fingerprint and the MODULE flag); concurrent first requests elect one
+// builder and the rest wait, the same discipline as scan.
+func (c *TokenCache) PredefinedFor(key uint64, build func() map[string]string) *Predefined {
+	c.preMu.Lock()
+	e, ok := c.preSet[key]
+	if !ok {
+		e = &predefEntry{}
+		c.preSet[key] = e
+	}
+	c.preMu.Unlock()
+	e.once.Do(func() { e.pre = NewPredefined(build()) })
+	return e.pre
+}
+
 // Len returns the number of cached files.
 func (c *TokenCache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return len(c.entries)
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, chain := range sh.entries {
+			n += len(chain)
+		}
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stats returns the lookup counters (a view over the registry series).
-// Misses equal the number of distinct keys ever requested, so both
+// Misses equal the number of distinct contents ever requested, so both
 // values are invariant under concurrency.
 func (c *TokenCache) Stats() (hits, misses uint64) {
 	return c.hits.Value(), c.misses.Value()

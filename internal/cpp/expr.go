@@ -54,7 +54,7 @@ func (p *pp) resolveDefined(ts []Token) ([]Token, error) {
 			}
 		}
 		val := "0"
-		if _, ok := p.macros[name]; ok {
+		if _, ok := p.macroFor(name); ok {
 			val = "1"
 		}
 		out = append(out, Token{Kind: KindNumber, Text: val, WS: t.WS})

@@ -62,7 +62,7 @@ func (p *pp) expandTokens(ts []Token) ([]Token, error) {
 			p.counter++
 			continue
 		}
-		m, ok := p.macros[t.Text]
+		m, ok := p.macroFor(t.Text)
 		if !ok || t.hidden(t.Text) {
 			out = append(out, t)
 			continue

@@ -1,0 +1,52 @@
+package cpp
+
+import "sort"
+
+// Predefined is an immutable, pre-lexed set of initial macro definitions
+// (the CONFIG_* valuation plus arch built-ins). Building one lexes every
+// body exactly once; Preprocess runs seeded with it resolve the shared
+// *Macro values through a two-level lookup instead of re-lexing thousands
+// of define bodies per file — the dominant per-file cost before this
+// existed. Sharing the Macro values across concurrent runs is safe for
+// the same reason TokenCache entries are: the expansion pipeline treats
+// macro bodies as read-only values (substitution copies tokens, hide-set
+// updates copy the slice).
+type Predefined struct {
+	macros map[string]*Macro
+	// names holds the macro names in sorted order, so fingerprints over
+	// the set (ccache.OptionsFingerprint) need no per-call sort and stay
+	// byte-compatible with hashing a plain Defines map.
+	names   []string
+	defines map[string]string
+}
+
+// NewPredefined lexes defines into a shareable macro set. The map is
+// retained for fingerprinting and must not be modified afterwards.
+func NewPredefined(defines map[string]string) *Predefined {
+	names := make([]string, 0, len(defines))
+	for name := range defines {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	macros := make(map[string]*Macro, len(defines))
+	for _, name := range names {
+		toks := Lex(defines[name])
+		if len(toks) > 0 {
+			toks[0].WS = false
+		}
+		macros[name] = &Macro{Name: name, Body: toks}
+	}
+	return &Predefined{macros: macros, names: names, defines: defines}
+}
+
+// Len returns the number of predefined macros.
+func (p *Predefined) Len() int { return len(p.macros) }
+
+// VisitDefines calls fn for every definition in sorted name order.
+// Result caches hash the set through this, in the same order a sorted
+// walk of Options.Defines would produce.
+func (p *Predefined) VisitDefines(fn func(name, body string)) {
+	for _, name := range p.names {
+		fn(name, p.defines[name])
+	}
+}

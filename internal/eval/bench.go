@@ -83,18 +83,8 @@ func RunBenchmarks(p Params, cacheDir string) (*BenchReport, error) {
 		WindowCommits: len(ids),
 	}
 
-	for _, w := range []int{1, 2, 4, 8} {
-		shell := *run
-		shell.Params.Workers = w
-		if err := shell.checkWindow(ids); err != nil {
-			return nil, fmt.Errorf("eval: bench workers=%d: %w", w, err)
-		}
-		rep.WorkerSweep = append(rep.WorkerSweep, BenchWorkerResult{
-			Workers:       w,
-			WallSeconds:   shell.Pipeline.WallSeconds,
-			PatchesPerSec: shell.Pipeline.PatchesPerSec,
-			Checked:       shell.Pipeline.Checked,
-		})
+	if rep.WorkerSweep, err = sweep(run, ids, []int{1, 2, 4, 8}); err != nil {
+		return nil, err
 	}
 
 	cachePass := func(traced bool) (BenchCacheResult, *Run, error) {
@@ -131,6 +121,39 @@ func RunBenchmarks(p Params, cacheDir string) (*BenchReport, error) {
 	}
 	rep.Spans = benchSpans(warmRun)
 	return rep, nil
+}
+
+// RunWorkerSweep prepares the evaluation substrate once and measures
+// window throughput at each requested worker count, nothing else. It is
+// the cheap core of RunBenchmarks, exposed for scaling smoke checks
+// (make bench-scaling) that only need the throughput ratio.
+func RunWorkerSweep(p Params, workers []int) ([]BenchWorkerResult, error) {
+	run, ids, err := prepare(p)
+	if err != nil {
+		return nil, err
+	}
+	return sweep(run, ids, workers)
+}
+
+// sweep runs the window once per worker count over a shared substrate.
+// Each pass gets a fresh Run shell (fresh Session, fresh caches) so no
+// pass warms the next one's caches and the comparison stays honest.
+func sweep(run *Run, ids []string, workers []int) ([]BenchWorkerResult, error) {
+	var out []BenchWorkerResult
+	for _, w := range workers {
+		shell := *run
+		shell.Params.Workers = w
+		if err := shell.checkWindow(ids); err != nil {
+			return nil, fmt.Errorf("eval: bench workers=%d: %w", w, err)
+		}
+		out = append(out, BenchWorkerResult{
+			Workers:       w,
+			WallSeconds:   shell.Pipeline.WallSeconds,
+			PatchesPerSec: shell.Pipeline.PatchesPerSec,
+			Checked:       shell.Pipeline.Checked,
+		})
+	}
+	return out, nil
 }
 
 // benchSpans aggregates the warm pass's merged trace by span kind and

@@ -1,8 +1,10 @@
 package kbuild
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"path"
 	"strings"
 	"time"
@@ -83,6 +85,15 @@ type Builder struct {
 	cfgFP        uint64
 	optsFPMod    uint64
 	optsFPNonMod uint64
+
+	// Memoized preprocessor options (one per MODULE flag); constant for a
+	// builder's lifetime. The embedded Predefined macro set is shared
+	// through the token cache across every builder on the same (arch,
+	// config) pair, so the CONFIG_* define set is merged and lexed once
+	// per configuration rather than once per preprocessed file.
+	optsInit   bool
+	optsNonMod cpp.Options
+	optsMod    cpp.Options
 }
 
 // fingerprints memoizes the result-cache key components (fixed for a
@@ -217,21 +228,56 @@ type IFile struct {
 	mod   bool
 }
 
-// cppOptions builds the preprocessor options for one file. asModule adds
+// cppOptions returns the preprocessor options for one file. asModule adds
 // the MODULE define, as Kbuild does when compiling modular objects — this
 // is why `#ifdef MODULE` code escapes allyesconfig (paper Table IV).
 func (b *Builder) cppOptions(asModule bool) cpp.Options {
-	defines := make(map[string]string, len(b.Arch.Defines)+8)
-	for k, v := range b.Arch.Defines {
-		defines[k] = v
-	}
-	for k, v := range b.Cfg.Defines() {
-		defines[k] = v
+	if !b.optsInit {
+		b.optsNonMod = b.buildOptions(false)
+		b.optsMod = b.buildOptions(true)
+		b.optsInit = true
 	}
 	if asModule {
-		defines["MODULE"] = "1"
+		return b.optsMod
 	}
-	return cpp.Options{IncludeDirs: b.Arch.IncludeDirs, Defines: defines, Cache: b.Cache}
+	return b.optsNonMod
+}
+
+func (b *Builder) buildOptions(asModule bool) cpp.Options {
+	build := func() map[string]string {
+		cfgDefs := b.Cfg.Defines()
+		defines := make(map[string]string, len(b.Arch.Defines)+len(cfgDefs)+1)
+		for k, v := range b.Arch.Defines {
+			defines[k] = v
+		}
+		for k, v := range cfgDefs {
+			defines[k] = v
+		}
+		if asModule {
+			defines["MODULE"] = "1"
+		}
+		return defines
+	}
+	var pre *cpp.Predefined
+	if b.Cache != nil {
+		// The election key must identify the define set's content: the
+		// config fingerprint covers every CONFIG_* value, and within one
+		// token cache's lifetime (one checker, one discovered arch table)
+		// the arch name pins the arch built-ins and include dirs.
+		h := fnv.New64a()
+		_, _ = h.Write([]byte(b.Arch.Name))
+		_, _ = h.Write([]byte{0})
+		var buf [9]byte
+		binary.BigEndian.PutUint64(buf[:8], b.Cfg.Fingerprint())
+		if asModule {
+			buf[8] = 1
+		}
+		_, _ = h.Write(buf[:])
+		pre = b.Cache.PredefinedFor(h.Sum64(), build)
+	} else {
+		pre = cpp.NewPredefined(build())
+	}
+	return cpp.Options{IncludeDirs: b.Arch.IncludeDirs, Predefined: pre, Cache: b.Cache}
 }
 
 // MakeI runs `make f1.i f2.i ...` for a group of files (the paper groups

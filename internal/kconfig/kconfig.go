@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // SymType is the type of a configuration symbol.
@@ -331,6 +332,27 @@ func (t *Tree) Files() []string {
 // number of concurrent builders.
 type Config struct {
 	values map[string]Value
+	// memo caches the derived views (the Defines rendering and the
+	// fingerprint), which builders request once per patch variant; the
+	// valuation has thousands of symbols, so rebuilding them per builder
+	// dominated builder setup. Set drops the memo. The pointer is atomic
+	// because concurrent builders share one cached Config: a racing
+	// rebuild is idempotent, so last-store-wins is fine.
+	memo atomic.Pointer[configMemo]
+}
+
+type configMemo struct {
+	defines map[string]string
+	fp      uint64
+}
+
+func (c *Config) memoized() *configMemo {
+	if m := c.memo.Load(); m != nil {
+		return m
+	}
+	m := &configMemo{defines: c.buildDefines(), fp: c.computeFingerprint()}
+	c.memo.Store(m)
+	return m
 }
 
 // Value returns the configured value of name (No for unknown symbols, as in
@@ -338,12 +360,14 @@ type Config struct {
 func (c *Config) Value(name string) Value { return c.values[name] }
 
 // Set overrides one symbol value. Used by tests and by the MODULE handling
-// in kbuild.
+// in kbuild. Not safe concurrently with readers; a shared (provider-cached)
+// Config must never be Set.
 func (c *Config) Set(name string, v Value) {
 	if c.values == nil {
 		c.values = make(map[string]Value)
 	}
 	c.values[name] = v
+	c.memo.Store(nil)
 }
 
 // Clone returns an independent copy.
@@ -357,7 +381,12 @@ func (c *Config) Clone() *Config {
 
 // Defines renders the valuation as preprocessor macros the way Kbuild's
 // generated autoconf.h does: CONFIG_FOO=1 for y, CONFIG_FOO_MODULE=1 for m.
+// The returned map is memoized and shared — callers must not modify it.
 func (c *Config) Defines() map[string]string {
+	return c.memoized().defines
+}
+
+func (c *Config) buildDefines() map[string]string {
 	out := make(map[string]string, len(c.values))
 	for name, v := range c.values {
 		switch v {
@@ -375,7 +404,13 @@ func (c *Config) Defines() map[string]string {
 // Kbuild reachability) distinguishes them from absent ones. Two configs
 // with equal fingerprints make identical Value and Defines decisions, so
 // the fingerprint is a sound result-cache key component (internal/ccache).
+// Memoized: the sort over every symbol name runs once per valuation, not
+// once per builder.
 func (c *Config) Fingerprint() uint64 {
+	return c.memoized().fp
+}
+
+func (c *Config) computeFingerprint() uint64 {
 	names := make([]string, 0, len(c.values))
 	for name := range c.values {
 		names = append(names, name)

@@ -14,6 +14,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -72,48 +73,48 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // Histogram counts observations into fixed buckets. Observations are
 // float64; bucket bounds are upper-inclusive, with an implicit +Inf
 // bucket at the end. Count and Sum are exact for integer observations.
+//
+// The hot path (Observe) is lock-free: the bucket is found by binary
+// search over the immutable bounds (upper-inclusive, so the first bound
+// >= x) and bumped with an atomic add — every request-latency sample used
+// to take one shared mutex and a linear bucket scan. The sum accumulates
+// through a CAS loop on the float bits. Readers snapshot the buckets
+// atomically; Quantile derives its total from that snapshot (not the
+// count field), so a quantile computed mid-Observe is internally
+// consistent.
 type Histogram struct {
-	mu      sync.Mutex
-	bounds  []float64
-	buckets []uint64
-	count   uint64
-	sum     float64
+	bounds  []float64 // immutable after construction
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits of the running sum
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(x float64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	h.count++
-	h.sum += x
-	for i, b := range h.bounds {
-		if x <= b {
-			h.buckets[i]++
+	h.buckets[sort.SearchFloat64s(h.bounds, x)].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + x)
+		if h.sumBits.CompareAndSwap(old, new) {
 			return
 		}
 	}
-	h.buckets[len(h.bounds)]++
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() uint64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.count
-}
+func (h *Histogram) Count() uint64 { return h.count.Load() }
 
 // Sum returns the sum of all observations.
-func (h *Histogram) Sum() float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
-}
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
 
 // Buckets returns (bounds, counts); counts has one extra slot for +Inf.
 func (h *Histogram) Buckets() ([]float64, []uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return append([]float64(nil), h.bounds...), append([]uint64(nil), h.buckets...)
+	counts := make([]uint64, len(h.buckets))
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+	}
+	return append([]float64(nil), h.bounds...), counts
 }
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
@@ -122,9 +123,12 @@ func (h *Histogram) Buckets() ([]float64, []uint64) {
 // bound (the estimate cannot exceed what the buckets can resolve).
 // Returns 0 when the histogram is empty.
 func (h *Histogram) Quantile(q float64) float64 {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.count == 0 {
+	_, counts := h.Buckets()
+	var total uint64
+	for _, n := range counts {
+		total += n
+	}
+	if total == 0 {
 		return 0
 	}
 	if q < 0 {
@@ -133,10 +137,10 @@ func (h *Histogram) Quantile(q float64) float64 {
 	if q > 1 {
 		q = 1
 	}
-	target := q * float64(h.count)
+	target := q * float64(total)
 	var cum float64
 	for i, b := range h.bounds {
-		n := float64(h.buckets[i])
+		n := float64(counts[i])
 		if cum+n >= target {
 			lower := 0.0
 			if i > 0 {
@@ -231,7 +235,7 @@ func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Hi
 	if !ok {
 		bs := append([]float64(nil), bounds...)
 		sort.Float64s(bs)
-		h = &Histogram{bounds: bs, buckets: make([]uint64, len(bs)+1)}
+		h = &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
 		r.hists[key] = h
 		r.keys = append(r.keys, "h:"+key)
 	}

@@ -140,3 +140,50 @@ func TestHistogramQuantile(t *testing.T) {
 		t.Errorf("Quantile(1) with +Inf sample = %v, want 8 (last bound)", got)
 	}
 }
+
+// Bounds are upper-inclusive: a sample exactly on a bound lands in that
+// bound's bucket. Pins the binary-search bucketing (sort.SearchFloat64s
+// finds the first bound >= x) against the old linear scan's semantics.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 2, 4})
+	for _, x := range []float64{1, 2, 4, 0.5, 1.5, 5} {
+		h.Observe(x)
+	}
+	_, counts := h.Buckets()
+	want := []uint64{2, 2, 1, 1} // (..1], (1..2], (2..4], (4..+Inf)
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+// Concurrent Observe must lose no samples and keep Sum exact for integer
+// observations (the CAS loop retries, never drops).
+func TestHistogramConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{10, 100, 1000})
+	const goroutines, per = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(2)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*per {
+		t.Fatalf("Count = %d, want %d", got, goroutines*per)
+	}
+	if got := h.Sum(); got != float64(2*goroutines*per) {
+		t.Fatalf("Sum = %v, want %v", got, 2*goroutines*per)
+	}
+	_, counts := h.Buckets()
+	if counts[0] != goroutines*per {
+		t.Fatalf("first bucket = %d, want %d", counts[0], goroutines*per)
+	}
+}

@@ -414,3 +414,12 @@ type BenchReport = eval.BenchReport
 func RunBenchmarks(p EvalParams, cacheDir string) (*BenchReport, error) {
 	return eval.RunBenchmarks(p, cacheDir)
 }
+
+// BenchWorkerResult is one worker-count throughput measurement.
+type BenchWorkerResult = eval.BenchWorkerResult
+
+// RunWorkerSweep measures window throughput at each worker count over one
+// shared substrate — the cheap scaling smoke behind `make bench-scaling`.
+func RunWorkerSweep(p EvalParams, workers []int) ([]BenchWorkerResult, error) {
+	return eval.RunWorkerSweep(p, workers)
+}
