@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race lint fuzz-presence bench-witness bench-workers bench-static bench bench-scaling cache-smoke trace-smoke daemon-smoke eval
+.PHONY: check build test vet race lint lint-go fuzz-presence bench-witness bench-workers bench-static bench bench-scaling cache-smoke trace-smoke daemon-smoke audit-smoke eval
 
-check: vet build test race lint cache-smoke trace-smoke daemon-smoke bench-scaling
+check: vet build test race lint lint-go cache-smoke trace-smoke daemon-smoke audit-smoke bench-scaling
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,23 @@ lint: vet
 	$(GO) run ./cmd/jmake-lint -root examples/presence/src >/dev/null
 	$(GO) run ./cmd/jmake-lint -root examples/presence/src -dead
 	$(GO) run ./cmd/jmake-lint -root examples/presence/src -json >/dev/null
+
+# Go-source lint: go vet always; staticcheck when the host has it (the
+# build container does not vendor it and nothing may be installed there).
+lint-go:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint-go: staticcheck not installed; ran go vet only"; \
+	fi
+
+# Whole-tree audit ground truth: an emitted tree with 10 seeded mismatches
+# must audit to exactly those 10 findings (exit code 10, verify-exact), a
+# clean emitted tree must audit to zero, and the JSON report must be
+# byte-identical across -workers settings.
+audit-smoke:
+	@GO="$(GO)" sh scripts/audit-smoke.sh
 
 # Short fuzz pass: malformed #if input must never panic the analysis.
 fuzz-presence:

@@ -4,18 +4,23 @@
 // present, and the lines no configuration can ever compile. It is the
 // standalone face of the analysis internal/core uses to prune compiles
 // (DESIGN.md §9).
+//
+// With -audit it instead runs the whole-tree configuration-mismatch audit
+// (internal/audit): undefined CONFIG_* references, dead symbols,
+// contradictory dependency chains, and blocks unsatisfiable under every
+// architecture. The audit exit code is the finding count (capped at 100);
+// 101 signals an audit failure or a -audit-verify mismatch.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 
+	"jmake/internal/audit"
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
 	"jmake/internal/metrics"
@@ -23,33 +28,50 @@ import (
 	"jmake/internal/stats"
 )
 
+// auditFailExit signals an audit error or ground-truth mismatch, above the
+// capped finding-count range.
+const auditFailExit = 101
+
 func main() {
-	if err := run(); err != nil {
+	code, err := run()
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "jmake-lint:", err)
-		os.Exit(1)
+		if code == 0 {
+			code = 1
+		}
 	}
+	os.Exit(code)
 }
 
-func run() error {
+func run() (int, error) {
 	var (
 		root     = flag.String("root", ".", "source tree root (Makefile chain, if any, is resolved from here)")
 		arch     = flag.String("arch", kbuild.HostArch, "architecture for SRCARCH Makefile expansion")
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON instead of text")
 		deadOnly = flag.Bool("dead", false, "report only provably-dead lines")
 		summary  = flag.Bool("summary", false, "print the per-arch/per-stage analysis summary table after the reports")
+		auditRun = flag.Bool("audit", false, "run the whole-tree configuration-mismatch audit instead of per-file reports")
+		workers  = flag.Int("workers", 1, "parallel file-scan workers for -audit (output is identical at any value)")
+		baseline = flag.String("baseline", "", "JSON file with a string array of symbols whose audit findings are suppressed")
+		verify   = flag.String("audit-verify", "", "JSON ground-truth manifest the audit findings must match exactly")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: jmake-lint [flags] [file ...]\n\n"+
 				"Without file arguments, every .c/.h file under -root is analyzed.\n"+
-				"File arguments are paths relative to -root.\n\n")
+				"File arguments are paths relative to -root.\n"+
+				"With -audit, the whole tree is audited for configuration mismatches\n"+
+				"and the exit code is the finding count (capped at 100; 101 = failure).\n\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	tree, err := loadTree(*root)
+	tree, err := fstree.LoadDir(*root)
 	if err != nil {
-		return err
+		return 0, err
+	}
+	if *auditRun {
+		return runAudit(tree, *workers, *baseline, *verify, *jsonOut)
 	}
 	paths := flag.Args()
 	if len(paths) == 0 {
@@ -70,7 +92,7 @@ func run() error {
 		p = fstree.Clean(p)
 		content, err := tree.Read(p)
 		if err != nil {
-			return fmt.Errorf("%s: %w", p, err)
+			return 0, fmt.Errorf("%s: %w", p, err)
 		}
 		results = append(results, analyzeOne(tree, p, content, *arch, reg))
 	}
@@ -78,7 +100,7 @@ func run() error {
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(results)
+		return 0, enc.Encode(results)
 	}
 	for _, r := range results {
 		printText(r, *deadOnly)
@@ -87,7 +109,67 @@ func run() error {
 		fmt.Println("== analysis summary by stage and arch ==")
 		fmt.Println(renderSummary(reg, *arch))
 	}
-	return nil
+	return 0, nil
+}
+
+// runAudit executes the whole-tree audit and maps its outcome to the exit
+// code: the finding count (capped at 100), or auditFailExit when the audit
+// could not run or the report does not match a -audit-verify manifest.
+func runAudit(tree *fstree.Tree, workers int, baselinePath, verifyPath string, jsonOut bool) (int, error) {
+	ignore := make(map[string]bool)
+	if baselinePath != "" {
+		var syms []string
+		if err := readJSONFile(baselinePath, &syms); err != nil {
+			return auditFailExit, fmt.Errorf("baseline: %w", err)
+		}
+		for _, s := range syms {
+			ignore[s] = true
+		}
+	}
+	rep, err := audit.Run(audit.Params{Tree: tree, Ignore: ignore, Workers: workers})
+	if err != nil {
+		return auditFailExit, err
+	}
+	if jsonOut {
+		b, err := rep.JSON()
+		if err != nil {
+			return auditFailExit, err
+		}
+		os.Stdout.Write(b)
+	} else {
+		fmt.Print(rep.Text())
+	}
+	code := len(rep.Findings)
+	if code > 100 {
+		code = 100
+	}
+	if verifyPath != "" {
+		var want []audit.Expectation
+		if err := readJSONFile(verifyPath, &want); err != nil {
+			return auditFailExit, fmt.Errorf("audit-verify: %w", err)
+		}
+		missing, extra := audit.Verify(rep, want)
+		for _, e := range missing {
+			fmt.Fprintf(os.Stderr, "jmake-lint: audit-verify: expected finding missing: %s\n", e)
+		}
+		for _, f := range extra {
+			fmt.Fprintf(os.Stderr, "jmake-lint: audit-verify: finding beyond ground truth: [%s] %s:%d %s\n",
+				f.Category, f.File, f.Line, f.Symbol)
+		}
+		if len(missing) > 0 || len(extra) > 0 {
+			return auditFailExit, fmt.Errorf("audit-verify: %d missing, %d extra", len(missing), len(extra))
+		}
+		fmt.Fprintf(os.Stderr, "jmake-lint: audit-verify: all %d expected findings matched exactly\n", len(want))
+	}
+	return code, nil
+}
+
+func readJSONFile(path string, into any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	return json.Unmarshal(b, into)
 }
 
 // lint stage names for the summary table; "gate" tallies only run for .c
@@ -182,42 +264,4 @@ func printText(r fileResult, deadOnly bool) {
 		}
 		fmt.Printf("dead: %s\n", strings.Join(parts, " "))
 	}
-}
-
-// loadTree mirrors the on-disk root into the in-memory tree the analysis
-// layers operate on. Only build-relevant file kinds are loaded.
-func loadTree(root string) (*fstree.Tree, error) {
-	tree := fstree.New()
-	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			if name := d.Name(); name == ".git" || name == "golden" {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		rel, err := filepath.Rel(root, p)
-		if err != nil {
-			return err
-		}
-		rel = filepath.ToSlash(rel)
-		base := d.Name()
-		if !strings.HasSuffix(base, ".c") && !strings.HasSuffix(base, ".h") &&
-			base != "Makefile" && base != "Kbuild.meta" &&
-			!strings.HasPrefix(base, "Kconfig") && !strings.HasSuffix(base, "_defconfig") {
-			return nil
-		}
-		content, err := os.ReadFile(p)
-		if err != nil {
-			return err
-		}
-		tree.Write(rel, string(content))
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return tree, nil
 }

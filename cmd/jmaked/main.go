@@ -14,6 +14,7 @@
 //	GET  /readyz    readiness (503 while draining)
 //	GET  /metricsz  daemon + session metrics, latency percentiles
 //	GET  /commits   the workspace's window commit IDs
+//	GET  /audit     whole-tree configuration-mismatch report (cached)
 //	POST /check     {"commit": ID, "options": {...}, "deadline_ms": N}
 //	POST /batch     {"commits": [ID...], ...}
 //

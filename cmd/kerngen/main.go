@@ -1,19 +1,26 @@
 // Command kerngen generates the kernel-shaped source tree and reports its
 // composition, or dumps individual files. It exists to inspect the
-// substrate the evaluation runs on.
+// substrate the evaluation runs on. With -emit it materializes the tree on
+// disk, optionally seeding configuration mismatches (-inject-mismatches)
+// with a ground-truth manifest for jmake-lint -audit-verify.
 //
 // Usage:
 //
 //	kerngen [-seed N] [-scale S] [-cat path] [-ls prefix]
+//	kerngen -emit DIR [-inject-mismatches N] [-inject-seed N]
+//	        [-inject-manifest FILE] [-baseline-out FILE]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"jmake"
+	"jmake/internal/kernelgen"
 	"jmake/internal/metrics"
 )
 
@@ -26,17 +33,25 @@ func main() {
 
 func run() error {
 	var (
-		seed  = flag.Int64("seed", 1, "generation seed")
-		scale = flag.Float64("scale", 1.0, "size multiplier")
-		cat   = flag.String("cat", "", "print one file and exit")
-		ls    = flag.String("ls", "", "list files under a prefix and exit")
-		dump  = flag.Bool("metrics", false, "dump the composition tallies as a raw metrics-registry snapshot")
+		seed       = flag.Int64("seed", 1, "generation seed")
+		scale      = flag.Float64("scale", 1.0, "size multiplier")
+		cat        = flag.String("cat", "", "print one file and exit")
+		ls         = flag.String("ls", "", "list files under a prefix and exit")
+		dump       = flag.Bool("metrics", false, "dump the composition tallies as a raw metrics-registry snapshot")
+		emit       = flag.String("emit", "", "write the generated tree into this directory and exit")
+		injectN    = flag.Int("inject-mismatches", 0, "with -emit: seed N configuration mismatches into the tree")
+		injectSeed = flag.Int64("inject-seed", 1, "seed for mismatch injection placement")
+		injectOut  = flag.String("inject-manifest", "", "with -inject-mismatches: write the ground-truth manifest JSON here")
+		baseOut    = flag.String("baseline-out", "", "write the manifest's audit-baseline symbol list as JSON here")
 	)
 	flag.Parse()
 
 	tree, man, err := jmake.GenerateKernel(*seed, *scale)
 	if err != nil {
 		return err
+	}
+	if *emit != "" {
+		return emitTree(tree, man, *emit, *injectN, *injectSeed, *injectOut, *baseOut)
 	}
 	if *cat != "" {
 		content, err := tree.Read(*cat)
@@ -109,4 +124,51 @@ func run() error {
 	fmt.Printf("whole-build file: %s\n", man.WholeBuildFile)
 	fmt.Printf("many-macro file: %s\n", man.ManyMacroFile)
 	return nil
+}
+
+// emitTree materializes the generated tree under dir, after injecting the
+// requested mismatches, and writes the side-band JSON artifacts the audit
+// smoke test consumes.
+func emitTree(tree *jmake.Tree, man *kernelgen.Manifest, dir string, injectN int, injectSeed int64,
+	injectOut, baseOut string) error {
+	injected, err := kernelgen.InjectMismatches(tree, injectSeed, injectN)
+	if err != nil {
+		return err
+	}
+	if err := tree.Walk(func(p, content string) error {
+		dst := filepath.Join(dir, filepath.FromSlash(p))
+		if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(dst, []byte(content), 0o644)
+	}); err != nil {
+		return err
+	}
+	if injectOut != "" {
+		if injected == nil {
+			injected = []kernelgen.InjectedMismatch{}
+		}
+		if err := writeJSONFile(injectOut, injected); err != nil {
+			return err
+		}
+	}
+	if baseOut != "" {
+		baseline := man.AuditBaseline
+		if baseline == nil {
+			baseline = []string{}
+		}
+		if err := writeJSONFile(baseOut, baseline); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("emitted %d files to %s (%d mismatches injected)\n", tree.Len(), dir, len(injected))
+	return nil
+}
+
+func writeJSONFile(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }

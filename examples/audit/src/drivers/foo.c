@@ -1,0 +1,22 @@
+/* foo.c - one fixture per audit finding category, plus the #if 0 idiom. */
+int foo_base;
+
+/* undefined-reference: no Kconfig file declares CONFIG_MISSPELLED. */
+#ifdef CONFIG_MISSPELLED
+int foo_misspelled;
+#endif
+
+/* dead-code: the Kbuild gate obj-$(CONFIG_FOO) forces FOO on. */
+#ifndef CONFIG_FOO
+int foo_without_foo;
+#endif
+
+/* #if 0 is commented-out code, not a mismatch: never reported. */
+#if 0
+int foo_disabled_experiment;
+#endif
+
+/* live: BAR is reachable (FOO=y, BAR=y), so this is not reported. */
+#ifdef CONFIG_BAR
+int foo_bar_glue;
+#endif

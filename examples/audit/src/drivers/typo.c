@@ -1,0 +1,5 @@
+/* typo.c - gated by the misspelled rule; its own content is clean. */
+int typo_probe(void)
+{
+	return 0;
+}

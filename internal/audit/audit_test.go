@@ -1,0 +1,184 @@
+package audit
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"jmake/internal/fstree"
+	"jmake/internal/metrics"
+)
+
+const testKconfig = `config FOO
+	bool "foo"
+
+config BAR
+	tristate "bar"
+	depends on FOO
+
+config DEAD
+	bool "dead"
+	depends on FOO && !FOO
+
+config CHA
+	bool "cha"
+	depends on CHB
+
+config CHB
+	bool "chb"
+	depends on !CHA
+
+config GUARD
+	bool "guard"
+
+config SELDEP
+	bool "seldep"
+	depends on GUARD
+
+config SELECTOR
+	bool "selector"
+	depends on !GUARD
+	select SELDEP
+`
+
+const testFooC = `int base;
+#ifdef CONFIG_PHANTOM
+int phantom;
+#endif
+#ifndef CONFIG_FOO
+int nofoo;
+#endif
+#if 0
+int never;
+#endif
+#ifdef CONFIG_BAR
+int bar;
+#endif
+`
+
+func fixtureTree() *fstree.Tree {
+	t := fstree.New()
+	t.Write("Kconfig", testKconfig)
+	t.Write("Makefile", "obj-y += drivers/\n")
+	t.Write("drivers/Makefile", "obj-$(CONFIG_FOO) += foo.o\nobj-$(CONFIG_GHOST) += ghost.o\n")
+	t.Write("drivers/foo.c", testFooC)
+	return t
+}
+
+func findingWith(fs []Finding, cat Category, sym string) *Finding {
+	for i := range fs {
+		if fs[i].Category == cat && fs[i].Symbol == sym {
+			return &fs[i]
+		}
+	}
+	return nil
+}
+
+func TestRunAllCategories(t *testing.T) {
+	rep, err := Run(Params{Tree: fixtureTree()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := rep.Arches, []string{"all"}; len(got) != 1 || got[0] != want[0] {
+		t.Errorf("arches = %v, want %v", got, want)
+	}
+	if rep.Files != 1 || rep.Symbols != 8 || rep.GateRefs != 2 {
+		t.Errorf("files/symbols/gaterefs = %d/%d/%d, want 1/8/2", rep.Files, rep.Symbols, rep.GateRefs)
+	}
+	wantCounts := map[Category]int{CatUndefinedRef: 2, CatDeadSymbol: 1, CatContradiction: 2, CatDeadCode: 1}
+	for c, n := range wantCounts {
+		if rep.Counts[c] != n {
+			t.Errorf("counts[%s] = %d, want %d\n%s", c, rep.Counts[c], n, rep.Text())
+		}
+	}
+	if len(rep.Findings) != 6 {
+		t.Fatalf("got %d findings, want 6:\n%s", len(rep.Findings), rep.Text())
+	}
+
+	if f := findingWith(rep.Findings, CatUndefinedRef, "GHOST"); f == nil || f.File != "drivers/Makefile" || f.Line != 2 {
+		t.Errorf("GHOST gate ref finding wrong: %+v", f)
+	}
+	if f := findingWith(rep.Findings, CatUndefinedRef, "PHANTOM"); f == nil || f.File != "drivers/foo.c" || f.Line != 3 {
+		t.Errorf("PHANTOM code ref finding wrong: %+v", f)
+	}
+	if f := findingWith(rep.Findings, CatDeadSymbol, "DEAD"); f == nil || f.File != "Kconfig" {
+		t.Errorf("DEAD symbol finding wrong: %+v", f)
+	}
+	if f := findingWith(rep.Findings, CatContradiction, "CHA"); f == nil {
+		t.Errorf("missing chain contradiction on CHA:\n%s", rep.Text())
+	}
+	if f := findingWith(rep.Findings, CatContradiction, "SELECTOR"); f == nil || !strings.Contains(f.Detail, "SELDEP") {
+		t.Errorf("select-vs-depends finding wrong: %+v", f)
+	}
+	if f := findingWith(rep.Findings, CatDeadCode, "FOO"); f == nil || f.File != "drivers/foo.c" || f.Line != 6 || f.EndLine != 6 {
+		t.Errorf("dead-code finding wrong: %+v", f)
+	}
+
+	// CHB is satisfiable (CHB=y, CHA=n) and must not be flagged; the #if 0
+	// block and the live CONFIG_BAR block must not appear either.
+	if f := findingWith(rep.Findings, CatContradiction, "CHB"); f != nil {
+		t.Errorf("CHB wrongly flagged: %+v", f)
+	}
+	for _, f := range rep.Findings {
+		if f.Category == CatDeadCode && f.Line != 6 {
+			t.Errorf("unexpected dead-code finding: %+v", f)
+		}
+	}
+}
+
+func TestRunIgnoreSuppresses(t *testing.T) {
+	ignore := map[string]bool{
+		"PHANTOM": true, "GHOST": true, "DEAD": true,
+		"CHA": true, "SELECTOR": true, "FOO": true,
+	}
+	rep, err := Run(Params{Tree: fixtureTree(), Ignore: ignore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("with full baseline, got %d findings:\n%s", len(rep.Findings), rep.Text())
+	}
+	if rep.Suppressed != 6 {
+		t.Errorf("suppressed = %d, want 6", rep.Suppressed)
+	}
+}
+
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	var outs [][]byte
+	for _, w := range []int{1, 4} {
+		rep, err := Run(Params{Tree: fixtureTree(), Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, b)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("JSON differs between workers=1 and workers=4:\n%s\n---\n%s", outs[0], outs[1])
+	}
+}
+
+func TestRunMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	rep, err := Run(Params{Tree: fixtureTree(), Reg: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("audit_files").Value(); got != uint64(rep.Files) {
+		t.Errorf("audit_files = %d, want %d", got, rep.Files)
+	}
+	if got := reg.Counter("audit_findings", metrics.L("category", string(CatDeadCode))).Value(); got != 1 {
+		t.Errorf("audit_findings{dead-code} = %d, want 1", got)
+	}
+}
+
+func TestRunNoKconfig(t *testing.T) {
+	tr := fstree.New()
+	tr.Write("a.c", "int x;\n")
+	if _, err := Run(Params{Tree: tr}); err == nil {
+		t.Fatal("expected error on tree without Kconfig root")
+	}
+}

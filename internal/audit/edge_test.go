@@ -1,0 +1,137 @@
+package audit
+
+import (
+	"strings"
+	"testing"
+
+	"jmake/internal/fstree"
+)
+
+func auditFixture(t *testing.T, kconfig, code string) *Report {
+	t.Helper()
+	tr := fstree.New()
+	tr.Write("Kconfig", kconfig)
+	if code != "" {
+		tr.Write("probe.c", code)
+	}
+	rep, err := Run(Params{Tree: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestTristateMvsYChain checks the audit's tristate chain semantics: a
+// tristate capped at m by its dependency chain makes a plain #ifdef (the
+// y macro) dead while the _MODULE spelling stays compilable — and the
+// symbol itself is not dead, so only the block is reported.
+func TestTristateMvsYChain(t *testing.T) {
+	rep := auditFixture(t, `
+config CAPPED
+	tristate "never above m"
+	depends on m
+`, `#ifdef CONFIG_CAPPED
+int only_builtin;
+#endif
+#ifdef CONFIG_CAPPED_MODULE
+int only_modular;
+#endif
+`)
+	if got := rep.Counts[CatDeadSymbol]; got != 0 {
+		t.Errorf("dead-symbol count = %d, want 0 (CAPPED is reachable at m):\n%s", got, rep.Text())
+	}
+	if got := rep.Counts[CatDeadCode]; got != 1 {
+		t.Fatalf("dead-code count = %d, want 1:\n%s", got, rep.Text())
+	}
+	f := rep.Findings[0]
+	if f.File != "probe.c" || f.Line != 2 || f.Symbol != "CAPPED" {
+		t.Errorf("dead block = %+v, want probe.c:2 CAPPED", f)
+	}
+}
+
+// TestSelectOverridesUnsatisfiedDep checks how a select interacts with an
+// unsatisfiable dependency: alone, the symbol is a dead-symbol finding;
+// with a selector, the select exemption stops the dead-symbol report (a
+// select raises the target past its depends-on) and the defect is instead
+// attributed to the selector as a select-vs-depends conflict — one
+// finding either way, never two for one defect.
+func TestSelectOverridesUnsatisfiedDep(t *testing.T) {
+	const deadDecl = `
+config ROOT
+	bool "root"
+
+config STUCK
+	bool "unsatisfiable on its own"
+	depends on ROOT && !ROOT
+`
+	rep := auditFixture(t, deadDecl, "")
+	if got := rep.Counts[CatDeadSymbol]; got != 1 {
+		t.Fatalf("without selector: dead-symbol count = %d, want 1:\n%s", got, rep.Text())
+	}
+
+	rep = auditFixture(t, deadDecl+`
+config RAISER
+	bool "raiser"
+	select STUCK
+`, "")
+	if got := rep.Counts[CatDeadSymbol]; got != 0 {
+		t.Errorf("with selector: dead-symbol count = %d, want 0 (select exempts the target):\n%s",
+			got, rep.Text())
+	}
+	if got := rep.Counts[CatContradiction]; got != 1 {
+		t.Fatalf("with selector: contradiction count = %d, want 1:\n%s", got, rep.Text())
+	}
+	if f := findingWith(rep.Findings, CatContradiction, "RAISER"); f == nil || !strings.Contains(f.Detail, "STUCK") {
+		t.Errorf("conflict not attributed to selector: %+v", rep.Findings)
+	}
+}
+
+// TestSelfDependencyCycleTerminates feeds the chain expansion a direct
+// self-dependency and a two-symbol cycle; the audit must terminate and
+// report nothing (both admit the all-yes valuation).
+func TestSelfDependencyCycleTerminates(t *testing.T) {
+	rep := auditFixture(t, `
+config SELF
+	bool "depends on itself"
+	depends on SELF
+
+config PING
+	bool "ping"
+	depends on PONG
+
+config PONG
+	bool "pong"
+	depends on PING
+`, `#ifdef CONFIG_SELF
+int self_block;
+#endif
+`)
+	if len(rep.Findings) != 0 {
+		t.Errorf("cycles produced %d findings, want 0:\n%s", len(rep.Findings), rep.Text())
+	}
+}
+
+// TestSelectConflictStillReported guards the exemption's boundary: the
+// select exemption must not hide a selector whose every enabling
+// configuration violates the target's dependencies.
+func TestSelectConflictStillReported(t *testing.T) {
+	rep := auditFixture(t, `
+config GUARD
+	bool "guard"
+
+config WANTS_GUARD
+	bool "wants guard"
+	depends on GUARD
+
+config FORCER
+	bool "forcer"
+	depends on !GUARD
+	select WANTS_GUARD
+`, "")
+	if got := rep.Counts[CatContradiction]; got != 1 {
+		t.Fatalf("contradiction count = %d, want 1:\n%s", got, rep.Text())
+	}
+	if f := rep.Findings[0]; f.Symbol != "FORCER" || !strings.Contains(f.Detail, "WANTS_GUARD") {
+		t.Errorf("select conflict = %+v, want FORCER vs WANTS_GUARD", f)
+	}
+}

@@ -1,0 +1,63 @@
+package audit
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"jmake/internal/fstree"
+)
+
+// TestGoldenCorpus pins the audit's JSON report over examples/audit/src —
+// a fixture tree with one defect per finding category and an unreported
+// #if 0 — byte for byte, at two worker counts. Regenerate the golden with
+// UPDATE_GOLDEN=1 go test ./internal/audit/ after an intentional format
+// or analysis change.
+func TestGoldenCorpus(t *testing.T) {
+	srcDir := filepath.Join("..", "..", "examples", "audit", "src")
+	goldenPath := filepath.Join("..", "..", "examples", "audit", "golden", "report.json")
+
+	var outs [][]byte
+	for _, workers := range []int{1, 2} {
+		tree, err := fstree.LoadDir(srcDir)
+		if err != nil {
+			t.Fatalf("corpus missing: %v", err)
+		}
+		rep, err := Run(Params{Tree: tree, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := rep.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		outs = append(outs, b)
+
+		// Each category must be represented exactly once: the misspelled
+		// Kbuild gate and the misspelled #ifdef are both undefined refs.
+		want := map[Category]int{CatUndefinedRef: 2, CatDeadSymbol: 1, CatContradiction: 2, CatDeadCode: 1}
+		for c, n := range want {
+			if rep.Counts[c] != n {
+				t.Errorf("workers=%d: counts[%s] = %d, want %d\n%s", workers, c, rep.Counts[c], n, rep.Text())
+			}
+		}
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("JSON differs between workers=1 and workers=2:\n%s\n---\n%s", outs[0], outs[1])
+	}
+
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(goldenPath, outs[0], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(outs[0], want) {
+		t.Errorf("audit report drifted from golden\n--- got ---\n%s--- want ---\n%s", outs[0], want)
+	}
+}

@@ -1,0 +1,50 @@
+package audit
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// JSON renders the report as indented JSON with a trailing newline — the
+// single serializer shared by jmake-lint, the golden tests, and the
+// jmaked /audit endpoint, so all three are byte-identical by construction.
+func (r *Report) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Text renders the human-readable report: a summary header, per-category
+// counts, and one line per finding in canonical order.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "audit: %d finding(s) across %d file(s), %d symbol(s), %d gate ref(s) [arches: %s]\n",
+		len(r.Findings), r.Files, r.Symbols, r.GateRefs, strings.Join(r.Arches, " "))
+	for _, c := range Categories {
+		fmt.Fprintf(&b, "  %-20s %d\n", string(c)+":", r.Counts[c])
+	}
+	if r.Unknown > 0 {
+		fmt.Fprintf(&b, "  %-20s %d (formulas beyond the SAT bound; never reported as findings)\n", "unknown:", r.Unknown)
+	}
+	if r.Suppressed > 0 {
+		fmt.Fprintf(&b, "  %-20s %d (baseline-ignored)\n", "suppressed:", r.Suppressed)
+	}
+	for _, f := range r.Findings {
+		loc := f.File
+		if f.Line > 0 {
+			loc = fmt.Sprintf("%s:%d", f.File, f.Line)
+			if f.EndLine > f.Line {
+				loc = fmt.Sprintf("%s-%d", loc, f.EndLine)
+			}
+		}
+		sym := ""
+		if f.Symbol != "" {
+			sym = " " + f.Symbol + ":"
+		}
+		fmt.Fprintf(&b, "%s: [%s]%s %s\n", loc, f.Category, sym, f.Detail)
+	}
+	return b.String()
+}

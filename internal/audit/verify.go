@@ -1,0 +1,73 @@
+package audit
+
+import "fmt"
+
+// Expectation is one finding the caller asserts the audit must produce —
+// the ground-truth format written by kerngen's mismatch injector and
+// consumed by jmake-lint -audit-verify. The JSON field names match
+// Finding's, so an injection manifest round-trips through either type.
+type Expectation struct {
+	Category Category `json:"category"`
+	File     string   `json:"file"`
+	Line     int      `json:"line,omitempty"`
+	Symbol   string   `json:"symbol,omitempty"`
+}
+
+func (e Expectation) String() string {
+	s := fmt.Sprintf("[%s]", e.Category)
+	if e.File != "" {
+		s += " " + e.File
+		if e.Line > 0 {
+			s += fmt.Sprintf(":%d", e.Line)
+		}
+	}
+	if e.Symbol != "" {
+		s += " " + e.Symbol
+	}
+	return s
+}
+
+// matches reports whether a finding satisfies the expectation. Symbol-level
+// expectations (Line 0) match on category and symbol — the representative
+// file of a cross-arch Kconfig finding is an implementation detail — while
+// positional expectations also pin file and line.
+func (e Expectation) matches(f Finding) bool {
+	if f.Category != e.Category {
+		return false
+	}
+	if e.Symbol != "" && f.Symbol != e.Symbol {
+		return false
+	}
+	if e.Line > 0 && (f.File != e.File || f.Line != e.Line) {
+		return false
+	}
+	return true
+}
+
+// Verify checks the report against a ground-truth manifest both ways: every
+// expectation must be matched by a distinct finding (else it is missing)
+// and every finding must match some expectation (else it is extra). A report
+// verifies exactly when both returned slices are empty — 100% recall with
+// zero false positives.
+func Verify(rep *Report, want []Expectation) (missing []Expectation, extra []Finding) {
+	used := make([]bool, len(rep.Findings))
+	for _, e := range want {
+		found := false
+		for i, f := range rep.Findings {
+			if !used[i] && e.matches(f) {
+				used[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing = append(missing, e)
+		}
+	}
+	for i, f := range rep.Findings {
+		if !used[i] {
+			extra = append(extra, f)
+		}
+	}
+	return missing, extra
+}

@@ -7,6 +7,7 @@ import (
 	"jmake/internal/cpp"
 	"jmake/internal/fstree"
 	"jmake/internal/kbuild"
+	"jmake/internal/kconfig"
 	"jmake/internal/metrics"
 	"jmake/internal/vclock"
 )
@@ -92,6 +93,21 @@ func (s *Session) Checker(tree *fstree.Tree, model *vclock.Model, opts Options) 
 		configs: s.configs,
 		tokens:  s.tokens,
 		results: s.results,
+	}
+}
+
+// KconfigProvider adapts the session's shared per-arch Kconfig cache to
+// the loader signature the whole-tree audit takes (audit.Params.Kconfig):
+// architectures the session already discovered are served from the warm
+// parse, anything else — e.g. a fixture corpus's pseudo-architecture —
+// parses fresh from base. Kconfig inputs are window-invariant (see the
+// Session doc), so serving a cached parse for any window snapshot is sound.
+func (s *Session) KconfigProvider(base *fstree.Tree) func(archName, rootPath string) (*kconfig.Tree, error) {
+	return func(archName, rootPath string) (*kconfig.Tree, error) {
+		if a := s.arches[archName]; a != nil && a.KconfigRoot == rootPath {
+			return s.configs.KconfigTree(base, a)
+		}
+		return kconfig.Parse(kbuild.TreeSource{T: base}, rootPath)
 	}
 }
 

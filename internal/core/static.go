@@ -216,196 +216,15 @@ func condDead(cond presence.Formula, ags []archGate) bool {
 
 // archAlive reports whether cond could hold under some configuration of one
 // architecture: the condition is conjoined with the file's Kbuild gate and
-// the Kconfig constraints over its symbols, then checked for satisfiability.
-// Any gap in knowledge errs toward alive.
+// the Kconfig constraints over its symbols (presence.ArchFormula), then
+// checked for satisfiability. Any gap in knowledge — a parse failure, or a
+// formula wider than the SAT bound — errs toward alive.
 func archAlive(as *archStatic, cond presence.Formula, gate *kbuild.Gate) bool {
 	if as.err != nil {
 		return true
 	}
-	f := cond
-	if gate != nil {
-		f = presence.And(f, gateFormula(as.kt, gate))
-		f = presence.Replace(f, moduleRepl(as.kt, gate))
-	}
-	f = presence.Substitute(f, undeclaredKnow(as.kt))
-	f = presence.And(f, kconfigConstraints(as, f))
-	sat, _ := presence.Sat(f)
-	return sat
-}
-
-// gateFormula is the Kbuild reachability condition: every gating variable of
-// the descent chain and of the file's own rule must be enabled.
-func gateFormula(kt *kconfig.Tree, g *kbuild.Gate) presence.Formula {
-	out := presence.True
-	for _, v := range g.Vars {
-		out = presence.And(out, symEnabled(kt, v))
-	}
-	return out
-}
-
-// symEnabled is the formula for "option name is y or m" in one
-// architecture's tree. Undeclared options always evaluate to n.
-func symEnabled(kt *kconfig.Tree, name string) presence.Formula {
-	s := kt.Symbol(name)
-	if s == nil {
-		return presence.False
-	}
-	y := presence.Symbol("CONFIG_" + name)
-	if s.Type != kconfig.TypeTristate {
-		return y
-	}
-	return presence.Or(y, presence.Symbol("CONFIG_"+name+"_MODULE"))
-}
-
-// moduleRepl resolves the MODULE macro from the file's own Kbuild rule:
-// obj-m files always build modular, obj-y never, and an obj-$(CONFIG_X)
-// tristate rule builds modular exactly when X is m.
-func moduleRepl(kt *kconfig.Tree, g *kbuild.Gate) func(string) (presence.Formula, bool) {
-	return func(name string) (presence.Formula, bool) {
-		if name != "defined(MODULE)" && name != "?MODULE" {
-			return nil, false
-		}
-		switch {
-		case g.OwnModule:
-			return presence.True, true
-		case g.OwnVar == "":
-			return presence.False, true
-		}
-		if s := kt.Symbol(g.OwnVar); s != nil && s.Type == kconfig.TypeTristate {
-			return presence.Symbol("CONFIG_" + g.OwnVar + "_MODULE"), true
-		}
-		return presence.False, true
-	}
-}
-
-// undeclaredKnow substitutes False for configuration symbols the
-// architecture's tree does not declare — autoconf never defines their
-// macros (Config.Value reports No for unknown names, so this is exact).
-// CONFIG_X_MODULE variables of declared bool options are likewise False.
-func undeclaredKnow(kt *kconfig.Tree) func(string) (bool, bool) {
-	return func(name string) (bool, bool) {
-		if !presence.IsConfigSymbol(name) {
-			return false, false
-		}
-		base := strings.TrimPrefix(name, "CONFIG_")
-		if kt.Symbol(base) != nil {
-			return false, false
-		}
-		if root, ok := strings.CutSuffix(base, "_MODULE"); ok {
-			if s := kt.Symbol(root); s != nil {
-				if s.Type == kconfig.TypeTristate {
-					return false, false // a real module variable: stays free
-				}
-				return false, true // bool options are never m
-			}
-		}
-		return false, true
-	}
-}
-
-// kconfigConstraints conjoins what the architecture's Kconfig tree says
-// about the configuration symbols appearing in f: y and m are exclusive
-// values of one option, and a symbol not forced by `select` can only be
-// enabled when its `depends on` allows it. Dependency clauses are expanded
-// one level — symbols they introduce stay unconstrained, which only widens
-// satisfiability and therefore keeps dead proofs sound.
-func kconfigConstraints(as *archStatic, f presence.Formula) presence.Formula {
-	kt := as.kt
-	out := presence.True
-	syms := presence.Symbols(f)
-	present := make(map[string]bool, len(syms))
-	for _, s := range syms {
-		present[s] = true
-	}
-	for _, name := range syms {
-		if !presence.IsConfigSymbol(name) {
-			continue
-		}
-		base := strings.TrimPrefix(name, "CONFIG_")
-		root, isModuleVar := base, false
-		if kt.Symbol(base) == nil {
-			r, ok := strings.CutSuffix(base, "_MODULE")
-			if !ok {
-				continue
-			}
-			root, isModuleVar = r, true
-		}
-		s := kt.Symbol(root)
-		if s == nil {
-			continue
-		}
-		yVar := presence.Symbol("CONFIG_" + root)
-		mVar := presence.Symbol("CONFIG_" + root + "_MODULE")
-		if s.Type == kconfig.TypeTristate && !isModuleVar && present["CONFIG_"+root+"_MODULE"] {
-			out = presence.And(out, presence.Not(presence.And(yVar, mVar)))
-		}
-		if as.selects[root] || s.DependsOn == nil {
-			continue
-		}
-		enabled, isYes := depFormulas(kt, s.DependsOn)
-		switch {
-		case isModuleVar:
-			out = presence.And(out, presence.Implies(mVar, enabled))
-		case s.Type == kconfig.TypeTristate:
-			// The fixpoint bounds a tristate by its dependency value, so
-			// reaching y needs the dependency at y.
-			out = presence.And(out, presence.Implies(yVar, isYes))
-		default:
-			out = presence.And(out, presence.Implies(yVar, enabled))
-		}
-	}
-	return out
-}
-
-// depAbs abstracts a tristate dependency expression into two booleans:
-// "value != n" and "value == y".
-type depAbs struct{ enabled, isYes presence.Formula }
-
-// depFormulas folds a `depends on` expression into the boolean domain.
-// min/max/negation over {n, m, y} decompose exactly into this pair;
-// =/!= comparisons become one opaque variable for both components.
-func depFormulas(kt *kconfig.Tree, e kconfig.Expr) (enabled, isYes presence.Formula) {
-	fns := kconfig.FoldFuncs[depAbs]{
-		Sym: func(name string) depAbs {
-			switch name {
-			case "y":
-				return depAbs{presence.True, presence.True}
-			case "m":
-				return depAbs{presence.True, presence.False}
-			case "n":
-				return depAbs{presence.False, presence.False}
-			}
-			s := kt.Symbol(name)
-			if s == nil {
-				return depAbs{presence.False, presence.False}
-			}
-			y := presence.Symbol("CONFIG_" + name)
-			if s.Type != kconfig.TypeTristate {
-				return depAbs{y, y}
-			}
-			return depAbs{presence.Or(y, presence.Symbol("CONFIG_"+name+"_MODULE")), y}
-		},
-		Not: func(x depAbs) depAbs {
-			// y - v: != n iff v != y; == y iff v == n.
-			return depAbs{presence.Not(x.isYes), presence.Not(x.enabled)}
-		},
-		And: func(l, r depAbs) depAbs {
-			return depAbs{presence.And(l.enabled, r.enabled), presence.And(l.isYes, r.isYes)}
-		},
-		Or: func(l, r depAbs) depAbs {
-			return depAbs{presence.Or(l.enabled, r.enabled), presence.Or(l.isYes, r.isYes)}
-		},
-		Cmp: func(l, r kconfig.Expr, ne bool) depAbs {
-			op := " = "
-			if ne {
-				op = " != "
-			}
-			v := presence.Symbol("?kconfig:" + l.String() + op + r.String())
-			return depAbs{v, v}
-		},
-	}
-	d := kconfig.FoldExpr(e, fns)
-	return d.enabled, d.isYes
+	f := presence.ArchFormula(as.kt, as.selects, cond, gate)
+	return presence.Decide(f) != presence.SatNo
 }
 
 // predictArch evaluates each live mutation's condition under one

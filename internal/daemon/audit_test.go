@@ -1,0 +1,63 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+
+	"jmake/internal/audit"
+)
+
+// TestAuditEndpoint checks that /audit serves a clean report for the
+// generated workspace (its manifest baseline suppresses the intentional
+// escape-class fixtures), that repeated requests serve the identical
+// cached bytes, and that the audit ran exactly once.
+func TestAuditEndpoint(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+
+	get := func() []byte {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/audit")
+		if err != nil {
+			t.Fatalf("GET /audit: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /audit: %d: %s", resp.StatusCode, body)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("content type = %q, want application/json", ct)
+		}
+		return body
+	}
+
+	first := get()
+	var rep audit.Report
+	if err := json.Unmarshal(first, &rep); err != nil {
+		t.Fatalf("/audit not an audit.Report: %v", err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("workspace audit has %d findings, want 0 (baseline %d symbols):\n%s",
+			len(rep.Findings), len(s.built.Manifest.AuditBaseline), rep.Text())
+	}
+	if rep.Suppressed == 0 {
+		t.Error("expected baseline suppressions in the workspace audit")
+	}
+	if len(rep.Arches) == 0 || rep.Files == 0 || rep.Symbols == 0 {
+		t.Errorf("implausible audit coverage: %+v", rep)
+	}
+
+	second := get()
+	if !bytes.Equal(first, second) {
+		t.Error("repeated /audit responses differ; expected cached bytes")
+	}
+	if got := s.reg.Counter("daemon_audit_runs").Value(); got != 1 {
+		t.Errorf("daemon_audit_runs = %d, want 1", got)
+	}
+}

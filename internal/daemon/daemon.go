@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"jmake"
+	"jmake/internal/audit"
 	"jmake/internal/cliopts"
 	"jmake/internal/metrics"
 	"jmake/internal/vclock"
@@ -122,6 +123,13 @@ type Server struct {
 
 	draining  atomic.Bool
 	flushOnce sync.Once
+
+	// auditOnce computes the whole-tree audit report lazily on the first
+	// /audit request; the workspace tree is immutable for the daemon's
+	// lifetime, so the serialized report is cached forever after.
+	auditOnce sync.Once
+	auditJSON []byte
+	auditErr  error
 
 	canaryID   string
 	canaryJSON []byte
@@ -275,7 +283,44 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/commits", s.handleCommits)
 	mux.HandleFunc("/check", s.handleCheck)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/audit", s.handleAudit)
 	return mux
+}
+
+// handleAudit serves the whole-tree configuration-mismatch report over the
+// workspace's generated tree, with the manifest's intentional escape-class
+// symbols suppressed so a clean workspace audits to zero findings. The
+// Kconfig parses come from the warm session's shared per-arch cache, and
+// the serialized bytes are audit.Report.JSON — identical to `jmake-lint
+// -audit -json -baseline <manifest baseline>` over the emitted tree.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	s.auditOnce.Do(func() {
+		ignore := make(map[string]bool, len(s.built.Manifest.AuditBaseline))
+		for _, sym := range s.built.Manifest.AuditBaseline {
+			ignore[sym] = true
+		}
+		s.mu.RLock()
+		session := s.session
+		s.mu.RUnlock()
+		rep, err := audit.Run(audit.Params{
+			Tree:    s.built.Tree,
+			Ignore:  ignore,
+			Workers: s.cfg.MaxInFlight,
+			Kconfig: session.KconfigProvider(s.built.Tree),
+		})
+		if err != nil {
+			s.auditErr = err
+			return
+		}
+		s.auditJSON, s.auditErr = rep.JSON()
+		s.reg.Counter("daemon_audit_runs").Inc()
+	})
+	if s.auditErr != nil {
+		http.Error(w, "audit: "+s.auditErr.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(s.auditJSON)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

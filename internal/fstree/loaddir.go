@@ -1,0 +1,53 @@
+package fstree
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// LoadDir mirrors an on-disk root into an in-memory tree, loading only the
+// build-relevant file kinds the analysis layers understand: C sources and
+// headers, Makefile/Kbuild files, Kconfig files, defconfigs, and the
+// kernelgen Kbuild.meta descriptor. ".git" and "golden" directories are
+// skipped so checked-out corpora with pinned expectations can be scanned
+// in place.
+func LoadDir(root string) (*Tree, error) {
+	tree := New()
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "golden" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		rel, err := filepath.Rel(root, p)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if !loadable(d.Name()) {
+			return nil
+		}
+		content, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		tree.Write(rel, string(content))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return tree, nil
+}
+
+func loadable(base string) bool {
+	return strings.HasSuffix(base, ".c") || strings.HasSuffix(base, ".h") ||
+		base == "Makefile" || base == "Kbuild" || base == "Kbuild.meta" ||
+		strings.HasPrefix(base, "Kconfig") || strings.HasSuffix(base, "_defconfig")
+}

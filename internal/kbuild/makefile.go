@@ -22,11 +22,13 @@ var ErrNoMakefile = errors.New("kbuild: no Makefile found")
 
 // ObjRule is one `obj-$(COND) += targets...` line. CondVar is the CONFIG
 // variable name without the CONFIG_ prefix; "" means unconditionally built
-// (obj-y). Module is true for obj-m rules.
+// (obj-y). Module is true for obj-m rules. Line is the rule's 1-based line
+// number in the makefile, so audits can point at the exact reference.
 type ObjRule struct {
 	CondVar string
 	Module  bool
 	Targets []string // "foo.o" or "subdir/"
+	Line    int
 }
 
 // Makefile is a parsed Kbuild makefile.
@@ -55,7 +57,7 @@ func ParseMakefile(mkPath, content, archName string) *Makefile {
 	content = strings.ReplaceAll(content, "$(ARCH)", archName)
 	mf := &Makefile{Path: mkPath, Composites: make(map[string][]string)}
 	seenVar := make(map[string]bool)
-	for _, raw := range strings.Split(content, "\n") {
+	for num, raw := range strings.Split(content, "\n") {
 		line := strings.TrimSpace(raw)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
@@ -67,7 +69,7 @@ func ParseMakefile(mkPath, content, archName string) *Makefile {
 			}
 		}
 		if m := objRuleRe.FindStringSubmatch(line); m != nil {
-			rule := ObjRule{Targets: strings.Fields(m[3])}
+			rule := ObjRule{Targets: strings.Fields(m[3]), Line: num + 1}
 			switch {
 			case m[1] == "y":
 			case m[1] == "m":
@@ -163,69 +165,12 @@ type Gate struct {
 	OwnModule bool
 }
 
-// FileGate walks the descent chain of a .c file — the same walk
-// Builder.Reachable performs, minus any configuration — and collects every
-// obj-$(CONFIG_X) condition along it. An error means the chain is broken
-// (missing Makefile, unlisted directory or object): no gate is derivable
-// and callers must not treat the file as unconditionally built.
-func FileGate(t *fstree.Tree, file, archName string) (Gate, error) {
-	file = fstree.Clean(file)
-	dir := path.Dir(file)
-	if dir == "." {
-		dir = ""
-	}
-	var components []string
-	if dir != "" {
-		components = strings.Split(dir, "/")
-	}
-	vars := make(map[string]bool)
-	var gate Gate
-	cur := ""
-	for i := 0; i < len(components); i++ {
-		mf, err := LoadMakefile(t, cur, archName)
-		if err != nil {
-			return Gate{}, err
-		}
-		rule, ok := mf.ruleFor(components[i] + "/")
-		if !ok {
-			// Arch directories nest one extra level: the root Makefile lists
-			// arch/<name>/ in one step.
-			if cur == "" && components[i] == "arch" && i+1 < len(components) {
-				if rule2, ok2 := mf.ruleFor("arch/" + components[i+1] + "/"); ok2 {
-					if rule2.CondVar != "" {
-						vars[rule2.CondVar] = true
-					}
-					cur = path.Join(cur, components[i], components[i+1])
-					i++
-					continue
-				}
-			}
-			return Gate{}, fmt.Errorf("%w: %s not listed in %s", ErrNotReachable, file, mf.Path)
-		}
-		if rule.CondVar != "" {
-			vars[rule.CondVar] = true
-		}
-		cur = path.Join(cur, components[i])
-	}
-	mf, err := LoadMakefile(t, dir, archName)
-	if err != nil {
-		return Gate{}, err
-	}
-	obj := strings.TrimSuffix(path.Base(file), ".c") + ".o"
-	rule, ok := mf.ruleFor(obj)
-	if !ok {
-		return Gate{}, fmt.Errorf("%w: no rule for %s in %s", ErrNotReachable, obj, mf.Path)
-	}
-	gate.OwnVar = rule.CondVar
-	gate.OwnModule = rule.Module
-	if rule.CondVar != "" {
-		vars[rule.CondVar] = true
-	}
-	for v := range vars {
-		gate.Vars = append(gate.Vars, v)
-	}
-	sort.Strings(gate.Vars)
-	return gate, nil
+func errNotListed(file, mkPath string) error {
+	return fmt.Errorf("%w: %s not listed in %s", ErrNotReachable, file, mkPath)
+}
+
+func errNoRule(obj, mkPath string) error {
+	return fmt.Errorf("%w: no rule for %s in %s", ErrNotReachable, obj, mkPath)
 }
 
 func collectGating(mf *Makefile, obj string, vars map[string]bool, depth int) {

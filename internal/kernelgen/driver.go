@@ -96,7 +96,10 @@ func (g *generator) subsystemsAndDrivers() {
 }
 
 // driverKconfig renders the Kconfig block for a driver and its extension
-// symbols.
+// symbols, and records the driver's intentional escape-class symbols in
+// the audit baseline: the audit would otherwise (correctly) report the
+// dead legacy option, the phantom guards, and the never-true #ifndef body
+// as mismatches, and they are fixtures, not defects.
 func (g *generator) driverKconfig(d Driver, spec subsysSpec) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "config %s\n\ttristate \"%s driver\"\n\tdepends on %s\n\n", d.ConfigVar, d.Name, spec.ConfigVar)
@@ -105,6 +108,18 @@ func (g *generator) driverKconfig(d Driver, spec subsysSpec) string {
 		// ever set it (Table IV row 1 when edited).
 		fmt.Fprintf(&b, "config %s_LEGACY\n\tbool \"%s legacy interface\"\n\tdepends on %s && BROKEN_PLATFORM_GLUE\n\n",
 			d.ConfigVar, d.Name, d.ConfigVar)
+		g.man.AuditBaseline = append(g.man.AuditBaseline, d.ConfigVar+"_LEGACY")
+	}
+	if d.Sites[SiteIfdefNever] {
+		g.man.AuditBaseline = append(g.man.AuditBaseline, d.ConfigVar+"_PHANTOM_GLUE")
+	}
+	if d.Sites[SiteHeaderPhantom] {
+		g.man.AuditBaseline = append(g.man.AuditBaseline, d.ConfigVar+"_PHANTOM_HDR")
+	}
+	if d.Sites[SiteIfndef] {
+		// The #ifndef CONFIG_<subsystem> body is tree-wide dead: the file's
+		// Kbuild gate forces the subsystem option on.
+		g.man.AuditBaseline = append(g.man.AuditBaseline, spec.ConfigVar)
 	}
 	if d.Sites[SiteArchQuirk] {
 		// The quirk symbol lives in one architecture's Kconfig (default y

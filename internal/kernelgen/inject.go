@@ -1,0 +1,138 @@
+package kernelgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"jmake/internal/fstree"
+)
+
+// InjectedMismatch is one seeded defect and the exact finding the audit
+// must report for it. The JSON shape matches audit.Expectation (and
+// audit.Finding), so a written manifest feeds jmake-lint -audit-verify
+// directly. Line is 0 for Kconfig-level injections, whose findings are
+// matched by category and symbol alone.
+type InjectedMismatch struct {
+	Category string `json:"category"`
+	File     string `json:"file"`
+	Line     int    `json:"line,omitempty"`
+	Symbol   string `json:"symbol,omitempty"`
+}
+
+// Category names, mirroring the audit package (not imported, to keep the
+// generator free of analysis dependencies).
+const (
+	injUndefinedRef  = "undefined-reference"
+	injDeadSymbol    = "dead-symbol"
+	injContradiction = "contradiction"
+	injDeadCode      = "dead-code"
+)
+
+// sharedKconfig is where injected symbols are declared: the root and every
+// architecture Kconfig source it, so the symbols exist in all valuations.
+const sharedKconfig = "Kconfig.shared"
+
+// InjectMismatches seeds n configuration mismatches into a generated tree,
+// rotating through the four audit categories, and returns the ground-truth
+// manifest. Injections are self-contained: every injected defect uses fresh
+// INJ_* symbols (declared helpers are plain bools), so each one yields
+// exactly one audit finding and a clean tree plus manifest verifies with
+// 100% recall and zero extras. Equal seeds on equal trees inject
+// identically.
+func InjectMismatches(t *fstree.Tree, seed int64, n int) ([]InjectedMismatch, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if !t.Exists(sharedKconfig) {
+		return nil, fmt.Errorf("inject: tree has no %s (not a kernelgen tree?)", sharedKconfig)
+	}
+	var cFiles, makefiles []string
+	for _, path := range t.Paths() {
+		if strings.HasPrefix(path, "arch/") || strings.HasPrefix(path, "Documentation/") ||
+			strings.HasPrefix(path, "tools/") || strings.HasPrefix(path, "scripts/") {
+			continue
+		}
+		switch {
+		case strings.HasSuffix(path, ".c"):
+			cFiles = append(cFiles, path)
+		case path != "Makefile" && strings.HasSuffix(path, "/Makefile"):
+			makefiles = append(makefiles, path)
+		}
+	}
+	sort.Strings(cFiles)
+	sort.Strings(makefiles)
+	if len(cFiles) == 0 || len(makefiles) == 0 {
+		return nil, fmt.Errorf("inject: tree has no injectable .c files or Makefiles")
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	var out []InjectedMismatch
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0:
+			sym := fmt.Sprintf("INJ_UNDEF_%d", i)
+			if (i/4)%2 == 0 {
+				// A Kbuild gate over a symbol no Kconfig file declares.
+				mk := pick(rng, makefiles)
+				line := appendLines(t, mk, fmt.Sprintf("obj-$(CONFIG_%s) += inj_undef_%d.o\n", sym, i))
+				out = append(out, InjectedMismatch{Category: injUndefinedRef, File: mk, Line: line, Symbol: sym})
+			} else {
+				// A preprocessor conditional over an undeclared symbol; the
+				// finding anchors at the first governed line, one past the
+				// (unconditional) directive line.
+				cf := pick(rng, cFiles)
+				line := appendLines(t, cf,
+					fmt.Sprintf("#ifdef CONFIG_%s\nint inj_undef_%d;\n#endif\n", sym, i)) + 1
+				out = append(out, InjectedMismatch{Category: injUndefinedRef, File: cf, Line: line, Symbol: sym})
+			}
+		case 1:
+			// A symbol whose own depends-on clause is unsatisfiable.
+			sym := fmt.Sprintf("INJ_DEAD_%d", i)
+			appendLines(t, sharedKconfig, fmt.Sprintf(
+				"\nconfig %s_A\n\tbool \"injected helper %d\"\n\nconfig %s\n\tbool \"injected dead option %d\"\n\tdepends on %s_A && !%s_A\n",
+				sym, i, sym, i, sym, sym))
+			out = append(out, InjectedMismatch{Category: injDeadSymbol, File: sharedKconfig, Symbol: sym})
+		case 2:
+			// A contradictory depends-on chain: each link is locally
+			// satisfiable, but enabling the symbol forces its own negation.
+			sym := fmt.Sprintf("INJ_CHAIN_%d", i)
+			appendLines(t, sharedKconfig, fmt.Sprintf(
+				"\nconfig %s\n\tbool \"injected chain head %d\"\n\tdepends on %s_B\n\nconfig %s_B\n\tbool \"injected chain link %d\"\n\tdepends on !%s\n",
+				sym, i, sym, sym, i, sym))
+			out = append(out, InjectedMismatch{Category: injContradiction, File: sharedKconfig, Symbol: sym})
+		case 3:
+			// A block dead in every architecture although both symbols are
+			// alive: the #if demands B without A, but Kconfig makes B imply
+			// A. The audit names the block by its alphabetically first
+			// symbol.
+			base := fmt.Sprintf("INJ_DC_%d", i)
+			appendLines(t, sharedKconfig, fmt.Sprintf(
+				"\nconfig %s_A\n\tbool \"injected dc base %d\"\n\nconfig %s_B\n\tbool \"injected dc dependent %d\"\n\tdepends on %s_A\n",
+				base, i, base, i, base))
+			cf := pick(rng, cFiles)
+			line := appendLines(t, cf, fmt.Sprintf(
+				"#if defined(CONFIG_%s_B) && !defined(CONFIG_%s_A)\nint inj_dc_%d;\n#endif\n",
+				base, base, i)) + 1
+			out = append(out, InjectedMismatch{Category: injDeadCode, File: cf, Line: line, Symbol: base + "_A"})
+		}
+	}
+	return out, nil
+}
+
+// appendLines appends text to the file and returns the line number of the
+// first appended line.
+func appendLines(t *fstree.Tree, path string, text string) int {
+	content, err := t.Read(path)
+	if err != nil {
+		content = ""
+	}
+	first := strings.Count(content, "\n") + 1
+	if len(content) > 0 && !strings.HasSuffix(content, "\n") {
+		content += "\n"
+		first++
+	}
+	t.Write(path, content+text)
+	return first
+}

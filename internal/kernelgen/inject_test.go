@@ -1,0 +1,127 @@
+package kernelgen
+
+import (
+	"testing"
+
+	"jmake/internal/audit"
+)
+
+func baselineSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// TestAuditCleanTree is the zero-false-positive half of the audit's ground
+// truth: a freshly generated tree, with the manifest's intentional
+// escape-class symbols suppressed, must audit to zero findings.
+func TestAuditCleanTree(t *testing.T) {
+	tree, man, err := Generate(Params{Seed: 11, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.AuditBaseline) == 0 {
+		t.Fatal("manifest has no audit baseline symbols")
+	}
+	rep, err := audit.Run(audit.Params{Tree: tree, Ignore: baselineSet(man.AuditBaseline)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("clean tree has %d findings:\n%s", len(rep.Findings), rep.Text())
+	}
+	if rep.Suppressed == 0 {
+		t.Error("expected baseline suppressions on a generated tree")
+	}
+}
+
+// TestAuditWithoutBaseline documents that the suppressions are real: the
+// same tree audited without the baseline reports the escape-class fixtures.
+func TestAuditWithoutBaseline(t *testing.T) {
+	tree, _, err := Generate(Params{Seed: 11, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := audit.Run(audit.Params{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) == 0 {
+		t.Fatal("expected findings on an unsuppressed generated tree")
+	}
+}
+
+// TestInjectMismatchesGroundTruth is the recall half: every injected
+// mismatch must be found, with nothing extra, across all four categories.
+func TestInjectMismatchesGroundTruth(t *testing.T) {
+	tree, man, err := Generate(Params{Seed: 11, Scale: 0.12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := InjectMismatches(tree, 42, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inj) != 10 {
+		t.Fatalf("injected %d mismatches, want 10", len(inj))
+	}
+	cats := make(map[string]int)
+	for _, m := range inj {
+		cats[m.Category]++
+	}
+	for _, c := range audit.Categories {
+		if cats[string(c)] == 0 {
+			t.Errorf("no injection in category %s", c)
+		}
+	}
+
+	rep, err := audit.Run(audit.Params{Tree: tree, Ignore: baselineSet(man.AuditBaseline)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]audit.Expectation, len(inj))
+	for i, m := range inj {
+		want[i] = audit.Expectation{
+			Category: audit.Category(m.Category),
+			File:     m.File,
+			Line:     m.Line,
+			Symbol:   m.Symbol,
+		}
+	}
+	missing, extra := audit.Verify(rep, want)
+	for _, e := range missing {
+		t.Errorf("injected mismatch not found: %s", e)
+	}
+	for _, f := range extra {
+		t.Errorf("finding beyond ground truth: %+v", f)
+	}
+	if t.Failed() {
+		t.Logf("report:\n%s", rep.Text())
+	}
+}
+
+// TestInjectDeterministic checks equal seeds inject identically.
+func TestInjectDeterministic(t *testing.T) {
+	var manifests [2][]InjectedMismatch
+	for k := 0; k < 2; k++ {
+		tree, _, err := Generate(Params{Seed: 11, Scale: 0.12})
+		if err != nil {
+			t.Fatal(err)
+		}
+		inj, err := InjectMismatches(tree, 7, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		manifests[k] = inj
+	}
+	if len(manifests[0]) != len(manifests[1]) {
+		t.Fatalf("lengths differ: %d vs %d", len(manifests[0]), len(manifests[1]))
+	}
+	for i := range manifests[0] {
+		if manifests[0][i] != manifests[1][i] {
+			t.Errorf("injection %d differs: %+v vs %+v", i, manifests[0][i], manifests[1][i])
+		}
+	}
+}

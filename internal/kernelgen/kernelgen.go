@@ -14,6 +14,8 @@ package kernelgen
 import (
 	"fmt"
 	"math/rand"
+	"slices"
+	"sort"
 	"strings"
 
 	"jmake/internal/fstree"
@@ -116,6 +118,12 @@ type Manifest struct {
 	// WorkingArches and BrokenArches list the architecture split.
 	WorkingArches []string
 	BrokenArches  []string
+	// AuditBaseline lists the symbols behind the tree's intentional
+	// escape-class fixtures (undeclared phantom guards, dead legacy
+	// options, never-true #ifndef bodies). The whole-tree audit suppresses
+	// findings on these, so a freshly generated tree audits clean and any
+	// injected mismatch stands out alone. Sorted, deduplicated.
+	AuditBaseline []string
 }
 
 // Params configure generation.
@@ -156,6 +164,8 @@ func Generate(p Params) (*fstree.Tree, *Manifest, error) {
 	if err := g.err; err != nil {
 		return nil, nil, err
 	}
+	sort.Strings(g.man.AuditBaseline)
+	g.man.AuditBaseline = slices.Compact(g.man.AuditBaseline)
 	return g.tree, g.man, nil
 }
 

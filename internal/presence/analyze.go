@@ -183,7 +183,7 @@ func (f *File) Dump() string {
 			continue
 		}
 		fmt.Fprintf(&b, "%4d: %s\n", i+1, cond.String())
-		if sat, exact := Sat(cond); exact && !sat {
+		if Decide(cond) == SatNo {
 			dead = append(dead, i+1)
 		}
 	}
@@ -201,12 +201,42 @@ func (f *File) DeadLines() []int {
 		if cond == True {
 			continue
 		}
-		if sat, exact := Sat(cond); exact && !sat {
+		if Decide(cond) == SatNo {
 			dead = append(dead, i+1)
 		}
 	}
 	sort.Ints(dead)
 	return dead
+}
+
+// Region is a maximal run of consecutive lines sharing one non-trivial
+// presence condition. Because frames are shared, every line of a branch
+// body holds the identical Formula value, so grouping by equality yields
+// exactly the preprocessor's block structure. Directive lines themselves
+// (#if/#endif) carry the enclosing condition and are not part of the
+// region they delimit.
+type Region struct {
+	Start, End int // 1-based inclusive line range
+	Cond       Formula
+}
+
+// Regions returns the file's conditional blocks in line order: one Region
+// per maximal run of lines whose condition is identical and not True.
+func (f *File) Regions() []Region {
+	var regs []Region
+	for i := 0; i < len(f.conds); i++ {
+		cond := f.conds[i]
+		if cond == True {
+			continue
+		}
+		j := i
+		for j+1 < len(f.conds) && f.conds[j+1] == cond {
+			j++
+		}
+		regs = append(regs, Region{Start: i + 1, End: j + 1, Cond: cond})
+		i = j
+	}
+	return regs
 }
 
 func joinInts(xs []int) string {

@@ -3,20 +3,52 @@ package presence
 // MaxSatSymbols bounds SAT-by-enumeration. Presence conditions are shallow
 // — a nesting stack plus a Kbuild gate plus a few dependency clauses rarely
 // exceeds a dozen distinct symbols — so 2^20 assignments is a comfortable
-// ceiling; anything wider is conservatively reported satisfiable.
+// ceiling; anything wider is reported SatUnknown.
 const MaxSatSymbols = 20
 
-// Sat decides satisfiability of f by enumerating assignments over its
-// symbols. exact is false when f has more than MaxSatSymbols symbols, in
-// which case sat is conservatively true: callers prove lines *dead* with
-// this, so an inexact answer must never claim unsatisfiability.
-func Sat(f Formula) (sat, exact bool) {
+// SatResult is the tri-state answer of the bounded SAT check. The zero
+// value is SatUnknown, so a forgotten initialization can never claim a
+// proof in either direction.
+type SatResult int8
+
+const (
+	// SatUnknown means the enumeration bound was exceeded: the formula has
+	// more than MaxSatSymbols distinct symbols and nothing was proven.
+	// Consumers proving deadness MUST treat this as "possibly satisfiable";
+	// consumers proving liveness must treat it as "possibly unsatisfiable".
+	SatUnknown SatResult = iota
+	// SatNo means the formula is exactly unsatisfiable.
+	SatNo
+	// SatYes means a satisfying assignment exists.
+	SatYes
+)
+
+func (r SatResult) String() string {
+	switch r {
+	case SatNo:
+		return "unsat"
+	case SatYes:
+		return "sat"
+	}
+	return "unknown"
+}
+
+// Decide reports the satisfiability of f by enumerating assignments over
+// its symbols, giving up explicitly (SatUnknown) beyond MaxSatSymbols.
+// Earlier revisions folded the gave-up case into "satisfiable", which was
+// sound for dead-line proofs but invited misuse the moment a caller asked
+// the opposite question; the tri-state makes the bound impossible to
+// overlook.
+func Decide(f Formula) SatResult {
 	if c, ok := f.(constF); ok {
-		return bool(c), true
+		if bool(c) {
+			return SatYes
+		}
+		return SatNo
 	}
 	syms := Symbols(f)
 	if len(syms) > MaxSatSymbols {
-		return true, false
+		return SatUnknown
 	}
 	assign := make(map[string]bool, len(syms))
 	for mask := uint64(0); mask < uint64(1)<<len(syms); mask++ {
@@ -24,10 +56,24 @@ func Sat(f Formula) (sat, exact bool) {
 			assign[s] = mask&(1<<i) != 0
 		}
 		if Eval(f, assign) {
-			return true, true
+			return SatYes
 		}
 	}
-	return false, true
+	return SatNo
+}
+
+// Sat is the two-valued view of Decide. exact is false when f has more
+// than MaxSatSymbols symbols, in which case sat is conservatively true:
+// callers prove lines *dead* with this, so an inexact answer must never
+// claim unsatisfiability.
+func Sat(f Formula) (sat, exact bool) {
+	switch Decide(f) {
+	case SatYes:
+		return true, true
+	case SatNo:
+		return false, true
+	}
+	return true, false
 }
 
 // SatAssignment is Sat plus a witness: when f is satisfiable within the
