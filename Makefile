@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race lint lint-go fuzz-presence bench-witness bench-workers bench-static bench bench-scaling cache-smoke trace-smoke daemon-smoke audit-smoke eval
+.PHONY: check build test vet race lint lint-go fuzz-presence bench-witness bench-workers bench-static bench bench-scaling cache-smoke trace-smoke daemon-smoke audit-smoke follow-smoke eval
 
-check: vet build test race lint lint-go cache-smoke trace-smoke daemon-smoke audit-smoke bench-scaling
+check: vet build test race lint lint-go cache-smoke trace-smoke daemon-smoke audit-smoke follow-smoke bench-scaling
 
 build:
 	$(GO) build ./...
@@ -60,10 +60,11 @@ bench-workers:
 bench-static:
 	$(GO) test ./internal/eval/ -run '^$$' -bench BenchmarkStaticPruning -benchtime 3x
 
-# Pipeline benchmark: worker sweep plus cold-vs-warm result-cache passes.
+# Pipeline benchmark: worker sweep, cold-vs-warm result-cache passes, and
+# the reactive follower replay (per-commit virtual vs effective cost).
 # Writes BENCH_pipeline.json (the EXPERIMENTS.md §cache numbers come from it).
 bench:
-	$(GO) run ./cmd/jmake-bench -o BENCH_pipeline.json
+	$(GO) run ./cmd/jmake-bench -reactive -reactive-commits 60 -o BENCH_pipeline.json
 
 # Worker-scaling smoke gate: a fast corpus through the window at 1 and 4
 # workers; fails if the 4-worker pass is not >= 1.5x the 1-worker
@@ -90,6 +91,14 @@ trace-smoke:
 	$(GO) run ./cmd/jmake-eval -tree-scale 0.15 -commit-scale 0.008 -workers 4 -trace-out "$$dir/w4.json" summary >/dev/null && \
 	$(GO) run ./cmd/trace-check "$$dir/w1.json" "$$dir/w4.json" && \
 	cmp "$$dir/w1.json" "$$dir/w4.json" && echo "trace-smoke: traces valid and byte-identical across workers"
+
+# Incremental-follower round trip: stream 20 commits warm at workers 1
+# and 4 plus a cold comparator pass, cmp every report three ways (warmth
+# and concurrency may change cost, never bytes), spot-check one report
+# against the one-shot CLI, and gate steady-state small commits at
+# <= 30% of their cold price.
+follow-smoke:
+	@GO="$(GO)" sh scripts/follow-smoke.sh
 
 # Service round trip: start jmaked, replay 200 requests at concurrency 32
 # (plus a -chaos burst), byte-compare a daemon report against the batch

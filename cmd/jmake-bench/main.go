@@ -48,6 +48,11 @@ func run() error {
 
 		scalingCheck = flag.Bool("scaling-check", false, "run only the 1-vs-4-worker sweep and fail below -min-speedup (CI smoke)")
 		minSpeedup   = flag.Float64("min-speedup", 1.5, "minimum 4-worker/1-worker throughput ratio for -scaling-check")
+
+		reactive      = flag.Bool("reactive", false, "also replay the window through the incremental follower and attach per-commit virtual vs effective cost to the report")
+		reactiveN     = flag.Int("reactive-commits", 0, "cap the reactive replay at N commits (0 = the whole window)")
+		reactiveCheck = flag.Bool("reactive-check", false, "run only the reactive replay and fail unless the small-commit mean effective/cold ratio clears -max-ratio (CI smoke)")
+		maxRatio      = flag.Float64("max-ratio", 0.30, "maximum small-commit mean effective/cold ratio for -reactive-check")
 	)
 	flag.Parse()
 
@@ -99,6 +104,9 @@ func run() error {
 	if *scalingCheck {
 		return runScalingCheck(params, *minSpeedup)
 	}
+	if *reactiveCheck {
+		return runReactiveCheck(params, *reactiveN, *maxRatio)
+	}
 
 	dir := *cacheDir
 	if dir == "" {
@@ -142,6 +150,15 @@ func run() error {
 		}
 	}
 
+	if *reactive {
+		rr, err := runReactive(params, *reactiveN)
+		if err != nil {
+			return fmt.Errorf("reactive replay: %w", err)
+		}
+		rep.Reactive = rr
+		printReactive(rr)
+	}
+
 	data, err := rep.MarshalIndent()
 	if err != nil {
 		return err
@@ -150,6 +167,57 @@ func run() error {
 		return err
 	}
 	fmt.Printf("\nwrote %s\n", *out)
+	return nil
+}
+
+// runReactive replays the evaluation window's commit stream through one
+// warm follower over the same substrate the other benchmarks use,
+// yielding per-commit virtual (= cold) vs effective cost.
+func runReactive(p jmake.EvalParams, commits int) (*jmake.ReactiveReport, error) {
+	tree, man, err := jmake.GenerateKernel(p.TreeSeed, p.TreeScale)
+	if err != nil {
+		return nil, err
+	}
+	hist, err := jmake.SynthesizeHistory(tree, man, p.HistorySeed, p.CommitScale)
+	if err != nil {
+		return nil, err
+	}
+	return jmake.RunReactive(hist.Repo, jmake.ReactiveParams{Commits: commits})
+}
+
+func printReactive(rr *jmake.ReactiveReport) {
+	fmt.Printf("\nreactive follower (%d commits streamed after the seed):\n", rr.Commits)
+	pct := 100.0
+	if rr.TotalVirtualSeconds > 0 {
+		pct = 100 * rr.TotalEffectiveSeconds / rr.TotalVirtualSeconds
+	}
+	fmt.Printf("  total: %.1fs virtual, %.1fs effective (%.1f%% of cold)\n",
+		rr.TotalVirtualSeconds, rr.TotalEffectiveSeconds, pct)
+	fmt.Printf("  small commits (<=2 files, post-warmup): %d, mean effective/cold ratio %.3f\n",
+		rr.SmallCommits, rr.SmallCommitMeanRatio)
+}
+
+// runReactiveCheck is the CI smoke gate for incremental following: replay
+// the window through one warm follower and require the steady-state small
+// commits (<=2 relevant files, past warm-up) to cost at most maxRatio of
+// their cold price on average. A follower that silently degenerates to
+// tree-proportional work fails this long before it fails a human.
+func runReactiveCheck(p jmake.EvalParams, commits int, maxRatio float64) error {
+	fmt.Printf("reactive-check: tree-scale=%.2f commit-scale=%.3f max-ratio=%.2f\n",
+		p.TreeScale, p.CommitScale, maxRatio)
+	rr, err := runReactive(p, commits)
+	if err != nil {
+		return err
+	}
+	printReactive(rr)
+	if rr.SmallCommits == 0 {
+		return fmt.Errorf("reactive-check: the replay contained no small commits to gate on — grow -reactive-commits or the commit scale")
+	}
+	if rr.SmallCommitMeanRatio > maxRatio {
+		return fmt.Errorf("reactive-check: small commits cost %.1f%% of cold on average (want <= %.1f%%) — incremental invalidation is not paying for itself",
+			100*rr.SmallCommitMeanRatio, 100*maxRatio)
+	}
+	fmt.Println("reactive-check: OK")
 	return nil
 }
 

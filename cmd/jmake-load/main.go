@@ -7,7 +7,15 @@
 //
 // Usage:
 //
-//	jmake-load [-addr host:port] [-n 200] [-c 32] [-deadline-ms N] [-chaos]
+//	jmake-load [-addr host:port] [-n 200] [-c 32 | -qps N] [-deadline-ms N] [-chaos]
+//
+// -c drives a closed loop: that many clients, each waiting for its
+// answer before sending the next request, so offered load adapts to the
+// daemon's speed. -qps drives an open loop instead: requests are
+// injected at a constant rate on their own goroutines whether or not
+// earlier ones have answered — the shape real traffic has — which
+// exposes queueing, shedding and timeout behavior a closed loop's
+// coordinated omission hides.
 //
 // -chaos adds a deterministic fault plan (fault_rate 0.25, seed varying
 // per request) to every request, driving the daemon's resilience layer
@@ -59,7 +67,8 @@ func run() error {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:8344", "jmaked address")
 		n           = flag.Int("n", 200, "total requests to replay")
-		c           = flag.Int("c", 32, "concurrent clients")
+		c           = flag.Int("c", 32, "concurrent clients (closed loop: each waits for its answer before sending the next)")
+		qps         = flag.Float64("qps", 0, "open-loop mode: inject requests at this constant rate, one goroutine each, ignoring -c (0 = closed loop)")
 		deadlineMS  = flag.Int64("deadline-ms", 0, "per-request deadline_ms (0 = daemon default)")
 		chaos       = flag.Bool("chaos", false, "inject a deterministic fault plan on every request")
 		faultSeed   = flag.Uint64("fault-seed", 1, "base fault-plan seed for -chaos (request i uses seed+i)")
@@ -90,31 +99,60 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("replaying %d requests over %d commits at concurrency %d (chaos=%v)\n",
-		*n, len(commits), *c, *chaos)
+	reqFor := func(i int) checkBody {
+		req := checkBody{Commit: commits[i%len(commits)], DeadlineMS: *deadlineMS}
+		if *chaos {
+			req.Options = cliopts.Check{FaultRate: 0.25, FaultSeed: *faultSeed + uint64(i)}
+		}
+		return req
+	}
 	var t tally
-	var wg sync.WaitGroup
-	work := make(chan int)
-	for w := 0; w < *c; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range work {
-				req := checkBody{Commit: commits[i%len(commits)], DeadlineMS: *deadlineMS}
-				if *chaos {
-					req.Options = cliopts.Check{FaultRate: 0.25, FaultSeed: *faultSeed + uint64(i)}
+	var elapsed time.Duration
+	if *qps > 0 {
+		// Open-loop: inject at a constant rate regardless of completions, the
+		// way real traffic arrives. Unlike the closed loop below, a slow
+		// daemon does not throttle the offered load — queueing, shedding and
+		// timeout behavior show at their true rates (no coordinated
+		// omission). Each request gets its own goroutine; arrival i is
+		// scheduled at start + i/qps, so transient stalls do not shift the
+		// rest of the schedule.
+		fmt.Printf("injecting %d requests over %d commits at %.1f req/s open-loop (chaos=%v)\n",
+			*n, len(commits), *qps, *chaos)
+		interval := time.Duration(float64(time.Second) / *qps)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for i := 0; i < *n; i++ {
+			time.Sleep(time.Until(start.Add(time.Duration(i) * interval)))
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				doOne(client, base, reqFor(i), &t)
+			}(i)
+		}
+		wg.Wait()
+		elapsed = time.Since(start)
+	} else {
+		fmt.Printf("replaying %d requests over %d commits at concurrency %d (chaos=%v)\n",
+			*n, len(commits), *c, *chaos)
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < *c; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					doOne(client, base, reqFor(i), &t)
 				}
-				doOne(client, base, req, &t)
-			}
-		}()
+			}()
+		}
+		start := time.Now()
+		for i := 0; i < *n; i++ {
+			work <- i
+		}
+		close(work)
+		wg.Wait()
+		elapsed = time.Since(start)
 	}
-	start := time.Now()
-	for i := 0; i < *n; i++ {
-		work <- i
-	}
-	close(work)
-	wg.Wait()
-	elapsed := time.Since(start)
 
 	printSummary(&t, *n, elapsed)
 

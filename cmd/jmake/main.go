@@ -5,19 +5,28 @@
 //
 // Usage:
 //
-//	jmake [-tree-scale S] [-commit-scale S] [-n N | -commit ID] [-show]
+//	jmake [-tree-scale S] [-commit-scale S] [-n N | -commit ID | -follow] [-show]
 //
 // With -n, the latest N window commits are checked; with -commit, one
 // specific commit. With -json, each report is printed as indented JSON
 // (and the workspace chatter goes to stderr), byte-identical to the
 // report jmaked serves for the same commit.
+//
+// With -follow, the latest commits are consumed as an incremental
+// stream: the session is seeded once, then each commit costs
+// proportional to its diff (per-commit virtual vs effective cost goes to
+// the diagnostic stream). Reports are byte-identical to one-shot checks;
+// -follow-out DIR writes each as DIR/<commit>.json, and -follow-cold
+// switches to a from-scratch session per commit for comparison.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"jmake"
@@ -49,6 +58,12 @@ func run() error {
 		annotate  = flag.Bool("annotate", false, "print the patch with per-line compile verdicts")
 		patchFile = flag.String("patch", "", "check a unified-diff patch file against the v4.4 tree instead of commits")
 		jsonOut   = flag.Bool("json", false, "print each report as indented JSON (diagnostics go to stderr)")
+
+		follow        = flag.Bool("follow", false, "follow the commit stream incrementally: one warm session, per-commit cost proportional to the diff")
+		followN       = flag.Int("follow-n", 0, "with -follow, stream the latest N window commits (0 = the -n value)")
+		followOut     = flag.String("follow-out", "", "with -follow, write each report to DIR/<commit>.json (bytes identical to -commit ID -json)")
+		followCold    = flag.Bool("follow-cold", false, "with -follow, rebuild the session from scratch for every commit (slow comparator for verifying byte-identity)")
+		followWorkers = flag.Int("follow-workers", 1, "with -follow, check non-structural batches with this many workers")
 	)
 	flag.Parse()
 
@@ -67,6 +82,14 @@ func run() error {
 
 	targets := built.Targets(*commitID, *n)
 	opts := chk.Options()
+
+	if *follow {
+		nf := *followN
+		if nf == 0 {
+			nf = *n
+		}
+		return runFollow(built, opts, nf, *followWorkers, *followCold, *jsonOut, *followOut, diag)
+	}
 
 	if *patchFile != "" {
 		text, err := os.ReadFile(*patchFile)
@@ -142,6 +165,86 @@ func run() error {
 		return fmt.Errorf("persisting result cache: %w", err)
 	}
 	return nil
+}
+
+// runFollow drives the incremental follower over the latest n window
+// commits: seed once at the stream's parent, then per-commit cost
+// proportional to the diff. Every emitted report is byte-identical to
+// `jmake -commit ID -json` output for the same commit; the incremental
+// machinery only changes the effective cost, which is printed per commit
+// on the diagnostic stream.
+func runFollow(built *cliopts.Built, opts jmake.Options, n, workers int, cold, jsonOut bool, outDir string, diag io.Writer) error {
+	ids := built.WindowIDs
+	if n > 0 && len(ids) > n {
+		ids = ids[len(ids)-n:]
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no window commits to follow")
+	}
+	base, err := built.Hist.Repo.Parent(ids[0])
+	if err != nil {
+		return err
+	}
+	if base == "" {
+		return fmt.Errorf("stream starts at the root commit; nothing to seed from")
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	mode := "warm"
+	if cold {
+		mode = "cold"
+	}
+	fmt.Fprintf(diag, "following %d commits from %.12s (%s session, %d workers)\n\n", len(ids), base, mode, workers)
+
+	f, err := jmake.NewFollower(built.Hist.Repo, base,
+		jmake.FollowOptions{Checker: opts, Workers: workers, Cold: cold})
+	if err != nil {
+		return err
+	}
+	var emitErr error
+	runErr := f.Run(ids, func(r jmake.FollowStep) bool {
+		if r.Err != nil {
+			emitErr = fmt.Errorf("commit %.12s: %w", r.Commit, r.Err)
+			return false
+		}
+		eff := ""
+		if r.EffectiveMeasured {
+			pct := 100.0
+			if r.VirtualSeconds > 0 {
+				pct = 100 * r.EffectiveSeconds / r.VirtualSeconds
+			}
+			eff = fmt.Sprintf("  effective %.2fs (%.0f%% of cold)", r.EffectiveSeconds, pct)
+		}
+		fmt.Fprintf(diag, "commit %.12s: files=%d touched=%d invalidated_tus=%d structural=%v virtual %.2fs%s\n",
+			r.Commit, r.Files, r.Touched, r.InvalidatedTUs, r.Structural, r.VirtualSeconds, eff)
+		data, err := json.MarshalIndent(r.Report, "", "  ")
+		if err != nil {
+			emitErr = err
+			return false
+		}
+		data = append(data, '\n')
+		if outDir != "" {
+			if err := os.WriteFile(filepath.Join(outDir, r.Commit+".json"), data, 0o644); err != nil {
+				emitErr = err
+				return false
+			}
+		} else if jsonOut {
+			if _, err := os.Stdout.Write(data); err != nil {
+				emitErr = err
+				return false
+			}
+		} else {
+			printReport(r.Commit, r.Report)
+		}
+		return true
+	})
+	if emitErr != nil {
+		return emitErr
+	}
+	return runErr
 }
 
 func emitReport(id string, r *jmake.Report, asJSON bool) error {

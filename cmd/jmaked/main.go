@@ -17,6 +17,10 @@
 //	GET  /audit     whole-tree configuration-mismatch report (cached)
 //	POST /check     {"commit": ID, "options": {...}, "deadline_ms": N}
 //	POST /batch     {"commits": [ID...], ...}
+//	POST /follow    {"commits": [ID...], ...} — incremental stream: one
+//	                warm follower session resident across streams, one
+//	                NDJSON entry per commit flushed as checked, with
+//	                per-commit virtual vs effective cost
 //
 // The /check happy path answers the same bytes `jmake -commit ID -json`
 // prints for the same workspace flags. Overload sheds with 429 +

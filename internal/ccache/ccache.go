@@ -266,6 +266,49 @@ func (c *Cache) AddSaved(stage Stage, d time.Duration) {
 	c.series[stage].savedNS.AddDuration(d)
 }
 
+// Dependents reports, for each queried path, the distinct root files of
+// live manifests whose include closure recorded that path — read with a
+// content hash, or probed and found absent. This is the reverse
+// dependency view a commit-stream follower needs: exactly the
+// translation units whose cached verdicts a change to that path can
+// invalidate (any other entry's manifest cannot mention the path, so its
+// verdict provably survives the change). The root file is not listed as
+// its own dependent; per-path results are sorted for determinism.
+func (c *Cache) Dependents(paths []string) map[string][]string {
+	want := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		want[p] = true
+	}
+	found := make(map[string]map[string]bool)
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, e := range sh.byID {
+			for _, d := range e.deps[1:] {
+				if want[d.Path] {
+					m := found[d.Path]
+					if m == nil {
+						m = make(map[string]bool)
+						found[d.Path] = m
+					}
+					m[e.rootPath] = true
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+	out := make(map[string][]string, len(found))
+	for p, m := range found {
+		roots := make([]string, 0, len(m))
+		for r := range m {
+			roots = append(roots, r)
+		}
+		sort.Strings(roots)
+		out[p] = roots
+	}
+	return out
+}
+
 // NoteDedup counts one within-invocation dedupe hit.
 func (c *Cache) NoteDedup(stage Stage) {
 	c.series[stage].deduped.Inc()

@@ -529,3 +529,38 @@ func TestPersistFailureCounters(t *testing.T) {
 		t.Fatalf("failed save counted %d save failures, want 1", got)
 	}
 }
+
+// TestDependents: the reverse dependency view must name exactly the root
+// TUs whose manifests recorded a queried path — read or probed-absent —
+// without listing a root as its own dependent.
+func TestDependents(t *testing.T) {
+	src := testSource()
+	c := New()
+	cx := storeOne(t, c, src) // drivers/a.c closure: sub.h, deep.h (+ absent drivers/sub.h)
+
+	// A second root with a disjoint closure.
+	p := cx.Probe(src, "drivers/other.c")
+	if p.Hit {
+		t.Fatal("unexpected hit")
+	}
+	p.StoreI([]string{"drivers/other.c"}, nil, "other text", testWork)
+
+	deps := c.Dependents([]string{
+		"include/deep.h", // transitive read dep of a.c
+		"drivers/sub.h",  // probed-absent dep of a.c
+		"drivers/a.c",    // a root itself: never its own dependent
+		"include/nope.h", // mentioned by no manifest
+	})
+	if got := deps["include/deep.h"]; len(got) != 1 || got[0] != "drivers/a.c" {
+		t.Errorf("Dependents(deep.h) = %v, want [drivers/a.c]", got)
+	}
+	if got := deps["drivers/sub.h"]; len(got) != 1 || got[0] != "drivers/a.c" {
+		t.Errorf("Dependents(absent probe path) = %v, want [drivers/a.c]", got)
+	}
+	if got, ok := deps["drivers/a.c"]; ok {
+		t.Errorf("root listed as its own dependent: %v", got)
+	}
+	if got, ok := deps["include/nope.h"]; ok {
+		t.Errorf("unrelated path has dependents: %v", got)
+	}
+}

@@ -35,6 +35,9 @@ type Checker struct {
 	// statics caches per-architecture Kconfig knowledge for the static
 	// presence pre-pass (Options.StaticPresence).
 	statics map[string]*archStatic
+	// warm is the session's follower-mode cache/ledger state (nil outside
+	// warm sessions; nil leaves every path byte-for-byte unchanged).
+	warm *warmState
 
 	// run holds the per-patch resilience state (fault injector, budget
 	// ledger, circuit breaker); CheckPatch resets it for every patch.
@@ -428,10 +431,11 @@ func (c *Checker) newBuilders(report *PatchReport, mutatedTree *fstree.Tree, arc
 	var (
 		cfg     *kconfig.Config
 		symbols int
+		hit     bool
 		err     error
 	)
 	for attempt := 0; ; attempt++ {
-		cfg, symbols, err = c.configs.Get(c.tree, arch, choice, c.run.inj)
+		cfg, symbols, hit, err = c.configs.Lookup(c.tree, arch, choice, c.run.inj)
 		if err == nil || !kbuild.IsTransient(err) ||
 			attempt >= c.run.maxRetries || c.run.halted() {
 			break
@@ -460,9 +464,25 @@ func (c *Checker) newBuilders(report *PatchReport, mutatedTree *fstree.Tree, arc
 	ob.Results = c.results
 	ib.Trace = c.rec
 	ob.Trace = c.rec
+	if c.warm != nil {
+		// Warm-session set-up: once some builder for this (arch, config)
+		// context ran its one-time make set-up, later builders behave like
+		// a build directory that survived — the full set-up price is still
+		// charged into the report (byte-identity), but lands in the saved
+		// ledger instead of effective time.
+		wasWarm := c.warm.markSetup(archName + "|" + choice.Kind.String() + "|" + choice.Path)
+		ib.WarmSetup, ib.SetupSaved = wasWarm, &c.warm.setupSavedNS
+		ob.WarmSetup, ob.SetupSaved = wasWarm, &c.warm.setupSavedNS
+	}
 	d := c.model.ConfigCreate(symbols, report.Commit+":"+archName+":"+choice.Kind.String()+choice.Path)
 	report.ConfigDurations = append(report.ConfigDurations, d)
 	c.run.charge(d)
+	if c.warm != nil && hit {
+		// The valuation came from the warm cache: the charge above stays
+		// (reports price every `make *config` run), the effective cost is
+		// credited back.
+		c.warm.addConfigSaved(d)
+	}
 	if sp := c.rec.Leaf(trace.KindConfig, d,
 		trace.A("arch", archName),
 		trace.A("config", choice.Kind.String()+choice.Path),

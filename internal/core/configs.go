@@ -135,8 +135,17 @@ func (p *ConfigProvider) KconfigTree(t *fstree.Tree, arch *kbuild.Arch) (*kconfi
 // slot is dropped), and every caller that observes the failure counts a
 // miss — so on the success path misses still equal distinct keys.
 func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigChoice, inj *faultinject.Injector) (*kconfig.Config, int, error) {
+	cfg, symbols, _, err := p.Lookup(t, arch, choice, inj)
+	return cfg, symbols, err
+}
+
+// Lookup is Get additionally reporting whether the valuation was served
+// from cache. The warm-session ledger uses the hit bit to credit the
+// charged `make *config` price as saved effective time; the charge itself
+// is unconditional either way, so reports stay byte-identical.
+func (p *ConfigProvider) Lookup(t *fstree.Tree, arch *kbuild.Arch, choice ConfigChoice, inj *faultinject.Injector) (*kconfig.Config, int, bool, error) {
 	if inj.FailConfig(arch.Name + ":" + choice.Kind.String() + choice.Path) {
-		return nil, 0, fmt.Errorf("%w: config generation failed (%s, %s)",
+		return nil, 0, false, fmt.Errorf("%w: config generation failed (%s, %s)",
 			kbuild.ErrTransient, arch.Name, choice.Kind)
 	}
 	key := arch.Name + "|" + choice.Kind.String() + "|" + choice.Path
@@ -166,13 +175,38 @@ func (p *ConfigProvider) Get(t *fstree.Tree, arch *kbuild.Arch, choice ConfigCho
 	switch {
 	case e.err != nil:
 		p.misses.Inc()
-		return nil, 0, e.err
+		return nil, 0, false, e.err
 	case won:
 		p.misses.Inc()
 	default:
 		p.hits.Inc()
 	}
-	return e.cfg, e.symbols, nil
+	return e.cfg, e.symbols, !won, nil
+}
+
+// Invalidate drops every cached parse and valuation for one architecture.
+// A commit-stream follower calls this when a commit touches the arch's
+// Kconfig inputs: the next request re-parses and re-valuates against the
+// advanced tree, so warm answers stay provably equal to a cold session's.
+func (p *ConfigProvider) Invalidate(archName string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.trees, archName)
+	prefix := archName + "|"
+	for key := range p.values {
+		if len(key) >= len(prefix) && key[:len(prefix)] == prefix {
+			delete(p.values, key)
+		}
+	}
+}
+
+// InvalidateAll drops every cached parse and valuation (shared Kconfig
+// input changed — any arch's valuation may be stale).
+func (p *ConfigProvider) InvalidateAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.trees = make(map[string]*treeEntry)
+	p.values = make(map[string]*valueEntry)
 }
 
 // compute performs one full valuation — Kconfig tree parse (itself a

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"jmake/internal/ccache"
 	"jmake/internal/cpp"
@@ -27,6 +29,9 @@ type Session struct {
 	configs *ConfigProvider
 	tokens  *cpp.TokenCache
 	results *ccache.Cache
+	// warm holds the follower-session caches and saved-effective-time
+	// ledgers (nil unless EnableWarm was called; nil changes nothing).
+	warm *warmState
 }
 
 // NewSession captures shared state from a base tree (any window snapshot).
@@ -77,6 +82,158 @@ func (s *Session) ResultCacheStats() (ccache.StatsSet, bool) {
 	return s.results.Stats(), true
 }
 
+// EnableWarm switches the session into warm (follower) mode: checkers
+// built from it share per-session arch-choice and static-Kconfig caches
+// and credit cache-served work into saved-effective-time ledgers. Reports
+// stay byte-identical to a cold session's — warmth only changes how much
+// effective time a check costs, never what it says. Idempotent.
+func (s *Session) EnableWarm() {
+	if s.warm == nil {
+		s.warm = newWarmState()
+	}
+}
+
+// WarmEnabled reports whether EnableWarm was called.
+func (s *Session) WarmEnabled() bool { return s.warm != nil }
+
+// WarmSaved snapshots the warm-session ledgers (zero when not warm).
+func (s *Session) WarmSaved() WarmLedger {
+	if s.warm == nil {
+		return WarmLedger{}
+	}
+	return s.warm.ledger()
+}
+
+// RefreshSummary reports what a Refresh invalidated, for follower
+// per-commit statistics.
+type RefreshSummary struct {
+	// MetaReloaded is true when Kbuild.meta changed: everything derived
+	// from the base tree was rebuilt.
+	MetaReloaded bool
+	// ArchesRebuilt is true when a commit touched arch/: architecture
+	// discovery and the arch-heuristic index were recomputed.
+	ArchesRebuilt bool
+	// KconfigReset is true when a Kconfig input changed and every cached
+	// valuation was dropped.
+	KconfigReset bool
+	// ConfigsInvalidated lists architectures whose cached valuations were
+	// dropped individually (empty when KconfigReset dropped them all).
+	ConfigsInvalidated []string
+	// ChoicesDropped / StaticsDropped / SetupDropped count warm-cache
+	// entries invalidated (always zero for a non-warm session).
+	ChoicesDropped int
+	StaticsDropped int
+	SetupDropped   int
+}
+
+// Changed reports whether the refresh invalidated anything.
+func (r RefreshSummary) Changed() bool {
+	return r.MetaReloaded || r.ArchesRebuilt || r.KconfigReset ||
+		len(r.ConfigsInvalidated) > 0 || r.ChoicesDropped > 0 ||
+		r.StaticsDropped > 0 || r.SetupDropped > 0
+}
+
+// Refresh advances the session past a commit: given the tree after the
+// commit and the commit's changed paths, it invalidates exactly the
+// session state those paths could affect, so every later Checker answers
+// as a cold session over the new tree would. Callers must not run
+// checkers concurrently with Refresh.
+//
+// Invalidation rules, from most to least structural:
+//
+//   - Kbuild.meta        → reload metadata, rediscover architectures,
+//     rebuild the arch index, drop every cached valuation and warm entry;
+//   - any arch/<A>/ path → rediscover architectures and rebuild the arch
+//     index (discovery and the §III-C heuristic both scan arch/), drop
+//     <A>'s valuations and set-up state, drop all cached choices/statics;
+//   - any file named Kconfig* → drop every valuation, static entry and
+//     set-up mark (a shared Kconfig file may be sourced by any root);
+//   - any Makefile/Kbuild    → drop cached arch choices and set-up marks
+//     (gating-variable extraction walks Makefiles);
+//   - .c/.h content          → nothing: the token, result and mutation
+//     caches are content-keyed and self-invalidating.
+//
+// Everything dropped here is a pure recomputation; over-invalidating
+// costs only effective time, never correctness, so ambiguous paths take
+// the wider rule.
+func (s *Session) Refresh(tree *fstree.Tree, changed []string) (RefreshSummary, error) {
+	var sum RefreshSummary
+	archSet := make(map[string]bool)
+	var metaTouched, archTouched, kconfigTouched, makefileTouched bool
+	for _, p := range changed {
+		p = fstree.Clean(p)
+		base := p[strings.LastIndexByte(p, '/')+1:]
+		if p == kbuild.MetaPath {
+			metaTouched = true
+		}
+		if rest, ok := strings.CutPrefix(p, "arch/"); ok {
+			archTouched = true
+			if i := strings.IndexByte(rest, '/'); i > 0 {
+				archSet[rest[:i]] = true
+			}
+		}
+		if strings.HasPrefix(base, "Kconfig") {
+			kconfigTouched = true
+		}
+		if base == "Makefile" || base == "Kbuild" {
+			makefileTouched = true
+		}
+	}
+
+	if metaTouched {
+		meta, err := kbuild.LoadMeta(tree)
+		if err != nil {
+			return sum, fmt.Errorf("core: refresh: %w", err)
+		}
+		s.meta = meta
+		sum.MetaReloaded = true
+		archTouched = true   // rediscover against the new metadata
+		kconfigTouched = true // drop everything valuation-shaped
+	}
+	if archTouched {
+		s.arches = kbuild.DiscoverArches(tree, s.meta)
+		s.archIx = buildArchIndex(tree, s.arches)
+		sum.ArchesRebuilt = true
+		if !kconfigTouched {
+			for _, a := range sortedKeys(archSet) {
+				s.configs.Invalidate(a)
+				sum.ConfigsInvalidated = append(sum.ConfigsInvalidated, a)
+			}
+		}
+	}
+	if kconfigTouched {
+		s.configs.InvalidateAll()
+		sum.KconfigReset = true
+	}
+	if s.warm != nil {
+		if archTouched || makefileTouched {
+			sum.ChoicesDropped += s.warm.dropAllChoices()
+		}
+		if archTouched || kconfigTouched {
+			sum.StaticsDropped += s.warm.dropAllStatics()
+		}
+		switch {
+		case kconfigTouched || makefileTouched:
+			sum.SetupDropped += s.warm.dropAllSetup()
+		case archTouched:
+			for _, a := range sortedKeys(archSet) {
+				sum.SetupDropped += s.warm.dropSetupArch(a)
+			}
+		}
+	}
+	return sum, nil
+}
+
+// sortedKeys returns the map's keys in deterministic order.
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Checker builds a checker over one patch snapshot, reusing the session's
 // shared state. Resilience state (fault injector, budget ledger, circuit
 // breaker) is deliberately NOT shared: it lives per patch on the checker,
@@ -93,6 +250,7 @@ func (s *Session) Checker(tree *fstree.Tree, model *vclock.Model, opts Options) 
 		configs: s.configs,
 		tokens:  s.tokens,
 		results: s.results,
+		warm:    s.warm,
 	}
 }
 

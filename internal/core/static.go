@@ -55,6 +55,12 @@ type archStatic struct {
 }
 
 func (c *Checker) staticArch(name string) *archStatic {
+	if c.warm != nil {
+		// Warm sessions promote this cache to session scope: the Kconfig
+		// walk happens once per architecture per session, not per commit.
+		// Session.Refresh drops entries when their inputs change.
+		return c.warm.staticArch(c, name)
+	}
 	if as, ok := c.statics[name]; ok {
 		return as
 	}

@@ -23,6 +23,14 @@
 //     finish (or hit their deadlines), and flushes the persistent cache
 //     tier exactly once.
 //
+// Besides one-shot /check and /batch, the server follows commit streams
+// incrementally: POST /follow holds one admission slot for a whole
+// ordered commit list, drives it through a resident incr.Follower (its
+// own warm session, separate from the one-shot session), and streams
+// one NDJSON entry per commit as each check finishes. Re-posting a
+// stream that picks up where the last one stopped continues warm, so
+// per-commit cost is proportional to the diff.
+//
 // Reports served on the happy path are byte-identical to `jmake -commit
 // <id> -json` over the same workspace flags: both paths call
 // jmake.CheckCommitWith with the same deterministic virtual-clock model,
@@ -123,6 +131,19 @@ type Server struct {
 
 	draining  atomic.Bool
 	flushOnce sync.Once
+
+	// followMu serializes /follow streams over the resident follower,
+	// which is single-goroutine by contract. The follower carries its own
+	// warm session, separate from the one-shot session above; it is
+	// created lazily on the first stream, continued warm when the next
+	// stream picks up where the last one stopped, and discarded after a
+	// panic or stream error.
+	followMu     sync.Mutex
+	follower     *jmake.Follower
+	followerOpts string
+	// followCtx is the deadline context of the stream currently driving
+	// the follower; the follower's Interrupt hook reads it.
+	followCtx atomic.Pointer[context.Context]
 
 	// auditOnce computes the whole-tree audit report lazily on the first
 	// /audit request; the workspace tree is immutable for the daemon's
@@ -283,6 +304,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/commits", s.handleCommits)
 	mux.HandleFunc("/check", s.handleCheck)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/follow", s.handleFollow)
 	mux.HandleFunc("/audit", s.handleAudit)
 	return mux
 }
@@ -590,6 +612,203 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// followRequest streams incremental checks of an ordered commit list.
+// The server keeps one resident follower: when the requested stream
+// continues past the previous stream's cursor (same options), the warm
+// session is reused and per-commit cost is proportional to the diff;
+// otherwise the follower reseeds at the first commit's parent.
+type followRequest struct {
+	Commits    []string      `json:"commits"`
+	Options    cliopts.Check `json:"options"`
+	DeadlineMS int64         `json:"deadline_ms,omitempty"`
+	// Reseed forces a fresh follower even when the resident one could
+	// continue warm.
+	Reseed bool `json:"reseed,omitempty"`
+}
+
+// followEntry is one line of the /follow response: compact JSON, one
+// entry per commit, flushed as produced. Report carries the same bytes
+// as /check for the same commit (modulo the entry's compact rendering).
+type followEntry struct {
+	Commit            string          `json:"commit"`
+	Files             int             `json:"files"`
+	Touched           int             `json:"touched"`
+	Structural        bool            `json:"structural,omitempty"`
+	InvalidatedTUs    int             `json:"invalidated_tus"`
+	VirtualSeconds    float64         `json:"virtual_seconds"`
+	EffectiveSeconds  float64         `json:"effective_seconds"`
+	EffectiveMeasured bool            `json:"effective_measured,omitempty"`
+	Report            json.RawMessage `json:"report,omitempty"`
+	Error             string          `json:"error,omitempty"`
+}
+
+// handleFollow streams a commit sequence through the resident follower
+// under one admission slot and one deadline, writing one followEntry
+// line per commit as each check completes (http.Flusher per line). A
+// deadline expiry yields honestly-labeled partial entries for whatever
+// was in flight, never a silent truncation; a panic discards the
+// follower so the next stream reseeds from scratch.
+func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		return
+	}
+	var req followRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Commits) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: need commits"})
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
+	defer cancel()
+	release, retryAfter, shed, ok := s.admit(ctx)
+	if shed {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds()+0.999)))
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded, retry later"})
+		return
+	}
+	if !ok {
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline expired while queued"})
+		return
+	}
+	defer release()
+
+	s.followMu.Lock()
+	defer s.followMu.Unlock()
+
+	f, err := s.followerFor(req)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		return
+	}
+	s.followCtx.Store(&ctx)
+	defer s.followCtx.Store(nil)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	emitted := 0
+	writeEntry := func(e followEntry) {
+		enc.Encode(e)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		emitted++
+	}
+
+	runErr := func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.reg.Counter("daemon_panics").Inc()
+				s.cfg.Log.Printf("daemon: recovered follow panic: %v", rec)
+				err = errPanicked
+			}
+		}()
+		return f.Run(req.Commits, func(st jmake.FollowStep) bool {
+			s.reg.Counter("requests_total").Inc()
+			writeEntry(s.followEntryFor(st))
+			return true
+		})
+	}()
+	if runErr != nil {
+		// The follower's tree or session may be mid-sequence; discard it so
+		// the next stream reseeds rather than continuing from suspect state.
+		s.follower = nil
+		s.reg.Counter("daemon_follower_discards").Inc()
+		msg := "follow stream aborted: " + runErr.Error()
+		for _, id := range req.Commits[min(emitted, len(req.Commits)):] {
+			writeEntry(followEntry{Commit: id, Error: msg})
+		}
+	}
+}
+
+// followerFor returns the resident follower when it can serve the
+// request warm (every requested commit after its cursor, same checker
+// options), otherwise reseeds one at the first commit's parent.
+// Caller holds followMu.
+func (s *Server) followerFor(req followRequest) (*jmake.Follower, error) {
+	optsKey, err := json.Marshal(req.Options)
+	if err != nil {
+		return nil, err
+	}
+	if s.follower != nil && !req.Reseed && s.followerOpts == string(optsKey) &&
+		s.followerServes(req.Commits) {
+		s.reg.Counter("daemon_follow_continues").Inc()
+		return s.follower, nil
+	}
+	base, err := s.built.Hist.Repo.Parent(req.Commits[0])
+	if err != nil {
+		return nil, err
+	}
+	if base == "" {
+		return nil, fmt.Errorf("commit %s has no parent to seed a follower from", req.Commits[0])
+	}
+	opts := req.Options.Options()
+	if opts.Interrupt == nil {
+		opts.Interrupt = func() bool {
+			if p := s.followCtx.Load(); p != nil && *p != nil {
+				return (*p).Err() != nil
+			}
+			return false
+		}
+	}
+	f, err := jmake.NewFollower(s.built.Hist.Repo, base, jmake.FollowOptions{Checker: opts})
+	if err != nil {
+		return nil, err
+	}
+	s.follower, s.followerOpts = f, string(optsKey)
+	s.reg.Counter("daemon_follow_seeds").Inc()
+	return f, nil
+}
+
+// followerServes reports whether every requested commit lies after the
+// resident follower's cursor, i.e. the stream can continue warm.
+func (s *Server) followerServes(ids []string) bool {
+	seq, err := s.built.Hist.Repo.Since(s.follower.Cursor())
+	if err != nil {
+		return false
+	}
+	in := make(map[string]bool, len(seq))
+	for _, id := range seq {
+		in[id] = true
+	}
+	for _, id := range ids {
+		if !in[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// followEntryFor renders one follower step as a stream entry.
+func (s *Server) followEntryFor(st jmake.FollowStep) followEntry {
+	e := followEntry{
+		Commit:            st.Commit,
+		Files:             st.Files,
+		Touched:           st.Touched,
+		Structural:        st.Structural,
+		InvalidatedTUs:    st.InvalidatedTUs,
+		VirtualSeconds:    st.VirtualSeconds,
+		EffectiveSeconds:  st.EffectiveSeconds,
+		EffectiveMeasured: st.EffectiveMeasured,
+	}
+	switch {
+	case st.Err != nil:
+		e.Error = st.Err.Error()
+	case st.Report.Interrupted:
+		s.reg.Counter("requests_timed_out").Inc()
+		e.Error = "deadline exceeded; partial report attached"
+		e.Report = marshalReport(st.Report)
+	default:
+		e.Report = marshalReport(st.Report)
+	}
+	return e
 }
 
 // Shutdown drains the server: no new checks are admitted, the HTTP

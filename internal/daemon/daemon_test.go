@@ -474,3 +474,158 @@ func TestMetricsEndpoints(t *testing.T) {
 		t.Errorf("unknown commit: status %d, want 404", status)
 	}
 }
+
+// postFollow posts one /follow stream and decodes its NDJSON entries.
+func postFollow(t *testing.T, ts *httptest.Server, req followRequest) (int, []followEntry) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/follow", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("POST /follow: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST /follow: status %d: %s", resp.StatusCode, body)
+	}
+	var out []followEntry
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var e followEntry
+		if err := dec.Decode(&e); err != nil {
+			t.Fatalf("decoding follow entry %d: %v", len(out), err)
+		}
+		out = append(out, e)
+	}
+	return resp.StatusCode, out
+}
+
+// TestFollowStream: /follow answers one entry per commit in order, each
+// report byte-identical (modulo the entry's compact rendering) to what
+// /check serves for the same commit; a second stream that picks up where
+// the first stopped continues the resident follower warm instead of
+// reseeding, and a stream behind the cursor reseeds.
+func TestFollowStream(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	ids := windowTail(s, 8)
+	if len(ids) < 4 {
+		t.Fatalf("window too small: %d commits", len(ids))
+	}
+	first, second := ids[:len(ids)/2], ids[len(ids)/2:]
+
+	compactCheck := func(id string) []byte {
+		status, body := postCheck(t, ts, checkRequest{Commit: id})
+		if status != http.StatusOK {
+			t.Fatalf("/check %s: status %d", id, status)
+		}
+		var buf bytes.Buffer
+		if err := json.Compact(&buf, body); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	assertEntries := func(entries []followEntry, want []string) {
+		t.Helper()
+		if len(entries) != len(want) {
+			t.Fatalf("stream answered %d entries for %d commits", len(entries), len(want))
+		}
+		for i, e := range entries {
+			if e.Commit != want[i] {
+				t.Fatalf("entry %d out of order: %s != %s", i, e.Commit, want[i])
+			}
+			if e.Error != "" {
+				t.Fatalf("%s: unexpected stream error: %s", e.Commit, e.Error)
+			}
+			if !bytes.Equal(e.Report, compactCheck(e.Commit)) {
+				t.Errorf("%s: /follow report differs from /check report", e.Commit)
+			}
+			if !e.EffectiveMeasured {
+				t.Errorf("%s: sequential stream without effective attribution", e.Commit)
+			}
+			if e.EffectiveSeconds > e.VirtualSeconds+1e-9 {
+				t.Errorf("%s: effective %.3fs exceeds virtual %.3fs", e.Commit, e.EffectiveSeconds, e.VirtualSeconds)
+			}
+		}
+	}
+
+	_, entries := postFollow(t, ts, followRequest{Commits: first})
+	assertEntries(entries, first)
+	if n := counterValue(s.Metrics(), "daemon_follow_seeds"); n != 1 {
+		t.Fatalf("daemon_follow_seeds = %d after first stream, want 1", n)
+	}
+
+	// Second stream continues past the first one's cursor: warm, no reseed.
+	_, entries = postFollow(t, ts, followRequest{Commits: second})
+	assertEntries(entries, second)
+	if n := counterValue(s.Metrics(), "daemon_follow_continues"); n != 1 {
+		t.Errorf("daemon_follow_continues = %d after continuation, want 1", n)
+	}
+	if n := counterValue(s.Metrics(), "daemon_follow_seeds"); n != 1 {
+		t.Errorf("daemon_follow_seeds = %d after continuation, want 1 (no reseed)", n)
+	}
+	var virtual, effective float64
+	for _, e := range entries {
+		virtual += e.VirtualSeconds
+		effective += e.EffectiveSeconds
+	}
+	if virtual > 0 && effective >= virtual {
+		t.Errorf("warm continuation saved nothing: effective %.3fs, virtual %.3fs", effective, virtual)
+	}
+
+	// A stream behind the cursor cannot continue: it reseeds, and still
+	// serves the same bytes.
+	_, entries = postFollow(t, ts, followRequest{Commits: first})
+	assertEntries(entries, first)
+	if n := counterValue(s.Metrics(), "daemon_follow_seeds"); n != 2 {
+		t.Errorf("daemon_follow_seeds = %d after behind-cursor stream, want 2", n)
+	}
+}
+
+// TestFollowDeadline: a stream that cannot finish within its deadline
+// labels the unfinished tail honestly — an error (with partial report
+// where one exists) for every commit the deadline caught, no silently
+// dropped entries — and the next stream still serves correct bytes.
+func TestFollowDeadline(t *testing.T) {
+	s, ts := newTestServer(t, nil)
+	ids := windowTail(s, 6)
+
+	_, entries := postFollow(t, ts, followRequest{Commits: ids, DeadlineMS: 1})
+	if len(entries) != len(ids) {
+		t.Fatalf("deadline stream answered %d entries for %d commits", len(entries), len(ids))
+	}
+	interrupted := 0
+	for i, e := range entries {
+		if e.Commit != ids[i] {
+			t.Fatalf("entry %d out of order: %s != %s", i, e.Commit, ids[i])
+		}
+		if e.Error != "" {
+			interrupted++
+		}
+	}
+	if interrupted == 0 {
+		t.Error("1ms deadline over the window produced no deadline errors")
+	}
+
+	// Service intact afterwards: a fresh stream (reseeded past the
+	// interrupted follower) matches /check bytes.
+	id := ids[len(ids)-1]
+	status, body := postCheck(t, ts, checkRequest{Commit: id})
+	if status != http.StatusOK {
+		t.Fatalf("/check after deadline stream: status %d", status)
+	}
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, body); err != nil {
+		t.Fatal(err)
+	}
+	_, entries = postFollow(t, ts, followRequest{Commits: []string{id}, Reseed: true})
+	if len(entries) != 1 || entries[0].Error != "" {
+		t.Fatalf("post-deadline stream broken: %+v", entries)
+	}
+	if !bytes.Equal(entries[0].Report, buf.Bytes()) {
+		t.Error("post-deadline follow report differs from /check report")
+	}
+}

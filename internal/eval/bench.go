@@ -55,6 +55,9 @@ type BenchReport struct {
 	Warm           BenchCacheResult    `json:"cache_warm"`
 	WarmSavingsPct float64             `json:"warm_savings_pct"`
 	Spans          []BenchSpanStat     `json:"spans"`
+	// Reactive is the commit-stream follower benchmark (cmd/jmake-bench
+	// -reactive); nil when that mode was not run.
+	Reactive *ReactiveReport `json:"reactive,omitempty"`
 }
 
 // MarshalIndent renders the report as BENCH_pipeline.json content.

@@ -1,0 +1,381 @@
+package incr
+
+import (
+	"context"
+	"fmt"
+
+	"jmake/internal/ccache"
+	"jmake/internal/core"
+	"jmake/internal/eval"
+	"jmake/internal/fstree"
+	"jmake/internal/sched"
+	"jmake/internal/vclock"
+	"jmake/internal/vcs"
+)
+
+// Options configure a Follower.
+type Options struct {
+	// Checker tunes the per-commit JMake pipeline (same knobs as one-shot
+	// checks; byte-identity holds per option set).
+	Checker core.Options
+	// Workers bounds concurrent checks inside one non-structural batch of
+	// Run. Structural commits are barriers. 0 or 1 checks sequentially —
+	// the only mode with per-commit effective-cost attribution.
+	Workers int
+	// Cold disables all session reuse: every Step builds a fresh session
+	// over the advanced tree, exactly like `jmake -commit`. This is the
+	// comparator mode the invalidation tests and follow-smoke diff
+	// against; it is deliberately slow.
+	Cold bool
+}
+
+// StepResult is one followed commit's outcome.
+type StepResult struct {
+	Commit string
+	// Report is the checker's verdict — byte-identical (under the same
+	// JSON rendering) to a from-scratch check of the same commit. A
+	// commit with no checker-relevant files yields a zero-plan report,
+	// not an error.
+	Report *core.PatchReport
+	// Err is a per-commit check failure; the follower's tree and session
+	// state stay consistent, so the stream can continue past it.
+	Err error
+	// Files counts checker-relevant files; Touched counts every path the
+	// commit changed.
+	Files   int
+	Touched int
+	// Structural marks commits that forced session invalidation; Refresh
+	// details what was dropped.
+	Structural bool
+	Refresh    core.RefreshSummary
+	// InvalidatedTUs counts translation units whose transitive inputs the
+	// commit changed (reverse dependency index + cache manifests).
+	InvalidatedTUs int
+	// VirtualSeconds is the report's full recompute price. It is also the
+	// cold baseline: a cold check of this commit reports the same total.
+	VirtualSeconds float64
+	// EffectiveSeconds is VirtualSeconds minus what the warm session's
+	// ledgers absorbed during this check. Only measured when the commit
+	// was checked sequentially (EffectiveMeasured); concurrent batches
+	// interleave ledger writes, so per-commit attribution would lie.
+	EffectiveSeconds  float64
+	EffectiveMeasured bool
+}
+
+// Follower consumes a commit stream with true incremental invalidation:
+// one warm session, one live working tree, per-commit cost proportional
+// to the diff. Not safe for concurrent use; one goroutine drives it.
+type Follower struct {
+	repo  *vcs.Repo
+	tree  *fstree.Tree
+	sess  *core.Session
+	index *Index
+	// cursor is the commit the tree and session currently reflect.
+	cursor string
+	opts   Options
+}
+
+// NewFollower seeds a follower at baseID: one full checkout, one session
+// build, one index scan — the only tree-proportional work the follower
+// ever does (in warm mode).
+func NewFollower(repo *vcs.Repo, baseID string, opts Options) (*Follower, error) {
+	tree, err := repo.CheckoutTree(baseID)
+	if err != nil {
+		return nil, fmt.Errorf("incr: %w", err)
+	}
+	f := &Follower{
+		repo:   repo,
+		tree:   tree,
+		cursor: baseID,
+		opts:   opts,
+		index:  NewIndex(tree),
+	}
+	if !opts.Cold {
+		sess, err := core.NewSession(tree)
+		if err != nil {
+			return nil, fmt.Errorf("incr: %w", err)
+		}
+		sess.EnableWarm()
+		f.sess = sess
+	}
+	return f, nil
+}
+
+// Cursor returns the commit the follower currently reflects.
+func (f *Follower) Cursor() string { return f.cursor }
+
+// Session exposes the warm session (nil in cold mode), e.g. for ledger
+// inspection in tests.
+func (f *Follower) Session() *core.Session { return f.sess }
+
+// savedSeconds snapshots every warmth ledger the session carries: the
+// config and set-up ledgers plus the result cache's saved-virtual total.
+func (f *Follower) savedSeconds() float64 {
+	if f.sess == nil {
+		return 0
+	}
+	wl := f.sess.WarmSaved()
+	saved := wl.ConfigSaved + wl.SetupSaved
+	if st, ok := f.sess.ResultCacheStats(); ok {
+		saved += st.SavedVirtual
+	}
+	return saved.Seconds()
+}
+
+// advanceOne applies commit c to the working tree and returns its changed
+// paths. O(diff), never O(tree).
+func (f *Follower) advanceOne(c *vcs.Commit) []string {
+	paths := make([]string, 0, len(c.Changes))
+	for _, ch := range c.Changes {
+		paths = append(paths, ch.Path)
+		if ch.New == "" {
+			_ = f.tree.Remove(ch.Path)
+			continue
+		}
+		f.tree.Write(ch.Path, f.repo.Blob(ch.New))
+	}
+	return paths
+}
+
+// sequenceTo lists every commit in (cursor, id], oldest first. The stream
+// the caller checks may skip merges and empty diffs, but the follower must
+// apply all of them to keep tree and session in sync.
+func (f *Follower) sequenceTo(id string) ([]string, error) {
+	seq, err := f.repo.Since(f.cursor)
+	if err != nil {
+		return nil, fmt.Errorf("incr: %w", err)
+	}
+	for i, cid := range seq {
+		if cid == id {
+			return seq[:i+1], nil
+		}
+	}
+	return nil, fmt.Errorf("incr: commit %s is not after follower cursor %s", id, f.cursor)
+}
+
+// Step advances the follower through every commit up to and including id
+// and checks id, returning its result. Intermediate commits (merges,
+// empty diffs, anything the caller's stream filtered out) are applied and
+// refreshed but not checked.
+func (f *Follower) Step(id string) (StepResult, error) {
+	seq, err := f.sequenceTo(id)
+	if err != nil {
+		return StepResult{Commit: id, Err: err}, err
+	}
+	var res StepResult
+	for _, cid := range seq {
+		last := cid == id
+		r, err := f.apply(cid, last)
+		if err != nil {
+			return r, err
+		}
+		if last {
+			res = r
+		}
+	}
+	if res.Err == nil {
+		f.check(&res, f.tree, true)
+	}
+	return res, res.Err
+}
+
+// apply advances tree, index and session past one commit. When stats is
+// true it also prices the commit's blast radius (done before the index
+// update, so dependents reflect the edges the commit found in place).
+func (f *Follower) apply(cid string, stats bool) (StepResult, error) {
+	c, err := f.repo.Get(cid)
+	if err != nil {
+		return StepResult{Commit: cid, Err: err}, err
+	}
+	paths := f.advanceOne(c)
+	res := StepResult{
+		Commit:     cid,
+		Touched:    len(paths),
+		Structural: Structural(paths),
+	}
+	if stats {
+		res.InvalidatedTUs = len(f.index.Dependents(f.tree, f.resultCache(), paths))
+	}
+	f.index.Update(f.tree, paths)
+	if f.sess != nil {
+		sum, err := f.sess.Refresh(f.tree, paths)
+		if err != nil {
+			res.Err = err
+			f.cursor = cid
+			return res, err
+		}
+		res.Refresh = sum
+	}
+	f.cursor = cid
+	return res, nil
+}
+
+// resultCache returns the warm session's result cache (nil in cold mode).
+func (f *Follower) resultCache() *ccache.Cache {
+	if f.sess == nil {
+		return nil
+	}
+	return f.sess.ResultCache()
+}
+
+// check runs the actual JMake check of res.Commit over snapshot, exactly
+// replicating the from-scratch path: FileDiffs → relevance filter →
+// default virtual-clock model seeded by the commit ID's length →
+// CheckPatch. measured enables per-commit effective-cost attribution via
+// ledger deltas (sequential callers only).
+func (f *Follower) check(res *StepResult, snapshot *fstree.Tree, measured bool) {
+	fds, err := f.repo.FileDiffs(res.Commit)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	kept := fds[:0:0]
+	for _, fd := range fds {
+		if eval.RelevantPath(fd.NewPath) {
+			kept = append(kept, fd)
+		}
+	}
+	res.Files = len(kept)
+
+	sess := f.sess
+	if sess == nil {
+		// Cold comparator: a fresh session per commit, like CheckCommit.
+		sess, err = core.NewSession(snapshot)
+		if err != nil {
+			res.Err = err
+			return
+		}
+	}
+	before := 0.0
+	if measured {
+		before = f.savedSeconds()
+	}
+	checker := sess.Checker(snapshot, vclock.DefaultModel(uint64(len(res.Commit))), f.opts.Checker)
+	report, err := checker.CheckPatch(res.Commit, kept)
+	if err != nil {
+		res.Err = err
+		return
+	}
+	res.Report = report
+	res.VirtualSeconds = report.Total.Seconds()
+	if measured {
+		res.EffectiveMeasured = true
+		res.EffectiveSeconds = res.VirtualSeconds - (f.savedSeconds() - before)
+		if res.EffectiveSeconds < 0 {
+			res.EffectiveSeconds = 0
+		}
+	}
+}
+
+// Run follows a stream of commit IDs (each must be after the previous and
+// after the cursor), emitting one StepResult per requested commit in
+// order. emit returning false stops the stream early. With Workers > 1,
+// runs of non-structural commits are checked concurrently over per-commit
+// tree snapshots — reports are worker-count- and warmth-invariant, so the
+// emitted bytes match the sequential stream; only per-commit effective
+// attribution is lost (EffectiveMeasured false). Structural commits are
+// barriers: the pending batch drains before the session refreshes.
+func (f *Follower) Run(ids []string, emit func(StepResult) bool) error {
+	if len(ids) == 0 {
+		return nil
+	}
+	want := make(map[string]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	seq, err := f.sequenceTo(ids[len(ids)-1])
+	if err != nil {
+		return err
+	}
+	seqSet := make(map[string]bool, len(seq))
+	for _, cid := range seq {
+		seqSet[cid] = true
+	}
+	for _, id := range ids {
+		if !seqSet[id] {
+			return fmt.Errorf("incr: commit %s is not after follower cursor %s (or out of order)", id, f.cursor)
+		}
+	}
+
+	sequential := f.opts.Workers <= 1 || f.opts.Cold
+	type pending struct {
+		res  StepResult
+		snap *fstree.Tree
+	}
+	var batch []pending
+	stopped := false
+	flush := func() {
+		if len(batch) == 0 || stopped {
+			batch = nil
+			return
+		}
+		sched.MapCtx(context.Background(), len(batch),
+			sched.Options{Workers: f.opts.Workers},
+			func(i int) StepResult {
+				r := batch[i].res
+				f.check(&r, batch[i].snap, false)
+				return r
+			},
+			func(i int, r StepResult) {
+				if !stopped && !emit(r) {
+					stopped = true
+				}
+			})
+		batch = nil
+	}
+
+	for _, cid := range seq {
+		if stopped {
+			break
+		}
+		checkIt := want[cid]
+		if sequential {
+			res, err := f.apply(cid, checkIt)
+			if checkIt {
+				if err == nil {
+					f.check(&res, f.tree, true)
+				}
+				if !emit(res) {
+					return nil
+				}
+			} else if err != nil {
+				return err
+			}
+			continue
+		}
+		// Batched mode: structural commits drain in-flight checks before
+		// the session mutates under them.
+		if Structural(commitPaths(f.repo, cid)) {
+			flush()
+		}
+		res, err := f.apply(cid, checkIt)
+		if err != nil && !checkIt {
+			return err
+		}
+		if checkIt {
+			if err != nil {
+				flush()
+				if !emit(res) {
+					return nil
+				}
+				continue
+			}
+			batch = append(batch, pending{res: res, snap: f.tree.Clone()})
+		}
+	}
+	flush()
+	return nil
+}
+
+// commitPaths lists a commit's changed paths without applying it.
+func commitPaths(repo *vcs.Repo, cid string) []string {
+	c, err := repo.Get(cid)
+	if err != nil {
+		return nil
+	}
+	out := make([]string, 0, len(c.Changes))
+	for _, ch := range c.Changes {
+		out = append(out, ch.Path)
+	}
+	return out
+}

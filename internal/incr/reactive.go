@@ -1,0 +1,93 @@
+package incr
+
+import (
+	"fmt"
+
+	"jmake/internal/core"
+	"jmake/internal/eval"
+	"jmake/internal/vcs"
+)
+
+// ReactiveParams configure a reactive benchmark replay.
+type ReactiveParams struct {
+	// Commits caps how many window commits are replayed after the seed
+	// (0 = the whole window).
+	Commits int
+	// Warmup excludes the first N checked commits from the small-commit
+	// gate population: the very first commits pay the session's one-time
+	// set-up and config valuations, which is the point — but the steady
+	// state is what the <30% gate measures. Default 3.
+	Warmup int
+	// Checker tunes the per-commit pipeline.
+	Checker core.Options
+}
+
+// smallCommitMaxFiles bounds the gate population: commits touching at
+// most this many relevant files, the "small diff" of the acceptance
+// criterion.
+const smallCommitMaxFiles = 2
+
+// RunReactive replays a commit stream against one warm follower and
+// reports per-commit virtual (= cold) vs effective cost. The stream is
+// the evaluation window (v4.3..v4.4, modifying non-merges), seeded at the
+// first window commit like the evaluation itself.
+func RunReactive(repo *vcs.Repo, p ReactiveParams) (*eval.ReactiveReport, error) {
+	ids, err := repo.Between("v4.3", "v4.4", vcs.LogOptions{NoMerges: true, OnlyModify: true})
+	if err != nil {
+		return nil, fmt.Errorf("incr: %w", err)
+	}
+	if len(ids) < 2 {
+		return nil, fmt.Errorf("incr: window too small for a reactive replay (%d commits)", len(ids))
+	}
+	stream := ids[1:]
+	if p.Commits > 0 && len(stream) > p.Commits {
+		stream = stream[:p.Commits]
+	}
+	warmup := p.Warmup
+	if warmup == 0 {
+		warmup = 3
+	}
+
+	f, err := NewFollower(repo, ids[0], Options{Checker: p.Checker})
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &eval.ReactiveReport{}
+	var ratioSum float64
+	checked := 0
+	runErr := f.Run(stream, func(r StepResult) bool {
+		rc := eval.ReactiveCommit{
+			Commit:           r.Commit,
+			Files:            r.Files,
+			Touched:          r.Touched,
+			Structural:       r.Structural,
+			InvalidatedTUs:   r.InvalidatedTUs,
+			VirtualSeconds:   r.VirtualSeconds,
+			EffectiveSeconds: r.EffectiveSeconds,
+		}
+		if r.VirtualSeconds > 0 {
+			rc.EffectiveRatio = r.EffectiveSeconds / r.VirtualSeconds
+		} else {
+			rc.EffectiveRatio = 1
+		}
+		rep.PerCommit = append(rep.PerCommit, rc)
+		rep.Commits++
+		rep.TotalVirtualSeconds += r.VirtualSeconds
+		rep.TotalEffectiveSeconds += r.EffectiveSeconds
+		checked++
+		if checked > warmup && !r.Structural &&
+			r.Files > 0 && r.Files <= smallCommitMaxFiles && r.VirtualSeconds > 0 {
+			rep.SmallCommits++
+			ratioSum += rc.EffectiveRatio
+		}
+		return true
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	if rep.SmallCommits > 0 {
+		rep.SmallCommitMeanRatio = ratioSum / float64(rep.SmallCommits)
+	}
+	return rep, nil
+}

@@ -7,6 +7,7 @@ import (
 	"hash/fnv"
 	"path"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"jmake/internal/cc"
@@ -74,6 +75,16 @@ type Builder struct {
 	// invariant attributes: probe identities (for post-merge cache-outcome
 	// stamping), never live hit/miss outcomes. nil disables recording.
 	Trace *trace.Recorder
+	// WarmSetup marks this builder's (arch, configuration) build directory
+	// as kept warm by a persistent session (commit-stream follower):
+	// set-up was already paid by an earlier check and the directory state
+	// survives between commits. Reported durations still charge the full
+	// first-invocation set-up — reports must stay byte-identical to a cold
+	// session's — but SetupSaved is credited with the avoided delta.
+	WarmSetup bool
+	// SetupSaved, when non-nil with WarmSetup, accumulates the avoided
+	// set-up nanoseconds (atomic adds; shared across builders).
+	SetupSaved *int64
 
 	invoked bool
 	// invokeSeq distinguishes jitter keys between invocations.
@@ -399,6 +410,8 @@ func (b *Builder) MakeI(files []string) ([]IFile, time.Duration) {
 			b.Results.AddSaved(ccache.StageI, dur-eff)
 		}
 	}
+	b.creditWarmSetup(first,
+		b.Model.MakeI(true, b.Arch.SetupOps, nil, key)-b.Model.MakeI(false, b.Arch.SetupOps, nil, key))
 	dur += b.Faults.Stall(key)
 	if span != nil {
 		evs := b.Faults.EventsSince(evBase)
@@ -491,6 +504,11 @@ func (b *Builder) makeO(file string) (cc.Object, time.Duration, error) {
 
 	file = fstree.Clean(file)
 	failBase := b.Model.MakeO(first, b.Arch.SetupOps, 0, 0, key)
+	// Every path below charges `first` pricing exactly once (failBase or
+	// the success duration share the key, and jitter multiplies the whole
+	// charge), so the warm-set-up credit is exact at any exit.
+	b.creditWarmSetup(first,
+		failBase-b.Model.MakeO(false, b.Arch.SetupOps, 0, 0, key))
 	stall := b.Faults.Stall(key)
 	failDur := failBase + stall
 	// Injected faults roll before any cache interaction (see MakeI).
@@ -564,6 +582,15 @@ func (b *Builder) makeO(file string) (cc.Object, time.Duration, error) {
 // mutated tree and compiles the pristine one under the same configuration,
 // so only the first invocation pays full set-up).
 func (b *Builder) SetSetupDone() { b.invoked = true }
+
+// creditWarmSetup credits the warm-session ledger with the difference
+// between first-invocation set-up and the incremental re-check the
+// invocation would really have performed against a warm build directory.
+func (b *Builder) creditWarmSetup(first bool, delta time.Duration) {
+	if first && b.WarmSetup && b.SetupSaved != nil && delta > 0 {
+		atomic.AddInt64(b.SetupSaved, int64(delta))
+	}
+}
 
 // IsSetupFile reports whether JMake must refuse to mutate this file because
 // the kernel Makefile compiles it during build set-up (paper §V-D).

@@ -70,6 +70,54 @@ func Analyze(path, content string) *File {
 	return f
 }
 
+// Include is one #include directive of a source file. The reverse
+// dependency index (internal/incr) uses these as its static include
+// edges; extraction is deliberately condition-blind — an include behind a
+// dead #if still creates an edge, keeping the index an over-approximation
+// the same way the line formulas are.
+type Include struct {
+	// Target is the include operand without its delimiters: `<linux/foo.h>`
+	// yields Target "linux/foo.h" with Angle true, `"foo.h"` yields
+	// Target "foo.h" with Angle false.
+	Target string
+	Angle  bool
+	// Line is the 1-based directive line.
+	Line int
+}
+
+// Includes extracts every #include directive from content. Malformed
+// operands (no recognizable delimiter) are skipped; like Analyze, this
+// never fails.
+func Includes(content string) []Include {
+	sf := csrc.Analyze(content)
+	var out []Include
+	for _, li := range sf.Lines {
+		if li.Directive != "include" {
+			continue
+		}
+		arg := strings.TrimSpace(li.DirectiveArg)
+		var inc Include
+		switch {
+		case strings.HasPrefix(arg, "<"):
+			end := strings.IndexByte(arg, '>')
+			if end <= 1 {
+				continue
+			}
+			inc = Include{Target: arg[1:end], Angle: true, Line: li.Num}
+		case strings.HasPrefix(arg, "\""):
+			end := strings.IndexByte(arg[1:], '"')
+			if end <= 0 {
+				continue
+			}
+			inc = Include{Target: arg[1 : 1+end], Line: li.Num}
+		default:
+			continue
+		}
+		out = append(out, inc)
+	}
+	return out
+}
+
 // LineCond returns the presence condition of 1-based line n. Out-of-range
 // lines are True: a line outside the file is outside every conditional.
 func (f *File) LineCond(n int) Formula {

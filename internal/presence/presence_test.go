@@ -193,3 +193,33 @@ func TestAnalyzeMalformedNeverPanics(t *testing.T) {
 		}
 	}
 }
+
+func TestIncludes(t *testing.T) {
+	src := `#include <linux/kernel.h>
+#include "local.h"
+  #  include <spaced/form.h>
+#include BAD_COMPUTED_INCLUDE
+#include <unterminated
+#include ""
+#define NOT_AN_INCLUDE "x.h"
+int v; /* #include <comment.h> is not a directive */
+#ifdef FOO
+#include <cond/gated.h>
+#endif
+`
+	got := Includes(src)
+	want := []Include{
+		{Target: "linux/kernel.h", Angle: true, Line: 1},
+		{Target: "local.h", Angle: false, Line: 2},
+		{Target: "spaced/form.h", Angle: true, Line: 3},
+		{Target: "cond/gated.h", Angle: true, Line: 10},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Includes = %+v, want %d entries", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Includes[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -199,6 +199,34 @@ func (r *Repo) Len() int { return len(r.order) }
 // Head returns the ID of the most recent commit.
 func (r *Repo) Head() string { return r.order[len(r.order)-1] }
 
+// Parent returns the ID of the commit immediately before id in history
+// order, or "" when id is the root commit. This is the seed position a
+// commit-stream follower needs: check out Parent(id), then apply id.
+func (r *Repo) Parent(id string) (string, error) {
+	idx, ok := r.index[id]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownCommit, id)
+	}
+	if idx == 0 {
+		return "", nil
+	}
+	return r.order[idx-1], nil
+}
+
+// Since returns every commit ID strictly after `id` in history order,
+// oldest first and unfiltered — merges and empty-diff commits included,
+// because a follower must apply all of them to keep its working tree in
+// sync even when it only checks a filtered subset.
+func (r *Repo) Since(id string) ([]string, error) {
+	idx, ok := r.index[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownCommit, id)
+	}
+	out := make([]string, len(r.order)-idx-1)
+	copy(out, r.order[idx+1:])
+	return out, nil
+}
+
 // LogOptions mirror the git-log filters used by the paper's evaluation.
 type LogOptions struct {
 	NoMerges   bool // --no-merges

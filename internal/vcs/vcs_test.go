@@ -210,3 +210,197 @@ func TestDeterministicIDs(t *testing.T) {
 		}
 	}
 }
+
+func TestParentAndSince(t *testing.T) {
+	r := newTestRepo(t)
+	root := r.Head()
+	id1 := r.Commit(sig("Alice"), "one", map[string]*string{"drivers/a.c": strp("1\n")}, false)
+	idMerge := r.Commit(sig("Bob"), "merge branch", nil, true)
+	id2 := r.Commit(sig("Carol"), "two", map[string]*string{"drivers/b.c": strp("2\n")}, false)
+
+	if p, err := r.Parent(root); err != nil || p != "" {
+		t.Errorf("Parent(root) = %q, %v; want \"\", nil", p, err)
+	}
+	if p, err := r.Parent(id1); err != nil || p != root {
+		t.Errorf("Parent(id1) = %q, %v; want root", p, err)
+	}
+	if p, err := r.Parent(id2); err != nil || p != idMerge {
+		t.Errorf("Parent(id2) = %q, %v; want the merge commit", p, err)
+	}
+	if _, err := r.Parent("deadbeef"); !errors.Is(err, ErrUnknownCommit) {
+		t.Errorf("Parent unknown: err = %v", err)
+	}
+
+	// Since is unfiltered: merges included, oldest first — a follower must
+	// apply every commit even when it only checks a filtered subset.
+	seq, err := r.Since(root)
+	if err != nil {
+		t.Fatalf("Since: %v", err)
+	}
+	want := []string{id1, idMerge, id2}
+	if len(seq) != len(want) {
+		t.Fatalf("Since(root) = %d commits, want %d", len(seq), len(want))
+	}
+	for i := range want {
+		if seq[i] != want[i] {
+			t.Errorf("Since(root)[%d] = %s, want %s", i, seq[i], want[i])
+		}
+	}
+	if seq, err := r.Since(id2); err != nil || len(seq) != 0 {
+		t.Errorf("Since(head) = %v, %v; want empty", seq, err)
+	}
+	if _, err := r.Since("deadbeef"); !errors.Is(err, ErrUnknownCommit) {
+		t.Errorf("Since unknown: err = %v", err)
+	}
+}
+
+// TestRenameAsDeleteAdd: this VCS has no rename tracking — a rename is a
+// delete plus an add in one commit, which is exactly how JMake's driver
+// sees it. The commit must be excluded by OnlyModify, diff as a full
+// removal plus a full addition, and check out correctly.
+func TestRenameAsDeleteAdd(t *testing.T) {
+	r := newTestRepo(t)
+	if err := r.Tag("v4.3", r.Head()); err != nil {
+		t.Fatal(err)
+	}
+	id := r.Commit(sig("Alice"), "rename a.c to a2.c", map[string]*string{
+		"drivers/a.c":  nil,
+		"drivers/a2.c": strp("int a;\n"),
+	}, false)
+	if err := r.Tag("v4.4", r.Head()); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := r.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Changes) != 2 {
+		t.Fatalf("rename commit has %d changes, want 2 (delete + add)", len(c.Changes))
+	}
+	sawDelete, sawAdd := false, false
+	for _, ch := range c.Changes {
+		switch ch.Path {
+		case "drivers/a.c":
+			sawDelete = ch.New == "" && ch.Old != ""
+		case "drivers/a2.c":
+			sawAdd = ch.Old == "" && ch.New != ""
+		}
+	}
+	if !sawDelete || !sawAdd {
+		t.Errorf("rename not recorded as delete+add: delete=%v add=%v", sawDelete, sawAdd)
+	}
+
+	fds, err := r.FileDiffs(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds) != 2 {
+		t.Fatalf("FileDiffs = %d diffs, want 2", len(fds))
+	}
+	for _, fd := range fds {
+		adds, dels := 0, 0
+		for _, h := range fd.Hunks {
+			for _, ln := range h.Lines {
+				switch ln.Op {
+				case '+':
+					adds++
+				case '-':
+					dels++
+				}
+			}
+		}
+		switch fd.NewPath {
+		case "drivers/a.c":
+			if adds != 0 || dels == 0 {
+				t.Errorf("delete side: %d adds, %d dels", adds, dels)
+			}
+		case "drivers/a2.c":
+			if adds == 0 || dels != 0 {
+				t.Errorf("add side: %d adds, %d dels", adds, dels)
+			}
+		}
+	}
+
+	tr, err := r.CheckoutTree(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Exists("drivers/a.c") {
+		t.Error("renamed-away path still exists after checkout")
+	}
+	if got, _ := tr.Read("drivers/a2.c"); got != "int a;\n" {
+		t.Errorf("renamed-to path = %q", got)
+	}
+
+	// The evaluation window (--diff-filter=M) must not select it.
+	ids, err := r.Between("v4.3", "v4.4", LogOptions{NoMerges: true, OnlyModify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 0 {
+		t.Errorf("OnlyModify window selected the rename commit: %v", ids)
+	}
+}
+
+// TestMergeAndEmptyDiffCommits: merges and empty-diff commits are
+// filtered from the evaluation window but still part of history — their
+// tree effects must survive checkout and Since so a follower applying
+// everything stays in sync.
+func TestMergeAndEmptyDiffCommits(t *testing.T) {
+	r := newTestRepo(t)
+	if err := r.Tag("v4.3", r.Head()); err != nil {
+		t.Fatal(err)
+	}
+	// A merge that carries a tree change (the usual case: the merged
+	// branch's work lands with the merge commit).
+	idMerge := r.Commit(sig("Bob"), "merge branch with work", map[string]*string{
+		"drivers/a.c": strp("int a = 9;\n"),
+	}, true)
+	// An empty-diff commit: same content rewritten.
+	idEmpty := r.Commit(sig("Carol"), "rewrite same content", map[string]*string{
+		"drivers/a.c": strp("int a = 9;\n"),
+	}, false)
+	idMod := r.Commit(sig("Dave"), "real change", map[string]*string{
+		"drivers/b.c": strp("int b = 1;\n"),
+	}, false)
+	if err := r.Tag("v4.4", r.Head()); err != nil {
+		t.Fatal(err)
+	}
+
+	cEmpty, err := r.Get(idEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cEmpty.Changes) != 0 {
+		t.Fatalf("empty-diff commit recorded %d changes", len(cEmpty.Changes))
+	}
+	if fds, err := r.FileDiffs(idEmpty); err != nil || len(fds) != 0 {
+		t.Errorf("FileDiffs(empty) = %v, %v; want no diffs", fds, err)
+	}
+
+	ids, err := r.Between("v4.3", "v4.4", LogOptions{NoMerges: true, OnlyModify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != idMod {
+		t.Errorf("window = %v, want only the real change %s", ids, idMod)
+	}
+
+	// The merge's tree effect is visible at and after the merge.
+	tr, err := r.CheckoutTree(idEmpty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := tr.Read("drivers/a.c"); got != "int a = 9;\n" {
+		t.Errorf("merge change lost by checkout: a.c = %q", got)
+	}
+	// Since hands a follower the full unfiltered tail, merge included.
+	seq, err := r.Since(idMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != 2 || seq[0] != idEmpty || seq[1] != idMod {
+		t.Errorf("Since(merge) = %v, want [%s %s]", seq, idEmpty, idMod)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"jmake/internal/eval"
 	"jmake/internal/faultinject"
 	"jmake/internal/fstree"
+	"jmake/internal/incr"
 	"jmake/internal/janitor"
 	"jmake/internal/kernelgen"
 	"jmake/internal/maintainers"
@@ -404,6 +405,37 @@ func CoverageRatio(report *Report) (covered, relevant int) {
 // Evaluate reproduces the paper's §V evaluation end to end and returns the
 // run with every table and figure computable from it.
 func Evaluate(p EvalParams) (*Run, error) { return eval.Execute(p) }
+
+// Incremental follower types (internal/incr): a long-lived session that
+// consumes a commit stream and re-checks each commit with cost
+// proportional to the diff, emitting reports byte-identical to
+// from-scratch checks.
+type (
+	// Follower is the incremental commit-stream checker.
+	Follower = incr.Follower
+	// FollowOptions configure a Follower.
+	FollowOptions = incr.Options
+	// FollowStep is one followed commit's outcome with its cost stats.
+	FollowStep = incr.StepResult
+	// ReactiveParams configure the reactive benchmark replay.
+	ReactiveParams = incr.ReactiveParams
+	// ReactiveReport is the reactive section of BENCH_pipeline.json.
+	ReactiveReport = eval.ReactiveReport
+)
+
+// NewFollower seeds an incremental follower at baseID: one full checkout
+// and session build, after which each Step costs proportional to its
+// commit's diff.
+func NewFollower(repo *Repo, baseID string, opts FollowOptions) (*Follower, error) {
+	return incr.NewFollower(repo, baseID, opts)
+}
+
+// RunReactive replays the evaluation window's commit stream against one
+// warm follower and reports per-commit virtual (= cold) vs effective
+// cost (cmd/jmake-bench -reactive).
+func RunReactive(repo *Repo, p ReactiveParams) (*ReactiveReport, error) {
+	return incr.RunReactive(repo, p)
+}
 
 // BenchReport is the pipeline benchmark output (cmd/jmake-bench).
 type BenchReport = eval.BenchReport
