@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check build test vet race lint lint-go fuzz-presence bench-witness bench-workers bench-static bench bench-scaling cache-smoke trace-smoke daemon-smoke audit-smoke follow-smoke eval
+.PHONY: check build test vet race lint lint-go fuzz-presence bench-witness bench-workers bench-static bench bench-scaling cache-smoke trace-smoke daemon-smoke audit-smoke follow-smoke obs-smoke eval
 
-check: vet build test race lint lint-go cache-smoke trace-smoke daemon-smoke audit-smoke follow-smoke bench-scaling
+check: vet build test race lint lint-go cache-smoke trace-smoke daemon-smoke audit-smoke follow-smoke obs-smoke bench-scaling
 
 build:
 	$(GO) build ./...
@@ -105,6 +105,14 @@ follow-smoke:
 # CLI's, and require a clean SIGTERM drain with a flushed cache tier.
 daemon-smoke:
 	@GO="$(GO)" sh scripts/daemon-smoke.sh
+
+# Observability round trip: chaos burst against a tight-queue jmaked,
+# then require a valid Prometheus exposition (trace-check -prom), shed
+# records in the flight recorder, a span tree from /tracez for a
+# successful request, the structured NDJSON request log, and a clean
+# drain.
+obs-smoke:
+	@GO="$(GO)" sh scripts/obs-smoke.sh
 
 eval:
 	$(GO) run ./cmd/jmake-eval summary

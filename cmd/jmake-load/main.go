@@ -22,10 +22,22 @@
 // through the public API; the safety assertion and the daemon must both
 // survive.
 //
+// The tool scrapes /metricsz before and after the burst and prints the
+// server-side delta (changed counters, server latency percentiles) next
+// to its own client-side numbers, so client-observed and server-recorded
+// views of the same burst can be compared directly.
+//
+// Shed responses carry a Retry-After advisory. The summary separates
+// honored vs ignored advisories: with -honor-retry-after a closed-loop
+// client sleeps the advised delay before its next request (honored);
+// otherwise — and always in open-loop mode, where arrivals are on a
+// fixed schedule — the advisory is counted but ignored.
+//
 // Helper modes for scripts:
 //
 //	jmake-load -print-latest-commit     print the window's tip commit ID
 //	jmake-load -report-for <commit>     print the daemon's report verbatim
+//	jmake-load -get <path>              GET a daemon path, print the body
 package main
 
 import (
@@ -37,12 +49,15 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"jmake"
 	"jmake/internal/cliopts"
+	"jmake/internal/metrics"
 )
 
 func main() {
@@ -58,9 +73,14 @@ type tally struct {
 
 	ok        atomic.Int64
 	shed      atomic.Int64
-	timedOut  atomic.Int64
-	failed    atomic.Int64
+	timedOut  atomic.Int64 // 504 from the daemon (deadline), distinct from transport errors
+	transport atomic.Int64 // request never got an HTTP answer (dial/read error)
+	failed    atomic.Int64 // unexpected status or undecodable 200 body
 	falseCert atomic.Int64
+
+	shedHonored atomic.Int64 // 429s whose Retry-After advisory we slept out
+	shedIgnored atomic.Int64 // 429s where the advisory was counted but not honored
+	advisedMS   atomic.Int64 // sum of advised Retry-After, for the average
 }
 
 func run() error {
@@ -72,12 +92,18 @@ func run() error {
 		deadlineMS  = flag.Int64("deadline-ms", 0, "per-request deadline_ms (0 = daemon default)")
 		chaos       = flag.Bool("chaos", false, "inject a deterministic fault plan on every request")
 		faultSeed   = flag.Uint64("fault-seed", 1, "base fault-plan seed for -chaos (request i uses seed+i)")
+		honorRetry  = flag.Bool("honor-retry-after", false, "closed loop: sleep a 429's Retry-After before the client's next request")
 		printLatest = flag.Bool("print-latest-commit", false, "print the window's tip commit ID and exit")
 		reportFor   = flag.String("report-for", "", "print the daemon's report for one commit verbatim and exit")
+		getPath     = flag.String("get", "", "GET this daemon path, print the body, exit 1 on non-200 (script helper)")
 	)
 	flag.Parse()
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 10 * time.Minute}
+
+	if *getPath != "" {
+		return doGet(client, base, *getPath)
+	}
 
 	commits, err := fetchCommits(client, base)
 	if err != nil {
@@ -88,7 +114,7 @@ func run() error {
 		return nil
 	}
 	if *reportFor != "" {
-		body, status, err := postCheck(client, base, checkBody{Commit: *reportFor, DeadlineMS: *deadlineMS})
+		body, status, _, err := postCheck(client, base, checkBody{Commit: *reportFor, DeadlineMS: *deadlineMS})
 		if err != nil {
 			return err
 		}
@@ -97,6 +123,11 @@ func run() error {
 		}
 		_, err = os.Stdout.Write(body)
 		return err
+	}
+
+	before, err := scrapeMetrics(client, base)
+	if err != nil {
+		return fmt.Errorf("scraping /metricsz before the burst: %w", err)
 	}
 
 	reqFor := func(i int) checkBody {
@@ -115,7 +146,8 @@ func run() error {
 		// timeout behavior show at their true rates (no coordinated
 		// omission). Each request gets its own goroutine; arrival i is
 		// scheduled at start + i/qps, so transient stalls do not shift the
-		// rest of the schedule.
+		// rest of the schedule. Retry-After advisories are never honored
+		// here: honoring would shift the fixed arrival schedule.
 		fmt.Printf("injecting %d requests over %d commits at %.1f req/s open-loop (chaos=%v)\n",
 			*n, len(commits), *qps, *chaos)
 		interval := time.Duration(float64(time.Second) / *qps)
@@ -126,14 +158,14 @@ func run() error {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				doOne(client, base, reqFor(i), &t)
+				doOne(client, base, reqFor(i), &t, false)
 			}(i)
 		}
 		wg.Wait()
 		elapsed = time.Since(start)
 	} else {
-		fmt.Printf("replaying %d requests over %d commits at concurrency %d (chaos=%v)\n",
-			*n, len(commits), *c, *chaos)
+		fmt.Printf("replaying %d requests over %d commits at concurrency %d (chaos=%v, honor-retry-after=%v)\n",
+			*n, len(commits), *c, *chaos, *honorRetry)
 		var wg sync.WaitGroup
 		work := make(chan int)
 		for w := 0; w < *c; w++ {
@@ -141,7 +173,7 @@ func run() error {
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					doOne(client, base, reqFor(i), &t)
+					doOne(client, base, reqFor(i), &t, *honorRetry)
 				}
 			}()
 		}
@@ -155,6 +187,12 @@ func run() error {
 	}
 
 	printSummary(&t, *n, elapsed)
+
+	after, err := scrapeMetrics(client, base)
+	if err != nil {
+		return fmt.Errorf("scraping /metricsz after the burst: %w", err)
+	}
+	printServerDelta(before, after)
 
 	if err := checkHealth(client, base); err != nil {
 		return fmt.Errorf("daemon unhealthy after the burst: %w", err)
@@ -175,6 +213,29 @@ type checkBody struct {
 	DeadlineMS int64         `json:"deadline_ms,omitempty"`
 }
 
+// doGet is the -get script helper: fetch one daemon path and print the
+// body verbatim (so shell scripts can read /metricsz, /debugz/requests,
+// or /tracez/<id> without a curl dependency).
+func doGet(client *http.Client, base, path string) error {
+	if !strings.HasPrefix(path, "/") {
+		path = "/" + path
+	}
+	resp, err := client.Get(base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	os.Stdout.Write(body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s answered %d", path, resp.StatusCode)
+	}
+	return nil
+}
+
 func fetchCommits(client *http.Client, base string) ([]string, error) {
 	resp, err := client.Get(base + "/commits")
 	if err != nil {
@@ -193,26 +254,31 @@ func fetchCommits(client *http.Client, base string) ([]string, error) {
 	return payload.Commits, nil
 }
 
-func postCheck(client *http.Client, base string, req checkBody) ([]byte, int, error) {
+func postCheck(client *http.Client, base string, req checkBody) (body []byte, status int, retryAfter time.Duration, err error) {
 	data, err := json.Marshal(req)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	resp, err := client.Post(base+"/check", "application/json", bytes.NewReader(data))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	defer resp.Body.Close()
-	body, err := io.ReadAll(resp.Body)
-	return body, resp.StatusCode, err
+	if s, _ := strconv.Atoi(resp.Header.Get("Retry-After")); s > 0 {
+		retryAfter = time.Duration(s) * time.Second
+	}
+	body, err = io.ReadAll(resp.Body)
+	return body, resp.StatusCode, retryAfter, err
 }
 
-func doOne(client *http.Client, base string, req checkBody, t *tally) {
+func doOne(client *http.Client, base string, req checkBody, t *tally, honorRetry bool) {
 	start := time.Now()
-	body, status, err := postCheck(client, base, req)
+	body, status, retryAfter, err := postCheck(client, base, req)
 	lat := time.Since(start)
 	if err != nil {
-		t.failed.Add(1)
+		// No HTTP answer at all: the transport failed, which is a different
+		// failure class than a daemon that answered with an error status.
+		t.transport.Add(1)
 		return
 	}
 	t.mu.Lock()
@@ -235,6 +301,13 @@ func doOne(client *http.Client, base string, req checkBody, t *tally) {
 		t.ok.Add(1)
 	case http.StatusTooManyRequests:
 		t.shed.Add(1)
+		t.advisedMS.Add(retryAfter.Milliseconds())
+		if honorRetry && retryAfter > 0 {
+			t.shedHonored.Add(1)
+			time.Sleep(retryAfter)
+		} else {
+			t.shedIgnored.Add(1)
+		}
 	case http.StatusGatewayTimeout:
 		t.timedOut.Add(1)
 	default:
@@ -275,13 +348,113 @@ func printSummary(t *tally, n int, elapsed time.Duration) {
 		i := int(q * float64(len(lats)-1))
 		return lats[i].Round(time.Millisecond)
 	}
-	ok, shed, timedOut, failed := t.ok.Load(), t.shed.Load(), t.timedOut.Load(), t.failed.Load()
-	fmt.Printf("done in %v: %d ok, %d shed (429), %d timed out (504), %d failed\n",
-		elapsed.Round(time.Millisecond), ok, shed, timedOut, failed)
+	ok, shed, timedOut := t.ok.Load(), t.shed.Load(), t.timedOut.Load()
+	transport, failed := t.transport.Load(), t.failed.Load()
+	fmt.Printf("done in %v: %d ok, %d shed (429), %d timed out (504), %d transport errors, %d failed\n",
+		elapsed.Round(time.Millisecond), ok, shed, timedOut, transport, failed)
+	if shed > 0 {
+		avg := time.Duration(t.advisedMS.Load()/shed) * time.Millisecond
+		fmt.Printf("retry-after: advised avg %v, honored %d, ignored %d\n",
+			avg, t.shedHonored.Load(), t.shedIgnored.Load())
+	}
 	fmt.Printf("latency: p50 %v  p95 %v  p99 %v  max %v\n", pct(0.50), pct(0.95), pct(0.99), pct(1.0))
 	fmt.Printf("rates: shed %.1f%%  timeout %.1f%%  throughput %.1f req/s\n",
 		100*float64(shed)/float64(n), 100*float64(timedOut)/float64(n),
 		float64(ok)/elapsed.Seconds())
+}
+
+// metricsSnapshot mirrors the /metricsz JSON payload shape (the parts
+// the delta report uses).
+type metricsSnapshot struct {
+	Daemon  []metrics.Sample `json:"daemon"`
+	Session []metrics.Sample `json:"session"`
+	Latency struct {
+		Count uint64  `json:"count"`
+		P50   float64 `json:"p50"`
+		P95   float64 `json:"p95"`
+		P99   float64 `json:"p99"`
+	} `json:"latency"`
+}
+
+func scrapeMetrics(client *http.Client, base string) (*metricsSnapshot, error) {
+	resp, err := client.Get(base + "/metricsz?format=json")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var snap metricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, err
+	}
+	return &snap, nil
+}
+
+// printServerDelta prints the server-side view of the burst: every
+// counter/gauge/histogram series that changed between the two scrapes,
+// sorted by name, plus the server's own latency percentiles — so the
+// client-side summary above can be cross-checked against what the daemon
+// says it did.
+func printServerDelta(before, after *metricsSnapshot) {
+	index := func(samples []metrics.Sample) map[string]metrics.Sample {
+		m := make(map[string]metrics.Sample, len(samples))
+		for _, s := range samples {
+			m[s.Name] = s
+		}
+		return m
+	}
+	section := func(title string, b, a []metrics.Sample) {
+		prev := index(b)
+		var lines []string
+		for _, s := range a {
+			if old, ok := prev[s.Name]; ok && old.Value == s.Value {
+				continue
+			}
+			lines = append(lines, formatDelta(prev[s.Name], s))
+		}
+		if len(lines) == 0 {
+			return
+		}
+		sort.Strings(lines)
+		fmt.Printf("server delta (%s):\n", title)
+		for _, l := range lines {
+			fmt.Println("  " + l)
+		}
+	}
+	section("daemon", before.Daemon, after.Daemon)
+	section("session", before.Session, after.Session)
+	fmt.Printf("server latency: count %d  p50 %.3fs  p95 %.3fs  p99 %.3fs\n",
+		after.Latency.Count, after.Latency.P50, after.Latency.P95, after.Latency.P99)
+}
+
+// formatDelta renders one changed series. Counter/gauge values are plain
+// integers ("+N"); histogram values ("count=N sum=G") show the count
+// move; anything unparseable prints old -> new.
+func formatDelta(old, cur metrics.Sample) string {
+	oldCount, okOld := sampleCount(old)
+	curCount, okCur := sampleCount(cur)
+	if okCur && (okOld || old.Value == "") {
+		return fmt.Sprintf("%-44s %+d (now %d)", cur.Name, curCount-oldCount, curCount)
+	}
+	if old.Value == "" {
+		return fmt.Sprintf("%-44s -> %s", cur.Name, cur.Value)
+	}
+	return fmt.Sprintf("%-44s %s -> %s", cur.Name, old.Value, cur.Value)
+}
+
+// sampleCount extracts the integer magnitude of a sample value: the
+// value itself for counters/gauges, the count= field for histograms.
+func sampleCount(s metrics.Sample) (int64, bool) {
+	v := s.Value
+	if s.Kind == "histogram" {
+		for _, part := range strings.Fields(v) {
+			if strings.HasPrefix(part, "count=") {
+				v = strings.TrimPrefix(part, "count=")
+				break
+			}
+		}
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	return n, err == nil
 }
 
 func checkHealth(client *http.Client, base string) error {

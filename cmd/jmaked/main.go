@@ -12,15 +12,28 @@
 //
 //	GET  /healthz   liveness (process up, session present)
 //	GET  /readyz    readiness (503 while draining)
-//	GET  /metricsz  daemon + session metrics, latency percentiles
+//	GET  /metricsz  daemon + session metrics; JSON by default, Prometheus
+//	                text exposition with ?format=prometheus or an Accept
+//	                header asking for text/plain
 //	GET  /commits   the workspace's window commit IDs
 //	GET  /audit     whole-tree configuration-mismatch report (cached)
-//	POST /check     {"commit": ID, "options": {...}, "deadline_ms": N}
-//	POST /batch     {"commits": [ID...], ...}
+//	POST /check     {"commit": ID, "options": {...}, "deadline_ms": N};
+//	                ?trace=tree|chrome|summary (or X-JMake-Trace) returns
+//	                the span tree beside the report, byte-identical to the
+//	                one-shot CLI trace artifacts
+//	POST /batch     {"commits": [ID...], ...}; same ?trace= sidecar per
+//	                entry
 //	POST /follow    {"commits": [ID...], ...} — incremental stream: one
 //	                warm follower session resident across streams, one
 //	                NDJSON entry per commit flushed as checked, with
 //	                per-commit virtual vs effective cost
+//	GET  /tracez/<request-id>          recent request's trace (?format=)
+//	GET  /debugz/requests              flight recorder: last N records
+//
+// Every request gets a deterministic ID (X-JMake-Request-Id header,
+// request_id field in error envelopes and flight records); -log-level
+// selects the structured NDJSON event stream on stderr; -debug-addr
+// serves net/http/pprof on a separate listener.
 //
 // The /check happy path answers the same bytes `jmake -commit ID -json`
 // prints for the same workspace flags. Overload sheds with 429 +
@@ -34,12 +47,14 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"jmake/internal/daemon"
+	"jmake/internal/obs"
 )
 
 func main() {
@@ -61,6 +76,10 @@ func run() error {
 		maxDeadline  = flag.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 		debug        = flag.Bool("debug", false, "enable debug_panic/debug_hold_ms request fields (tests only)")
+		logLevel     = flag.String("log-level", "info", "structured log threshold: debug|info|warn|error")
+		logSample    = flag.Int("log-debug-sample", 1, "keep 1 of every N debug events (info+ never sampled)")
+		flightSize   = flag.Int("flight", obs.DefaultFlightRecorderSize, "flight-recorder capacity: last N request records kept for /debugz/requests and /tracez")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	cfg.MaxInFlight = *maxInFlight
@@ -68,6 +87,30 @@ func run() error {
 	cfg.DefaultDeadline = *deadline
 	cfg.MaxDeadline = *maxDeadline
 	cfg.Debug = *debug
+	cfg.FlightSize = *flightSize
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	cfg.Logger = obs.New(os.Stderr, level)
+	cfg.Logger.SetDebugSampling(*logSample)
+
+	if *debugAddr != "" {
+		// pprof lives on its own listener so profiling is never exposed on
+		// the service address by accident.
+		dbg := http.NewServeMux()
+		dbg.HandleFunc("/debug/pprof/", pprof.Index)
+		dbg.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dbg.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dbg.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dbg.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*debugAddr, dbg); err != nil {
+				log.Printf("jmaked: debug listener: %v", err)
+			}
+		}()
+		log.Printf("jmaked: pprof on %s/debug/pprof/", *debugAddr)
+	}
 
 	log.Printf("jmaked: generating workspace (tree-scale %.2f, commit-scale %.2f)...",
 		cfg.Workspace.TreeScale, cfg.Workspace.CommitScale)

@@ -1,31 +1,54 @@
-// Command trace-check validates Chrome trace-event JSON files produced
-// by jmake's -trace-out: parseable JSON with a traceEvents array,
-// balanced B/E pairs per track, non-decreasing timestamps within each
-// track, and valid pid/tid on every event. It exits non-zero on the
-// first invalid file, so `make trace-smoke` can gate on it.
+// Command trace-check validates jmake observability artifacts so smoke
+// scripts can gate on them:
 //
-// Usage:
+//   - default mode: Chrome trace-event JSON files produced by -trace-out
+//     (parseable JSON with a traceEvents array, balanced B/E pairs per
+//     track, non-decreasing timestamps within each track, valid pid/tid);
+//   - -prom mode: Prometheus text exposition (as served by jmaked's
+//     /metricsz?format=prometheus) — legal metric/label names, sorted
+//     label keys, cumulative histogram buckets with a +Inf bucket
+//     matching _count, and a _sum per series.
+//
+// It exits non-zero on the first invalid file. "-" reads stdin, so a
+// scrape can be piped straight in:
 //
 //	trace-check trace.json [more.json ...]
+//	trace-check -prom metrics.txt
+//	jmake-load -get "/metricsz?format=prometheus" | trace-check -prom -
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"jmake/internal/metrics"
 	"jmake/internal/trace"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: trace-check trace.json [more.json ...]")
+	prom := flag.Bool("prom", false, "validate Prometheus text exposition instead of Chrome traces")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: trace-check [-prom] file [more ...]  (\"-\" = stdin)")
 		os.Exit(2)
 	}
+	validate := trace.ValidateChrome
+	if *prom {
+		validate = metrics.ValidateText
+	}
 	bad := false
-	for _, path := range os.Args[1:] {
-		data, err := os.ReadFile(path)
+	for _, path := range flag.Args() {
+		var data []byte
+		var err error
+		if path == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(path)
+		}
 		if err == nil {
-			err = trace.ValidateChrome(data)
+			err = validate(data)
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "trace-check: %s: %v\n", path, err)

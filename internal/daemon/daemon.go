@@ -38,11 +38,14 @@
 package daemon
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"log"
 	"net/http"
+	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,6 +54,8 @@ import (
 	"jmake/internal/audit"
 	"jmake/internal/cliopts"
 	"jmake/internal/metrics"
+	"jmake/internal/obs"
+	"jmake/internal/trace"
 	"jmake/internal/vclock"
 )
 
@@ -77,8 +82,12 @@ type Config struct {
 	// Debug enables the debug_panic / debug_hold_ms request fields used
 	// by tests and load drills. Never enable in normal service.
 	Debug bool
-	// Log receives operational warnings; nil means the standard logger.
-	Log *log.Logger
+	// Logger receives the structured NDJSON event stream (one line per
+	// request plus lifecycle events); nil means INFO to stderr.
+	Logger *obs.Logger
+	// FlightSize is the flight-recorder ring capacity; 0 selects
+	// obs.DefaultFlightRecorderSize.
+	FlightSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,8 +106,8 @@ func (c Config) withDefaults() Config {
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 5 * time.Minute
 	}
-	if c.Log == nil {
-		c.Log = log.Default()
+	if c.Logger == nil {
+		c.Logger = obs.New(os.Stderr, obs.Info)
 	}
 	return c
 }
@@ -116,10 +125,19 @@ type Server struct {
 	// reg owns the daemon-side request metrics. The session keeps its own
 	// registry (cache counters live there and die with a rebuilt session);
 	// /metricsz snapshots both.
-	reg      *metrics.Registry
-	latency  *metrics.Histogram
-	inflight *metrics.Gauge
-	queued   *metrics.Gauge
+	reg       *metrics.Registry
+	latency   *metrics.Histogram
+	queueWait *metrics.Histogram
+	inflight  *metrics.Gauge
+	queued    *metrics.Gauge
+
+	// flight is the ring of recent request records served at
+	// /debugz/requests; each record keeps its stamped trace until
+	// evicted, which is what /tracez/<request-id> serves.
+	flight *obs.FlightRecorder
+	// reqSeq numbers requests deterministically: the ID depends only on
+	// arrival order and the commit, never on the clock.
+	reqSeq atomic.Uint64
 
 	// model prices Retry-After on shed responses with the same capped
 	// exponential backoff the checker charges for its own retries.
@@ -180,8 +198,10 @@ func New(cfg Config) (*Server, error) {
 		queue: make(chan struct{}, cfg.MaxQueue),
 	}
 	s.latency = s.reg.Histogram("request_latency_seconds", latencyBuckets)
+	s.queueWait = s.reg.Histogram("queue_wait_seconds", latencyBuckets)
 	s.inflight = s.reg.Gauge("requests_inflight")
 	s.queued = s.reg.Gauge("requests_queued")
+	s.flight = obs.NewFlightRecorder(cfg.FlightSize)
 	if err := s.rebuildSession(); err != nil {
 		return nil, err
 	}
@@ -236,6 +256,118 @@ func (s *Server) checkOne(ctx context.Context, id string, chk cliopts.Check) (*j
 	session := s.session
 	s.mu.RUnlock()
 	return jmake.CheckCommitWith(session, s.built.Hist.Repo, id, opts)
+}
+
+// checkOneTraced is checkOne with span recording: the service path always
+// traces, so every flight record carries the span tree and /tracez can
+// answer for any recent request. Tracing never changes report bytes
+// (PR 5's invariant, re-proven by the daemon byte-identity tests).
+func (s *Server) checkOneTraced(ctx context.Context, id string, chk cliopts.Check) (*jmake.Report, *jmake.TraceSpan, error) {
+	opts := chk.Options()
+	if opts.Interrupt == nil {
+		opts.Interrupt = func() bool { return ctx.Err() != nil }
+	}
+	s.mu.RLock()
+	session := s.session
+	s.mu.RUnlock()
+	return jmake.CheckCommitTraced(session, s.built.Hist.Repo, id, opts)
+}
+
+// nextRequestID mints the deterministic per-request ID: an arrival-order
+// sequence number plus a commit prefix, so operators can correlate a log
+// line, a flight record, and a /tracez lookup without any clock or
+// randomness in the identity.
+func (s *Server) nextRequestID(commit string) string {
+	tag := commit
+	if len(tag) > 8 {
+		tag = tag[:8]
+	}
+	if tag == "" {
+		tag = "batch"
+	}
+	return fmt.Sprintf("r%06d-%s", s.reqSeq.Add(1), tag)
+}
+
+// traceFormatFor resolves the requested sidecar format from the ?trace=
+// query parameter or the X-JMake-Trace header ("" means no sidecar).
+func traceFormatFor(r *http.Request) (string, error) {
+	f := r.URL.Query().Get("trace")
+	if f == "" {
+		f = r.Header.Get("X-JMake-Trace")
+	}
+	switch f {
+	case "", "tree", "chrome", "summary":
+		return f, nil
+	}
+	return "", fmt.Errorf("unknown trace format %q (want tree|chrome|summary)", f)
+}
+
+// renderTraceArtifact renders the stamped trace in one of the three CLI
+// formats, byte-identical to what `jmake -commit ID -trace-out/-trace-tree`
+// writes (chrome uses the CLI's 4 lanes) or jmake-eval's summary table.
+func renderTraceArtifact(tr *jmake.SessionTrace, format string) []byte {
+	switch format {
+	case "chrome":
+		return tr.Chrome(4)
+	case "summary":
+		return []byte(tr.RenderSummary())
+	default: // "tree"
+		return []byte(tr.Tree())
+	}
+}
+
+// sidecarEnvelope assembles the traced /check response by hand: the
+// report bytes are embedded verbatim (running them back through
+// encoding/json would re-indent them and break the byte-identity
+// guarantee), and the trace artifact rides as a JSON string beside them.
+func sidecarEnvelope(requestID, format string, artifact, report []byte) []byte {
+	var b bytes.Buffer
+	b.WriteString("{\n  \"request_id\": ")
+	b.Write(mustJSON(requestID))
+	b.WriteString(",\n  \"trace_format\": ")
+	b.Write(mustJSON(format))
+	b.WriteString(",\n  \"trace\": ")
+	b.Write(mustJSON(string(artifact)))
+	b.WriteString(",\n  \"report\": ")
+	b.Write(bytes.TrimSuffix(report, []byte("\n")))
+	b.WriteString("\n}\n")
+	return b.Bytes()
+}
+
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(fmt.Sprintf("daemon: marshaling sidecar field: %v", err))
+	}
+	return data
+}
+
+// traceStats derives the deterministic per-request numbers a flight
+// record carries from the stamped trace: cache compute/reuse counts over
+// keyed spans and a compact per-stage summary line.
+func traceStats(tr *jmake.SessionTrace) (compute, reuse int, summary string) {
+	var walk func(sp *trace.Span)
+	walk = func(sp *trace.Span) {
+		if sp.Key != 0 {
+			switch v, _ := sp.Attr("cache"); v {
+			case "compute":
+				compute++
+			case "reuse":
+				reuse++
+			}
+		}
+		for _, c := range sp.Children {
+			walk(c)
+		}
+	}
+	for _, sp := range tr.Spans {
+		walk(sp)
+	}
+	var parts []string
+	for _, l := range tr.Summarize() {
+		parts = append(parts, fmt.Sprintf("%s/%s=%d:%.1fs", l.Stage, l.Arch, l.Count, l.Virtual.Seconds()))
+	}
+	return compute, reuse, strings.Join(parts, " ")
 }
 
 // admit implements bounded admission. It returns a release func on
@@ -306,7 +438,54 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/follow", s.handleFollow)
 	mux.HandleFunc("/audit", s.handleAudit)
+	mux.HandleFunc("/tracez/", s.handleTracez)
+	mux.HandleFunc("/debugz/requests", s.handleDebugzRequests)
 	return mux
+}
+
+// handleTracez serves the span tree of a recent request by ID, in any of
+// the CLI trace formats (?format=tree|chrome|summary, default tree). The
+// body is the raw artifact — byte-identical to the file the one-shot CLI
+// would write for the same commit. Records evicted from the flight
+// recorder answer 404: the ring is the retention policy.
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	rid := strings.TrimPrefix(r.URL.Path, "/tracez/")
+	if rid == "" || strings.Contains(rid, "/") {
+		http.Error(w, "want /tracez/<request-id>", http.StatusBadRequest)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	switch format {
+	case "":
+		format = "tree"
+	case "tree", "chrome", "summary":
+	default:
+		http.Error(w, fmt.Sprintf("unknown trace format %q (want tree|chrome|summary)", format), http.StatusBadRequest)
+		return
+	}
+	rec, ok := s.flight.Find(rid)
+	if !ok || rec.Trace == nil {
+		http.Error(w, "no trace for request "+rid+" (unknown, evicted, or never ran a check)", http.StatusNotFound)
+		return
+	}
+	if format == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	}
+	w.Write(renderTraceArtifact(rec.Trace, format))
+}
+
+// handleDebugzRequests dumps the flight recorder, oldest first: the
+// post-mortem surface for "what were the last N requests and how did
+// they die". Field order within each record is fixed by obs.Record.
+func (s *Server) handleDebugzRequests(w http.ResponseWriter, r *http.Request) {
+	recs := s.flight.Records()
+	writeJSON(w, http.StatusOK, struct {
+		Capacity int          `json:"capacity"`
+		Count    int          `json:"count"`
+		Records  []obs.Record `json:"records"`
+	}{s.flight.Cap(), len(recs), recs})
 }
 
 // handleAudit serves the whole-tree configuration-mismatch report over the
@@ -380,7 +559,30 @@ type metricszPayload struct {
 	Queued   int64 `json:"queued"`
 }
 
+// wantsPrometheus decides /metricsz content negotiation: explicit
+// ?format=prometheus|json wins, else an Accept header asking for
+// text/plain (what a Prometheus scraper sends) selects the exposition
+// format; the JSON snapshot stays the default for bare curls.
+func wantsPrometheus(r *http.Request) bool {
+	switch r.URL.Query().Get("format") {
+	case "prometheus", "text":
+		return true
+	case "json":
+		return false
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	if wantsPrometheus(r) {
+		s.mu.RLock()
+		session := s.session
+		s.mu.RUnlock()
+		w.Header().Set("Content-Type", metrics.TextContentType)
+		metrics.WriteText(w, s.reg, session.Metrics())
+		return
+	}
 	var p metricszPayload
 	p.Daemon = s.reg.Snapshot()
 	s.mu.RLock()
@@ -415,10 +617,12 @@ type checkRequest struct {
 
 // errorResponse is the JSON error envelope for non-200 answers. Report
 // carries the partial result on 504 — clearly labeled, never a
-// certification the checker did not earn.
+// certification the checker did not earn. RequestID lets the client pull
+// the flight record and trace for the failed request.
 type errorResponse struct {
-	Error  string          `json:"error"`
-	Report json.RawMessage `json:"report,omitempty"`
+	Error     string          `json:"error"`
+	RequestID string          `json:"request_id,omitempty"`
+	Report    json.RawMessage `json:"report,omitempty"`
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -438,61 +642,169 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.serveCheck(w, r, req)
 }
 
+// finishRequest is the single exit point for request accounting: the
+// outcome counter, the flight record, and the structured log line all
+// derive from one Record, so the three surfaces can never disagree.
+func (s *Server) finishRequest(rec obs.Record) {
+	s.reg.Counter("requests_outcome_total",
+		metrics.L("endpoint", rec.Endpoint), metrics.L("outcome", rec.Outcome)).Inc()
+	s.flight.Add(rec)
+	fields := []obs.Field{
+		obs.F("request_id", rec.RequestID),
+		obs.F("endpoint", rec.Endpoint),
+		obs.F("commit", rec.Commit),
+		obs.F("outcome", rec.Outcome),
+		obs.F("status", rec.Status),
+	}
+	if rec.Cause != "" {
+		fields = append(fields, obs.F("cause", rec.Cause))
+	}
+	fields = append(fields,
+		obs.F("wall_ms", rec.WallMillis),
+		obs.F("virtual_seconds", rec.VirtualSeconds),
+		obs.F("cache_hit_ratio", rec.CacheHitRatio))
+	log := s.cfg.Logger
+	switch rec.Outcome {
+	case obs.OutcomeOK:
+		log.Info("request", fields...)
+	case obs.OutcomePanic, obs.OutcomeError:
+		log.Error("request", fields...)
+	default:
+		log.Warn("request", fields...)
+	}
+	if rec.Spans != "" && log.Enabled(obs.Debug) {
+		log.Debug("request spans", obs.F("request_id", rec.RequestID), obs.F("spans", rec.Spans))
+	}
+}
+
+// fillTraceFields derives the record's deterministic fields from the
+// request's stamped trace and report.
+func fillTraceFields(rec *obs.Record, tr *jmake.SessionTrace, report *jmake.Report) {
+	if report != nil {
+		rec.VirtualSeconds = report.Total.Seconds()
+	}
+	if tr == nil {
+		return
+	}
+	rec.Trace = tr
+	compute, reuse, spans := traceStats(tr)
+	rec.CacheCompute, rec.CacheReuse, rec.Spans = compute, reuse, spans
+	if compute+reuse > 0 {
+		rec.CacheHitRatio = float64(reuse) / float64(compute+reuse)
+	}
+}
+
 func (s *Server) serveCheck(w http.ResponseWriter, r *http.Request, req checkRequest) {
+	rid := s.nextRequestID(req.Commit)
+	w.Header().Set("X-JMake-Request-Id", rid)
+	rec := obs.Record{RequestID: rid, Endpoint: "check", Commit: req.Commit}
+	traceFormat, ferr := traceFormatFor(r)
+	if ferr != nil {
+		rec.Outcome, rec.Status, rec.Cause = obs.OutcomeError, http.StatusBadRequest, ferr.Error()
+		s.finishRequest(rec)
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: ferr.Error(), RequestID: rid})
+		return
+	}
 	if s.draining.Load() {
-		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining"})
+		rec.Outcome, rec.Status = obs.OutcomeDraining, http.StatusServiceUnavailable
+		s.finishRequest(rec)
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "draining", RequestID: rid})
 		return
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
 	defer cancel()
 
+	arrived := time.Now()
 	release, retryAfter, shed, ok := s.admit(ctx)
+	s.queueWait.Observe(time.Since(arrived).Seconds())
 	if shed {
+		rec.Outcome, rec.Status = obs.OutcomeShed, http.StatusTooManyRequests
+		rec.Cause = fmt.Sprintf("admission queue full; advised retry in %v", retryAfter)
+		rec.WallMillis = wallMillis(arrived)
+		s.finishRequest(rec)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds()+0.999)))
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded, retry later"})
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded, retry later", RequestID: rid})
 		return
 	}
 	if !ok {
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline expired while queued"})
+		rec.Outcome, rec.Status = obs.OutcomeTimeout, http.StatusGatewayTimeout
+		rec.Cause = "deadline expired while queued"
+		rec.WallMillis = wallMillis(arrived)
+		s.finishRequest(rec)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline expired while queued", RequestID: rid})
 		return
 	}
 	defer release()
 
 	start := time.Now()
 	s.reg.Counter("requests_total").Inc()
-	report, err := s.guardedCheck(ctx, req)
+	report, span, err := s.guardedCheck(ctx, req)
 	s.latency.Observe(time.Since(start).Seconds())
+	s.reg.Histogram("request_wall_seconds", latencyBuckets, metrics.L("endpoint", "check")).
+		Observe(time.Since(start).Seconds())
+	rec.WallMillis = wallMillis(arrived)
+	tr := jmake.MergeTraces(span)
+	if span == nil {
+		tr = nil
+	}
+	fillTraceFields(&rec, tr, report)
+
+	var pe *panicError
 	switch {
-	case err == errPanicked:
-		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error (check panicked; state verified)"})
+	case errors.As(err, &pe):
+		rec.Outcome, rec.Status, rec.Cause = obs.OutcomePanic, http.StatusInternalServerError, pe.cause
+		s.finishRequest(rec)
+		writeJSON(w, http.StatusInternalServerError, errorResponse{Error: "internal error (check panicked; state verified)", RequestID: rid})
 	case err != nil:
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		rec.Outcome, rec.Status, rec.Cause = obs.OutcomeError, http.StatusNotFound, err.Error()
+		s.finishRequest(rec)
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), RequestID: rid})
 	case report.Interrupted:
 		s.reg.Counter("requests_timed_out").Inc()
+		rec.Outcome, rec.Status, rec.Cause = obs.OutcomeTimeout, http.StatusGatewayTimeout, "deadline exceeded mid-check"
+		s.finishRequest(rec)
 		writeJSON(w, http.StatusGatewayTimeout, errorResponse{
-			Error:  "deadline exceeded; partial report attached",
-			Report: marshalReport(report),
+			Error:     "deadline exceeded; partial report attached",
+			RequestID: rid,
+			Report:    marshalReport(report),
 		})
 	default:
+		rec.Outcome, rec.Status = obs.OutcomeOK, http.StatusOK
+		s.finishRequest(rec)
+		body := marshalReport(report)
+		if traceFormat != "" && tr != nil {
+			// Sidecar: the trace artifact rides beside the report as a JSON
+			// string; the report bytes inside the envelope are the exact
+			// marshalReport bytes, embedded without re-encoding.
+			body = sidecarEnvelope(rid, traceFormat, renderTraceArtifact(tr, traceFormat), body)
+		}
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		w.Write(marshalReport(report))
+		w.Write(body)
 	}
 }
 
-// errPanicked marks a check that died by panic (already recovered).
-var errPanicked = fmt.Errorf("daemon: check panicked")
+func wallMillis(since time.Time) float64 {
+	return float64(time.Since(since)) / float64(time.Millisecond)
+}
 
-// guardedCheck is checkOne wrapped in panic isolation: a panic is
+// panicError marks a check that died by panic (already recovered),
+// carrying the recovered cause for the flight record and log line.
+type panicError struct{ cause string }
+
+func (e *panicError) Error() string { return "daemon: check panicked: " + e.cause }
+
+// guardedCheck is checkOneTraced wrapped in panic isolation: a panic is
 // recovered, counted, and followed by the canary tripwire before the
 // warm session may serve again.
-func (s *Server) guardedCheck(ctx context.Context, req checkRequest) (report *jmake.Report, err error) {
+func (s *Server) guardedCheck(ctx context.Context, req checkRequest) (report *jmake.Report, span *jmake.TraceSpan, err error) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.reg.Counter("daemon_panics").Inc()
-			s.cfg.Log.Printf("daemon: recovered check panic on %s: %v", req.Commit, rec)
+			s.cfg.Logger.Error("recovered check panic",
+				obs.F("commit", req.Commit), obs.F("panic", fmt.Sprint(rec)))
 			s.verifySession()
-			report, err = nil, errPanicked
+			report, span, err = nil, nil, &panicError{cause: fmt.Sprint(rec)}
 		}
 	}()
 	if s.cfg.Debug && req.DebugHoldMS > 0 {
@@ -501,7 +813,7 @@ func (s *Server) guardedCheck(ctx context.Context, req checkRequest) (report *jm
 	if s.cfg.Debug && req.DebugPanic {
 		panic("debug_panic requested")
 	}
-	return s.checkOne(ctx, req.Commit, req.Options)
+	return s.checkOneTraced(ctx, req.Commit, req.Options)
 }
 
 // holdUntil sleeps for d or until ctx is done, in small slices so tests
@@ -538,12 +850,12 @@ func (s *Server) verifySession() {
 		return
 	}
 	s.reg.Counter("daemon_session_rebuilds").Inc()
-	s.cfg.Log.Printf("daemon: canary mismatch after panic; rebuilding session")
+	s.cfg.Logger.Warn("canary mismatch after panic; rebuilding session")
 	if err := s.rebuildSession(); err != nil {
 		// Keep serving on the suspect session rather than dying; /healthz
 		// stays true, but the rebuild failure is counted and logged.
 		s.reg.Counter("daemon_session_rebuild_failures").Inc()
-		s.cfg.Log.Printf("daemon: session rebuild failed: %v", err)
+		s.cfg.Logger.Error("session rebuild failed", obs.F("error", err.Error()))
 	}
 }
 
@@ -556,14 +868,24 @@ type batchRequest struct {
 }
 
 type batchEntry struct {
-	Commit string          `json:"commit"`
-	Report json.RawMessage `json:"report,omitempty"`
-	Error  string          `json:"error,omitempty"`
+	Commit    string          `json:"commit"`
+	RequestID string          `json:"request_id"`
+	Report    json.RawMessage `json:"report,omitempty"`
+	// Trace carries the per-commit sidecar artifact as a JSON string when
+	// the batch asked for one (?trace= / X-JMake-Trace), byte-identical
+	// to the one-shot CLI artifact for the same commit.
+	Trace string `json:"trace,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	traceFormat, ferr := traceFormatFor(r)
+	if ferr != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: ferr.Error()})
 		return
 	}
 	if s.draining.Load() {
@@ -577,7 +899,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
 	defer cancel()
+	arrived := time.Now()
 	release, retryAfter, shed, ok := s.admit(ctx)
+	s.queueWait.Observe(time.Since(arrived).Seconds())
 	if shed {
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds()+0.999)))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded, retry later"})
@@ -591,25 +915,50 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	out := make([]batchEntry, 0, len(req.Commits))
 	for _, id := range req.Commits {
+		rid := s.nextRequestID(id)
+		rec := obs.Record{RequestID: rid, Endpoint: "batch", Commit: id}
 		if ctx.Err() != nil {
 			// Deadline mid-batch: remaining commits are reported as canceled,
 			// never silently dropped.
-			out = append(out, batchEntry{Commit: id, Error: "deadline exceeded before this commit was checked"})
+			rec.Outcome, rec.Status = obs.OutcomeCanceled, http.StatusGatewayTimeout
+			rec.Cause = "deadline exceeded before this commit was checked"
+			s.finishRequest(rec)
+			out = append(out, batchEntry{Commit: id, RequestID: rid, Error: rec.Cause})
 			continue
 		}
 		s.reg.Counter("requests_total").Inc()
 		start := time.Now()
-		report, err := s.guardedCheck(ctx, checkRequest{Commit: id, Options: req.Options})
+		report, span, err := s.guardedCheck(ctx, checkRequest{Commit: id, Options: req.Options})
 		s.latency.Observe(time.Since(start).Seconds())
+		s.reg.Histogram("request_wall_seconds", latencyBuckets, metrics.L("endpoint", "batch")).
+			Observe(time.Since(start).Seconds())
+		rec.WallMillis = wallMillis(start)
+		var tr *jmake.SessionTrace
+		if span != nil {
+			tr = jmake.MergeTraces(span)
+		}
+		fillTraceFields(&rec, tr, report)
+		var pe *panicError
 		switch {
+		case errors.As(err, &pe):
+			rec.Outcome, rec.Status, rec.Cause = obs.OutcomePanic, http.StatusInternalServerError, pe.cause
+			out = append(out, batchEntry{Commit: id, RequestID: rid, Error: "internal error (check panicked; state verified)"})
 		case err != nil:
-			out = append(out, batchEntry{Commit: id, Error: err.Error()})
+			rec.Outcome, rec.Status, rec.Cause = obs.OutcomeError, http.StatusNotFound, err.Error()
+			out = append(out, batchEntry{Commit: id, RequestID: rid, Error: err.Error()})
 		case report.Interrupted:
 			s.reg.Counter("requests_timed_out").Inc()
-			out = append(out, batchEntry{Commit: id, Error: "deadline exceeded; partial report attached", Report: marshalReport(report)})
+			rec.Outcome, rec.Status, rec.Cause = obs.OutcomeTimeout, http.StatusGatewayTimeout, "deadline exceeded mid-check"
+			out = append(out, batchEntry{Commit: id, RequestID: rid, Error: "deadline exceeded; partial report attached", Report: marshalReport(report)})
 		default:
-			out = append(out, batchEntry{Commit: id, Report: marshalReport(report)})
+			rec.Outcome, rec.Status = obs.OutcomeOK, http.StatusOK
+			e := batchEntry{Commit: id, RequestID: rid, Report: marshalReport(report)}
+			if traceFormat != "" && tr != nil {
+				e.Trace = string(renderTraceArtifact(tr, traceFormat))
+			}
+			out = append(out, e)
 		}
+		s.finishRequest(rec)
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -664,16 +1013,29 @@ func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request: need commits"})
 		return
 	}
+	rid := s.nextRequestID(req.Commits[0])
+	w.Header().Set("X-JMake-Request-Id", rid)
+	rec := obs.Record{RequestID: rid, Endpoint: "follow",
+		Commit: fmt.Sprintf("%s..%s (%d commits)", req.Commits[0], req.Commits[len(req.Commits)-1], len(req.Commits))}
+	arrived := time.Now()
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadlineFor(req.DeadlineMS))
 	defer cancel()
 	release, retryAfter, shed, ok := s.admit(ctx)
+	s.queueWait.Observe(time.Since(arrived).Seconds())
 	if shed {
+		rec.Outcome, rec.Status = obs.OutcomeShed, http.StatusTooManyRequests
+		rec.Cause = fmt.Sprintf("admission queue full; advised retry in %v", retryAfter)
+		rec.WallMillis = wallMillis(arrived)
+		s.finishRequest(rec)
 		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(retryAfter.Seconds()+0.999)))
-		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded, retry later"})
+		writeJSON(w, http.StatusTooManyRequests, errorResponse{Error: "overloaded, retry later", RequestID: rid})
 		return
 	}
 	if !ok {
-		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline expired while queued"})
+		rec.Outcome, rec.Status, rec.Cause = obs.OutcomeTimeout, http.StatusGatewayTimeout, "deadline expired while queued"
+		rec.WallMillis = wallMillis(arrived)
+		s.finishRequest(rec)
+		writeJSON(w, http.StatusGatewayTimeout, errorResponse{Error: "deadline expired while queued", RequestID: rid})
 		return
 	}
 	defer release()
@@ -683,7 +1045,10 @@ func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
 
 	f, err := s.followerFor(req)
 	if err != nil {
-		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error()})
+		rec.Outcome, rec.Status, rec.Cause = obs.OutcomeError, http.StatusNotFound, err.Error()
+		rec.WallMillis = wallMillis(arrived)
+		s.finishRequest(rec)
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: err.Error(), RequestID: rid})
 		return
 	}
 	s.followCtx.Store(&ctx)
@@ -706,8 +1071,8 @@ func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.reg.Counter("daemon_panics").Inc()
-				s.cfg.Log.Printf("daemon: recovered follow panic: %v", rec)
-				err = errPanicked
+				s.cfg.Logger.Error("recovered follow panic", obs.F("panic", fmt.Sprint(rec)))
+				err = &panicError{cause: fmt.Sprint(rec)}
 			}
 		}()
 		return f.Run(req.Commits, func(st jmake.FollowStep) bool {
@@ -716,6 +1081,7 @@ func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
 			return true
 		})
 	}()
+	rec.WallMillis = wallMillis(arrived)
 	if runErr != nil {
 		// The follower's tree or session may be mid-sequence; discard it so
 		// the next stream reseeds rather than continuing from suspect state.
@@ -725,7 +1091,19 @@ func (s *Server) handleFollow(w http.ResponseWriter, r *http.Request) {
 		for _, id := range req.Commits[min(emitted, len(req.Commits)):] {
 			writeEntry(followEntry{Commit: id, Error: msg})
 		}
+		var pe *panicError
+		if errors.As(runErr, &pe) {
+			rec.Outcome, rec.Cause = obs.OutcomePanic, pe.cause
+		} else {
+			rec.Outcome, rec.Cause = obs.OutcomeError, runErr.Error()
+		}
+		rec.Status = http.StatusOK // stream already committed 200; the abort is in-band
+	} else {
+		rec.Outcome, rec.Status = obs.OutcomeOK, http.StatusOK
 	}
+	s.reg.Histogram("request_wall_seconds", latencyBuckets, metrics.L("endpoint", "follow")).
+		Observe(time.Since(arrived).Seconds())
+	s.finishRequest(rec)
 }
 
 // followerFor returns the resident follower when it can serve the
@@ -830,7 +1208,7 @@ func (s *Server) Shutdown(ctx context.Context, srv *http.Server) error {
 		session := s.session
 		s.mu.RUnlock()
 		if ferr := s.cfg.Cache.Flush(session); ferr != nil {
-			s.cfg.Log.Printf("daemon: cache flush on drain failed: %v", ferr)
+			s.cfg.Logger.Error("cache flush on drain failed", obs.F("error", ferr.Error()))
 			s.reg.Counter("ccache_flush_failures").Inc()
 		} else {
 			s.reg.Counter("daemon_cache_flushes").Inc()
@@ -855,6 +1233,9 @@ func (s *Server) waitIdle(ctx context.Context) error {
 
 // Metrics exposes the daemon registry (tests).
 func (s *Server) Metrics() *metrics.Registry { return s.reg }
+
+// Flight exposes the flight recorder (tests).
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
 
 // Commits exposes the window IDs (tests and cmd/jmaked logging).
 func (s *Server) Commits() []string { return s.built.WindowIDs }

@@ -15,6 +15,7 @@ import (
 	"jmake"
 	"jmake/internal/cliopts"
 	"jmake/internal/metrics"
+	"jmake/internal/obs"
 )
 
 // testWorkspace is the tiny substrate every daemon test serves.
@@ -29,6 +30,9 @@ func newTestServer(t *testing.T, mutate func(*Config)) (*Server, *httptest.Serve
 		MaxInFlight: 4,
 		MaxQueue:    64,
 		Debug:       true,
+		// Tests run quiet; individual tests swap in a buffer logger when
+		// they assert on the event stream.
+		Logger: obs.New(io.Discard, obs.Error),
 	}
 	if mutate != nil {
 		mutate(&cfg)

@@ -1,0 +1,557 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"jmake"
+	"jmake/internal/metrics"
+	"jmake/internal/obs"
+	"jmake/internal/trace"
+)
+
+// get fetches a daemon path with optional headers.
+func get(t *testing.T, ts *httptest.Server, path string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// postCheckPath posts a check request to an arbitrary path (so tests can
+// add ?trace=...) with optional headers.
+func postCheckPath(t *testing.T, ts *httptest.Server, path string, req checkRequest, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr, err := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hr.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		hr.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(hr)
+	if err != nil {
+		t.Fatalf("POST %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// traceEnvelope is the decoded /check?trace= response.
+type traceEnvelope struct {
+	RequestID   string          `json:"request_id"`
+	TraceFormat string          `json:"trace_format"`
+	Trace       string          `json:"trace"`
+	Report      json.RawMessage `json:"report"`
+}
+
+// offlineArtifacts runs the one-shot CLI trace path (CheckCommitTraced +
+// MergeTraces over a fresh session) for one commit and returns the three
+// artifacts plus the report bytes — the ground truth every daemon
+// sidecar must match byte-for-byte.
+func offlineArtifacts(t *testing.T, id string) (tree, chrome, summary string, report []byte) {
+	t.Helper()
+	built, err := testWorkspace.Build()
+	if err != nil {
+		t.Fatalf("offline workspace: %v", err)
+	}
+	session, err := built.SessionAt(built.WindowIDs[0])
+	if err != nil {
+		t.Fatalf("offline session: %v", err)
+	}
+	rep, span, err := jmake.CheckCommitTraced(session, built.Hist.Repo, id, jmake.Options{})
+	if err != nil {
+		t.Fatalf("offline CheckCommitTraced: %v", err)
+	}
+	tr := jmake.MergeTraces(span)
+	return tr.Tree(), string(tr.Chrome(4)), tr.RenderSummary(), marshalReport(rep)
+}
+
+// TestTraceSidecarDeterminism is the tentpole acceptance test: the trace
+// sidecar is byte-identical to the one-shot CLI artifact for the same
+// commit — cold and warm, MaxInFlight 1 and 4, query param or header —
+// and asking for a trace changes zero bytes of the report.
+func TestTraceSidecarDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workspace generation is slow")
+	}
+	var id string
+	var wantTree, wantChrome, wantSummary string
+	var wantReport []byte
+
+	for _, inflight := range []int{1, 4} {
+		inflight := inflight
+		t.Run(fmt.Sprintf("inflight=%d", inflight), func(t *testing.T) {
+			s, ts := newTestServer(t, func(c *Config) { c.MaxInFlight = inflight })
+			if id == "" {
+				id = windowTail(s, 2)[0]
+				wantTree, wantChrome, wantSummary, wantReport = offlineArtifacts(t, id)
+			}
+
+			// Plain check first: the no-trace body is the bare report, and it
+			// pins the bytes the sidecar envelope must embed unchanged.
+			resp, plain := postCheckPath(t, ts, "/check", checkRequest{Commit: id}, nil)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("plain check: %d: %s", resp.StatusCode, plain)
+			}
+			if !bytes.Equal(plain, wantReport) {
+				t.Fatalf("plain daemon report != offline CLI report")
+			}
+			if rid := resp.Header.Get("X-JMake-Request-Id"); rid == "" {
+				t.Error("missing X-JMake-Request-Id header")
+			}
+
+			// Cold vs warm: the first traced request runs against whatever
+			// cache state the plain check left; the repeat is fully warm. The
+			// stamped trace must not care.
+			var coldBody []byte
+			for _, phase := range []string{"cold", "warm"} {
+				resp, body := postCheckPath(t, ts, "/check?trace=tree", checkRequest{Commit: id}, nil)
+				if resp.StatusCode != http.StatusOK {
+					t.Fatalf("%s traced check: %d: %s", phase, resp.StatusCode, body)
+				}
+				var env traceEnvelope
+				if err := json.Unmarshal(body, &env); err != nil {
+					t.Fatalf("%s: undecodable envelope: %v", phase, err)
+				}
+				if env.TraceFormat != "tree" || env.RequestID == "" {
+					t.Errorf("%s: envelope metadata = %q/%q", phase, env.TraceFormat, env.RequestID)
+				}
+				if env.Trace != wantTree {
+					t.Errorf("%s: sidecar tree != offline CLI tree:\ngot:\n%s\nwant:\n%s", phase, env.Trace, wantTree)
+				}
+				// The embedded report is the exact marshalReport bytes (modulo
+				// the trailing newline JSON decoding strips).
+				if got := append(append([]byte(nil), env.Report...), '\n'); !bytes.Equal(got, wantReport) {
+					t.Errorf("%s: sidecar report bytes != plain report bytes", phase)
+				}
+				if phase == "cold" {
+					coldBody = body
+				} else if !bytes.Equal(stripRequestID(t, coldBody), stripRequestID(t, body)) {
+					t.Errorf("cold and warm traced responses differ beyond the request id")
+				}
+			}
+
+			// Header opt-in is equivalent to the query param.
+			_, viaHeader := postCheckPath(t, ts, "/check", checkRequest{Commit: id}, map[string]string{"X-JMake-Trace": "tree"})
+			var envH traceEnvelope
+			if err := json.Unmarshal(viaHeader, &envH); err != nil {
+				t.Fatalf("header variant: %v", err)
+			}
+			if envH.Trace != wantTree {
+				t.Error("X-JMake-Trace header sidecar differs from ?trace= sidecar")
+			}
+
+			// The other two formats match their offline artifacts too.
+			_, chromeBody := postCheckPath(t, ts, "/check?trace=chrome", checkRequest{Commit: id}, nil)
+			var envC traceEnvelope
+			if err := json.Unmarshal(chromeBody, &envC); err != nil {
+				t.Fatal(err)
+			}
+			if envC.Trace != wantChrome {
+				t.Error("chrome sidecar != offline Chrome(4) artifact")
+			}
+			if err := trace.ValidateChrome([]byte(envC.Trace)); err != nil {
+				t.Errorf("chrome sidecar invalid: %v", err)
+			}
+			_, sumBody := postCheckPath(t, ts, "/check?trace=summary", checkRequest{Commit: id}, nil)
+			var envS traceEnvelope
+			if err := json.Unmarshal(sumBody, &envS); err != nil {
+				t.Fatal(err)
+			}
+			if envS.Trace != wantSummary {
+				t.Error("summary sidecar != offline RenderSummary artifact")
+			}
+
+			// Unknown formats are rejected up front.
+			resp, _ = postCheckPath(t, ts, "/check?trace=flamegraph", checkRequest{Commit: id}, nil)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("unknown trace format answered %d, want 400", resp.StatusCode)
+			}
+		})
+	}
+}
+
+// stripRequestID normalizes a traced envelope for byte comparison across
+// requests (the request id is the only field allowed to differ).
+func stripRequestID(t *testing.T, body []byte) []byte {
+	t.Helper()
+	var env traceEnvelope
+	if err := json.Unmarshal(body, &env); err != nil {
+		t.Fatal(err)
+	}
+	env.RequestID = ""
+	out, err := json.Marshal(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestTraceSidecarConcurrent hammers traced checks concurrently at
+// MaxInFlight 4: every sidecar for the same commit must be byte-identical
+// regardless of interleaving.
+func TestTraceSidecarConcurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workspace generation is slow")
+	}
+	_, ts := newTestServer(t, nil)
+	s, _ := http.Get(ts.URL + "/commits")
+	var payload struct {
+		Commits []string `json:"commits"`
+	}
+	json.NewDecoder(s.Body).Decode(&payload)
+	s.Body.Close()
+	id := payload.Commits[len(payload.Commits)-1]
+
+	const clients = 8
+	traces := make([]string, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, body := postCheckPath(t, ts, "/check?trace=tree", checkRequest{Commit: id}, nil)
+			var env traceEnvelope
+			if json.Unmarshal(body, &env) == nil {
+				traces[i] = env.Trace
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < clients; i++ {
+		if traces[i] != traces[0] {
+			t.Fatalf("concurrent sidecar %d differs from sidecar 0", i)
+		}
+	}
+	if traces[0] == "" {
+		t.Fatal("no sidecar captured")
+	}
+}
+
+// TestMetricszDeterministic: two consecutive scrapes of an idle daemon
+// are byte-identical, in both the JSON snapshot and the Prometheus text
+// exposition (the satellite regression for snapshot ordering).
+func TestMetricszDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workspace generation is slow")
+	}
+	s, ts := newTestServer(t, nil)
+	// Put some traffic through first so the registries are non-trivial.
+	id := windowTail(s, 1)[0]
+	postCheck(t, ts, checkRequest{Commit: id})
+	postCheck(t, ts, checkRequest{Commit: id})
+
+	for _, path := range []string{"/metricsz", "/metricsz?format=prometheus"} {
+		_, a := get(t, ts, path, nil)
+		_, b := get(t, ts, path, nil)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: two idle scrapes differ:\n--- first\n%s\n--- second\n%s", path, a, b)
+		}
+	}
+}
+
+// TestMetricszPrometheus checks content negotiation and that the
+// exposition passes the validator and contains the new wall-clock and
+// outcome series.
+func TestMetricszPrometheus(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workspace generation is slow")
+	}
+	s, ts := newTestServer(t, nil)
+	id := windowTail(s, 1)[0]
+	postCheck(t, ts, checkRequest{Commit: id})
+
+	resp, body := get(t, ts, "/metricsz?format=prometheus", nil)
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.TextContentType {
+		t.Errorf("content type = %q, want %q", ct, metrics.TextContentType)
+	}
+	if err := metrics.ValidateText(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"# TYPE request_latency_seconds histogram",
+		"request_latency_seconds_bucket",
+		`request_wall_seconds_bucket{endpoint="check",le="+Inf"}`,
+		`requests_outcome_total{endpoint="check",outcome="ok"} 1`,
+		"queue_wait_seconds_count",
+		"requests_inflight 0",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// Accept-header negotiation selects the text format; default is JSON.
+	resp, _ = get(t, ts, "/metricsz", map[string]string{"Accept": "text/plain"})
+	if ct := resp.Header.Get("Content-Type"); ct != metrics.TextContentType {
+		t.Errorf("Accept: text/plain negotiated %q", ct)
+	}
+	resp, jsonBody := get(t, ts, "/metricsz", nil)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("default content type = %q", ct)
+	}
+	var payload metricszPayload
+	if err := json.Unmarshal(jsonBody, &payload); err != nil {
+		t.Fatalf("JSON snapshot undecodable: %v", err)
+	}
+	if len(payload.Daemon) == 0 || len(payload.Session) == 0 {
+		t.Error("JSON snapshot missing registries")
+	}
+	// The JSON snapshot is fully name-sorted (satellite 1).
+	for i := 1; i < len(payload.Daemon); i++ {
+		if payload.Daemon[i].Name < payload.Daemon[i-1].Name {
+			t.Errorf("daemon snapshot unsorted: %q after %q", payload.Daemon[i].Name, payload.Daemon[i-1].Name)
+		}
+	}
+}
+
+// TestFlightRecorderEndpoints: records for ok and panic requests, stable
+// field ordering in /debugz/requests, /tracez service and 404 after
+// eviction.
+func TestFlightRecorderEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workspace generation is slow")
+	}
+	s, ts := newTestServer(t, func(c *Config) { c.FlightSize = 3 })
+	id := windowTail(s, 1)[0]
+
+	resp, _ := postCheckPath(t, ts, "/check", checkRequest{Commit: id}, nil)
+	okRID := resp.Header.Get("X-JMake-Request-Id")
+	if okRID == "" {
+		t.Fatal("no request id on ok check")
+	}
+
+	// The ok request's trace is immediately queryable.
+	resp, treeBody := get(t, ts, "/tracez/"+okRID, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/tracez/%s: %d: %s", okRID, resp.StatusCode, treeBody)
+	}
+	if !strings.Contains(string(treeBody), "patch") {
+		t.Errorf("tracez body does not look like a span tree:\n%s", treeBody)
+	}
+	wantTree, wantChrome, _, _ := offlineArtifacts(t, id)
+	if string(treeBody) != wantTree {
+		t.Errorf("/tracez tree != offline CLI tree")
+	}
+	resp, chromeBody := get(t, ts, "/tracez/"+okRID+"?format=chrome", nil)
+	if resp.Header.Get("Content-Type") != "application/json" {
+		t.Errorf("chrome tracez content type = %q", resp.Header.Get("Content-Type"))
+	}
+	if string(chromeBody) != wantChrome {
+		t.Errorf("/tracez chrome != offline CLI chrome artifact")
+	}
+	if resp, _ := get(t, ts, "/tracez/"+okRID+"?format=bogus", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus tracez format answered %d", resp.StatusCode)
+	}
+
+	// A panicking check leaves a record with its cause.
+	resp, _ = postCheckPath(t, ts, "/check", checkRequest{Commit: id, DebugPanic: true}, nil)
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("debug panic answered %d", resp.StatusCode)
+	}
+	panicRID := resp.Header.Get("X-JMake-Request-Id")
+
+	_, debugBody := get(t, ts, "/debugz/requests", nil)
+	var dump struct {
+		Capacity int          `json:"capacity"`
+		Count    int          `json:"count"`
+		Records  []obs.Record `json:"records"`
+	}
+	if err := json.Unmarshal(debugBody, &dump); err != nil {
+		t.Fatalf("debugz undecodable: %v", err)
+	}
+	if dump.Capacity != 3 {
+		t.Errorf("capacity = %d, want 3", dump.Capacity)
+	}
+	byID := map[string]obs.Record{}
+	for _, r := range dump.Records {
+		byID[r.RequestID] = r
+	}
+	okRec, ok := byID[okRID]
+	if !ok {
+		t.Fatalf("ok record %s missing from flight recorder", okRID)
+	}
+	if okRec.Outcome != obs.OutcomeOK || okRec.Status != 200 || okRec.Endpoint != "check" {
+		t.Errorf("ok record = %+v", okRec)
+	}
+	if okRec.VirtualSeconds <= 0 || okRec.Spans == "" {
+		t.Errorf("ok record missing trace-derived fields: %+v", okRec)
+	}
+	panicRec, ok := byID[panicRID]
+	if !ok {
+		t.Fatalf("panic record %s missing", panicRID)
+	}
+	if panicRec.Outcome != obs.OutcomePanic || panicRec.Status != 500 || panicRec.Cause != "debug_panic requested" {
+		t.Errorf("panic record = %+v", panicRec)
+	}
+
+	// Field order in the serialized dump is the obs.Record order.
+	seqIdx := bytes.Index(debugBody, []byte(`"seq"`))
+	ridIdx := bytes.Index(debugBody, []byte(`"request_id"`))
+	outIdx := bytes.Index(debugBody, []byte(`"outcome"`))
+	if !(seqIdx >= 0 && seqIdx < ridIdx && ridIdx < outIdx) {
+		t.Errorf("debugz field order not stable: seq@%d request_id@%d outcome@%d", seqIdx, ridIdx, outIdx)
+	}
+	// Records are oldest-first with increasing seq.
+	for i := 1; i < len(dump.Records); i++ {
+		if dump.Records[i].Seq <= dump.Records[i-1].Seq {
+			t.Errorf("debugz records not seq-ordered at %d", i)
+		}
+	}
+
+	// Push the ok record out of the ring; its trace must 404.
+	for i := 0; i < 3; i++ {
+		postCheck(t, ts, checkRequest{Commit: id})
+	}
+	if resp, _ := get(t, ts, "/tracez/"+okRID, nil); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted tracez answered %d, want 404", resp.StatusCode)
+	}
+	if _, found := s.Flight().Find(okRID); found {
+		t.Error("evicted record still findable")
+	}
+}
+
+// TestStructuredRequestLog asserts the per-request NDJSON event stream:
+// one decodable line per request with the request-scoped fields, and
+// shed/panic causes surfaced.
+func TestStructuredRequestLog(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workspace generation is slow")
+	}
+	var buf syncBuffer
+	s, ts := newTestServer(t, func(c *Config) {
+		c.Logger = obs.New(&buf, obs.Info)
+	})
+	id := windowTail(s, 1)[0]
+	resp, _ := postCheckPath(t, ts, "/check", checkRequest{Commit: id}, nil)
+	rid := resp.Header.Get("X-JMake-Request-Id")
+	postCheckPath(t, ts, "/check", checkRequest{Commit: id, DebugPanic: true}, nil)
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	var okLine, panicLine map[string]any
+	for _, line := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("log line is not JSON: %v\n%s", err, line)
+		}
+		if ev["msg"] != "request" {
+			continue
+		}
+		switch ev["outcome"] {
+		case "ok":
+			okLine = ev
+		case "panic":
+			panicLine = ev
+		}
+	}
+	if okLine == nil {
+		t.Fatal("no ok request event logged")
+	}
+	if okLine["request_id"] != rid || okLine["commit"] != id || okLine["level"] != "info" {
+		t.Errorf("ok event = %v", okLine)
+	}
+	if _, has := okLine["virtual_seconds"]; !has {
+		t.Error("ok event missing virtual_seconds")
+	}
+	if panicLine == nil {
+		t.Fatal("no panic request event logged")
+	}
+	if panicLine["level"] != "error" || panicLine["cause"] != "debug_panic requested" {
+		t.Errorf("panic event = %v", panicLine)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing log output.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestBatchTraceSidecar: per-entry request ids and trace sidecars on
+// /batch, byte-identical to the /check sidecar for the same commit.
+func TestBatchTraceSidecar(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workspace generation is slow")
+	}
+	s, ts := newTestServer(t, nil)
+	ids := windowTail(s, 2)
+
+	data, _ := json.Marshal(batchRequest{Commits: ids})
+	resp, err := http.Post(ts.URL+"/batch?trace=tree", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: %d: %s", resp.StatusCode, body)
+	}
+	var entries []batchEntry
+	if err := json.Unmarshal(body, &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(ids) {
+		t.Fatalf("%d entries for %d commits", len(entries), len(ids))
+	}
+	for i, e := range entries {
+		if e.RequestID == "" {
+			t.Errorf("entry %d missing request id", i)
+		}
+		if e.Trace == "" {
+			t.Errorf("entry %d missing trace sidecar", i)
+			continue
+		}
+		// Same commit through /check?trace=tree must give the same artifact.
+		_, checkBody := postCheckPath(t, ts, "/check?trace=tree", checkRequest{Commit: e.Commit}, nil)
+		var env traceEnvelope
+		if err := json.Unmarshal(checkBody, &env); err != nil {
+			t.Fatal(err)
+		}
+		if e.Trace != env.Trace {
+			t.Errorf("batch sidecar for %s differs from check sidecar", e.Commit)
+		}
+	}
+}

@@ -159,34 +159,27 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.bounds[len(h.bounds)-1]
 }
 
-// Registry hands out metric series keyed by (name, labels). Lookups are
-// cheap but callers on hot paths should hold the returned handle.
-type Registry struct {
-	mu     sync.Mutex
-	counts map[string]*Counter
-	gauges map[string]*Gauge
-	hists  map[string]*Histogram
-	keys   []string // insertion-independent: sorted on Snapshot
+// series is one registered metric with its structured identity kept
+// beside the value, so exporters (the JSON snapshot, the Prometheus text
+// exposition) can sort and render by (name, label set) instead of
+// re-parsing flattened keys.
+type series struct {
+	kind    string // "counter", "gauge", "histogram"
+	name    string
+	labels  []Label // sorted by key
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry {
-	return &Registry{
-		counts: make(map[string]*Counter),
-		gauges: make(map[string]*Gauge),
-		hists:  make(map[string]*Histogram),
-	}
-}
-
-func seriesKey(name string, labels []Label) string {
+// labelKey renders the sorted label set as the stable "{k=v}{k=v}" tail
+// used for map keys and snapshot names.
+func labelKey(labels []Label) string {
 	if len(labels) == 0 {
-		return name
+		return ""
 	}
-	ls := append([]Label(nil), labels...)
-	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
 	var b strings.Builder
-	b.WriteString(name)
-	for _, l := range ls {
+	for _, l := range labels {
 		b.WriteByte('{')
 		b.WriteString(l.Key)
 		b.WriteByte('=')
@@ -196,50 +189,100 @@ func seriesKey(name string, labels []Label) string {
 	return b.String()
 }
 
+// Registry hands out metric series keyed by (name, labels). Lookups are
+// cheap but callers on hot paths should hold the returned handle.
+type Registry struct {
+	mu     sync.Mutex
+	byKey  map[string]*series
+	series []*series
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*series)}
+}
+
+func sortLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	return ls
+}
+
+// lookup finds or creates the series for (kind, name, labels). Caller
+// must not hold mu.
+func (r *Registry) lookup(kind, name string, labels []Label) *series {
+	ls := sortLabels(labels)
+	key := kind + ":" + name + labelKey(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.byKey[key]
+	if !ok {
+		s = &series{kind: kind, name: name, labels: ls}
+		r.byKey[key] = s
+		r.series = append(r.series, s)
+	}
+	return s
+}
+
 // Counter returns the counter series for (name, labels), creating it on
 // first use.
 func (r *Registry) Counter(name string, labels ...Label) *Counter {
-	key := seriesKey(name, labels)
+	s := r.lookup("counter", name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	c, ok := r.counts[key]
-	if !ok {
-		c = &Counter{}
-		r.counts[key] = c
-		r.keys = append(r.keys, "c:"+key)
+	if s.counter == nil {
+		s.counter = &Counter{}
 	}
-	return c
+	return s.counter
 }
 
 // Gauge returns the gauge series for (name, labels).
 func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
-	key := seriesKey(name, labels)
+	s := r.lookup("gauge", name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	g, ok := r.gauges[key]
-	if !ok {
-		g = &Gauge{}
-		r.gauges[key] = g
-		r.keys = append(r.keys, "g:"+key)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
 	}
-	return g
+	return s.gauge
 }
 
 // Histogram returns the histogram series for (name, labels) with the
 // given bucket upper bounds (ignored if the series already exists).
 func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
-	key := seriesKey(name, labels)
+	s := r.lookup("histogram", name, labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	h, ok := r.hists[key]
-	if !ok {
+	if s.hist == nil {
 		bs := append([]float64(nil), bounds...)
 		sort.Float64s(bs)
-		h = &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
-		r.hists[key] = h
-		r.keys = append(r.keys, "h:"+key)
+		s.hist = &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
 	}
-	return h
+	return s.hist
+}
+
+// sortedSeries snapshots the series list fully sorted by metric name,
+// then label set, then kind — the one order every exporter uses, so
+// repeated scrapes of an idle registry are byte-identical however the
+// series were created.
+func (r *Registry) sortedSeries() []*series {
+	r.mu.Lock()
+	out := append([]*series(nil), r.series...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].name != out[j].name {
+			return out[i].name < out[j].name
+		}
+		li, lj := labelKey(out[i].labels), labelKey(out[j].labels)
+		if li != lj {
+			return li < lj
+		}
+		return out[i].kind < out[j].kind
+	})
+	return out
 }
 
 // Sample is one series value in a Snapshot dump.
@@ -249,25 +292,23 @@ type Sample struct {
 	Value string // rendered value
 }
 
-// Snapshot returns every series sorted by kind-prefixed key, for tests
-// and debug dumps. Sorting (not insertion order) keeps the dump
-// deterministic under concurrent series creation.
+// Snapshot returns every series fully sorted by metric name then label
+// set (kind breaks the vanishingly rare tie), for tests and debug dumps.
+// Sorting (not insertion order) keeps the dump deterministic under
+// concurrent series creation, and the name-major order keeps repeated
+// idle scrapes byte-identical.
 func (r *Registry) Snapshot() []Sample {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	keys := append([]string(nil), r.keys...)
-	sort.Strings(keys)
-	out := make([]Sample, 0, len(keys))
-	for _, k := range keys {
-		name := k[2:]
-		switch k[:2] {
-		case "c:":
-			out = append(out, Sample{Kind: "counter", Name: name, Value: fmt.Sprintf("%d", r.counts[name].Value())})
-		case "g:":
-			out = append(out, Sample{Kind: "gauge", Name: name, Value: fmt.Sprintf("%d", r.gauges[name].Value())})
-		case "h:":
-			h := r.hists[name]
-			out = append(out, Sample{Kind: "histogram", Name: name, Value: fmt.Sprintf("count=%d sum=%g", h.Count(), h.Sum())})
+	sorted := r.sortedSeries()
+	out := make([]Sample, 0, len(sorted))
+	for _, s := range sorted {
+		name := s.name + labelKey(s.labels)
+		switch s.kind {
+		case "counter":
+			out = append(out, Sample{Kind: "counter", Name: name, Value: fmt.Sprintf("%d", s.counter.Value())})
+		case "gauge":
+			out = append(out, Sample{Kind: "gauge", Name: name, Value: fmt.Sprintf("%d", s.gauge.Value())})
+		case "histogram":
+			out = append(out, Sample{Kind: "histogram", Name: name, Value: fmt.Sprintf("count=%d sum=%g", s.hist.Count(), s.hist.Sum())})
 		}
 	}
 	return out

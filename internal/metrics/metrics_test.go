@@ -110,6 +110,34 @@ func TestSnapshotDeterministic(t *testing.T) {
 	}
 }
 
+// Snapshot must be name-major sorted across kinds with fully sorted
+// label sets, so /metricsz JSON scrapes of an idle daemon are
+// byte-identical however the series were created.
+func TestSnapshotFullySorted(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("zlat", []float64{1}).Observe(0.5)
+	r.Counter("hits", L("stage", "b")).Inc()
+	r.Gauge("entries").Set(4)
+	r.Counter("hits", L("stage", "a"), L("arch", "x86")).Inc()
+	r.Counter("alpha").Inc()
+	got := r.Snapshot()
+	wantNames := []string{
+		"alpha",
+		"entries",
+		"hits{arch=x86}{stage=a}",
+		"hits{stage=b}",
+		"zlat",
+	}
+	if len(got) != len(wantNames) {
+		t.Fatalf("snapshot has %d samples, want %d: %v", len(got), len(wantNames), got)
+	}
+	for i, w := range wantNames {
+		if got[i].Name != w {
+			t.Errorf("snapshot[%d].Name = %q, want %q", i, got[i].Name, w)
+		}
+	}
+}
+
 func TestHistogramQuantile(t *testing.T) {
 	r := NewRegistry()
 	h := r.Histogram("lat", []float64{1, 2, 4, 8})

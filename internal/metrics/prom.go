@@ -1,0 +1,238 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// TextContentType is the Prometheus text exposition content type served
+// by /metricsz when a scraper asks for text/plain.
+const TextContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WriteText renders the registries in Prometheus text exposition format
+// 0.0.4: one "# TYPE" comment per metric family, families sorted by
+// name, series within a family sorted by label set, label keys sorted
+// within each series, histograms as cumulative `_bucket` series with an
+// `le` label plus `_sum` and `_count`. The output is deterministic for a
+// given registry state — scraping an idle daemon twice yields identical
+// bytes.
+//
+// Series appearing in more than one registry under the same (name,
+// labels) are merged: counters and gauges sum, histograms with identical
+// bounds sum bucket-wise (mismatched bounds keep the first occurrence).
+// Metric names are sanitized to the Prometheus charset; label values are
+// escaped per the exposition format.
+func WriteText(w io.Writer, regs ...*Registry) error {
+	type key struct {
+		name   string
+		labels string
+	}
+	type expo struct {
+		kind    string
+		name    string
+		labels  []Label
+		intVal  int64
+		uintVal uint64
+		bounds  []float64
+		buckets []uint64
+		sum     float64
+	}
+	merged := make(map[key]*expo)
+	order := make([]key, 0, 64)
+	for _, r := range regs {
+		if r == nil {
+			continue
+		}
+		for _, s := range r.sortedSeries() {
+			ls := make([]Label, len(s.labels))
+			for i, l := range s.labels {
+				ls[i] = Label{Key: sanitizeLabelName(l.Key), Value: l.Value}
+			}
+			k := key{sanitizeName(s.name), labelKey(ls)}
+			e, ok := merged[k]
+			if !ok {
+				e = &expo{kind: s.kind, name: k.name, labels: ls}
+				merged[k] = e
+				order = append(order, k)
+			}
+			switch s.kind {
+			case "counter":
+				e.uintVal += s.counter.Value()
+			case "gauge":
+				e.intVal += s.gauge.Value()
+			case "histogram":
+				bounds, buckets := s.hist.Buckets()
+				sum := s.hist.Sum()
+				if e.buckets == nil {
+					e.bounds, e.buckets, e.sum = bounds, buckets, sum
+				} else if len(e.bounds) == len(bounds) && boundsEqual(e.bounds, bounds) {
+					for i := range buckets {
+						e.buckets[i] += buckets[i]
+					}
+					e.sum += sum
+				}
+			}
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].name != order[j].name {
+			return order[i].name < order[j].name
+		}
+		return order[i].labels < order[j].labels
+	})
+
+	typed := make(map[string]bool)
+	for _, k := range order {
+		e := merged[k]
+		if !typed[e.name] {
+			typed[e.name] = true
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind); err != nil {
+				return err
+			}
+		}
+		switch e.kind {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", e.name, renderLabels(e.labels, nil), strconv.FormatUint(e.uintVal, 10)); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", e.name, renderLabels(e.labels, nil), strconv.FormatInt(e.intVal, 10)); err != nil {
+				return err
+			}
+		case "histogram":
+			var cum uint64
+			for i, b := range e.bounds {
+				cum += e.buckets[i]
+				le := Label{Key: "le", Value: formatFloat(b)}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, renderLabels(e.labels, &le), cum); err != nil {
+					return err
+				}
+			}
+			cum += e.buckets[len(e.buckets)-1]
+			le := Label{Key: "le", Value: "+Inf"}
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, renderLabels(e.labels, &le), cum); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", e.name, renderLabels(e.labels, nil), formatFloat(e.sum)); err != nil {
+				return err
+			}
+			// _count derives from the bucket snapshot (not the count field)
+			// so the exposition is internally consistent mid-Observe.
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", e.name, renderLabels(e.labels, nil), cum); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func boundsEqual(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels formats the sorted label set, inserting extra (the `le`
+// bucket label) in sorted position so every emitted label list is fully
+// sorted by key.
+func renderLabels(labels []Label, extra *Label) string {
+	all := labels
+	if extra != nil {
+		all = make([]Label, 0, len(labels)+1)
+		inserted := false
+		for _, l := range labels {
+			if !inserted && extra.Key < l.Key {
+				all = append(all, *extra)
+				inserted = true
+			}
+			all = append(all, l)
+		}
+		if !inserted {
+			all = append(all, *extra)
+		}
+	}
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return v
+}
+
+// formatFloat renders a float the shortest way that round-trips, the
+// conventional Prometheus rendering ("0.005", "1", "2.5").
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+func isValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// sanitizeName maps a registry name onto the Prometheus metric-name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*. Registry names are snake_case
+// already; this is a safety net for future series, not a rewrite pass.
+func sanitizeName(s string) string {
+	if isValidMetricName(s) {
+		return s
+	}
+	var b strings.Builder
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	if out == "" {
+		return "_"
+	}
+	return out
+}
+
+// sanitizeLabelName is sanitizeName without the colon (label names may
+// not contain ':').
+func sanitizeLabelName(s string) string {
+	return strings.ReplaceAll(sanitizeName(s), ":", "_")
+}

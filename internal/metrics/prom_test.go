@@ -1,0 +1,165 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func buildPromRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("requests_total", L("endpoint", "check"), L("outcome", "ok")).Add(7)
+	r.Counter("requests_total", L("endpoint", "check"), L("outcome", "shed")).Add(2)
+	r.Counter("requests_total", L("endpoint", "batch"), L("outcome", "ok")).Inc()
+	r.Gauge("inflight").Set(3)
+	// Dyadic observations so the float sum is exact and its rendering
+	// stable across platforms.
+	h := r.Histogram("wall_seconds", []float64{0.01, 0.1, 1}, L("endpoint", "check"))
+	h.Observe(0.0078125)
+	h.Observe(0.0625)
+	h.Observe(0.0625)
+	h.Observe(5)
+	return r
+}
+
+func renderProm(t *testing.T, regs ...*Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteText(&buf, regs...); err != nil {
+		t.Fatalf("WriteText: %v", err)
+	}
+	return buf.String()
+}
+
+func TestWriteTextRendering(t *testing.T) {
+	got := renderProm(t, buildPromRegistry())
+	want := strings.Join([]string{
+		"# TYPE inflight gauge",
+		"inflight 3",
+		"# TYPE requests_total counter",
+		`requests_total{endpoint="batch",outcome="ok"} 1`,
+		`requests_total{endpoint="check",outcome="ok"} 7`,
+		`requests_total{endpoint="check",outcome="shed"} 2`,
+		"# TYPE wall_seconds histogram",
+		`wall_seconds_bucket{endpoint="check",le="0.01"} 1`,
+		`wall_seconds_bucket{endpoint="check",le="0.1"} 3`,
+		`wall_seconds_bucket{endpoint="check",le="1"} 3`,
+		`wall_seconds_bucket{endpoint="check",le="+Inf"} 4`,
+		`wall_seconds_sum{endpoint="check"} 5.1328125`,
+		`wall_seconds_count{endpoint="check"} 4`,
+		"",
+	}, "\n")
+	if got != want {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteTextDeterministic(t *testing.T) {
+	r := buildPromRegistry()
+	a := renderProm(t, r)
+	b := renderProm(t, r)
+	if a != b {
+		t.Errorf("two consecutive renders differ:\n%s\n---\n%s", a, b)
+	}
+	// Creation order must not leak into the output.
+	r2 := NewRegistry()
+	r2.Histogram("wall_seconds", []float64{0.01, 0.1, 1}, L("endpoint", "check")).Observe(0.0078125)
+	r2.Counter("requests_total", L("outcome", "ok"), L("endpoint", "check")).Add(7)
+	r2.Gauge("inflight").Set(3)
+	r2.Counter("requests_total", L("outcome", "shed"), L("endpoint", "check")).Add(2)
+	r2.Counter("requests_total", L("outcome", "ok"), L("endpoint", "batch")).Inc()
+	h := r2.Histogram("wall_seconds", nil, L("endpoint", "check"))
+	h.Observe(0.0625)
+	h.Observe(0.0625)
+	h.Observe(5)
+	if got := renderProm(t, r2); got != a {
+		t.Errorf("creation order leaked into exposition:\ngot:\n%s\nwant:\n%s", got, a)
+	}
+}
+
+func TestWriteTextMergesRegistries(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("requests_total", L("outcome", "ok")).Add(2)
+	a.Histogram("wall_seconds", []float64{1, 10}).Observe(0.5)
+	b := NewRegistry()
+	b.Counter("requests_total", L("outcome", "ok")).Add(3)
+	b.Counter("only_b_total").Inc()
+	b.Histogram("wall_seconds", []float64{1, 10}).Observe(5)
+	got := renderProm(t, a, b)
+	for _, want := range []string{
+		`requests_total{outcome="ok"} 5`,
+		"only_b_total 1",
+		`wall_seconds_bucket{le="1"} 1`,
+		`wall_seconds_bucket{le="10"} 2`,
+		`wall_seconds_bucket{le="+Inf"} 2`,
+		"wall_seconds_sum 5.5",
+		"wall_seconds_count 2",
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Errorf("merged exposition missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestValidateTextAcceptsOwnOutput(t *testing.T) {
+	got := renderProm(t, buildPromRegistry())
+	if err := ValidateText([]byte(got)); err != nil {
+		t.Errorf("validator rejected our own exposition: %v\n%s", err, got)
+	}
+}
+
+func TestValidateTextRejectsBrokenInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"garbage line":      "this is not a metric\n",
+		"bad name":          "9leading 1\n",
+		"bad value":         "ok_total pizza\n",
+		"unsorted labels":   "x{b=\"1\",a=\"2\"} 1\n",
+		"unquoted label":    "x{a=1} 1\n",
+		"unterminated":      "x{a=\"1 1\n",
+		"unknown comment":   "# NOPE x counter\nx 1\n",
+		"duplicate type":    "# TYPE x counter\n# TYPE x counter\nx 1\n",
+		"type after sample": "x 1\n# TYPE x counter\n",
+		"non-cumulative histogram": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing inf bucket": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count mismatch": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+		"missing sum": "# TYPE h histogram\n" +
+			"h_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+	}
+	for name, in := range cases {
+		if err := ValidateText([]byte(in)); err == nil {
+			t.Errorf("%s: validator accepted invalid input:\n%s", name, in)
+		}
+	}
+}
+
+func TestValidateTextAcceptsLabeledHistograms(t *testing.T) {
+	in := "# TYPE h histogram\n" +
+		`h_bucket{ep="a",le="1"} 2` + "\n" +
+		`h_bucket{ep="a",le="+Inf"} 3` + "\n" +
+		`h_sum{ep="a"} 1.5` + "\n" +
+		`h_count{ep="a"} 3` + "\n" +
+		`h_bucket{ep="b",le="1"} 0` + "\n" +
+		`h_bucket{ep="b",le="+Inf"} 1` + "\n" +
+		`h_sum{ep="b"} 9` + "\n" +
+		`h_count{ep="b"} 1` + "\n"
+	if err := ValidateText([]byte(in)); err != nil {
+		t.Errorf("validator rejected valid labeled histogram: %v", err)
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"ok_name":     "ok_name",
+		"with-dash":   "with_dash",
+		"9lead":       "_lead",
+		"dots.inside": "dots_inside",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,321 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ValidateText checks data against the Prometheus text exposition
+// invariants the obs-smoke gate cares about:
+//
+//   - every line is blank, a # HELP/# TYPE comment, or a sample;
+//   - metric and label names use the legal charset, label values are
+//     properly quoted, every sample value parses as a float;
+//   - label keys within a series are strictly sorted (our writer's
+//     determinism discipline, stronger than the format requires);
+//   - each family has at most one # TYPE line, appearing before its
+//     samples;
+//   - every histogram family (declared via "# TYPE x histogram") has,
+//     per label set: cumulative non-decreasing _bucket series ordered by
+//     le, a le="+Inf" bucket, and _sum/_count with _count equal to the
+//     +Inf bucket.
+//
+// It returns nil for valid input and a descriptive error for the first
+// violation found.
+func ValidateText(data []byte) error {
+	lines := strings.Split(string(data), "\n")
+	typeOf := make(map[string]string)                       // family -> declared type
+	sampled := make(map[string]bool)                        // family -> samples seen
+	histBuckets := make(map[string]map[string][]histSample) // family -> rest-labels -> buckets
+	histSums := make(map[string]map[string]bool)
+	histCounts := make(map[string]map[string]float64)
+	sampleCount := 0
+
+	for ln, line := range lines {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimPrefix(line, "#")
+			rest = strings.TrimPrefix(rest, " ")
+			switch {
+			case strings.HasPrefix(rest, "HELP "):
+				// free-form; nothing to check beyond the name token
+			case strings.HasPrefix(rest, "TYPE "):
+				fields := strings.Fields(rest)
+				if len(fields) != 3 {
+					return fmt.Errorf("line %d: malformed TYPE comment", lineNo)
+				}
+				name, typ := fields[1], fields[2]
+				if !isValidMetricName(name) {
+					return fmt.Errorf("line %d: invalid metric name %q in TYPE", lineNo, name)
+				}
+				switch typ {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+				}
+				if _, dup := typeOf[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				if sampled[name] {
+					return fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, name)
+				}
+				typeOf[name] = typ
+			default:
+				return fmt.Errorf("line %d: unknown comment %q", lineNo, line)
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		sampleCount++
+		family := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, suffix)
+			if base != name && typeOf[base] == "histogram" {
+				family = base
+				break
+			}
+		}
+		sampled[family] = true
+		sampled[name] = true
+
+		if typeOf[family] == "histogram" {
+			rest, le := splitLE(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if le == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				leV, err := parseLE(le)
+				if err != nil {
+					return fmt.Errorf("line %d: bad le %q: %v", lineNo, le, err)
+				}
+				m := histBuckets[family]
+				if m == nil {
+					m = make(map[string][]histSample)
+					histBuckets[family] = m
+				}
+				m[rest] = append(m[rest], histSample{le: leV, count: value})
+			case strings.HasSuffix(name, "_sum"):
+				m := histSums[family]
+				if m == nil {
+					m = make(map[string]bool)
+					histSums[family] = m
+				}
+				m[rest] = true
+			case strings.HasSuffix(name, "_count"):
+				m := histCounts[family]
+				if m == nil {
+					m = make(map[string]float64)
+					histCounts[family] = m
+				}
+				m[rest] = value
+			}
+		}
+	}
+
+	if sampleCount == 0 {
+		return fmt.Errorf("no samples found")
+	}
+
+	// Histogram invariants per (family, label set).
+	families := make([]string, 0, len(histBuckets))
+	for f := range histBuckets {
+		families = append(families, f)
+	}
+	sort.Strings(families)
+	for _, f := range families {
+		for rest, buckets := range histBuckets[f] {
+			sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+			last := -1.0
+			hasInf := false
+			for _, b := range buckets {
+				if b.count < last {
+					return fmt.Errorf("%s{%s}: buckets not cumulative (le=%v count %v < %v)", f, rest, b.le, b.count, last)
+				}
+				last = b.count
+				if math.IsInf(b.le, 1) {
+					hasInf = true
+				}
+			}
+			if !hasInf {
+				return fmt.Errorf("%s{%s}: missing le=\"+Inf\" bucket", f, rest)
+			}
+			if !histSums[f][rest] {
+				return fmt.Errorf("%s{%s}: missing _sum", f, rest)
+			}
+			count, ok := histCounts[f][rest]
+			if !ok {
+				return fmt.Errorf("%s{%s}: missing _count", f, rest)
+			}
+			if count != last {
+				return fmt.Errorf("%s{%s}: _count %v != +Inf bucket %v", f, rest, count, last)
+			}
+		}
+	}
+	return nil
+}
+
+type histSample struct {
+	le    float64
+	count float64
+}
+
+func parseLE(s string) (float64, error) {
+	if s == "+Inf" {
+		return math.Inf(1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// splitLE removes the le label from a parsed label list, returning the
+// remaining labels re-rendered as a grouping key plus the le value.
+func splitLE(labels []Label) (rest string, le string) {
+	var b strings.Builder
+	for _, l := range labels {
+		if l.Key == "le" {
+			le = l.Value
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	return b.String(), le
+}
+
+// parseSample parses one exposition sample line: name{labels} value
+// [timestamp]. It checks name/label charset, quoting, and strictly
+// sorted label keys.
+func parseSample(line string) (name string, labels []Label, value float64, err error) {
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	if brace >= 0 {
+		name = rest[:brace]
+		rest = rest[brace+1:]
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return "", nil, 0, err
+		}
+	} else {
+		sp := strings.IndexByte(rest, ' ')
+		if sp < 0 {
+			return "", nil, 0, fmt.Errorf("sample without value: %q", line)
+		}
+		name = rest[:sp]
+		rest = rest[sp:]
+	}
+	if !isValidMetricName(name) {
+		return "", nil, 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	prev := ""
+	for i, l := range labels {
+		if !isValidMetricName(l.Key) || strings.Contains(l.Key, ":") {
+			return "", nil, 0, fmt.Errorf("invalid label name %q", l.Key)
+		}
+		if i > 0 && l.Key <= prev {
+			return "", nil, 0, fmt.Errorf("label keys not strictly sorted: %q after %q", l.Key, prev)
+		}
+		prev = l.Key
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", nil, 0, fmt.Errorf("expected value [timestamp] after labels, got %q", rest)
+	}
+	value, err = parseValue(fields[0])
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return "", nil, 0, fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+	return name, labels, value, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// parseLabels consumes `k="v",k="v"}` and returns the labels plus the
+// remainder of the line after the closing brace.
+func parseLabels(s string) ([]Label, string, error) {
+	var labels []Label
+	for {
+		s = strings.TrimLeft(s, " ")
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if !strings.HasPrefix(s, `"`) {
+			return nil, "", fmt.Errorf("label value for %q not quoted", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", key)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("bad escape \\%c in label %q", s[i], key)
+				}
+				continue
+			}
+			if c == '"' {
+				s = s[i+1:]
+				closed = true
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, "", fmt.Errorf("unterminated label value for %q", key)
+		}
+		labels = append(labels, Label{Key: key, Value: val.String()})
+		if strings.HasPrefix(s, ",") {
+			s = s[1:]
+			continue
+		}
+		if strings.HasPrefix(s, "}") {
+			return labels, s[1:], nil
+		}
+		return nil, "", fmt.Errorf("expected ',' or '}' after label %q", key)
+	}
+}

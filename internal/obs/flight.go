@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"sync"
+
+	"jmake/internal/trace"
+)
+
+// Outcome taxonomy for request records. Every terminal path through the
+// daemon maps to exactly one of these, so the flight recorder and the
+// requests_outcome_total counter always agree on vocabulary.
+const (
+	OutcomeOK       = "ok"       // 200, report delivered
+	OutcomeShed     = "shed"     // 429, admission refused
+	OutcomeTimeout  = "timeout"  // 504, deadline expired mid-check
+	OutcomePanic    = "panic"    // 500, checker panicked (session canaried)
+	OutcomeError    = "error"    // 4xx/5xx, validation or internal error
+	OutcomeCanceled = "canceled" // client went away mid-request
+	OutcomeDraining = "draining" // 503, server shutting down
+)
+
+// Record is one entry in the flight recorder: the compact post-mortem of
+// a single daemon request. Field order here is the serve order of
+// /debugz/requests, so the JSON layout is part of the debug surface.
+//
+// Wall-clock fields are allowed: records live beside reports (the
+// byte-identical invariant covers report JSON only). Virtual and cache
+// fields come from the request's stamped trace, so they are
+// deterministic for a given commit.
+type Record struct {
+	Seq            uint64  `json:"seq"`
+	RequestID      string  `json:"request_id"`
+	Endpoint       string  `json:"endpoint"`
+	Commit         string  `json:"commit,omitempty"`
+	Outcome        string  `json:"outcome"`
+	Status         int     `json:"status"`
+	Cause          string  `json:"cause,omitempty"`
+	WallMillis     float64 `json:"wall_ms"`
+	VirtualSeconds float64 `json:"virtual_seconds"`
+	CacheCompute   int     `json:"cache_compute"`
+	CacheReuse     int     `json:"cache_reuse"`
+	CacheHitRatio  float64 `json:"cache_hit_ratio"`
+	Spans          string  `json:"spans,omitempty"`
+
+	// Trace is the request's merged, stamped span tree, kept for
+	// GET /tracez/<request-id> until the record is evicted. Not part of
+	// the debugz JSON (it has its own endpoint and formats).
+	Trace *trace.Trace `json:"-"`
+}
+
+// FlightRecorder is a fixed-size ring of the most recent Records. Adds
+// are O(1); eviction is strictly oldest-first, so after the ring wraps,
+// Records() is a sliding window of the last Cap() requests.
+type FlightRecorder struct {
+	mu   sync.Mutex
+	buf  []Record
+	head int    // index of the oldest record when full
+	n    int    // live records
+	seq  uint64 // last assigned sequence number
+}
+
+// DefaultFlightRecorderSize is the ring capacity when the flag is unset.
+const DefaultFlightRecorderSize = 256
+
+// NewFlightRecorder returns a ring holding the last n records
+// (n <= 0 selects DefaultFlightRecorderSize).
+func NewFlightRecorder(n int) *FlightRecorder {
+	if n <= 0 {
+		n = DefaultFlightRecorderSize
+	}
+	return &FlightRecorder{buf: make([]Record, n)}
+}
+
+// Cap returns the ring capacity.
+func (f *FlightRecorder) Cap() int { return len(f.buf) }
+
+// Add appends rec, assigning and returning its sequence number
+// (monotonic from 1). The oldest record is evicted when full.
+func (f *FlightRecorder) Add(rec Record) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.seq++
+	rec.Seq = f.seq
+	if f.n < len(f.buf) {
+		f.buf[(f.head+f.n)%len(f.buf)] = rec
+		f.n++
+	} else {
+		f.buf[f.head] = rec
+		f.head = (f.head + 1) % len(f.buf)
+	}
+	return rec.Seq
+}
+
+// Records returns a copy of the live records, oldest first.
+func (f *FlightRecorder) Records() []Record {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Record, f.n)
+	for i := 0; i < f.n; i++ {
+		out[i] = f.buf[(f.head+i)%len(f.buf)]
+	}
+	return out
+}
+
+// Find returns the record for requestID, or ok=false if it was never
+// recorded or has been evicted.
+func (f *FlightRecorder) Find(requestID string) (Record, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Newest-first: a request ID is unique, but if a caller ever reuses
+	// one, the most recent record is the useful answer.
+	for i := f.n - 1; i >= 0; i-- {
+		r := f.buf[(f.head+i)%len(f.buf)]
+		if r.RequestID == requestID {
+			return r, true
+		}
+	}
+	return Record{}, false
+}

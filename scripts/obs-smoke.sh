@@ -1,0 +1,94 @@
+#!/bin/sh
+# obs-smoke: end-to-end exercise of jmaked's observability surface.
+#
+#   1. Start jmaked with tight admission limits, a flight recorder, and
+#      debug-level structured logging; wait for readiness.
+#   2. Chaos burst at concurrency 32 (jmake-load scrapes /metricsz before
+#      and after and fails if the scrape breaks).
+#   3. Scrape /metricsz?format=prometheus and validate the exposition
+#      with trace-check -prom (legal names, sorted labels, cumulative
+#      histograms with matching +Inf/_count).
+#   4. Require the flight recorder to have captured the burst's shed
+#      requests, then pull the trace for a successful request via
+#      /tracez/<request-id> and require a non-empty span tree.
+#   5. Require the structured NDJSON request log on stderr.
+#   6. SIGTERM and require a clean drain.
+set -eu
+
+GO=${GO:-go}
+ADDR=${ADDR:-127.0.0.1:8439}
+WS="-tree-scale 0.15 -commit-scale 0.008"
+
+dir=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$dir"
+}
+trap cleanup EXIT
+
+$GO build -o "$dir/jmaked" ./cmd/jmaked
+$GO build -o "$dir/jmake-load" ./cmd/jmake-load
+$GO build -o "$dir/trace-check" ./cmd/trace-check
+
+# Tight queue on purpose: the burst must shed, and the sheds must show up
+# as flight records with outcome "shed".
+"$dir/jmaked" -addr "$ADDR" $WS -max-inflight 2 -max-queue 2 \
+    -flight 256 -log-level debug >"$dir/jmaked.log" 2>&1 &
+pid=$!
+
+i=0
+until "$dir/jmake-load" -addr "$ADDR" -print-latest-commit >/dev/null 2>&1; do
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "obs-smoke: jmaked died during startup" >&2
+        cat "$dir/jmaked.log" >&2
+        pid=""
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 120 ]; then
+        echo "obs-smoke: jmaked never became ready" >&2
+        cat "$dir/jmaked.log" >&2
+        exit 1
+    fi
+    sleep 0.5
+done
+
+"$dir/jmake-load" -addr "$ADDR" -n 120 -c 32 -chaos
+
+"$dir/jmake-load" -addr "$ADDR" -get "/metricsz?format=prometheus" >"$dir/metrics.prom"
+"$dir/trace-check" -prom "$dir/metrics.prom"
+grep -q '^requests_outcome_total{endpoint="check",outcome="shed"}' "$dir/metrics.prom"
+echo "obs-smoke: Prometheus exposition valid, shed outcomes counted"
+
+"$dir/jmake-load" -addr "$ADDR" -get "/debugz/requests" >"$dir/flight.json"
+grep -q '"outcome": "shed"' "$dir/flight.json"
+
+# Pull the span tree for a request the flight recorder says succeeded:
+# remember each record's request_id, emit it when its outcome is "ok".
+rid=$(awk -F'"' '/"request_id":/ { id=$4 } /"outcome": "ok"/ { print id; exit }' "$dir/flight.json")
+if [ -z "$rid" ]; then
+    echo "obs-smoke: no ok record in flight recorder" >&2
+    exit 1
+fi
+"$dir/jmake-load" -addr "$ADDR" -get "/tracez/$rid?format=tree" >"$dir/trace.tree"
+test -s "$dir/trace.tree"
+grep -q "patch" "$dir/trace.tree"
+echo "obs-smoke: flight recorder holds the burst, /tracez/$rid serves its span tree"
+
+grep -q '"msg":"request"' "$dir/jmaked.log"
+grep -q '"level":"debug"' "$dir/jmaked.log"
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "obs-smoke: jmaked exited non-zero on SIGTERM" >&2
+    cat "$dir/jmaked.log" >&2
+    pid=""
+    exit 1
+fi
+pid=""
+grep -q "drained cleanly" "$dir/jmaked.log"
+echo "obs-smoke: structured request log present, clean drain"
